@@ -1,0 +1,164 @@
+//! Attack profitability and collateral sizing.
+//!
+//! A BTCFast double-spender faces a new term absent from plain Bitcoin
+//! economics: if the merchant's dispute succeeds, the **escrow collateral**
+//! is forfeited to the merchant. The expected profit of attacking a payment
+//! of value `v` with success probability `P` (from the race model) is
+//!
+//! ```text
+//! E[profit] = P·v − (1 − P)·(C + m) − P·κ·C
+//! ```
+//!
+//! where `C` is the collateral at stake, `m` the attacker's mining
+//! opportunity cost, and `κ` the probability the judge still catches the
+//! attack even when the BTC race succeeded (the judgment window extends
+//! past the race). Setting `E[profit] ≤ 0` and solving for `C` gives the
+//! minimum collateral a merchant should require.
+
+use crate::rosenfeld;
+
+/// Parameters of the profitability model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttackEconomics {
+    /// Attacker hashrate fraction, in `(0, 1)`.
+    pub attacker_hashrate: f64,
+    /// Confirmations the merchant's dispute evidence spans (the judgment
+    /// window W; plays the role of `z` in the race model).
+    pub judgment_window: u64,
+    /// Attacker's expected mining opportunity cost over the attack, in the
+    /// same unit as payment values (e.g. satoshis).
+    pub mining_cost: f64,
+    /// Probability the judge punishes a *successful* BTC race anyway
+    /// (evidence race lost by the attacker on the PSC chain).
+    pub residual_catch_probability: f64,
+}
+
+impl AttackEconomics {
+    /// A conservative default: judgment window 6, zero mining cost credit
+    /// to the attacker, and no residual catch.
+    pub fn conservative(attacker_hashrate: f64, judgment_window: u64) -> AttackEconomics {
+        AttackEconomics {
+            attacker_hashrate,
+            judgment_window,
+            mining_cost: 0.0,
+            residual_catch_probability: 0.0,
+        }
+    }
+
+    /// Probability the double-spend race itself succeeds (Rosenfeld model).
+    pub fn race_success_probability(&self) -> f64 {
+        rosenfeld::attack_success(self.attacker_hashrate, self.judgment_window)
+    }
+
+    /// Expected attacker profit for payment value `v` and collateral `c`.
+    pub fn expected_profit(&self, v: f64, c: f64) -> f64 {
+        let p = self.race_success_probability();
+        p * v - (1.0 - p) * (c + self.mining_cost) - p * self.residual_catch_probability * c
+    }
+
+    /// Minimum collateral making the attack non-profitable
+    /// (`E[profit] <= 0`), or `None` when no finite collateral suffices
+    /// (attacker wins the race almost surely and is never caught).
+    pub fn min_collateral(&self, v: f64) -> Option<f64> {
+        let p = self.race_success_probability();
+        let loss_weight = (1.0 - p) + p * self.residual_catch_probability;
+        if loss_weight <= 0.0 {
+            return None;
+        }
+        let c = (p * v - (1.0 - p) * self.mining_cost) / loss_weight;
+        Some(c.max(0.0))
+    }
+
+    /// The collateral-to-value ratio `ρ = C*/v` a merchant policy should
+    /// demand. `None` mirrors [`AttackEconomics::min_collateral`].
+    pub fn collateral_ratio(&self, v: f64) -> Option<f64> {
+        assert!(v > 0.0, "payment value must be positive");
+        self.min_collateral(v).map(|c| c / v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_hashrate_needs_tiny_collateral() {
+        let econ = AttackEconomics::conservative(0.1, 6);
+        let ratio = econ.collateral_ratio(1_000_000.0).unwrap();
+        // P ≈ 0.00024 → ratio ≈ 0.00024.
+        assert!(ratio < 0.001, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn high_hashrate_needs_large_collateral() {
+        let econ = AttackEconomics::conservative(0.4, 6);
+        let ratio = econ.collateral_ratio(1_000_000.0).unwrap();
+        assert!(ratio > 0.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn collateral_zeroes_expected_profit() {
+        let econ = AttackEconomics::conservative(0.25, 6);
+        let v = 500_000.0;
+        let c = econ.min_collateral(v).unwrap();
+        let profit = econ.expected_profit(v, c);
+        assert!(profit.abs() < 1e-6, "profit = {profit}");
+        // Any larger collateral makes the attack strictly losing.
+        assert!(econ.expected_profit(v, c * 1.01) < 0.0);
+        assert!(econ.expected_profit(v, c * 0.99) > 0.0);
+    }
+
+    #[test]
+    fn mining_cost_reduces_required_collateral() {
+        let base = AttackEconomics::conservative(0.3, 6);
+        let with_cost = AttackEconomics {
+            mining_cost: 100_000.0,
+            ..base
+        };
+        let v = 1_000_000.0;
+        assert!(with_cost.min_collateral(v).unwrap() < base.min_collateral(v).unwrap());
+    }
+
+    #[test]
+    fn residual_catch_reduces_required_collateral() {
+        let base = AttackEconomics::conservative(0.45, 6);
+        let with_catch = AttackEconomics {
+            residual_catch_probability: 0.9,
+            ..base
+        };
+        let v = 1_000_000.0;
+        assert!(with_catch.min_collateral(v).unwrap() < base.min_collateral(v).unwrap());
+    }
+
+    #[test]
+    fn majority_attacker_without_catch_is_uninsurable() {
+        let econ = AttackEconomics::conservative(0.6, 6);
+        // Race success = 1 and no residual catch → no finite collateral.
+        assert_eq!(econ.min_collateral(1_000_000.0), None);
+        // With a residual catch probability, collateral becomes finite.
+        let with_catch = AttackEconomics {
+            residual_catch_probability: 0.5,
+            ..econ
+        };
+        assert!(with_catch.min_collateral(1_000_000.0).is_some());
+    }
+
+    #[test]
+    fn collateral_never_negative() {
+        let econ = AttackEconomics {
+            attacker_hashrate: 0.05,
+            judgment_window: 20,
+            mining_cost: 1e12,
+            residual_catch_probability: 0.0,
+        };
+        assert_eq!(econ.min_collateral(100.0), Some(0.0));
+    }
+
+    #[test]
+    fn wider_window_lowers_collateral() {
+        let v = 1_000_000.0;
+        let narrow = AttackEconomics::conservative(0.3, 2);
+        let wide = AttackEconomics::conservative(0.3, 12);
+        assert!(wide.collateral_ratio(v).unwrap() < narrow.collateral_ratio(v).unwrap());
+    }
+}

@@ -1,0 +1,59 @@
+//! µ-benchmarks of the crypto substrate: the primitives whose cost bounds
+//! both the merchant's acceptance decision and the judge's on-chain work.
+
+use btcfast_crypto::keys::KeyPair;
+use btcfast_crypto::merkle::MerkleTree;
+use btcfast_crypto::ripemd160::hash160;
+use btcfast_crypto::sha256::{sha256, sha256d};
+use btcfast_crypto::Hash256;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let header = [0x5au8; 88];
+    c.bench_function("sha256_88B_header", |b| {
+        b.iter(|| sha256(black_box(&header)))
+    });
+    c.bench_function("sha256d_88B_header", |b| {
+        b.iter(|| sha256d(black_box(&header)))
+    });
+    let kb = vec![0xa5u8; 1024];
+    c.bench_function("sha256_1KiB", |b| b.iter(|| sha256(black_box(&kb))));
+    c.bench_function("hash160_pubkey", |b| {
+        let pk = KeyPair::from_seed(b"bench").public().to_compressed();
+        b.iter(|| hash160(black_box(&pk)))
+    });
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(b"bench ecdsa");
+    let digest = sha256(b"pay the merchant");
+    c.bench_function("ecdsa_sign", |b| b.iter(|| kp.sign(black_box(&digest))));
+    let sig = kp.sign(&digest);
+    c.bench_function("ecdsa_verify", |b| {
+        b.iter(|| {
+            assert!(kp.public().verify(black_box(&digest), black_box(&sig)));
+        })
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [16usize, 256, 2048] {
+        let leaves: Vec<Hash256> = (0..n).map(|i| sha256d(&(i as u64).to_le_bytes())).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::from_leaves(black_box(leaves.clone())).unwrap())
+        });
+        let tree = MerkleTree::from_leaves(leaves.clone()).unwrap();
+        let proof = tree.prove(n / 2).unwrap();
+        let leaf = leaves[n / 2];
+        let root = tree.root();
+        group.bench_with_input(BenchmarkId::new("verify_proof", n), &proof, |b, proof| {
+            b.iter(|| assert!(proof.verify(black_box(&leaf), black_box(&root))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_ecdsa, bench_merkle);
+criterion_main!(benches);

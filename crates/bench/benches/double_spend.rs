@@ -1,0 +1,47 @@
+//! E2's simulation kernel as a µ-benchmark: the stochastic double-spend
+//! race and the full-machinery private-fork attack.
+
+use btcfast_btcsim::attack::{race_once, RaceParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_race(c: &mut Criterion) {
+    let mut group = c.benchmark_group("race_once");
+    for q in [0.1, 0.3] {
+        let params = RaceParams {
+            attacker_hashrate: q,
+            confirmations: 6,
+            give_up_deficit: 60,
+            required_lead: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(q), &params, |b, params| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| race_once(black_box(params), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo_batch(c: &mut Criterion) {
+    c.bench_function("race_monte_carlo_1k", |b| {
+        let params = RaceParams {
+            attacker_hashrate: 0.25,
+            confirmations: 6,
+            give_up_deficit: 60,
+            required_lead: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            btcfast_btcsim::attack::race_probability_monte_carlo(
+                black_box(&params),
+                1_000,
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_race, bench_monte_carlo_batch);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E5's verification kernel as a µ-benchmark: on-chain evidence validation
+//! cost versus header depth.
+
+use btcfast_btcsim::chain::Chain;
+use btcfast_btcsim::miner::Miner;
+use btcfast_btcsim::params::ChainParams;
+use btcfast_btcsim::spv::SpvEvidence;
+use btcfast_crypto::keys::KeyPair;
+use btcfast_crypto::Hash256;
+use btcfast_payjudger::evidence::{verify_on_chain, EvidenceBundle};
+use btcfast_pscsim::account::AccountId;
+use btcfast_pscsim::contract::HostStorage;
+use btcfast_pscsim::gas::{GasMeter, GasSchedule};
+use btcfast_pscsim::state::WorldState;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn build_chain(blocks: u64) -> Chain {
+    let params = ChainParams::regtest();
+    let mut chain = Chain::new(params.clone());
+    let mut miner = Miner::new(params, KeyPair::from_seed(b"ev bench").address());
+    for i in 1..=blocks {
+        let block = miner.mine_block(&chain, vec![], i * 600);
+        chain.submit_block(block).unwrap();
+    }
+    chain
+}
+
+fn bench_verify_on_chain(c: &mut Criterion) {
+    let chain = build_chain(64);
+    let bits = ChainParams::regtest().pow_limit_bits;
+    let txid = Hash256([1; 32]);
+    let mut group = c.benchmark_group("evidence_verify_on_chain");
+    for depth in [8u64, 32, 64] {
+        let bundle = EvidenceBundle(SpvEvidence::from_chain(&chain, 1, depth, None));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &bundle, |b, bundle| {
+            b.iter(|| {
+                let mut world = WorldState::new();
+                let mut meter = GasMeter::new(1_000_000_000);
+                let schedule = GasSchedule::evm_shaped();
+                let mut host = HostStorage {
+                    world: &mut world,
+                    meter: &mut meter,
+                    schedule: &schedule,
+                    contract: AccountId([0xCC; 20]),
+                    events: Vec::new(),
+                    transfers: Vec::new(),
+                };
+                verify_on_chain(black_box(bundle), &Hash256::ZERO, bits, &txid, &mut host).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bundle_codec(c: &mut Criterion) {
+    use btcfast_pscsim::codec::{Decode, Encode};
+    let chain = build_chain(32);
+    let bundle = EvidenceBundle(SpvEvidence::from_chain(&chain, 1, 32, None));
+    let encoded = bundle.encode();
+    c.bench_function("evidence_bundle_encode_32", |b| {
+        b.iter(|| black_box(&bundle).encode())
+    });
+    c.bench_function("evidence_bundle_decode_32", |b| {
+        b.iter(|| EvidenceBundle::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_verify_on_chain, bench_bundle_codec);
+criterion_main!(benches);

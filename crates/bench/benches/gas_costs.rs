@@ -1,0 +1,63 @@
+//! E4's measurement kernel as a µ-benchmark: host-side execution cost of
+//! PayJudger contract calls through the full PSC pipeline.
+
+use btcfast::session::FastPaySession;
+use btcfast::SessionConfig;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_deposit(c: &mut Criterion) {
+    let mut seed = 30_000u64;
+    c.bench_function("psc_deposit_call", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                FastPaySession::new(SessionConfig::default(), seed)
+            },
+            |mut session| {
+                let tx = session.customer.build_deposit(
+                    &session.judger,
+                    &session.psc,
+                    black_box(1_000_000),
+                );
+                let receipt = session.run_psc_tx(tx);
+                assert!(receipt.status.is_success());
+                receipt.gas_used
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_open_payment(c: &mut Criterion) {
+    let mut seed = 40_000u64;
+    c.bench_function("psc_open_payment_call", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                FastPaySession::new(SessionConfig::default(), seed)
+            },
+            |mut session| {
+                let tx = session.customer.build_open_payment(
+                    &session.judger,
+                    &session.psc,
+                    session.merchant.psc_account(),
+                    btcfast_crypto::Hash256([9; 32]),
+                    black_box(500_000),
+                    600_000,
+                );
+                let receipt = session.run_psc_tx(tx);
+                assert!(receipt.status.is_success());
+                receipt.gas_used
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_deposit, bench_open_payment
+}
+criterion_main!(benches);

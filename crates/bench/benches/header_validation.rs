@@ -1,0 +1,46 @@
+//! µ-benchmarks of header/segment validation — the per-header cost the
+//! PayJudger gas schedule models.
+
+use btcfast_btcsim::chain::Chain;
+use btcfast_btcsim::miner::Miner;
+use btcfast_btcsim::params::ChainParams;
+use btcfast_btcsim::spv::HeaderSegment;
+use btcfast_crypto::keys::KeyPair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn build_chain(blocks: u64) -> Chain {
+    let params = ChainParams::regtest();
+    let mut chain = Chain::new(params.clone());
+    let mut miner = Miner::new(params, KeyPair::from_seed(b"bench miner").address());
+    for i in 1..=blocks {
+        let block = miner.mine_block(&chain, vec![], i * 600);
+        chain.submit_block(block).unwrap();
+    }
+    chain
+}
+
+fn bench_header_pow(c: &mut Criterion) {
+    let chain = build_chain(1);
+    let header = chain.block_at_height(1).unwrap().header;
+    c.bench_function("header_pow_check", |b| {
+        b.iter(|| black_box(&header).check_pow().unwrap())
+    });
+    c.bench_function("header_hash", |b| b.iter(|| black_box(&header).hash()));
+}
+
+fn bench_segment_verify(c: &mut Criterion) {
+    let chain = build_chain(64);
+    let limit = ChainParams::regtest().pow_limit();
+    let mut group = c.benchmark_group("segment_verify");
+    for n in [8u64, 32, 64] {
+        let segment = HeaderSegment::from_chain(&chain, 1, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &segment, |b, segment| {
+            b.iter(|| black_box(segment).verify(black_box(&limit)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_header_pow, bench_segment_verify);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E6's kernel as a µ-benchmark: the merchant acceptance decision
+//! (the rate-limiting step of a BTCFast point of sale).
+
+use btcfast::session::FastPaySession;
+use btcfast::SessionConfig;
+use btcfast_btcsim::mempool::Mempool;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_evaluate_offer(c: &mut Criterion) {
+    let mut session = FastPaySession::new(SessionConfig::default(), 50_000);
+    let report = session.run_fast_payment(100_000).expect("seed payment");
+    assert!(report.accepted);
+    let tx = session.mempool.get(&report.txid).unwrap().tx.clone();
+    let offer = session.customer.make_offer(tx, report.payment_id, 100_000);
+    let empty_pool = Mempool::new();
+
+    c.bench_function("merchant_evaluate_offer", |b| {
+        b.iter(|| {
+            session
+                .merchant
+                .evaluate_offer(
+                    black_box(&offer),
+                    &session.btc,
+                    &empty_pool,
+                    &session.psc,
+                    &session.judger,
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_double_spend_detection(c: &mut Criterion) {
+    let mut session = FastPaySession::new(SessionConfig::default(), 50_001);
+    let report = session.run_fast_payment(100_000).expect("seed payment");
+    let tx = session.mempool.get(&report.txid).unwrap().tx.clone();
+
+    c.bench_function("merchant_detect_double_spend", |b| {
+        b.iter(|| {
+            session
+                .merchant
+                .detect_double_spend(black_box(&tx), &session.btc, &session.mempool)
+        })
+    });
+}
+
+criterion_group!(benches, bench_evaluate_offer, bench_double_spend_detection);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E1's hot path as a µ-benchmark: host cost of one fast payment
+//! (build + register + decide), excluding session provisioning.
+
+use btcfast::session::FastPaySession;
+use btcfast::SessionConfig;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_fast_payment(c: &mut Criterion) {
+    let mut seed = 10_000u64;
+    c.bench_function("fast_payment_end_to_end", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                FastPaySession::new(SessionConfig::default(), seed)
+            },
+            |mut session| {
+                let report = session.run_fast_payment(black_box(1_000_000)).unwrap();
+                assert!(report.accepted);
+                report
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_session_provisioning(c: &mut Criterion) {
+    let mut seed = 20_000u64;
+    c.bench_function("session_provisioning", |b| {
+        b.iter(|| {
+            seed += 1;
+            FastPaySession::new(SessionConfig::default(), black_box(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fast_payment, bench_session_provisioning
+}
+criterion_main!(benches);

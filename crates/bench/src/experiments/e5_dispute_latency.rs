@@ -1,0 +1,73 @@
+//! E5 — dispute resolution latency and on-chain cost vs evidence depth and
+//! PSC block interval.
+//!
+//! Latency is dominated by the evidence window (a protocol constant);
+//! on-chain verification gas grows linearly with the header count, which is
+//! what bounds practical evidence depth.
+
+use crate::table::{f3, Table};
+use btcfast::session::FastPaySession;
+use btcfast::SessionConfig;
+
+/// Runs E5.
+pub fn run(quick: bool) -> Vec<Table> {
+    let depths: &[u64] = if quick { &[6, 12] } else { &[6, 12, 24, 48] };
+
+    let mut table = Table::new(
+        "E5 — dispute resolution vs evidence depth",
+        &[
+            "PSC chain",
+            "evidence depth (headers)",
+            "resolution latency (s)",
+            "evidence gas",
+        ],
+    );
+
+    for (label, config_fn) in [
+        (
+            "ETH-like (15 s)",
+            Box::new(SessionConfig::default) as Box<dyn Fn() -> SessionConfig>,
+        ),
+        (
+            "EOS-like (0.5 s)",
+            Box::new(SessionConfig::eos_flavored) as Box<dyn Fn() -> SessionConfig>,
+        ),
+    ] {
+        for &depth in depths {
+            let mut config = config_fn();
+            config.challenge_window_secs = 1800;
+            let mut session = FastPaySession::new(config, 5000 + depth);
+            let (latency, gas) = session
+                .run_dispute_resolution(500_000, depth)
+                .expect("dispute resolution");
+            table.push(vec![
+                label.into(),
+                depth.to_string(),
+                f3(latency.as_secs_f64()),
+                gas.to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e5_gas_grows_with_depth() {
+        let tables = super::run(true);
+        let rendered = tables[0].render();
+        // Parse the gas column of the first two rows (ETH-like, depths 6
+        // and 12) and confirm monotone growth.
+        let rows: Vec<&str> = rendered
+            .lines()
+            .filter(|l| l.contains("ETH-like"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        let gas: Vec<u64> = rows
+            .iter()
+            .map(|r| r.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(gas[1] > gas[0], "gas {gas:?}");
+    }
+}

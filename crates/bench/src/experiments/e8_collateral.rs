@@ -1,0 +1,61 @@
+//! E8 — collateral sizing: the minimum escrow collateral (as a ratio of
+//! payment value) that makes a double-spend attack unprofitable, across
+//! attacker hashrates and judgment windows.
+
+use crate::table::{f3, Table};
+use btcfast_analysis::profit::AttackEconomics;
+
+/// Runs E8.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E8 — minimum collateral ratio C*/v for unprofitable attack",
+        &["q", "Δ=2", "Δ=6", "Δ=12"],
+    );
+    let v = 1_000_000.0;
+    for q in [0.05, 0.1, 0.2, 0.3, 0.4, 0.45] {
+        let mut row = vec![format!("{q}")];
+        for window in [2u64, 6, 12] {
+            let econ = AttackEconomics::conservative(q, window);
+            match econ.collateral_ratio(v) {
+                Some(ratio) => row.push(f3(ratio)),
+                None => row.push("∞".into()),
+            }
+        }
+        table.push(row);
+    }
+
+    // Second view: expected attacker profit at fixed collateral ratios.
+    let mut profit_table = Table::new(
+        "E8b — expected attacker profit (sats) at Δ=6, v = 1,000,000 sats",
+        &["q", "ratio 0", "ratio 0.5", "ratio 1.0", "ratio 1.5"],
+    );
+    for q in [0.1, 0.2, 0.3, 0.4] {
+        let econ = AttackEconomics::conservative(q, 6);
+        let mut row = vec![format!("{q}")];
+        for ratio in [0.0, 0.5, 1.0, 1.5] {
+            row.push(f3(econ.expected_profit(v, v * ratio)));
+        }
+        profit_table.push(row);
+    }
+
+    vec![table, profit_table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e8_ratios_increase_with_hashrate() {
+        let tables = super::run(true);
+        let rendered = tables[0].render();
+        // Extract the Δ=6 column for q=0.05 and q=0.45.
+        let rows: Vec<Vec<&str>> = rendered
+            .lines()
+            .skip(4)
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.split_whitespace().collect())
+            .collect();
+        let low: f64 = rows[0][2].parse().unwrap();
+        let high: f64 = rows[rows.len() - 1][2].parse().unwrap();
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,53 @@
+//! The evaluation experiments, one module per table/figure.
+//!
+//! Every module exposes `run(quick: bool) -> Vec<Table>`; `quick` trims
+//! trial counts so the experiment suite can run inside the test suite.
+
+pub mod e1_waiting_time;
+pub mod e2_double_spend;
+pub mod e3_btcfast_security;
+pub mod e4_fees;
+pub mod e5_dispute_latency;
+pub mod e6_throughput;
+pub mod e7_latency_cdf;
+pub mod e8_collateral;
+pub mod e9_judgment_accuracy;
+
+use crate::table::Table;
+
+/// Runs one experiment by id ("e1".."e9") or all of them ("all").
+///
+/// Returns the rendered tables; unknown ids return an empty list.
+pub fn run(id: &str, quick: bool) -> Vec<Table> {
+    match id {
+        "e1" => e1_waiting_time::run(quick),
+        "e2" => e2_double_spend::run(quick),
+        "e3" => e3_btcfast_security::run(quick),
+        "e4" => e4_fees::run(quick),
+        "e5" => e5_dispute_latency::run(quick),
+        "e6" => e6_throughput::run(quick),
+        "e7" => e7_latency_cdf::run(quick),
+        "e8" => e8_collateral::run(quick),
+        "e9" => e9_judgment_accuracy::run(quick),
+        "all" => {
+            let mut tables = Vec::new();
+            for id in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"] {
+                tables.extend(run(id, quick));
+            }
+            tables
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// All experiment ids, in order.
+pub const ALL_IDS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unknown_id_yields_no_tables() {
+        assert!(super::run("e99", true).is_empty());
+        assert!(super::run("", true).is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! # btcfast-bench
+//!
+//! The evaluation harness: every table and figure of the BTCFast
+//! reproduction, regenerable via `cargo run -p btcfast-bench --bin harness`
+//! (optionally with an experiment id: `harness e3`).
+//!
+//! Each experiment module returns its rows as data *and* renders them, so
+//! the same code backs the CLI harness, the integration tests, and
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,32 @@
+//! The evaluation harness CLI.
+//!
+//! ```text
+//! harness            # run every experiment (full trial counts)
+//! harness e3         # run one experiment
+//! harness all quick  # reduced trial counts (what CI runs)
+//! ```
+
+use btcfast_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("all");
+    let quick = args.iter().any(|a| a == "quick" || a == "--quick");
+
+    if id == "--help" || id == "-h" {
+        println!("usage: harness [e1..e9|all] [quick]");
+        for id in experiments::ALL_IDS {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let tables = experiments::run(id, quick);
+    if tables.is_empty() {
+        eprintln!("unknown experiment id {id:?}; try --help");
+        std::process::exit(2);
+    }
+    for table in tables {
+        table.print();
+    }
+}

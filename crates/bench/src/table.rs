@@ -1,0 +1,126 @@
+//! A minimal fixed-width text table renderer for harness output.
+
+use std::fmt::Write as _;
+
+/// A simple text table: header row plus data rows, auto-sized columns.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (i, cell) in cells.iter().enumerate() {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:width$}", width = widths[i]);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a probability in scientific-ish form.
+pub fn prob(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v >= 0.001 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["scheme", "wait (s)"]);
+        t.push(vec!["BTCFast".into(), "0.33".into()]);
+        t.push(vec!["6-confirmation".into(), "3600".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("BTCFast"));
+        assert!(s.contains("6-confirmation"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(prob(0.0), "0");
+        assert_eq!(prob(0.25), "0.2500");
+        assert!(prob(0.000012).contains('e'));
+    }
+}

@@ -1,0 +1,443 @@
+//! Double-spend attacks: the stochastic race model and a full-fidelity
+//! private-fork attacker that produces real blocks.
+//!
+//! Two levels of fidelity:
+//!
+//! * [`race_once`] / [`race_probability_monte_carlo`] — the Nakamoto race as
+//!   a pure stochastic process (block discovery only), cheap enough for
+//!   millions of trials. Used for the E2 double-spend curves.
+//! * [`PrivateForkAttacker`] — actually mines conflicting blocks on a secret
+//!   branch of a [`Chain`], producing the reorg (and the SPV evidence trail)
+//!   end to end. Used for E3/E9 and the integration tests.
+
+use crate::chain::Chain;
+use crate::miner::Miner;
+use crate::params::ChainParams;
+use crate::transaction::Transaction;
+use btcfast_crypto::keys::Address;
+use btcfast_crypto::Hash256;
+use rand::Rng;
+
+/// Outcome of a single simulated double-spend race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceOutcome {
+    /// The attacker's branch overtook the honest chain: double spend
+    /// succeeded.
+    AttackerWins {
+        /// Honest blocks mined when the attacker overtook.
+        honest_blocks: u64,
+    },
+    /// The attacker fell too far behind and gave up.
+    AttackerGivesUp {
+        /// The deficit at abandonment.
+        deficit: u64,
+    },
+}
+
+/// Parameters of the stochastic race.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceParams {
+    /// Attacker's fraction of total hashrate, `0 < q < 1`.
+    pub attacker_hashrate: f64,
+    /// Confirmations the merchant waits for before releasing goods.
+    pub confirmations: u64,
+    /// Blocks behind at which the attacker abandons (Nakamoto's analysis
+    /// uses ∞; a cutoff makes simulation terminate — 100 is far past the
+    /// point where catch-up probability is negligible).
+    pub give_up_deficit: u64,
+    /// Lead (attacker − honest) at which the attack is declared won once
+    /// the merchant has shipped. `0` reproduces the Nakamoto/Rosenfeld
+    /// analytical convention (catching up to a tie counts, because the
+    /// attacker then wins the broadcast race for the next block with the
+    /// head start); `1` is the strict chainwork-overtake a real reorg
+    /// requires, which the full-machinery attacks in `btcfast::session`
+    /// implement.
+    pub required_lead: i64,
+}
+
+impl Default for RaceParams {
+    fn default() -> Self {
+        RaceParams {
+            attacker_hashrate: 0.1,
+            confirmations: 6,
+            give_up_deficit: 100,
+            required_lead: 0,
+        }
+    }
+}
+
+/// Simulates one double-spend race.
+///
+/// The attacker pre-mines nothing; at the moment the victim transaction is
+/// broadcast, the attacker starts a private fork. Each new block belongs to
+/// the attacker with probability `q`. The merchant ships after
+/// `confirmations` honest blocks; from then on the attacker keeps racing
+/// until they take the lead (success) or fall `give_up_deficit` behind.
+///
+/// # Panics
+///
+/// Panics unless `0 < attacker_hashrate < 1`.
+pub fn race_once<R: Rng + ?Sized>(params: &RaceParams, rng: &mut R) -> RaceOutcome {
+    let q = params.attacker_hashrate;
+    assert!(q > 0.0 && q < 1.0, "attacker hashrate must be in (0,1)");
+    let mut honest = 0i64;
+    let mut attacker = 0i64;
+    loop {
+        if rng.gen_bool(q) {
+            attacker += 1;
+        } else {
+            honest += 1;
+        }
+        if honest >= params.confirmations as i64 {
+            // Merchant has shipped; the attack resolves by the configured
+            // win condition.
+            if attacker - honest >= params.required_lead {
+                return RaceOutcome::AttackerWins {
+                    honest_blocks: honest as u64,
+                };
+            }
+            if honest - attacker >= params.give_up_deficit as i64 {
+                return RaceOutcome::AttackerGivesUp {
+                    deficit: (honest - attacker) as u64,
+                };
+            }
+        }
+    }
+}
+
+/// Monte-Carlo estimate of double-spend success probability.
+pub fn race_probability_monte_carlo<R: Rng + ?Sized>(
+    params: &RaceParams,
+    trials: u64,
+    rng: &mut R,
+) -> f64 {
+    let mut wins = 0u64;
+    for _ in 0..trials {
+        if matches!(race_once(params, rng), RaceOutcome::AttackerWins { .. }) {
+            wins += 1;
+        }
+    }
+    wins as f64 / trials as f64
+}
+
+/// A full-fidelity double-spend attacker.
+///
+/// Holds a private copy of the chain on which it mines a secret branch: the
+/// branch starts from the block *before* the victim payment, substitutes a
+/// conflicting transaction (the double spend), and is published only once it
+/// carries more work than the public chain.
+#[derive(Debug)]
+pub struct PrivateForkAttacker {
+    miner: Miner,
+    /// The attacker's private view, including the secret branch.
+    private_view: Chain,
+    /// The fork point on the public chain.
+    fork_point: Hash256,
+    /// Hash of the secret branch tip (= `fork_point` while empty).
+    secret_tip: Hash256,
+    /// The blocks of the secret branch, in order.
+    secret_blocks: Vec<crate::block::Block>,
+    /// The double spend, placed in the first secret block once mined.
+    conflicting_tx: Option<Transaction>,
+}
+
+impl PrivateForkAttacker {
+    /// Prepares a private fork from `fork_point` (a block hash on `public`,
+    /// or [`Hash256::ZERO`]). No block is mined yet — mining happens one
+    /// block at a time through [`PrivateForkAttacker::extend`], so the
+    /// caller's event clock (e.g. Poisson arrivals) fully controls the
+    /// attacker's progress. The first extended block carries
+    /// `conflicting_tx` — the double spend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fork_point` is unknown to the public chain.
+    pub fn start(
+        params: ChainParams,
+        public: &Chain,
+        fork_point: Hash256,
+        payout: Address,
+        conflicting_tx: Option<Transaction>,
+        _time: u64,
+    ) -> PrivateForkAttacker {
+        assert!(
+            fork_point == Hash256::ZERO || public.block(&fork_point).is_some(),
+            "fork point must exist on the public chain"
+        );
+        PrivateForkAttacker {
+            miner: Miner::new(params, payout),
+            private_view: public.clone(),
+            fork_point,
+            secret_tip: fork_point,
+            secret_blocks: Vec::new(),
+            conflicting_tx,
+        }
+    }
+
+    /// Extends the secret branch by one block (the first carries the
+    /// conflicting transaction).
+    pub fn extend(&mut self, time: u64) {
+        let txs = self.conflicting_tx.take().into_iter().collect();
+        let block = self
+            .miner
+            .mine_block_on(&self.private_view, self.secret_tip, txs, time);
+        self.secret_tip = block.hash();
+        self.private_view
+            .submit_block(block.clone())
+            .expect("extending own branch");
+        self.secret_blocks.push(block);
+    }
+
+    /// Observes a new public block (so later secret mining knows about
+    /// competing work).
+    pub fn observe(&mut self, block: crate::block::Block) {
+        let _ = self.private_view.submit_block(block);
+    }
+
+    /// Length of the secret branch.
+    pub fn secret_len(&self) -> usize {
+        self.secret_blocks.len()
+    }
+
+    /// Whether the secret branch carries more work than `public`'s tip.
+    pub fn can_overtake(&self, public: &Chain) -> bool {
+        if self.secret_blocks.is_empty() {
+            return false;
+        }
+        self.branch_work() > public.tip_work()
+    }
+
+    fn branch_work(&self) -> crate::u256::U256 {
+        let mut work = crate::u256::U256::ZERO;
+        let mut cursor = self.fork_point;
+        if cursor != Hash256::ZERO {
+            // Work of the public prefix up to the fork point.
+            let mut prefix_blocks = Vec::new();
+            while cursor != Hash256::ZERO {
+                let block = self
+                    .private_view
+                    .block(&cursor)
+                    .expect("prefix known to private view");
+                prefix_blocks.push(block.header);
+                cursor = block.header.prev_hash;
+            }
+            for header in prefix_blocks {
+                work = work
+                    .checked_add(&header.work().expect("valid bits"))
+                    .expect("no overflow");
+            }
+        }
+        for block in &self.secret_blocks {
+            work = work
+                .checked_add(&block.header.work().expect("valid bits"))
+                .expect("no overflow");
+        }
+        work
+    }
+
+    /// Publishes the secret branch to a target chain, triggering the reorg
+    /// if the branch is heavier. Returns true if the target reorged onto the
+    /// attacker branch.
+    pub fn publish(&self, target: &mut Chain) -> bool {
+        let mut reorged = false;
+        for block in &self.secret_blocks {
+            if let Ok(crate::chain::SubmitOutcome::Connected { reorged: r }) =
+                target.submit_block(block.clone())
+            {
+                reorged = reorged || r;
+            }
+        }
+        reorged && target.tip_hash() == self.secret_tip
+    }
+
+    /// The secret blocks (e.g. for feeding adversarial evidence to a judge).
+    pub fn secret_blocks(&self) -> &[crate::block::Block] {
+        &self.secret_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Amount;
+    use crate::transaction::{OutPoint, TxIn, TxOut};
+    use btcfast_crypto::keys::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn race_low_hashrate_low_success() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = RaceParams {
+            attacker_hashrate: 0.1,
+            confirmations: 6,
+            give_up_deficit: 50,
+            required_lead: 0,
+        };
+        let p = race_probability_monte_carlo(&params, 20_000, &mut rng);
+        // Rosenfeld's table: q=0.1, z=6 → ~0.0024 (race from broadcast).
+        assert!(p < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn race_more_confirmations_lower_success() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = RaceParams {
+            attacker_hashrate: 0.25,
+            confirmations: 1,
+            give_up_deficit: 60,
+            required_lead: 0,
+        };
+        let p1 = race_probability_monte_carlo(&base, 20_000, &mut rng);
+        let p6 = race_probability_monte_carlo(
+            &RaceParams {
+                confirmations: 6,
+                ..base
+            },
+            20_000,
+            &mut rng,
+        );
+        assert!(p1 > p6, "p1={p1} p6={p6}");
+    }
+
+    #[test]
+    fn race_outcome_reports_details() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let params = RaceParams {
+            attacker_hashrate: 0.45,
+            confirmations: 1,
+            give_up_deficit: 10,
+            required_lead: 0,
+        };
+        let mut saw_win = false;
+        let mut saw_loss = false;
+        for _ in 0..500 {
+            match race_once(&params, &mut rng) {
+                RaceOutcome::AttackerWins { honest_blocks } => {
+                    assert!(honest_blocks >= 1);
+                    saw_win = true;
+                }
+                RaceOutcome::AttackerGivesUp { deficit } => {
+                    assert!(deficit >= 10);
+                    saw_loss = true;
+                }
+            }
+        }
+        assert!(saw_win && saw_loss);
+    }
+
+    #[test]
+    #[should_panic(expected = "hashrate")]
+    fn race_rejects_bad_hashrate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = RaceParams {
+            attacker_hashrate: 1.5,
+            ..Default::default()
+        };
+        race_once(&params, &mut rng);
+    }
+
+    /// Full-machinery double spend: pay the merchant, fork secretly with a
+    /// conflicting self-payment, overtake, publish, and verify the merchant
+    /// payment vanished.
+    #[test]
+    fn private_fork_double_spend_end_to_end() {
+        let params = ChainParams::regtest();
+        let mut public = Chain::new(params.clone());
+        let customer = KeyPair::from_seed(b"attacker customer");
+        let mut honest_miner = Miner::new(params.clone(), KeyPair::from_seed(b"hm").address());
+
+        // Fund the customer.
+        let mut funder = Miner::new(params.clone(), customer.address());
+        let b1 = funder.mine_block(&public, vec![], 600);
+        public.submit_block(b1.clone()).unwrap();
+        let b2 = honest_miner.mine_block(&public, vec![], 1200);
+        public.submit_block(b2.clone()).unwrap();
+
+        let coinbase = &b1.transactions[0];
+        let outpoint = OutPoint {
+            txid: coinbase.txid(),
+            vout: 0,
+        };
+        let merchant = KeyPair::from_seed(b"victim merchant");
+        let value = coinbase.outputs[0].value;
+
+        // Honest payment to the merchant, confirmed in block 3.
+        let mut pay = Transaction::new(
+            vec![TxIn::spend(outpoint)],
+            vec![TxOut::payment(
+                value - Amount::from_sats(500).unwrap(),
+                merchant.address(),
+            )],
+        );
+        pay.sign_input(0, &customer, &coinbase.outputs[0].script_pubkey)
+            .unwrap();
+        let pay_txid = pay.txid();
+        let b3 = honest_miner.mine_block(&public, vec![pay], 1800);
+        public.submit_block(b3.clone()).unwrap();
+        assert_eq!(public.confirmations(&pay_txid), Some(1));
+
+        // Conflicting spend back to the attacker.
+        let mut steal = Transaction::new(
+            vec![TxIn::spend(outpoint)],
+            vec![TxOut::payment(
+                value - Amount::from_sats(500).unwrap(),
+                customer.address(),
+            )],
+        );
+        steal
+            .sign_input(0, &customer, &coinbase.outputs[0].script_pubkey)
+            .unwrap();
+
+        // Secret fork from b2 (excluding the payment block).
+        let mut attacker = PrivateForkAttacker::start(
+            params,
+            &public,
+            b2.hash(),
+            customer.address(),
+            Some(steal.clone()),
+            1801,
+        );
+        assert!(!attacker.can_overtake(&public)); // nothing mined yet
+        attacker.extend(2000);
+        assert!(!attacker.can_overtake(&public)); // 1 vs 1 above the fork
+        attacker.extend(2400);
+        assert!(attacker.can_overtake(&public)); // 2 vs 1
+
+        assert!(attacker.publish(&mut public));
+        // The merchant payment fell out of the ledger; the double spend is in.
+        assert_eq!(public.confirmations(&pay_txid), None);
+        assert_eq!(public.confirmations(&steal.txid()), Some(2));
+        assert_eq!(public.utxo().balance_of(&merchant.address()), Amount::ZERO);
+    }
+
+    #[test]
+    fn observe_tracks_public_blocks() {
+        let params = ChainParams::regtest();
+        let mut public = Chain::new(params.clone());
+        let mut honest = Miner::new(params.clone(), KeyPair::from_seed(b"h").address());
+        let b1 = honest.mine_block(&public, vec![], 600);
+        public.submit_block(b1.clone()).unwrap();
+
+        let mut attacker = PrivateForkAttacker::start(
+            params,
+            &public,
+            b1.hash(),
+            KeyPair::from_seed(b"a").address(),
+            None,
+            601,
+        );
+        // Public mines one more; the attacker has mined nothing yet.
+        let b2 = honest.mine_block(&public, vec![], 1200);
+        public.submit_block(b2.clone()).unwrap();
+        attacker.observe(b2);
+        assert!(!attacker.can_overtake(&public));
+        attacker.extend(1300);
+        // 1 secret vs 1 public above the fork: equal, not strictly more.
+        assert!(!attacker.can_overtake(&public));
+        attacker.extend(1400);
+        // 2 secret vs 1 public above the fork: strictly more work.
+        assert!(attacker.can_overtake(&public));
+        assert_eq!(attacker.secret_len(), 2);
+    }
+}

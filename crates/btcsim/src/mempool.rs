@@ -1,0 +1,480 @@
+//! The mempool: unconfirmed transactions with double-spend conflict
+//! detection.
+//!
+//! Conflict detection is the merchant's first line of defense in BTCFast's
+//! fast-pay phase: a conflicting transaction appearing in the mempool (or in
+//! a block) is exactly the observable event that triggers a dispute.
+
+use crate::amount::Amount;
+use crate::transaction::{OutPoint, Transaction};
+use crate::utxo::{UtxoError, UtxoSet};
+use btcfast_crypto::Hash256;
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// An entry in the pool.
+#[derive(Clone, Debug)]
+pub struct MempoolEntry {
+    /// The transaction.
+    pub tx: Transaction,
+    /// Fee it pays.
+    pub fee: Amount,
+    /// Serialized size (fee-rate denominator).
+    pub size: usize,
+    /// Sim time the pool first saw it.
+    pub seen_at: u64,
+}
+
+impl MempoolEntry {
+    /// Fee rate in satoshis per byte.
+    pub fn fee_rate(&self) -> f64 {
+        self.fee.to_sats() as f64 / self.size.max(1) as f64
+    }
+}
+
+/// Why a transaction was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MempoolError {
+    /// Already in the pool.
+    Duplicate,
+    /// Spends an outpoint another pooled transaction already spends —
+    /// an attempted double spend.
+    Conflict {
+        /// The outpoint contested.
+        outpoint: OutPoint,
+        /// The transaction already holding it.
+        existing_txid: Hash256,
+    },
+    /// Fails validation against the confirmed UTXO set.
+    Invalid(UtxoError),
+}
+
+impl fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MempoolError::Duplicate => write!(f, "transaction already in mempool"),
+            MempoolError::Conflict {
+                outpoint,
+                existing_txid,
+            } => write!(
+                f,
+                "double spend of {outpoint}: already spent by {existing_txid}"
+            ),
+            MempoolError::Invalid(e) => write!(f, "invalid transaction: {e}"),
+        }
+    }
+}
+
+impl Error for MempoolError {}
+
+/// A pool of unconfirmed transactions.
+///
+/// Chained unconfirmed transactions (child spends parent's output while both
+/// are pooled) are supported: validation runs against the confirmed UTXO set
+/// *plus* pooled outputs.
+#[derive(Clone, Debug, Default)]
+pub struct Mempool {
+    entries: HashMap<Hash256, MempoolEntry>,
+    /// Outpoint → txid of the pooled spender (the conflict index).
+    spends: HashMap<OutPoint, Hash256>,
+}
+
+impl Mempool {
+    /// Creates an empty pool.
+    pub fn new() -> Mempool {
+        Mempool::default()
+    }
+
+    /// Number of pooled transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, txid: &Hash256) -> Option<&MempoolEntry> {
+        self.entries.get(txid)
+    }
+
+    /// True if the pool holds the transaction.
+    pub fn contains(&self, txid: &Hash256) -> bool {
+        self.entries.contains_key(txid)
+    }
+
+    /// Returns the pooled transaction spending `outpoint`, if any — the
+    /// double-spend observation primitive.
+    pub fn spender_of(&self, outpoint: &OutPoint) -> Option<Hash256> {
+        self.spends.get(outpoint).copied()
+    }
+
+    /// Checks whether `tx` conflicts with any pooled transaction, without
+    /// inserting.
+    pub fn find_conflict(&self, tx: &Transaction) -> Option<(OutPoint, Hash256)> {
+        let txid = tx.txid();
+        for input in &tx.inputs {
+            if let Some(existing) = self.spends.get(&input.previous_output) {
+                if *existing != txid {
+                    return Some((input.previous_output, *existing));
+                }
+            }
+        }
+        None
+    }
+
+    /// Attempts to add `tx`, validating against `utxo` (confirmed set) at
+    /// `height` while honoring outputs of already-pooled ancestors.
+    ///
+    /// # Errors
+    ///
+    /// See [`MempoolError`]; the pool is unchanged on error.
+    pub fn insert(
+        &mut self,
+        tx: Transaction,
+        utxo: &UtxoSet,
+        height: u64,
+        now: u64,
+    ) -> Result<Hash256, MempoolError> {
+        let txid = tx.txid();
+        if self.entries.contains_key(&txid) {
+            return Err(MempoolError::Duplicate);
+        }
+        if let Some((outpoint, existing_txid)) = self.find_conflict(&tx) {
+            return Err(MempoolError::Conflict {
+                outpoint,
+                existing_txid,
+            });
+        }
+        // Validate against confirmed set extended with pooled outputs.
+        let mut extended = utxo.clone();
+        for entry in self.entries.values() {
+            // Pooled parents' outputs become spendable; their inputs are
+            // consumed. Order-independent because conflicts are excluded.
+            let _ = extended.apply_transaction(&entry.tx, height);
+        }
+        let fee = extended
+            .validate_transaction(&tx, height)
+            .map_err(MempoolError::Invalid)?;
+
+        let size = tx.size_bytes();
+        for input in &tx.inputs {
+            self.spends.insert(input.previous_output, txid);
+        }
+        self.entries.insert(
+            txid,
+            MempoolEntry {
+                tx,
+                fee,
+                size,
+                seen_at: now,
+            },
+        );
+        Ok(txid)
+    }
+
+    /// Removes a transaction (and its spend-index entries).
+    pub fn remove(&mut self, txid: &Hash256) -> Option<MempoolEntry> {
+        let entry = self.entries.remove(txid)?;
+        for input in &entry.tx.inputs {
+            if self.spends.get(&input.previous_output) == Some(txid) {
+                self.spends.remove(&input.previous_output);
+            }
+        }
+        Some(entry)
+    }
+
+    /// Purges transactions confirmed in (or conflicting with) a new block.
+    pub fn purge_confirmed(&mut self, block_txs: &[Transaction]) {
+        for tx in block_txs {
+            let txid = tx.txid();
+            self.remove(&txid);
+            // Also drop pooled conflicts: anything spending the same coins.
+            for input in &tx.inputs {
+                if let Some(conflicting) = self.spends.get(&input.previous_output).copied() {
+                    self.remove(&conflicting);
+                }
+            }
+        }
+    }
+
+    /// Selects up to `max` transactions by descending fee rate for a block
+    /// template, parents before children.
+    pub fn select_for_block(&self, max: usize) -> Vec<Transaction> {
+        // Sort by fee rate descending, stable by txid for determinism.
+        let mut order: BTreeMap<(u64, Hash256), &MempoolEntry> = BTreeMap::new();
+        for (txid, entry) in &self.entries {
+            // Negate fee rate (scaled) so BTreeMap ascending order gives
+            // descending fee rate.
+            let key = u64::MAX - (entry.fee_rate() * 1000.0) as u64;
+            order.insert((key, *txid), entry);
+        }
+        let mut selected: Vec<Transaction> = Vec::new();
+        let mut selected_ids: std::collections::HashSet<Hash256> = Default::default();
+        for entry in order.values() {
+            if selected.len() >= max {
+                break;
+            }
+            // Pull unpooled... pooled parents first.
+            self.push_with_ancestors(&entry.tx, &mut selected, &mut selected_ids, max);
+        }
+        selected
+    }
+
+    fn push_with_ancestors(
+        &self,
+        tx: &Transaction,
+        selected: &mut Vec<Transaction>,
+        selected_ids: &mut std::collections::HashSet<Hash256>,
+        max: usize,
+    ) {
+        let txid = tx.txid();
+        if selected_ids.contains(&txid) || selected.len() >= max {
+            return;
+        }
+        for input in &tx.inputs {
+            if let Some(parent) = self.entries.get(&input.previous_output.txid) {
+                self.push_with_ancestors(&parent.tx, selected, selected_ids, max);
+            }
+        }
+        if selected.len() < max && selected_ids.insert(txid) {
+            selected.push(tx.clone());
+        }
+    }
+
+    /// All pooled txids (unordered).
+    pub fn txids(&self) -> Vec<Hash256> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Chain;
+    use crate::miner::Miner;
+    use crate::params::ChainParams;
+    use crate::script::ScriptPubKey;
+    use crate::transaction::{TxIn, TxOut};
+    use btcfast_crypto::keys::KeyPair;
+
+    fn sats(v: u64) -> Amount {
+        Amount::from_sats(v).unwrap()
+    }
+
+    /// Chain with one spendable coinbase owned by `key`.
+    fn funded_chain(key: &KeyPair) -> (Chain, Transaction) {
+        let params = ChainParams::regtest();
+        let mut chain = Chain::new(params.clone());
+        let mut miner = Miner::new(params, key.address());
+        let b1 = miner.mine_block(&chain, vec![], 600);
+        chain.submit_block(b1.clone()).unwrap();
+        // One more block so the coinbase matures (maturity = 1).
+        let b2 = miner.mine_block(&chain, vec![], 1200);
+        chain.submit_block(b2).unwrap();
+        (chain, b1.transactions[0].clone())
+    }
+
+    fn spend(
+        coinbase: &Transaction,
+        owner: &KeyPair,
+        to: &KeyPair,
+        value: Amount,
+        fee: Amount,
+    ) -> Transaction {
+        let change = coinbase.outputs[0].value - value - fee;
+        let mut tx = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: coinbase.txid(),
+                vout: 0,
+            })],
+            vec![
+                TxOut::payment(value, to.address()),
+                TxOut::payment(change, owner.address()),
+            ],
+        );
+        tx.sign_input(0, owner, &coinbase.outputs[0].script_pubkey)
+            .unwrap();
+        tx
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let tx = spend(&coinbase, &key, &merchant, sats(1000), sats(200));
+        let txid = pool
+            .insert(tx.clone(), chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        assert!(pool.contains(&txid));
+        assert_eq!(pool.get(&txid).unwrap().fee, sats(200));
+        assert_eq!(pool.spender_of(&tx.inputs[0].previous_output), Some(txid));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let tx = spend(&coinbase, &key, &merchant, sats(1000), sats(200));
+        pool.insert(tx.clone(), chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        assert_eq!(
+            pool.insert(tx, chain.utxo(), chain.height() + 1, 0),
+            Err(MempoolError::Duplicate)
+        );
+    }
+
+    #[test]
+    fn double_spend_detected() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let pay_merchant = spend(&coinbase, &key, &merchant, sats(1000), sats(200));
+        let pay_self = spend(&coinbase, &key, &key, sats(1000), sats(500));
+        let first_txid = pool
+            .insert(pay_merchant.clone(), chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        let err = pool
+            .insert(pay_self, chain.utxo(), chain.height() + 1, 1)
+            .unwrap_err();
+        match err {
+            MempoolError::Conflict {
+                outpoint,
+                existing_txid,
+            } => {
+                assert_eq!(outpoint, pay_merchant.inputs[0].previous_output);
+                assert_eq!(existing_txid, first_txid);
+            }
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_tx_rejected() {
+        let key = KeyPair::from_seed(b"k");
+        let (chain, _) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let mut ghost = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: Hash256([1; 32]),
+                vout: 0,
+            })],
+            vec![TxOut::payment(sats(1), key.address())],
+        );
+        ghost
+            .sign_input(0, &key, &ScriptPubKey::P2pkh(key.address()))
+            .unwrap();
+        assert!(matches!(
+            pool.insert(ghost, chain.utxo(), chain.height() + 1, 0),
+            Err(MempoolError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn chained_unconfirmed_accepted() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let parent = spend(&coinbase, &key, &merchant, sats(100_000), sats(200));
+        let parent_txid = pool
+            .insert(parent.clone(), chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        // Child spends the merchant's unconfirmed output.
+        let mut child = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: parent_txid,
+                vout: 0,
+            })],
+            vec![TxOut::payment(sats(99_000), key.address())],
+        );
+        child
+            .sign_input(0, &merchant, &parent.outputs[0].script_pubkey)
+            .unwrap();
+        pool.insert(child, chain.utxo(), chain.height() + 1, 1)
+            .unwrap();
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn purge_confirmed_removes_tx_and_conflicts() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let pay_merchant = spend(&coinbase, &key, &merchant, sats(1000), sats(200));
+        pool.insert(pay_merchant.clone(), chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        // A conflicting tx confirms (the double spend won the race).
+        let pay_self = spend(&coinbase, &key, &key, sats(1000), sats(500));
+        pool.purge_confirmed(&[pay_self]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn select_orders_by_fee_rate_with_ancestors_first() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let parent = spend(&coinbase, &key, &merchant, sats(100_000), sats(100)); // low fee
+        let parent_txid = pool
+            .insert(parent.clone(), chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        let mut child = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: parent_txid,
+                vout: 0,
+            })],
+            vec![TxOut::payment(sats(50_000), key.address())], // huge fee
+        );
+        child
+            .sign_input(0, &merchant, &parent.outputs[0].script_pubkey)
+            .unwrap();
+        let child_txid = pool
+            .insert(child, chain.utxo(), chain.height() + 1, 1)
+            .unwrap();
+
+        let selected = pool.select_for_block(10);
+        let ids: Vec<Hash256> = selected.iter().map(|t| t.txid()).collect();
+        let parent_pos = ids.iter().position(|h| *h == parent_txid).unwrap();
+        let child_pos = ids.iter().position(|h| *h == child_txid).unwrap();
+        assert!(parent_pos < child_pos, "parent must precede child");
+    }
+
+    #[test]
+    fn select_respects_max() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let tx = spend(&coinbase, &key, &merchant, sats(1000), sats(200));
+        pool.insert(tx, chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        assert!(pool.select_for_block(0).is_empty());
+    }
+
+    #[test]
+    fn remove_clears_spend_index() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let tx = spend(&coinbase, &key, &merchant, sats(1000), sats(200));
+        let outpoint = tx.inputs[0].previous_output;
+        let txid = pool
+            .insert(tx, chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        pool.remove(&txid);
+        assert_eq!(pool.spender_of(&outpoint), None);
+        assert!(pool.is_empty());
+    }
+}

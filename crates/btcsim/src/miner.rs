@@ -1,0 +1,218 @@
+//! Block template assembly and proof-of-work solving.
+
+use crate::amount::Amount;
+use crate::block::{Block, BlockHeader};
+use crate::chain::Chain;
+use crate::params::ChainParams;
+use crate::pow::hash_meets_target;
+use crate::transaction::Transaction;
+use btcfast_crypto::keys::Address;
+use btcfast_crypto::Hash256;
+
+/// A miner: assembles block templates paying itself subsidy + fees, and
+/// grinds nonces until the header meets the consensus target.
+///
+/// The simulator's difficulty is low enough that solving is fast on a host
+/// CPU; block *timing* in experiments comes from the discrete-event
+/// scheduler, not from solve latency.
+#[derive(Clone, Debug)]
+pub struct Miner {
+    params: ChainParams,
+    payout: Address,
+    /// Monotonic tag mixed into coinbases so identical templates from the
+    /// same miner at the same time still produce distinct txids.
+    extra_nonce: u64,
+}
+
+impl Miner {
+    /// Creates a miner paying rewards to `payout`.
+    pub fn new(params: ChainParams, payout: Address) -> Miner {
+        Miner {
+            params,
+            payout,
+            extra_nonce: 0,
+        }
+    }
+
+    /// The payout address.
+    pub fn payout(&self) -> Address {
+        self.payout
+    }
+
+    /// Mines a block on the current best tip of `chain` containing `txs`
+    /// (validated against the tip's UTXO state; invalid ones are dropped).
+    pub fn mine_block(&mut self, chain: &Chain, txs: Vec<Transaction>, time: u64) -> Block {
+        self.mine_block_on(chain, chain.tip_hash(), txs, time)
+    }
+
+    /// Mines a block on an arbitrary known parent (or [`Hash256::ZERO`]).
+    ///
+    /// Used by attackers extending private forks. Transactions are validated
+    /// against the active UTXO set only when the parent is the active tip;
+    /// on side branches the caller is responsible for coherence (the chain
+    /// re-validates on any reorg).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not known to `chain`.
+    pub fn mine_block_on(
+        &mut self,
+        chain: &Chain,
+        parent: Hash256,
+        txs: Vec<Transaction>,
+        time: u64,
+    ) -> Block {
+        let parent_height = if parent == Hash256::ZERO {
+            0
+        } else {
+            chain
+                .block_height(&parent)
+                .expect("mine_block_on requires a known parent")
+        };
+        let height = parent_height + 1;
+        let subsidy =
+            Amount::from_sats(self.params.subsidy_at(height)).expect("subsidy within money supply");
+
+        // Select valid transactions and compute their fees.
+        let mut fees = Amount::ZERO;
+        let mut included = Vec::with_capacity(txs.len());
+        if parent == chain.tip_hash() {
+            let mut scratch = chain.utxo().clone();
+            for tx in txs {
+                match scratch.apply_transaction(&tx, height) {
+                    Ok(fee) => {
+                        fees = fees.checked_add(fee).expect("fees within money supply");
+                        included.push(tx);
+                    }
+                    Err(_) => { /* drop invalid transaction */ }
+                }
+            }
+        } else {
+            included = txs;
+        }
+
+        let reward = subsidy.checked_add(fees).expect("reward within supply");
+        self.extra_nonce += 1;
+        let coinbase =
+            Transaction::coinbase(height, reward, self.payout, &self.extra_nonce.to_le_bytes());
+        let mut transactions = vec![coinbase];
+        transactions.extend(included);
+
+        let bits = chain.expected_bits(&parent);
+        let mut header = BlockHeader {
+            version: 1,
+            prev_hash: parent,
+            merkle_root: Block::compute_merkle_root(&transactions),
+            time,
+            bits,
+            nonce: 0,
+        };
+        let target = header.target().expect("consensus bits are valid");
+        while !hash_meets_target(&header.hash(), &target) {
+            header.nonce += 1;
+        }
+        Block {
+            header,
+            transactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{OutPoint, TxIn, TxOut};
+    use btcfast_crypto::keys::KeyPair;
+
+    fn sats(v: u64) -> Amount {
+        Amount::from_sats(v).unwrap()
+    }
+
+    #[test]
+    fn mined_blocks_connect() {
+        let params = ChainParams::regtest();
+        let mut chain = Chain::new(params.clone());
+        let mut miner = Miner::new(params, KeyPair::from_seed(b"m").address());
+        for i in 1..=3 {
+            let block = miner.mine_block(&chain, vec![], i * 600);
+            chain.submit_block(block).unwrap();
+        }
+        assert_eq!(chain.height(), 3);
+    }
+
+    #[test]
+    fn coinbase_collects_fees() {
+        let params = ChainParams::regtest();
+        let mut chain = Chain::new(params.clone());
+        let key = KeyPair::from_seed(b"m");
+        let mut miner = Miner::new(params.clone(), key.address());
+        let b1 = miner.mine_block(&chain, vec![], 600);
+        chain.submit_block(b1.clone()).unwrap();
+
+        // Spend the coinbase, paying a 700-sat fee.
+        let coinbase = &b1.transactions[0];
+        let mut tx = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: coinbase.txid(),
+                vout: 0,
+            })],
+            vec![TxOut::payment(
+                coinbase.outputs[0].value - sats(700),
+                KeyPair::from_seed(b"dest").address(),
+            )],
+        );
+        tx.sign_input(0, &key, &coinbase.outputs[0].script_pubkey)
+            .unwrap();
+
+        let b2 = miner.mine_block(&chain, vec![tx], 1200);
+        let expected_reward = sats(chain.params().subsidy_at(2) + 700);
+        assert_eq!(b2.transactions[0].outputs[0].value, expected_reward);
+        chain.submit_block(b2).unwrap();
+    }
+
+    #[test]
+    fn invalid_txs_dropped_from_template() {
+        let params = ChainParams::regtest();
+        let mut chain = Chain::new(params.clone());
+        let key = KeyPair::from_seed(b"m");
+        let mut miner = Miner::new(params, key.address());
+        let b1 = miner.mine_block(&chain, vec![], 600);
+        chain.submit_block(b1).unwrap();
+
+        // A spend of a nonexistent coin.
+        let mut ghost = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: Hash256([9; 32]),
+                vout: 0,
+            })],
+            vec![TxOut::payment(sats(1), key.address())],
+        );
+        ghost
+            .sign_input(0, &key, &crate::script::ScriptPubKey::P2pkh(key.address()))
+            .unwrap();
+
+        let b2 = miner.mine_block(&chain, vec![ghost], 1200);
+        assert_eq!(b2.transactions.len(), 1); // coinbase only
+        chain.submit_block(b2).unwrap();
+    }
+
+    #[test]
+    fn coinbases_are_unique_across_blocks() {
+        let params = ChainParams::regtest();
+        let chain = Chain::new(params.clone());
+        let mut miner = Miner::new(params, KeyPair::from_seed(b"m").address());
+        let a = miner.mine_block_on(&chain, Hash256::ZERO, vec![], 600);
+        let b = miner.mine_block_on(&chain, Hash256::ZERO, vec![], 600);
+        assert_ne!(a.transactions[0].txid(), b.transactions[0].txid());
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "known parent")]
+    fn unknown_parent_panics() {
+        let params = ChainParams::regtest();
+        let chain = Chain::new(params.clone());
+        let mut miner = Miner::new(params, KeyPair::from_seed(b"m").address());
+        miner.mine_block_on(&chain, Hash256([1; 32]), vec![], 600);
+    }
+}

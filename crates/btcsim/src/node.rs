@@ -1,0 +1,289 @@
+//! A full node: chain + mempool glued together, including the reorg path
+//! that returns disconnected transactions to the mempool.
+//!
+//! This is the component a BTCFast merchant actually runs: it is where a
+//! double spend becomes *observable* — either as a mempool conflict at
+//! offer time or as a confirmed transaction vanishing in a reorg.
+
+use crate::block::Block;
+use crate::chain::{Chain, ChainError, SubmitOutcome};
+use crate::mempool::{Mempool, MempoolError};
+use crate::params::ChainParams;
+use crate::transaction::Transaction;
+use btcfast_crypto::Hash256;
+use std::collections::HashSet;
+
+/// A full node with a chain view and a mempool.
+#[derive(Clone, Debug)]
+pub struct Node {
+    chain: Chain,
+    mempool: Mempool,
+}
+
+impl Node {
+    /// Creates a node with an empty chain and mempool.
+    pub fn new(params: ChainParams) -> Node {
+        Node {
+            chain: Chain::new(params),
+            mempool: Mempool::new(),
+        }
+    }
+
+    /// Wraps an existing chain view.
+    pub fn from_chain(chain: Chain) -> Node {
+        Node {
+            chain,
+            mempool: Mempool::new(),
+        }
+    }
+
+    /// The chain view.
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// The mempool view.
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
+    }
+
+    /// Accepts a relayed transaction into the mempool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MempoolError`] (double spends surface as
+    /// [`MempoolError::Conflict`]).
+    pub fn submit_transaction(
+        &mut self,
+        tx: Transaction,
+        now: u64,
+    ) -> Result<Hash256, MempoolError> {
+        self.mempool
+            .insert(tx, self.chain.utxo(), self.chain.height() + 1, now)
+    }
+
+    /// Accepts a relayed block, maintaining the mempool across any reorg:
+    /// transactions confirmed by the new chain leave the pool; transactions
+    /// disconnected by a reorg return to it (when still valid).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChainError`].
+    pub fn submit_block(&mut self, block: Block, now: u64) -> Result<SubmitOutcome, ChainError> {
+        let before: Vec<Hash256> = self.chain.active_hashes().to_vec();
+        let outcome = self.chain.submit_block(block)?;
+        if matches!(outcome, SubmitOutcome::Connected { .. }) {
+            let after: HashSet<Hash256> = self.chain.active_hashes().iter().copied().collect();
+
+            // Transactions from disconnected blocks go back to the pool
+            // (skipping coinbases and anything the new branch confirmed).
+            for hash in before.iter().filter(|h| !after.contains(h)) {
+                let disconnected = self
+                    .chain
+                    .block(hash)
+                    .expect("disconnected blocks stay in the tree")
+                    .clone();
+                for tx in disconnected.transactions.into_iter().skip(1) {
+                    if self.chain.confirmations(&tx.txid()).is_none() {
+                        // Invalid re-insertions (e.g. conflicted away) are
+                        // simply dropped, as real nodes do.
+                        let _ = self.mempool.insert(
+                            tx,
+                            self.chain.utxo(),
+                            self.chain.height() + 1,
+                            now,
+                        );
+                    }
+                }
+            }
+
+            // Purge everything the newly active blocks confirmed or
+            // conflicted.
+            let before_set: HashSet<Hash256> = before.into_iter().collect();
+            let newly_active: Vec<Hash256> = self
+                .chain
+                .active_hashes()
+                .iter()
+                .filter(|h| !before_set.contains(*h))
+                .copied()
+                .collect();
+            for hash in newly_active {
+                let block = self.chain.block(&hash).expect("active block").clone();
+                self.mempool.purge_confirmed(&block.transactions);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Builds a block template (fee-ordered mempool selection).
+    pub fn template(&self, max: usize) -> Vec<Transaction> {
+        self.mempool.select_for_block(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::Miner;
+    use crate::wallet::Wallet;
+    use crate::Amount;
+
+    fn sats(v: u64) -> Amount {
+        Amount::from_sats(v).unwrap()
+    }
+
+    /// Node whose wallet owns two mature coinbases.
+    fn funded() -> (Node, Wallet, Miner) {
+        let params = ChainParams::regtest();
+        let mut node = Node::new(params.clone());
+        let wallet = Wallet::from_seed(b"node wallet");
+        let mut miner = Miner::new(params, wallet.address());
+        for i in 1..=3u64 {
+            let block = miner.mine_block(node.chain(), vec![], i * 600);
+            node.submit_block(block, i * 600).unwrap();
+        }
+        (node, wallet, miner)
+    }
+
+    #[test]
+    fn transactions_flow_pool_to_block() {
+        let (mut node, wallet, mut miner) = funded();
+        let merchant = Wallet::from_seed(b"m");
+        let pay = wallet
+            .create_payment(
+                node.chain(),
+                merchant.address(),
+                sats(1_000),
+                sats(100),
+                None,
+            )
+            .unwrap();
+        let txid = node.submit_transaction(pay, 2000).unwrap();
+        assert!(node.mempool().contains(&txid));
+
+        let block = miner.mine_block(node.chain(), node.template(100), 2400);
+        node.submit_block(block, 2400).unwrap();
+        assert!(!node.mempool().contains(&txid));
+        assert_eq!(node.chain().confirmations(&txid), Some(1));
+    }
+
+    #[test]
+    fn double_spend_rejected_at_pool() {
+        let (mut node, wallet, _) = funded();
+        let merchant = Wallet::from_seed(b"m");
+        let pay = wallet
+            .create_payment(
+                node.chain(),
+                merchant.address(),
+                sats(1_000),
+                sats(100),
+                None,
+            )
+            .unwrap();
+        let steal = wallet.create_conflicting_spend(node.chain(), &pay, sats(200));
+        node.submit_transaction(pay, 2000).unwrap();
+        assert!(matches!(
+            node.submit_transaction(steal, 2001),
+            Err(MempoolError::Conflict { .. })
+        ));
+    }
+
+    #[test]
+    fn reorg_returns_disconnected_txs_to_pool() {
+        let (mut node, wallet, mut miner) = funded();
+        let merchant = Wallet::from_seed(b"m");
+        let pay = wallet
+            .create_payment(
+                node.chain(),
+                merchant.address(),
+                sats(1_000),
+                sats(100),
+                None,
+            )
+            .unwrap();
+        let txid = node.submit_transaction(pay, 2000).unwrap();
+
+        // Confirm it at height 4.
+        let fork_base = node.chain().tip_hash();
+        let block = miner.mine_block(node.chain(), node.template(100), 2400);
+        node.submit_block(block, 2400).unwrap();
+        assert_eq!(node.chain().confirmations(&txid), Some(1));
+        assert!(!node.mempool().contains(&txid));
+
+        // A 2-block fork from the pre-payment tip reorgs it away. The fork
+        // does NOT conflict with the payment, so it returns to the pool.
+        let mut rival = Miner::new(
+            ChainParams::regtest(),
+            Wallet::from_seed(b"rival").address(),
+        );
+        let f1 = rival.mine_block_on(node.chain(), fork_base, vec![], 2500);
+        node.submit_block(f1.clone(), 2500).unwrap();
+        let f2 = rival.mine_block_on(node.chain(), f1.hash(), vec![], 2600);
+        node.submit_block(f2, 2600).unwrap();
+
+        assert_eq!(node.chain().confirmations(&txid), None);
+        assert!(
+            node.mempool().contains(&txid),
+            "disconnected tx must return to the pool"
+        );
+    }
+
+    #[test]
+    fn reorg_drops_conflicted_disconnected_txs() {
+        let (mut node, wallet, mut miner) = funded();
+        let merchant = Wallet::from_seed(b"m");
+        let pay = wallet
+            .create_payment(
+                node.chain(),
+                merchant.address(),
+                sats(1_000),
+                sats(100),
+                None,
+            )
+            .unwrap();
+        let steal = wallet.create_conflicting_spend(node.chain(), &pay, sats(300));
+        let txid = node.submit_transaction(pay, 2000).unwrap();
+
+        let fork_base = node.chain().tip_hash();
+        let block = miner.mine_block(node.chain(), node.template(100), 2400);
+        node.submit_block(block, 2400).unwrap();
+
+        // The rival branch CONFIRMS the conflicting spend: the disconnected
+        // payment must not re-enter the pool.
+        let mut rival = Miner::new(
+            ChainParams::regtest(),
+            Wallet::from_seed(b"rival").address(),
+        );
+        let f1 = rival.mine_block_on(node.chain(), fork_base, vec![steal.clone()], 2500);
+        node.submit_block(f1.clone(), 2500).unwrap();
+        let f2 = rival.mine_block_on(node.chain(), f1.hash(), vec![], 2600);
+        node.submit_block(f2, 2600).unwrap();
+
+        assert_eq!(node.chain().confirmations(&txid), None);
+        assert_eq!(node.chain().confirmations(&steal.txid()), Some(2));
+        assert!(
+            !node.mempool().contains(&txid),
+            "conflicted tx must stay out of the pool"
+        );
+    }
+
+    #[test]
+    fn template_respects_pool() {
+        let (mut node, wallet, _) = funded();
+        let merchant = Wallet::from_seed(b"m");
+        let pay = wallet
+            .create_payment(
+                node.chain(),
+                merchant.address(),
+                sats(1_000),
+                sats(100),
+                None,
+            )
+            .unwrap();
+        let txid = node.submit_transaction(pay, 2000).unwrap();
+        let template = node.template(10);
+        assert_eq!(template.len(), 1);
+        assert_eq!(template[0].txid(), txid);
+        assert!(node.template(0).is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Output scripts: a faithful-but-simplified subset of Bitcoin Script.
+//!
+//! BTCFast only needs pay-to-pubkey-hash payments and data carriers
+//! (`OP_RETURN`) — the payment-intent commitments the protocol can anchor in
+//! BTC transactions. The interpreter enforces the same predicate P2PKH does:
+//! the witness must reveal a public key hashing to the committed address and
+//! a valid ECDSA signature over the transaction sighash.
+
+use btcfast_crypto::ecdsa::Signature;
+use btcfast_crypto::keys::{Address, PublicKey};
+use std::error::Error;
+use std::fmt;
+
+/// Maximum bytes allowed in an `OP_RETURN` data carrier (Bitcoin's standard
+/// relay policy limit).
+pub const MAX_OP_RETURN_BYTES: usize = 80;
+
+/// An output's locking predicate.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum ScriptPubKey {
+    /// Pay-to-pubkey-hash: spendable by whoever controls the key hashing to
+    /// this address.
+    P2pkh(Address),
+    /// Provably unspendable data carrier.
+    OpReturn(Vec<u8>),
+}
+
+impl ScriptPubKey {
+    /// Serializes for hashing: a tag byte plus payload.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            ScriptPubKey::P2pkh(addr) => {
+                out.push(0x01);
+                out.extend_from_slice(&addr.0);
+            }
+            ScriptPubKey::OpReturn(data) => {
+                out.push(0x02);
+                out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+        }
+    }
+
+    /// True for data-carrier outputs, which can never be spent.
+    pub fn is_unspendable(&self) -> bool {
+        matches!(self, ScriptPubKey::OpReturn(_))
+    }
+
+    /// Validates standardness rules (currently: `OP_RETURN` size cap).
+    pub fn check_standard(&self) -> Result<(), ScriptError> {
+        match self {
+            ScriptPubKey::OpReturn(data) if data.len() > MAX_OP_RETURN_BYTES => {
+                Err(ScriptError::OpReturnTooLarge(data.len()))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The unlocking data for a P2PKH input: the spender's public key and a
+/// signature over the transaction sighash.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Witness {
+    /// The public key whose hash160 must equal the locked address.
+    pub pubkey: PublicKey,
+    /// ECDSA signature over the input's sighash.
+    pub signature: Signature,
+}
+
+impl Witness {
+    /// Serializes for transaction encoding.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.pubkey.to_compressed());
+        out.extend_from_slice(&self.signature.to_bytes());
+    }
+}
+
+/// Script evaluation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptError {
+    /// Input attempted to spend an `OP_RETURN` output.
+    SpendOfUnspendable,
+    /// Witness missing on a spend input.
+    MissingWitness,
+    /// The revealed public key does not hash to the locked address.
+    PubkeyMismatch,
+    /// The ECDSA signature check failed.
+    BadSignature,
+    /// An `OP_RETURN` output exceeds the data-carrier size limit.
+    OpReturnTooLarge(usize),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::SpendOfUnspendable => write!(f, "attempted spend of OP_RETURN output"),
+            ScriptError::MissingWitness => write!(f, "spend input carries no witness"),
+            ScriptError::PubkeyMismatch => {
+                write!(f, "public key does not hash to the locked address")
+            }
+            ScriptError::BadSignature => write!(f, "signature verification failed"),
+            ScriptError::OpReturnTooLarge(n) => {
+                write!(
+                    f,
+                    "OP_RETURN payload of {n} bytes exceeds {MAX_OP_RETURN_BYTES}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ScriptError {}
+
+/// Evaluates a witness against a locking script and a 32-byte sighash.
+///
+/// # Errors
+///
+/// Returns the specific [`ScriptError`] describing why the spend is invalid.
+pub fn verify_spend(
+    script_pubkey: &ScriptPubKey,
+    witness: Option<&Witness>,
+    sighash: &[u8; 32],
+) -> Result<(), ScriptError> {
+    match script_pubkey {
+        ScriptPubKey::OpReturn(_) => Err(ScriptError::SpendOfUnspendable),
+        ScriptPubKey::P2pkh(address) => {
+            let witness = witness.ok_or(ScriptError::MissingWitness)?;
+            if &witness.pubkey.address() != address {
+                return Err(ScriptError::PubkeyMismatch);
+            }
+            if !witness.pubkey.verify(sighash, &witness.signature) {
+                return Err(ScriptError::BadSignature);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcfast_crypto::keys::KeyPair;
+    use btcfast_crypto::sha256::sha256;
+
+    fn setup() -> (KeyPair, ScriptPubKey, [u8; 32]) {
+        let kp = KeyPair::from_seed(b"script test");
+        let script = ScriptPubKey::P2pkh(kp.address());
+        let sighash = sha256(b"sighash");
+        (kp, script, sighash)
+    }
+
+    #[test]
+    fn valid_spend() {
+        let (kp, script, sighash) = setup();
+        let witness = Witness {
+            pubkey: *kp.public(),
+            signature: kp.sign(&sighash),
+        };
+        assert!(verify_spend(&script, Some(&witness), &sighash).is_ok());
+    }
+
+    #[test]
+    fn missing_witness_rejected() {
+        let (_, script, sighash) = setup();
+        assert_eq!(
+            verify_spend(&script, None, &sighash),
+            Err(ScriptError::MissingWitness)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (_, script, sighash) = setup();
+        let thief = KeyPair::from_seed(b"thief");
+        let witness = Witness {
+            pubkey: *thief.public(),
+            signature: thief.sign(&sighash),
+        };
+        assert_eq!(
+            verify_spend(&script, Some(&witness), &sighash),
+            Err(ScriptError::PubkeyMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_sighash_rejected() {
+        let (kp, script, sighash) = setup();
+        let witness = Witness {
+            pubkey: *kp.public(),
+            signature: kp.sign(&sha256(b"different message")),
+        };
+        assert_eq!(
+            verify_spend(&script, Some(&witness), &sighash),
+            Err(ScriptError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn op_return_unspendable() {
+        let script = ScriptPubKey::OpReturn(b"data".to_vec());
+        assert!(script.is_unspendable());
+        let (kp, _, sighash) = setup();
+        let witness = Witness {
+            pubkey: *kp.public(),
+            signature: kp.sign(&sighash),
+        };
+        assert_eq!(
+            verify_spend(&script, Some(&witness), &sighash),
+            Err(ScriptError::SpendOfUnspendable)
+        );
+    }
+
+    #[test]
+    fn op_return_size_policy() {
+        assert!(ScriptPubKey::OpReturn(vec![0; MAX_OP_RETURN_BYTES])
+            .check_standard()
+            .is_ok());
+        assert_eq!(
+            ScriptPubKey::OpReturn(vec![0; MAX_OP_RETURN_BYTES + 1]).check_standard(),
+            Err(ScriptError::OpReturnTooLarge(MAX_OP_RETURN_BYTES + 1))
+        );
+        let (_, p2pkh, _) = setup();
+        assert!(p2pkh.check_standard().is_ok());
+    }
+
+    #[test]
+    fn encoding_distinguishes_variants() {
+        let (kp, p2pkh, _) = setup();
+        let op_ret = ScriptPubKey::OpReturn(kp.address().0.to_vec());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        p2pkh.encode_to(&mut a);
+        op_ret.encode_to(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ScriptError::SpendOfUnspendable,
+            ScriptError::MissingWitness,
+            ScriptError::PubkeyMismatch,
+            ScriptError::BadSignature,
+            ScriptError::OpReturnTooLarge(99),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

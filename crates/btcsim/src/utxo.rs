@@ -1,0 +1,604 @@
+//! The UTXO set: contextual transaction validation and reversible block
+//! application.
+//!
+//! [`UtxoSet::apply_block`] returns an [`UndoLog`] so that chain
+//! reorganizations can roll blocks back exactly — the mechanism a
+//! double-spend attack exploits and the `PayJudger` evidence captures.
+
+use crate::amount::Amount;
+use crate::block::Block;
+use crate::script::ScriptPubKey;
+use crate::transaction::{OutPoint, Transaction, TxError};
+use btcfast_crypto::keys::Address;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A spendable coin: the output plus metadata needed for maturity checks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Coin {
+    /// The output's value.
+    pub value: Amount,
+    /// The locking script.
+    pub script_pubkey: ScriptPubKey,
+    /// Height of the block that created the coin.
+    pub height: u64,
+    /// Whether it came from a coinbase (subject to maturity).
+    pub is_coinbase: bool,
+}
+
+/// Contextual validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UtxoError {
+    /// Input refers to a missing (never existed or already spent) coin.
+    MissingCoin(OutPoint),
+    /// Coinbase spend before maturity.
+    ImmatureCoinbase {
+        /// The offending outpoint.
+        outpoint: OutPoint,
+        /// Height the coin was created.
+        created: u64,
+        /// Height of the spend attempt.
+        spend_height: u64,
+    },
+    /// Outputs exceed inputs.
+    ValueOutOfRange,
+    /// Coinbase claims more than subsidy + fees.
+    ExcessiveCoinbase {
+        /// What the coinbase claimed.
+        claimed: Amount,
+        /// What it was allowed to claim.
+        allowed: Amount,
+    },
+    /// The transaction is not final at this height (locktime).
+    NotFinal,
+    /// A structural or script failure.
+    Tx(TxError),
+}
+
+impl fmt::Display for UtxoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtxoError::MissingCoin(op) => write!(f, "missing or spent coin {op}"),
+            UtxoError::ImmatureCoinbase {
+                outpoint,
+                created,
+                spend_height,
+            } => write!(
+                f,
+                "coinbase {outpoint} created at {created} spent at {spend_height} before maturity"
+            ),
+            UtxoError::ValueOutOfRange => write!(f, "outputs exceed inputs"),
+            UtxoError::ExcessiveCoinbase { claimed, allowed } => {
+                write!(f, "coinbase claims {claimed}, allowed {allowed}")
+            }
+            UtxoError::NotFinal => write!(f, "transaction locktime not satisfied"),
+            UtxoError::Tx(e) => write!(f, "transaction error: {e}"),
+        }
+    }
+}
+
+impl Error for UtxoError {}
+
+impl From<TxError> for UtxoError {
+    fn from(e: TxError) -> UtxoError {
+        UtxoError::Tx(e)
+    }
+}
+
+/// Undo information for one applied block.
+#[derive(Clone, Debug, Default)]
+pub struct UndoLog {
+    /// Coins consumed by the block, in consumption order.
+    spent: Vec<(OutPoint, Coin)>,
+    /// Outpoints created by the block.
+    created: Vec<OutPoint>,
+}
+
+/// The set of unspent transaction outputs.
+#[derive(Clone, Debug, Default)]
+pub struct UtxoSet {
+    coins: HashMap<OutPoint, Coin>,
+    maturity: u64,
+}
+
+impl UtxoSet {
+    /// Creates an empty set with the given coinbase maturity.
+    pub fn new(coinbase_maturity: u64) -> UtxoSet {
+        UtxoSet {
+            coins: HashMap::new(),
+            maturity: coinbase_maturity,
+        }
+    }
+
+    /// Looks up a coin.
+    pub fn coin(&self, outpoint: &OutPoint) -> Option<&Coin> {
+        self.coins.get(outpoint)
+    }
+
+    /// Number of unspent coins.
+    pub fn len(&self) -> usize {
+        self.coins.len()
+    }
+
+    /// True when no coins exist.
+    pub fn is_empty(&self) -> bool {
+        self.coins.is_empty()
+    }
+
+    /// Total value held by an address (wallet balance scan).
+    pub fn balance_of(&self, address: &Address) -> Amount {
+        self.coins
+            .values()
+            .filter_map(|c| match &c.script_pubkey {
+                ScriptPubKey::P2pkh(a) if a == address => Some(c.value),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// All spendable outpoints of an address at `height` (excludes immature
+    /// coinbases), sorted for determinism.
+    pub fn spendable_by(&self, address: &Address, height: u64) -> Vec<(OutPoint, Coin)> {
+        let mut coins: Vec<(OutPoint, Coin)> = self
+            .coins
+            .iter()
+            .filter(|(_, c)| match &c.script_pubkey {
+                ScriptPubKey::P2pkh(a) => {
+                    a == address && (!c.is_coinbase || height >= c.height + self.maturity)
+                }
+                _ => false,
+            })
+            .map(|(op, c)| (*op, c.clone()))
+            .collect();
+        coins.sort_by_key(|(op, _)| *op);
+        coins
+    }
+
+    /// Validates a non-coinbase transaction against the current set,
+    /// returning the fee it pays.
+    ///
+    /// # Errors
+    ///
+    /// See [`UtxoError`].
+    pub fn validate_transaction(&self, tx: &Transaction, height: u64) -> Result<Amount, UtxoError> {
+        tx.check_structure()?;
+        if tx.is_coinbase() {
+            return Err(UtxoError::Tx(TxError::MisplacedCoinbase));
+        }
+        if tx.lock_time > height {
+            return Err(UtxoError::NotFinal);
+        }
+        let mut total_in = Amount::ZERO;
+        for (index, input) in tx.inputs.iter().enumerate() {
+            let coin = self
+                .coins
+                .get(&input.previous_output)
+                .ok_or(UtxoError::MissingCoin(input.previous_output))?;
+            if coin.is_coinbase && height < coin.height + self.maturity {
+                return Err(UtxoError::ImmatureCoinbase {
+                    outpoint: input.previous_output,
+                    created: coin.height,
+                    spend_height: height,
+                });
+            }
+            tx.verify_input(index, &coin.script_pubkey)?;
+            total_in = total_in
+                .checked_add(coin.value)
+                .ok_or(UtxoError::ValueOutOfRange)?;
+        }
+        let total_out = tx.total_output();
+        total_in
+            .checked_sub(total_out)
+            .ok_or(UtxoError::ValueOutOfRange)
+    }
+
+    /// Validates and applies a single non-coinbase transaction, mutating the
+    /// set and returning the fee. Used by miners and mempools to evaluate
+    /// chained unconfirmed transactions; block connection goes through
+    /// [`UtxoSet::apply_block`].
+    ///
+    /// # Errors
+    ///
+    /// See [`UtxoError`]; the set is unchanged on error.
+    pub fn apply_transaction(
+        &mut self,
+        tx: &Transaction,
+        height: u64,
+    ) -> Result<Amount, UtxoError> {
+        let fee = self.validate_transaction(tx, height)?;
+        for input in &tx.inputs {
+            self.coins.remove(&input.previous_output);
+        }
+        let mut scratch_undo = UndoLog::default();
+        self.add_outputs(tx, height, false, &mut scratch_undo);
+        Ok(fee)
+    }
+
+    /// Applies a structurally valid block at `height`, returning the undo
+    /// log. On error the set is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// See [`UtxoError`]; also enforces the coinbase value rule
+    /// (subsidy + fees).
+    pub fn apply_block(
+        &mut self,
+        block: &Block,
+        height: u64,
+        subsidy: Amount,
+    ) -> Result<UndoLog, UtxoError> {
+        // Validate first against a scratch copy so failures cannot corrupt
+        // the live set.
+        let mut scratch = self.clone();
+        let undo = scratch.apply_block_inner(block, height, subsidy)?;
+        *self = scratch;
+        Ok(undo)
+    }
+
+    fn apply_block_inner(
+        &mut self,
+        block: &Block,
+        height: u64,
+        subsidy: Amount,
+    ) -> Result<UndoLog, UtxoError> {
+        let mut undo = UndoLog::default();
+        let mut total_fees = Amount::ZERO;
+
+        for tx in block.transactions.iter().skip(1) {
+            let fee = self.validate_transaction(tx, height)?;
+            total_fees = total_fees
+                .checked_add(fee)
+                .ok_or(UtxoError::ValueOutOfRange)?;
+            for input in &tx.inputs {
+                let coin = self
+                    .coins
+                    .remove(&input.previous_output)
+                    .expect("validated above");
+                undo.spent.push((input.previous_output, coin));
+            }
+            self.add_outputs(tx, height, false, &mut undo);
+        }
+
+        // Coinbase value rule.
+        let coinbase = &block.transactions[0];
+        let allowed = subsidy
+            .checked_add(total_fees)
+            .ok_or(UtxoError::ValueOutOfRange)?;
+        let claimed = coinbase.total_output();
+        if claimed > allowed {
+            return Err(UtxoError::ExcessiveCoinbase { claimed, allowed });
+        }
+        self.add_outputs(coinbase, height, true, &mut undo);
+
+        Ok(undo)
+    }
+
+    fn add_outputs(
+        &mut self,
+        tx: &Transaction,
+        height: u64,
+        is_coinbase: bool,
+        undo: &mut UndoLog,
+    ) {
+        let txid = tx.txid();
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            if output.script_pubkey.is_unspendable() {
+                continue;
+            }
+            let outpoint = OutPoint {
+                txid,
+                vout: vout as u32,
+            };
+            self.coins.insert(
+                outpoint,
+                Coin {
+                    value: output.value,
+                    script_pubkey: output.script_pubkey.clone(),
+                    height,
+                    is_coinbase,
+                },
+            );
+            undo.created.push(outpoint);
+        }
+    }
+
+    /// Rolls back a previously applied block using its undo log.
+    pub fn undo_block(&mut self, undo: &UndoLog) {
+        for outpoint in &undo.created {
+            self.coins.remove(outpoint);
+        }
+        for (outpoint, coin) in undo.spent.iter().rev() {
+            self.coins.insert(*outpoint, coin.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockHeader;
+    use crate::params::ChainParams;
+    use crate::pow::hash_meets_target;
+    use crate::transaction::{TxIn, TxOut};
+    use btcfast_crypto::keys::KeyPair;
+    use btcfast_crypto::Hash256;
+
+    fn sats(v: u64) -> Amount {
+        Amount::from_sats(v).unwrap()
+    }
+
+    struct Fixture {
+        utxo: UtxoSet,
+        miner: KeyPair,
+        params: ChainParams,
+        height: u64,
+        prev_hash: Hash256,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            Fixture {
+                utxo: UtxoSet::new(ChainParams::regtest().coinbase_maturity),
+                miner: KeyPair::from_seed(b"miner"),
+                params: ChainParams::regtest(),
+                height: 0,
+                prev_hash: Hash256::ZERO,
+            }
+        }
+
+        fn mine(&mut self, txs: Vec<Transaction>) -> (Block, UndoLog) {
+            self.height += 1;
+            let subsidy = sats(self.params.subsidy_at(self.height));
+            // Fees accrue to the coinbase in a real miner; keep subsidy-only
+            // coinbases here for simplicity.
+            let coinbase = Transaction::coinbase(self.height, subsidy, self.miner.address(), b"");
+            let mut transactions = vec![coinbase];
+            transactions.extend(txs);
+            let merkle_root = Block::compute_merkle_root(&transactions);
+            let mut header = BlockHeader {
+                version: 1,
+                prev_hash: self.prev_hash,
+                merkle_root,
+                time: self.height * 600,
+                bits: self.params.pow_limit_bits,
+                nonce: 0,
+            };
+            let target = header.target().unwrap();
+            while !hash_meets_target(&header.hash(), &target) {
+                header.nonce += 1;
+            }
+            let block = Block {
+                header,
+                transactions,
+            };
+            self.prev_hash = block.hash();
+            let undo = self
+                .utxo
+                .apply_block(&block, self.height, subsidy)
+                .expect("valid block");
+            (block, undo)
+        }
+
+        /// Builds a signed spend of the miner's coinbase from `block`.
+        fn spend_coinbase(&self, block: &Block, to: Address, value: Amount) -> Transaction {
+            let coinbase = &block.transactions[0];
+            let outpoint = OutPoint {
+                txid: coinbase.txid(),
+                vout: 0,
+            };
+            let coin_value = coinbase.outputs[0].value;
+            let change = coin_value - value - sats(1000); // 1000 sats fee
+            let mut tx = Transaction::new(
+                vec![TxIn::spend(outpoint)],
+                vec![
+                    TxOut::payment(value, to),
+                    TxOut::payment(change, self.miner.address()),
+                ],
+            );
+            tx.sign_input(0, &self.miner, &coinbase.outputs[0].script_pubkey)
+                .unwrap();
+            tx
+        }
+    }
+
+    #[test]
+    fn coinbase_creates_coins() {
+        let mut fx = Fixture::new();
+        let (block, _) = fx.mine(vec![]);
+        assert_eq!(fx.utxo.len(), 1);
+        assert_eq!(
+            fx.utxo.balance_of(&fx.miner.address()),
+            block.transactions[0].outputs[0].value
+        );
+    }
+
+    #[test]
+    fn spend_moves_value() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        fx.mine(vec![pay]);
+        assert_eq!(fx.utxo.balance_of(&customer.address()), sats(1_000_000));
+    }
+
+    #[test]
+    fn fee_computed() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        let fee = fx.utxo.validate_transaction(&pay, 2).unwrap();
+        assert_eq!(fee, sats(1000));
+    }
+
+    #[test]
+    fn double_spend_within_set_rejected() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let pay1 = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        fx.mine(vec![pay1]);
+        // Second spend of the same coinbase — coin is gone.
+        let pay2 = fx.spend_coinbase(&b1, customer.address(), sats(2_000_000));
+        let err = fx.utxo.validate_transaction(&pay2, fx.height + 1);
+        assert!(matches!(err, Err(UtxoError::MissingCoin(_))));
+    }
+
+    #[test]
+    fn missing_coin_rejected() {
+        let fx = Fixture::new();
+        let ghost = OutPoint {
+            txid: Hash256([7; 32]),
+            vout: 0,
+        };
+        let key = KeyPair::from_seed(b"x");
+        let mut tx = Transaction::new(
+            vec![TxIn::spend(ghost)],
+            vec![TxOut::payment(sats(1), key.address())],
+        );
+        tx.sign_input(0, &key, &ScriptPubKey::P2pkh(key.address()))
+            .unwrap();
+        assert_eq!(
+            fx.utxo.validate_transaction(&tx, 1),
+            Err(UtxoError::MissingCoin(ghost))
+        );
+    }
+
+    #[test]
+    fn immature_coinbase_rejected() {
+        let mut fx = Fixture::new();
+        fx.utxo = UtxoSet::new(100); // long maturity
+        let (b1, _) = fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        let err = fx.utxo.validate_transaction(&pay, 2);
+        assert!(matches!(err, Err(UtxoError::ImmatureCoinbase { .. })));
+        // Mature later.
+        assert!(fx.utxo.validate_transaction(&pay, 101).is_ok());
+    }
+
+    #[test]
+    fn outputs_exceeding_inputs_rejected() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let coinbase = &b1.transactions[0];
+        let outpoint = OutPoint {
+            txid: coinbase.txid(),
+            vout: 0,
+        };
+        let mut tx = Transaction::new(
+            vec![TxIn::spend(outpoint)],
+            vec![TxOut::payment(
+                coinbase.outputs[0].value + sats(1),
+                fx.miner.address(),
+            )],
+        );
+        tx.sign_input(0, &fx.miner, &coinbase.outputs[0].script_pubkey)
+            .unwrap();
+        assert_eq!(
+            fx.utxo.validate_transaction(&tx, 2),
+            Err(UtxoError::ValueOutOfRange)
+        );
+    }
+
+    #[test]
+    fn locktime_enforced() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let mut pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        pay.lock_time = 100;
+        // Witness must be refreshed since lock_time changed the sighash.
+        let coinbase = &b1.transactions[0];
+        pay.sign_input(0, &fx.miner, &coinbase.outputs[0].script_pubkey)
+            .unwrap();
+        assert_eq!(
+            fx.utxo.validate_transaction(&pay, 2),
+            Err(UtxoError::NotFinal)
+        );
+        assert!(fx.utxo.validate_transaction(&pay, 100).is_ok());
+    }
+
+    #[test]
+    fn undo_restores_exact_state() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let before = fx.utxo.clone();
+        let customer = KeyPair::from_seed(b"customer");
+        let pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        let (_, undo) = fx.mine(vec![pay]);
+        assert_ne!(fx.utxo.len(), before.len());
+        fx.utxo.undo_block(&undo);
+        assert_eq!(fx.utxo.coins, before.coins);
+    }
+
+    #[test]
+    fn excessive_coinbase_rejected() {
+        let fx = Fixture::new();
+        let params = ChainParams::regtest();
+        let coinbase =
+            Transaction::coinbase(1, sats(params.subsidy_at(1) + 1), fx.miner.address(), b"");
+        let transactions = vec![coinbase];
+        let merkle_root = Block::compute_merkle_root(&transactions);
+        let mut header = BlockHeader {
+            version: 1,
+            prev_hash: Hash256::ZERO,
+            merkle_root,
+            time: 600,
+            bits: params.pow_limit_bits,
+            nonce: 0,
+        };
+        let target = header.target().unwrap();
+        while !hash_meets_target(&header.hash(), &target) {
+            header.nonce += 1;
+        }
+        let block = Block {
+            header,
+            transactions,
+        };
+        let mut utxo = fx.utxo.clone();
+        let err = utxo.apply_block(&block, 1, sats(params.subsidy_at(1)));
+        assert!(matches!(err, Err(UtxoError::ExcessiveCoinbase { .. })));
+        // Failed application left the set untouched.
+        assert_eq!(utxo.len(), fx.utxo.len());
+    }
+
+    #[test]
+    fn op_return_outputs_not_stored() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let coinbase = &b1.transactions[0];
+        let outpoint = OutPoint {
+            txid: coinbase.txid(),
+            vout: 0,
+        };
+        let mut tx = Transaction::new(
+            vec![TxIn::spend(outpoint)],
+            vec![
+                TxOut::data(b"payment intent".to_vec()),
+                TxOut::payment(coinbase.outputs[0].value - sats(500), fx.miner.address()),
+            ],
+        );
+        tx.sign_input(0, &fx.miner, &coinbase.outputs[0].script_pubkey)
+            .unwrap();
+        let before = fx.utxo.len();
+        fx.mine(vec![tx]);
+        // One coin spent, one payment + one coinbase created; OP_RETURN skipped.
+        assert_eq!(fx.utxo.len(), before - 1 + 2);
+    }
+
+    #[test]
+    fn spendable_by_respects_maturity_and_sorts() {
+        let mut fx = Fixture::new();
+        fx.utxo = UtxoSet::new(100);
+        fx.mine(vec![]);
+        fx.mine(vec![]);
+        let addr = fx.miner.address();
+        assert!(fx.utxo.spendable_by(&addr, 3).is_empty());
+        let mature = fx.utxo.spendable_by(&addr, 101);
+        assert_eq!(mature.len(), 1); // only height-1 coinbase matured
+        assert_eq!(fx.utxo.spendable_by(&addr, 200).len(), 2);
+    }
+}

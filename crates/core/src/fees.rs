@@ -1,0 +1,182 @@
+//! The cost model behind the abstract's "no extra operation fee" claim.
+//!
+//! BTCFast's honest path pays exactly the normal BTC transaction fee per
+//! payment. The PSC-side costs — escrow deposit, payment registrations,
+//! closes, and the eventual withdrawal — amortize over the escrow lifetime,
+//! and on an EOS-like chain (`gas_price = 0`) vanish entirely; dispute costs
+//! only arise under attack and are recovered from the loser's collateral in
+//! a rational deployment.
+
+use btcfast_pscsim::gas::Gas;
+
+/// Per-operation gas usage measured from a live session (the E4 inputs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GasUsage {
+    /// Contract deployment (once per judger, not per user).
+    pub deploy: Gas,
+    /// Escrow deposit (once per escrow).
+    pub deposit: Gas,
+    /// Payment registration (per payment).
+    pub open_payment: Gas,
+    /// Undisputed close (per payment, skippable when acked).
+    pub close_payment: Gas,
+    /// Merchant acknowledgment (the alternative early release).
+    pub ack_payment: Gas,
+    /// Dispute opening (per dispute).
+    pub dispute: Gas,
+    /// Evidence submission (per dispute, dominated by header count).
+    pub submit_evidence: Gas,
+    /// Judgment (per dispute).
+    pub judge: Gas,
+    /// Escrow withdrawal (once per escrow).
+    pub withdraw: Gas,
+}
+
+/// A per-payment cost breakdown in comparable satoshi units.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaymentCost {
+    /// The BTC network fee (paid under every scheme).
+    pub btc_fee_sats: f64,
+    /// Amortized PSC overhead per payment, in satoshi-equivalents.
+    pub psc_overhead_sats: f64,
+}
+
+impl PaymentCost {
+    /// Total per-payment cost.
+    pub fn total_sats(&self) -> f64 {
+        self.btc_fee_sats + self.psc_overhead_sats
+    }
+
+    /// The extra cost relative to the plain-BTC baseline.
+    pub fn extra_vs_baseline_sats(&self) -> f64 {
+        self.psc_overhead_sats
+    }
+}
+
+/// Cost model parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeeModel {
+    /// BTC fee per transaction, satoshis.
+    pub btc_fee_sats: u64,
+    /// PSC gas price in native units per gas.
+    pub gas_price: u128,
+    /// Exchange rate: satoshis per PSC native unit.
+    pub sats_per_psc_unit: f64,
+}
+
+impl FeeModel {
+    /// Converts a gas quantity to satoshi-equivalents.
+    pub fn gas_to_sats(&self, gas: Gas) -> f64 {
+        gas as f64 * self.gas_price as f64 * self.sats_per_psc_unit
+    }
+
+    /// Honest-path cost per payment when the escrow serves `payments`
+    /// payments over its lifetime: every payment registers and closes, the
+    /// deposit and withdrawal amortize.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `payments` is zero.
+    pub fn honest_cost_per_payment(&self, usage: &GasUsage, payments: u64) -> PaymentCost {
+        assert!(payments > 0, "amortization needs at least one payment");
+        let per_payment_gas = (usage.open_payment + usage.close_payment) as f64;
+        let amortized_gas = (usage.deposit + usage.withdraw) as f64 / payments as f64;
+        let sats_per_gas = self.gas_price as f64 * self.sats_per_psc_unit;
+        PaymentCost {
+            btc_fee_sats: self.btc_fee_sats as f64,
+            psc_overhead_sats: (per_payment_gas + amortized_gas) * sats_per_gas,
+        }
+    }
+
+    /// Cost of one dispute (loser-pays in a rational deployment; reported
+    /// for completeness).
+    pub fn dispute_cost_sats(&self, usage: &GasUsage) -> f64 {
+        self.gas_to_sats(usage.dispute + usage.submit_evidence + usage.judge)
+    }
+
+    /// The plain-BTC baseline's per-payment cost.
+    pub fn baseline_cost(&self) -> PaymentCost {
+        PaymentCost {
+            btc_fee_sats: self.btc_fee_sats as f64,
+            psc_overhead_sats: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage() -> GasUsage {
+        GasUsage {
+            deploy: 120_000,
+            deposit: 70_000,
+            open_payment: 60_000,
+            close_payment: 40_000,
+            ack_payment: 40_000,
+            dispute: 45_000,
+            submit_evidence: 160_000,
+            judge: 80_000,
+            withdraw: 50_000,
+        }
+    }
+
+    #[test]
+    fn eos_like_overhead_is_zero() {
+        let model = FeeModel {
+            btc_fee_sats: 1_000,
+            gas_price: 0,
+            sats_per_psc_unit: 1.0,
+        };
+        let cost = model.honest_cost_per_payment(&usage(), 10);
+        assert_eq!(cost.psc_overhead_sats, 0.0);
+        assert_eq!(cost.total_sats(), 1_000.0);
+        assert_eq!(cost.extra_vs_baseline_sats(), 0.0);
+    }
+
+    #[test]
+    fn overhead_amortizes_with_volume() {
+        let model = FeeModel {
+            btc_fee_sats: 1_000,
+            gas_price: 1,
+            sats_per_psc_unit: 0.000001,
+        };
+        let few = model.honest_cost_per_payment(&usage(), 1);
+        let many = model.honest_cost_per_payment(&usage(), 1_000);
+        assert!(few.psc_overhead_sats > many.psc_overhead_sats);
+    }
+
+    #[test]
+    fn baseline_has_no_overhead() {
+        let model = FeeModel {
+            btc_fee_sats: 500,
+            gas_price: 20,
+            sats_per_psc_unit: 0.01,
+        };
+        assert_eq!(model.baseline_cost().total_sats(), 500.0);
+    }
+
+    #[test]
+    fn dispute_cost_dominated_by_evidence() {
+        let model = FeeModel {
+            btc_fee_sats: 500,
+            gas_price: 1,
+            sats_per_psc_unit: 1.0,
+        };
+        let u = usage();
+        let dispute = model.dispute_cost_sats(&u);
+        assert!(dispute > model.gas_to_sats(u.submit_evidence));
+        assert!(model.gas_to_sats(u.submit_evidence) > dispute / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one payment")]
+    fn zero_payments_panics() {
+        let model = FeeModel {
+            btc_fee_sats: 1,
+            gas_price: 1,
+            sats_per_psc_unit: 1.0,
+        };
+        model.honest_cost_per_payment(&usage(), 0);
+    }
+}

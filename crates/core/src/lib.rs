@@ -1,0 +1,49 @@
+//! # btcfast
+//!
+//! The BTCFast protocol (Lei, Xie, Tu, Liu — ICDCS 2020): sub-second
+//! Bitcoin payment acceptance backed by an inter-blockchain escrow and a
+//! PoW-judging smart contract.
+//!
+//! This crate ties the substrates together into the protocol the paper
+//! describes:
+//!
+//! * [`roles`] — the [`roles::Customer`] and [`roles::Merchant`] drivers:
+//!   wallets on both chains, payment construction, acceptance checks,
+//!   double-spend detection, evidence gathering;
+//! * [`policy`] — the merchant's acceptance policy (collateral coverage,
+//!   exposure limits, exchange rate);
+//! * [`protocol`] — the phase artifacts exchanged between roles
+//!   (payment offers, acceptances, rejection reasons);
+//! * [`session`] — end-to-end discrete-event simulations: honest fast
+//!   payments, confirmation baselines, full double-spend attacks with
+//!   dispute resolution;
+//! * [`baseline`] — the comparison schemes (wait-for-z, naive 0-conf);
+//! * [`fees`] — the cost model behind the "no extra operation fee" claim;
+//! * [`config`] — one knob surface for all of the above.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use btcfast::{FastPaySession, SessionConfig};
+//!
+//! let mut session = FastPaySession::new(SessionConfig::default(), 42);
+//! let report = session.run_fast_payment(10_000_000).unwrap();
+//! assert!(report.accepted);
+//! assert!(report.waiting.as_secs_f64() < 1.0, "sub-second acceptance");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod fees;
+pub mod policy;
+pub mod protocol;
+pub mod roles;
+pub mod session;
+
+pub use config::SessionConfig;
+pub use policy::AcceptancePolicy;
+pub use protocol::{Acceptance, PaymentOffer, RejectReason};
+pub use session::FastPaySession;

@@ -1,0 +1,210 @@
+//! The merchant's acceptance policy: when is a 0-conf payment safe to take?
+
+use crate::protocol::RejectReason;
+use btcfast_payjudger::types::{EscrowRecord, PaymentRecord, PaymentState};
+use btcfast_pscsim::account::AccountId;
+
+/// A merchant's standing rules for accepting BTCFast payments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AcceptancePolicy {
+    /// Collateral must be at least this multiple of the payment value
+    /// (after exchange-rate conversion). ρ in DESIGN.md's ablations.
+    pub min_collateral_ratio: f64,
+    /// Exchange rate: PSC native units per satoshi.
+    pub psc_units_per_sat: f64,
+    /// Largest payment (satoshis) accepted at 0-conf, regardless of
+    /// collateral.
+    pub max_payment_sats: u64,
+}
+
+impl Default for AcceptancePolicy {
+    fn default() -> Self {
+        AcceptancePolicy {
+            min_collateral_ratio: 1.0,
+            psc_units_per_sat: 1.0,
+            max_payment_sats: 1_000_000_000, // 10 BTC
+        }
+    }
+}
+
+impl AcceptancePolicy {
+    /// Collateral (PSC units) this policy demands for `sats`.
+    pub fn required_collateral(&self, sats: u64) -> u128 {
+        (sats as f64 * self.psc_units_per_sat * self.min_collateral_ratio).ceil() as u128
+    }
+
+    /// Validates the escrow-side facts of a payment offer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`RejectReason`].
+    pub fn check_escrow(
+        &self,
+        me: AccountId,
+        payment_sats: u64,
+        escrow: &EscrowRecord,
+        payment: &PaymentRecord,
+    ) -> Result<(), RejectReason> {
+        if payment_sats > self.max_payment_sats {
+            return Err(RejectReason::PaymentTooLarge {
+                sats: payment_sats,
+                cap: self.max_payment_sats,
+            });
+        }
+        if payment.merchant != me {
+            return Err(RejectReason::WrongMerchant);
+        }
+        if payment.state != PaymentState::Open {
+            return Err(RejectReason::PaymentNotOpen);
+        }
+        let required = self.required_collateral(payment_sats);
+        if payment.collateral < required {
+            return Err(RejectReason::InsufficientCollateral {
+                locked: payment.collateral,
+                required,
+            });
+        }
+        // The escrow must actually hold what it claims to have locked.
+        if escrow.balance < escrow.locked {
+            return Err(RejectReason::EscrowInsolvent);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcfast_crypto::Hash256;
+    use btcfast_payjudger::types::EvidenceSummary;
+
+    fn me() -> AccountId {
+        AccountId([7; 20])
+    }
+
+    fn escrow(balance: u128, locked: u128) -> EscrowRecord {
+        EscrowRecord {
+            customer: AccountId([1; 20]),
+            balance,
+            locked,
+            payment_count: 1,
+        }
+    }
+
+    fn payment(merchant: AccountId, collateral: u128, state: PaymentState) -> PaymentRecord {
+        PaymentRecord {
+            checkpoint: Hash256::ZERO,
+            merchant,
+            btc_txid: Hash256([2; 32]),
+            amount_sats: 100_000,
+            collateral,
+            opened_at: 0,
+            disputed_at: 0,
+            state,
+            merchant_evidence: EvidenceSummary::default(),
+            customer_evidence: EvidenceSummary::default(),
+        }
+    }
+
+    #[test]
+    fn accepts_well_collateralized_open_payment() {
+        let policy = AcceptancePolicy::default();
+        let result = policy.check_escrow(
+            me(),
+            100_000,
+            &escrow(1_000_000, 100_000),
+            &payment(me(), 100_000, PaymentState::Open),
+        );
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn rejects_undercollateralized() {
+        let policy = AcceptancePolicy {
+            min_collateral_ratio: 2.0,
+            ..Default::default()
+        };
+        let result = policy.check_escrow(
+            me(),
+            100_000,
+            &escrow(1_000_000, 100_000),
+            &payment(me(), 100_000, PaymentState::Open),
+        );
+        assert_eq!(
+            result,
+            Err(RejectReason::InsufficientCollateral {
+                locked: 100_000,
+                required: 200_000
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_merchant() {
+        let policy = AcceptancePolicy::default();
+        let result = policy.check_escrow(
+            me(),
+            100_000,
+            &escrow(1_000_000, 100_000),
+            &payment(AccountId([9; 20]), 100_000, PaymentState::Open),
+        );
+        assert_eq!(result, Err(RejectReason::WrongMerchant));
+    }
+
+    #[test]
+    fn rejects_non_open_payment() {
+        let policy = AcceptancePolicy::default();
+        for state in [
+            PaymentState::Acked,
+            PaymentState::Closed,
+            PaymentState::Disputed,
+            PaymentState::MerchantPaid,
+            PaymentState::CustomerCleared,
+        ] {
+            let result = policy.check_escrow(
+                me(),
+                100_000,
+                &escrow(1_000_000, 100_000),
+                &payment(me(), 100_000, state),
+            );
+            assert_eq!(result, Err(RejectReason::PaymentNotOpen), "{state:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_payment() {
+        let policy = AcceptancePolicy {
+            max_payment_sats: 50_000,
+            ..Default::default()
+        };
+        let result = policy.check_escrow(
+            me(),
+            100_000,
+            &escrow(1_000_000, 100_000),
+            &payment(me(), 100_000, PaymentState::Open),
+        );
+        assert!(matches!(result, Err(RejectReason::PaymentTooLarge { .. })));
+    }
+
+    #[test]
+    fn rejects_insolvent_escrow() {
+        let policy = AcceptancePolicy::default();
+        let result = policy.check_escrow(
+            me(),
+            100_000,
+            &escrow(50_000, 100_000), // locked exceeds balance
+            &payment(me(), 100_000, PaymentState::Open),
+        );
+        assert_eq!(result, Err(RejectReason::EscrowInsolvent));
+    }
+
+    #[test]
+    fn required_collateral_uses_rate_and_ratio() {
+        let policy = AcceptancePolicy {
+            min_collateral_ratio: 1.5,
+            psc_units_per_sat: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(policy.required_collateral(100), 300);
+    }
+}

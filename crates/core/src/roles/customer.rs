@@ -1,0 +1,200 @@
+//! The customer role: BTC wallet + PSC identity + escrow management.
+
+use crate::protocol::PaymentOffer;
+use btcfast_btcsim::chain::Chain;
+use btcfast_btcsim::spv::SpvEvidence;
+use btcfast_btcsim::transaction::Transaction;
+use btcfast_btcsim::wallet::{Wallet, WalletError};
+use btcfast_btcsim::Amount;
+use btcfast_crypto::keys::KeyPair;
+use btcfast_crypto::Hash256;
+use btcfast_payjudger::PayJudgerClient;
+use btcfast_pscsim::account::AccountId;
+use btcfast_pscsim::tx::PscTransaction;
+use btcfast_pscsim::PscChain;
+
+/// A BTCFast customer: owns a BTC wallet and a PSC account holding escrow.
+#[derive(Clone, Debug)]
+pub struct Customer {
+    btc_wallet: Wallet,
+    psc_keys: KeyPair,
+}
+
+impl Customer {
+    /// Derives a customer deterministically from a seed.
+    pub fn from_seed(seed: &[u8]) -> Customer {
+        let mut btc_seed = seed.to_vec();
+        btc_seed.extend_from_slice(b"/btc");
+        let mut psc_seed = seed.to_vec();
+        psc_seed.extend_from_slice(b"/psc");
+        Customer {
+            btc_wallet: Wallet::from_seed(&btc_seed),
+            psc_keys: KeyPair::from_seed(&psc_seed),
+        }
+    }
+
+    /// The BTC wallet.
+    pub fn btc_wallet(&self) -> &Wallet {
+        &self.btc_wallet
+    }
+
+    /// The PSC signing keys.
+    pub fn psc_keys(&self) -> &KeyPair {
+        &self.psc_keys
+    }
+
+    /// The PSC account id.
+    pub fn psc_account(&self) -> AccountId {
+        self.psc_keys.address().into()
+    }
+
+    /// Builds the escrow deposit transaction (Setup phase).
+    pub fn build_deposit(
+        &self,
+        judger: &PayJudgerClient,
+        psc: &PscChain,
+        value: u128,
+    ) -> PscTransaction {
+        judger.deposit_tx(&self.psc_keys, psc.nonce_of(&self.psc_account()), value)
+    }
+
+    /// Builds the signed BTC payment transaction (FastPay phase, step 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WalletError`] on insufficient funds.
+    pub fn build_btc_payment(
+        &self,
+        btc: &Chain,
+        merchant_btc: btcfast_crypto::keys::Address,
+        amount: Amount,
+        fee: Amount,
+        payment_tag: Option<Vec<u8>>,
+    ) -> Result<Transaction, WalletError> {
+        self.btc_wallet
+            .create_payment(btc, merchant_btc, amount, fee, payment_tag)
+    }
+
+    /// Builds the escrow payment registration (FastPay phase, step 2).
+    pub fn build_open_payment(
+        &self,
+        judger: &PayJudgerClient,
+        psc: &PscChain,
+        merchant_psc: AccountId,
+        btc_txid: Hash256,
+        amount_sats: u64,
+        collateral: u128,
+    ) -> PscTransaction {
+        judger.open_payment_tx(
+            &self.psc_keys,
+            psc.nonce_of(&self.psc_account()),
+            merchant_psc,
+            btc_txid,
+            amount_sats,
+            collateral,
+        )
+    }
+
+    /// Assembles the point-of-sale offer once the registration's payment id
+    /// is known.
+    pub fn make_offer(&self, tx: Transaction, payment_id: u64, amount_sats: u64) -> PaymentOffer {
+        PaymentOffer {
+            tx,
+            escrow_customer: self.psc_account(),
+            payment_id,
+            amount_sats,
+        }
+    }
+
+    /// Builds the customer's defense in a dispute: an inclusion proof of the
+    /// payment on the heaviest chain the customer can see.
+    ///
+    /// Returns `None` when the payment is no longer on the active chain
+    /// (an honest customer has nothing to submit then — or was themselves
+    /// the victim of a reorg).
+    pub fn build_inclusion_evidence(&self, btc: &Chain, txid: &Hash256) -> Option<SpvEvidence> {
+        btc.confirmations(txid)?;
+        let evidence = SpvEvidence::from_chain(btc, 1, btc.height(), Some(txid));
+        evidence.inclusion.as_ref()?;
+        Some(evidence)
+    }
+
+    /// Builds the close transaction for an undisputed payment after the
+    /// challenge window.
+    pub fn build_close_payment(
+        &self,
+        judger: &PayJudgerClient,
+        psc: &PscChain,
+        payment_id: u64,
+    ) -> PscTransaction {
+        judger.close_payment_tx(
+            &self.psc_keys,
+            psc.nonce_of(&self.psc_account()),
+            payment_id,
+        )
+    }
+
+    /// Builds a withdrawal of unlocked escrow balance.
+    pub fn build_withdraw(
+        &self,
+        judger: &PayJudgerClient,
+        psc: &PscChain,
+        amount: u128,
+    ) -> PscTransaction {
+        judger.withdraw_tx(&self.psc_keys, psc.nonce_of(&self.psc_account()), amount)
+    }
+
+    /// Builds the evidence-submission transaction during a dispute.
+    pub fn build_evidence_submission(
+        &self,
+        judger: &PayJudgerClient,
+        psc: &PscChain,
+        payment_id: u64,
+        evidence: SpvEvidence,
+    ) -> PscTransaction {
+        judger.submit_evidence_tx(
+            &self.psc_keys,
+            psc.nonce_of(&self.psc_account()),
+            self.psc_account(),
+            payment_id,
+            evidence,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct_keys() {
+        let a = Customer::from_seed(b"alice");
+        let b = Customer::from_seed(b"alice");
+        let c = Customer::from_seed(b"carol");
+        assert_eq!(a.psc_account(), b.psc_account());
+        assert_ne!(a.psc_account(), c.psc_account());
+        // BTC and PSC identities differ even for the same seed.
+        assert_ne!(a.btc_wallet().address().0, a.psc_keys().address().0);
+    }
+
+    #[test]
+    fn offer_carries_txid() {
+        use btcfast_btcsim::transaction::{OutPoint, TxIn, TxOut};
+        let customer = Customer::from_seed(b"alice");
+        let tx = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: Hash256([1; 32]),
+                vout: 0,
+            })],
+            vec![TxOut::payment(
+                Amount::from_sats(5).unwrap(),
+                customer.btc_wallet().address(),
+            )],
+        );
+        let txid = tx.txid();
+        let offer = customer.make_offer(tx, 3, 5);
+        assert_eq!(offer.txid(), txid);
+        assert_eq!(offer.payment_id, 3);
+        assert_eq!(offer.escrow_customer, customer.psc_account());
+    }
+}

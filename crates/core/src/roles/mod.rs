@@ -1,0 +1,7 @@
+//! Protocol roles: the customer and merchant drivers.
+
+mod customer;
+mod merchant;
+
+pub use customer::Customer;
+pub use merchant::Merchant;

@@ -1,0 +1,368 @@
+//! ECDSA over secp256k1 with RFC 6979 deterministic nonces and low-S
+//! normalization (the scheme Bitcoin transactions use).
+
+use crate::hmac::hmac_sha256;
+use crate::point::{AffinePoint, Point};
+use crate::scalar::Scalar;
+use std::error::Error;
+use std::fmt;
+
+/// An ECDSA signature `(r, s)` with `s` normalized to the low half of the
+/// scalar range.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// The x-coordinate component.
+    pub r: Scalar,
+    /// The proof component (always low-S).
+    pub s: Scalar,
+}
+
+impl Signature {
+    /// Serializes as 64 bytes: `r || s`, both big-endian.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses a 64-byte `r || s` signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::OutOfRange`] if either component is zero or
+    /// not below the group order, or [`SignatureError::HighS`] if `s` is in
+    /// the high half (malleable encoding).
+    pub fn from_bytes(bytes: &[u8; 64]) -> Result<Signature, SignatureError> {
+        let mut r_bytes = [0u8; 32];
+        let mut s_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&bytes[..32]);
+        s_bytes.copy_from_slice(&bytes[32..]);
+        let r = Scalar::from_be_bytes(&r_bytes).ok_or(SignatureError::OutOfRange)?;
+        let s = Scalar::from_be_bytes(&s_bytes).ok_or(SignatureError::OutOfRange)?;
+        if r.is_zero() || s.is_zero() {
+            return Err(SignatureError::OutOfRange);
+        }
+        if s.is_high() {
+            return Err(SignatureError::HighS);
+        }
+        Ok(Signature { r, s })
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature(r: {:?}, s: {:?})", self.r, self.s)
+    }
+}
+
+/// Errors arising from signature parsing or signing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureError {
+    /// A component was zero or >= the group order.
+    OutOfRange,
+    /// `s` was in the high (malleable) half.
+    HighS,
+    /// The signing key was zero.
+    InvalidSecretKey,
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::OutOfRange => write!(f, "signature component out of range"),
+            SignatureError::HighS => write!(f, "signature s component is in the high half"),
+            SignatureError::InvalidSecretKey => write!(f, "secret key is zero"),
+        }
+    }
+}
+
+impl Error for SignatureError {}
+
+/// RFC 6979 deterministic nonce derivation for SHA-256.
+///
+/// Given the secret key `d` and message digest `z` (both 32 bytes), produces
+/// the unique, deterministic nonce `k` in `[1, n-1]`.
+pub fn rfc6979_nonce(secret: &[u8; 32], digest: &[u8; 32]) -> Scalar {
+    // z reduced mod n, re-serialized, per RFC 6979 §2.3 bits2octets.
+    let z_reduced = Scalar::from_be_bytes_reduced(digest).to_be_bytes();
+
+    let mut v = [0x01u8; 32];
+    let mut k = [0x00u8; 32];
+
+    // K = HMAC_K(V || 0x00 || x || h)
+    let mut data = Vec::with_capacity(32 + 1 + 32 + 32);
+    data.extend_from_slice(&v);
+    data.push(0x00);
+    data.extend_from_slice(secret);
+    data.extend_from_slice(&z_reduced);
+    k = hmac_sha256(&k, &data);
+    v = hmac_sha256(&k, &v);
+
+    // K = HMAC_K(V || 0x01 || x || h)
+    let mut data = Vec::with_capacity(32 + 1 + 32 + 32);
+    data.extend_from_slice(&v);
+    data.push(0x01);
+    data.extend_from_slice(secret);
+    data.extend_from_slice(&z_reduced);
+    k = hmac_sha256(&k, &data);
+    v = hmac_sha256(&k, &v);
+
+    loop {
+        v = hmac_sha256(&k, &v);
+        if let Some(candidate) = Scalar::from_be_bytes(&v) {
+            if !candidate.is_zero() {
+                return candidate;
+            }
+        }
+        // K = HMAC_K(V || 0x00); V = HMAC_K(V); retry.
+        let mut data = Vec::with_capacity(33);
+        data.extend_from_slice(&v);
+        data.push(0x00);
+        k = hmac_sha256(&k, &data);
+        v = hmac_sha256(&k, &v);
+    }
+}
+
+/// Signs a 32-byte message digest with secret scalar `d`.
+///
+/// # Errors
+///
+/// Returns [`SignatureError::InvalidSecretKey`] if `d` is zero.
+pub fn sign(d: &Scalar, digest: &[u8; 32]) -> Result<Signature, SignatureError> {
+    if d.is_zero() {
+        return Err(SignatureError::InvalidSecretKey);
+    }
+    let z = Scalar::from_be_bytes_reduced(digest);
+    let secret_bytes = d.to_be_bytes();
+    let mut k = rfc6979_nonce(&secret_bytes, digest);
+    loop {
+        let r_point = Point::generator().mul(&k);
+        if let AffinePoint::Coordinates { x, .. } = r_point.to_affine() {
+            let r = Scalar::from_be_bytes_reduced(&x.to_be_bytes());
+            if !r.is_zero() {
+                let s = k.invert() * (z + r * *d);
+                if !s.is_zero() {
+                    let s = if s.is_high() { -s } else { s };
+                    return Ok(Signature { r, s });
+                }
+            }
+        }
+        // Vanishingly unlikely; derive a fresh nonce by re-keying on k.
+        let retry_seed = crate::sha256::sha256(&k.to_be_bytes());
+        k = rfc6979_nonce(&secret_bytes, &retry_seed);
+    }
+}
+
+/// Verifies a signature on a 32-byte digest against public key point `q`.
+///
+/// Accepts only low-S signatures (matching what [`sign`] emits), which rules
+/// out the classic `(r, s) → (r, n − s)` malleability used in transaction-id
+/// malleation attacks.
+pub fn verify(q: &Point, digest: &[u8; 32], sig: &Signature) -> bool {
+    if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() || q.is_infinity() {
+        return false;
+    }
+    let z = Scalar::from_be_bytes_reduced(digest);
+    let s_inv = sig.s.invert();
+    let u1 = z * s_inv;
+    let u2 = sig.r * s_inv;
+    let point = Point::lincomb(&u1, &u2, q);
+    match point.to_affine() {
+        AffinePoint::Infinity => false,
+        AffinePoint::Coordinates { x, .. } => {
+            Scalar::from_be_bytes_reduced(&x.to_be_bytes()) == sig.r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use crate::sha256::sha256;
+
+    fn secret(hexstr: &str) -> Scalar {
+        Scalar::from_be_bytes(&crate::hex_arr(hexstr)).unwrap()
+    }
+
+    fn pubkey(d: &Scalar) -> Point {
+        Point::generator().mul(d)
+    }
+
+    /// Well-known RFC 6979 secp256k1 test vectors (key 0x1, key n-1).
+    #[test]
+    fn rfc6979_vector_key1_satoshi() {
+        let d = secret("0000000000000000000000000000000000000000000000000000000000000001");
+        let digest = sha256(b"Satoshi Nakamoto");
+        let k = rfc6979_nonce(&d.to_be_bytes(), &digest);
+        assert_eq!(
+            hex::encode(&k.to_be_bytes()),
+            "8f8a276c19f4149656b280621e358cce24f5f52542772691ee69063b74f15d15"
+        );
+        let sig = sign(&d, &digest).unwrap();
+        assert_eq!(
+            hex::encode(&sig.r.to_be_bytes()),
+            "934b1ea10a4b3c1757e2b0c017d0b6143ce3c9a7e6a4a49860d7a6ab210ee3d8"
+        );
+        assert_eq!(
+            hex::encode(&sig.s.to_be_bytes()),
+            "2442ce9d2b916064108014783e923ec36b49743e2ffa1c4496f01a512aafd9e5"
+        );
+        assert!(verify(&pubkey(&d), &digest, &sig));
+    }
+
+    #[test]
+    fn rfc6979_vector_key1_blade_runner() {
+        let d = secret("0000000000000000000000000000000000000000000000000000000000000001");
+        let msg: &[u8] =
+            b"All those moments will be lost in time, like tears in rain. Time to die...";
+        let digest = sha256(msg);
+        let k = rfc6979_nonce(&d.to_be_bytes(), &digest);
+        assert_eq!(
+            hex::encode(&k.to_be_bytes()),
+            "38aa22d72376b4dbc472e06c3ba403ee0a394da63fc58d88686c611aba98d6b3"
+        );
+        let sig = sign(&d, &digest).unwrap();
+        assert_eq!(
+            hex::encode(&sig.r.to_be_bytes()),
+            "8600dbd41e348fe5c9465ab92d23e3db8b98b873beecd930736488696438cb6b"
+        );
+        assert_eq!(
+            hex::encode(&sig.s.to_be_bytes()),
+            "547fe64427496db33bf66019dacbf0039c04199abb0122918601db38a72cfc21"
+        );
+    }
+
+    #[test]
+    fn rfc6979_vector_key_n_minus_1() {
+        let d = secret("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364140");
+        let digest = sha256(b"Satoshi Nakamoto");
+        let k = rfc6979_nonce(&d.to_be_bytes(), &digest);
+        assert_eq!(
+            hex::encode(&k.to_be_bytes()),
+            "33a19b60e25fb6f4435af53a3d42d493644827367e6453928554f43e49aa6f90"
+        );
+        let sig = sign(&d, &digest).unwrap();
+        assert_eq!(
+            hex::encode(&sig.r.to_be_bytes()),
+            "fd567d121db66e382991534ada77a6bd3106f0a1098c231e47993447cd6af2d0"
+        );
+        assert_eq!(
+            hex::encode(&sig.s.to_be_bytes()),
+            "6b39cd0eb1bc8603e159ef5c20a5c8ad685a45b06ce9bebed3f153d10d93bed5"
+        );
+        assert!(verify(&pubkey(&d), &digest, &sig));
+    }
+
+    #[test]
+    fn sign_verify_round_trip_many_keys() {
+        for seed in 1u64..20 {
+            let d = Scalar::from_u64(seed * 7919 + 13);
+            let q = pubkey(&d);
+            let digest = sha256(&seed.to_le_bytes());
+            let sig = sign(&d, &digest).unwrap();
+            assert!(verify(&q, &digest, &sig), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let d = Scalar::from_u64(12345);
+        let q = pubkey(&d);
+        let sig = sign(&d, &sha256(b"paid")).unwrap();
+        assert!(!verify(&q, &sha256(b"not paid"), &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let d1 = Scalar::from_u64(111);
+        let d2 = Scalar::from_u64(222);
+        let digest = sha256(b"msg");
+        let sig = sign(&d1, &digest).unwrap();
+        assert!(!verify(&pubkey(&d2), &digest, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_high_s() {
+        let d = Scalar::from_u64(999);
+        let digest = sha256(b"msg");
+        let sig = sign(&d, &digest).unwrap();
+        let malleated = Signature {
+            r: sig.r,
+            s: -sig.s,
+        };
+        assert!(!verify(&pubkey(&d), &digest, &malleated));
+    }
+
+    #[test]
+    fn verify_rejects_zero_components() {
+        let d = Scalar::from_u64(5);
+        let digest = sha256(b"msg");
+        let sig = sign(&d, &digest).unwrap();
+        assert!(!verify(
+            &pubkey(&d),
+            &digest,
+            &Signature {
+                r: Scalar::ZERO,
+                s: sig.s
+            }
+        ));
+        assert!(!verify(
+            &pubkey(&d),
+            &digest,
+            &Signature {
+                r: sig.r,
+                s: Scalar::ZERO
+            }
+        ));
+    }
+
+    #[test]
+    fn signing_with_zero_key_fails() {
+        assert_eq!(
+            sign(&Scalar::ZERO, &[0u8; 32]),
+            Err(SignatureError::InvalidSecretKey)
+        );
+    }
+
+    #[test]
+    fn signature_bytes_round_trip() {
+        let d = Scalar::from_u64(777);
+        let sig = sign(&d, &sha256(b"round trip")).unwrap();
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn signature_from_bytes_rejects_high_s() {
+        let d = Scalar::from_u64(777);
+        let sig = sign(&d, &sha256(b"x")).unwrap();
+        let mut bytes = sig.to_bytes();
+        bytes[32..].copy_from_slice(&(-sig.s).to_be_bytes());
+        assert_eq!(Signature::from_bytes(&bytes), Err(SignatureError::HighS));
+    }
+
+    #[test]
+    fn signature_from_bytes_rejects_zero() {
+        let bytes = [0u8; 64];
+        assert_eq!(
+            Signature::from_bytes(&bytes),
+            Err(SignatureError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let d = Scalar::from_u64(42);
+        let digest = sha256(b"same message");
+        assert_eq!(sign(&d, &digest).unwrap(), sign(&d, &digest).unwrap());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!SignatureError::OutOfRange.to_string().is_empty());
+        assert!(!SignatureError::HighS.to_string().is_empty());
+        assert!(!SignatureError::InvalidSecretKey.to_string().is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! The secp256k1 base field GF(p), `p = 2^256 - 2^32 - 977`.
+
+use crate::limbs;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// The field prime `p`, little-endian limbs.
+const P: [u64; 4] = [
+    0xFFFFFFFEFFFFFC2F,
+    0xFFFFFFFFFFFFFFFF,
+    0xFFFFFFFFFFFFFFFF,
+    0xFFFFFFFFFFFFFFFF,
+];
+
+/// `2^256 - p = 2^32 + 977`.
+const C: [u64; 4] = [0x1000003D1, 0, 0, 0];
+
+/// An element of the secp256k1 base field, always stored fully reduced.
+///
+/// ```
+/// use btcfast_crypto::field::FieldElement;
+///
+/// let a = FieldElement::from_u64(3);
+/// let b = FieldElement::from_u64(4);
+/// assert_eq!(a * a + b * b, FieldElement::from_u64(25));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct FieldElement([u64; 4]);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0]);
+
+    /// Creates a field element from a small integer.
+    pub fn from_u64(v: u64) -> FieldElement {
+        FieldElement([v, 0, 0, 0])
+    }
+
+    /// Parses 32 big-endian bytes, reducing modulo `p` if necessary.
+    pub fn from_be_bytes_reduced(bytes: &[u8; 32]) -> FieldElement {
+        let v = limbs::from_be_bytes(bytes);
+        FieldElement(limbs::reduce_small(v, 0, &P, &C))
+    }
+
+    /// Parses 32 big-endian bytes, returning `None` if the value is `>= p`.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Option<FieldElement> {
+        let v = limbs::from_be_bytes(bytes);
+        if limbs::cmp(&v, &P) == std::cmp::Ordering::Less {
+            Some(FieldElement(v))
+        } else {
+            None
+        }
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        limbs::to_be_bytes(&self.0)
+    }
+
+    /// Returns true for the additive identity.
+    pub fn is_zero(&self) -> bool {
+        limbs::is_zero(&self.0)
+    }
+
+    /// Returns true if the canonical (reduced) representation is odd — used
+    /// for compressed point encoding.
+    pub fn is_odd(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Squares the element.
+    pub fn square(self) -> FieldElement {
+        self * self
+    }
+
+    /// Raises the element to an arbitrary 256-bit power given as big-endian
+    /// bytes (square-and-multiply).
+    pub fn pow_be(self, exponent: &[u8; 32]) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        for byte in exponent {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result * self;
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`x^(p-2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero, which has no inverse.
+    pub fn invert(self) -> FieldElement {
+        assert!(!self.is_zero(), "zero has no multiplicative inverse");
+        // p - 2
+        let mut exp = limbs::to_be_bytes(&P);
+        // P ends in ...FC2F; subtracting 2 cannot borrow past the last byte.
+        exp[31] -= 2;
+        self.pow_be(&exp)
+    }
+
+    /// Square root, if one exists. Since `p ≡ 3 (mod 4)`, the candidate is
+    /// `x^((p+1)/4)`; returns `None` when `x` is a quadratic non-residue.
+    pub fn sqrt(self) -> Option<FieldElement> {
+        // (p + 1) / 4 = 2^254 - 2^30 - 244, precomputed big-endian.
+        const EXP: [u8; 32] = [
+            0x3f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+            0xbf, 0xff, 0xff, 0x0c,
+        ];
+        let candidate = self.pow_be(&EXP);
+        if candidate.square() == self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+}
+
+impl Add for FieldElement {
+    type Output = FieldElement;
+    fn add(self, rhs: FieldElement) -> FieldElement {
+        let (sum, carry) = limbs::add(&self.0, &rhs.0);
+        FieldElement(limbs::reduce_small(sum, carry, &P, &C))
+    }
+}
+
+impl Sub for FieldElement {
+    type Output = FieldElement;
+    fn sub(self, rhs: FieldElement) -> FieldElement {
+        let (diff, borrow) = limbs::sub(&self.0, &rhs.0);
+        if borrow == 0 {
+            FieldElement(diff)
+        } else {
+            // Wrapped below zero: add p back.
+            let (fixed, _) = limbs::add(&diff, &P);
+            FieldElement(fixed)
+        }
+    }
+}
+
+impl Mul for FieldElement {
+    type Output = FieldElement;
+    fn mul(self, rhs: FieldElement) -> FieldElement {
+        let wide = limbs::mul_wide(&self.0, &rhs.0);
+        FieldElement(limbs::reduce_wide(wide, &P, &C))
+    }
+}
+
+impl Neg for FieldElement {
+    type Output = FieldElement;
+    fn neg(self) -> FieldElement {
+        FieldElement::ZERO - self
+    }
+}
+
+impl fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FieldElement({})",
+            crate::hex::encode(&self.to_be_bytes())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fe(v: u64) -> FieldElement {
+        FieldElement::from_u64(v)
+    }
+
+    #[test]
+    fn constants() {
+        assert!(FieldElement::ZERO.is_zero());
+        assert!(!FieldElement::ONE.is_zero());
+        assert!(FieldElement::ONE.is_odd());
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        let p_bytes = limbs::to_be_bytes(&P);
+        assert!(FieldElement::from_be_bytes(&p_bytes).is_none());
+        assert!(FieldElement::from_be_bytes_reduced(&p_bytes).is_zero());
+    }
+
+    #[test]
+    fn p_minus_one_negates_to_one() {
+        let mut bytes = limbs::to_be_bytes(&P);
+        bytes[31] -= 1;
+        let pm1 = FieldElement::from_be_bytes(&bytes).unwrap();
+        assert_eq!(-pm1, FieldElement::ONE);
+        assert_eq!(pm1 + FieldElement::ONE, FieldElement::ZERO);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(fe(2) + fe(3), fe(5));
+        assert_eq!(fe(7) - fe(3), fe(4));
+        assert_eq!(fe(6) * fe(7), fe(42));
+        assert_eq!(fe(3) - fe(5), -fe(2));
+    }
+
+    #[test]
+    fn inverse_of_small_values() {
+        for v in 1..50u64 {
+            let x = fe(v);
+            assert_eq!(x * x.invert(), FieldElement::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inverse_of_zero_panics() {
+        let _ = FieldElement::ZERO.invert();
+    }
+
+    #[test]
+    fn sqrt_of_squares() {
+        for v in 1..30u64 {
+            let x = fe(v);
+            let sq = x.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == x || root == -x, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn sqrt_rejects_non_residue() {
+        // 5 is a known quadratic non-residue mod the secp256k1 prime
+        // (p ≡ 1 mod 5 analysis aside, we verify empirically: if sqrt
+        // succeeds the test still checks consistency).
+        let mut found_nonresidue = false;
+        for v in 2..20u64 {
+            if fe(v).sqrt().is_none() {
+                found_nonresidue = true;
+                break;
+            }
+        }
+        assert!(found_nonresidue, "some small non-residue must exist");
+    }
+
+    #[test]
+    fn curve_equation_for_generator() {
+        // Gy^2 = Gx^3 + 7 must hold on secp256k1.
+        let gx = FieldElement::from_be_bytes(&crate::hex_arr(
+            "79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798",
+        ))
+        .unwrap();
+        let gy = FieldElement::from_be_bytes(&crate::hex_arr(
+            "483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8",
+        ))
+        .unwrap();
+        assert_eq!(gy.square(), gx.square() * gx + fe(7));
+    }
+
+    fn arb_fe() -> impl Strategy<Value = FieldElement> {
+        any::<[u8; 32]>().prop_map(|b| FieldElement::from_be_bytes_reduced(&b))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn prop_mul_associative(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn prop_distributive(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_is_add_neg(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a - b, a + (-b));
+        }
+
+        #[test]
+        fn prop_inverse(a in arb_fe()) {
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.invert(), FieldElement::ONE);
+            }
+        }
+
+        #[test]
+        fn prop_bytes_round_trip(a in arb_fe()) {
+            prop_assert_eq!(FieldElement::from_be_bytes(&a.to_be_bytes()).unwrap(), a);
+        }
+
+        #[test]
+        fn prop_square_matches_mul(a in arb_fe()) {
+            prop_assert_eq!(a.square(), a * a);
+        }
+
+        #[test]
+        fn prop_sqrt_round_trip(a in arb_fe()) {
+            let sq = a.square();
+            let root = sq.sqrt().expect("squares always have roots");
+            prop_assert!(root == a || root == -a);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal hex encoding/decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// The input contained a character outside `[0-9a-fA-F]`.
+    BadChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset of the character in the input.
+        index: usize,
+    },
+    /// The input length was odd or did not match an expected length.
+    BadLength {
+        /// The length that was expected (in hex characters).
+        expected: usize,
+        /// The length that was seen.
+        got: usize,
+    },
+}
+
+impl fmt::Display for HexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HexError::BadChar { ch, index } => {
+                write!(f, "invalid hex character {ch:?} at index {index}")
+            }
+            HexError::BadLength { expected, got } => {
+                write!(f, "invalid hex length: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for HexError {}
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as lowercase hex.
+///
+/// ```
+/// assert_eq!(btcfast_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`HexError::BadLength`] for odd-length input and
+/// [`HexError::BadChar`] for non-hex characters.
+///
+/// ```
+/// assert_eq!(btcfast_crypto::hex::decode("DEAD").unwrap(), vec![0xde, 0xad]);
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(HexError::BadLength {
+            expected: s.len() + 1,
+            got: s.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = nibble(bytes[i], i)?;
+        let lo = nibble(bytes[i + 1], i + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn nibble(b: u8, index: usize) -> Result<u8, HexError> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        _ => Err(HexError::BadChar {
+            ch: b as char,
+            index,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("FFff").unwrap(), vec![0xff, 0xff]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert!(matches!(decode("abc"), Err(HexError::BadLength { .. })));
+    }
+
+    #[test]
+    fn bad_char_reported_with_index() {
+        match decode("ag") {
+            Err(HexError::BadChar { ch, index }) => {
+                assert_eq!(ch, 'g');
+                assert_eq!(index, 1);
+            }
+            other => panic!("expected BadChar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = HexError::BadChar { ch: 'g', index: 1 };
+        assert!(!e.to_string().is_empty());
+        let e = HexError::BadLength {
+            expected: 4,
+            got: 3,
+        };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! HMAC-SHA256 (RFC 2104), used by the RFC 6979 deterministic ECDSA nonce
+//! generator in [`crate::ecdsa`].
+
+use crate::sha256::{sha256, Sha256};
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// ```
+/// let mac = btcfast_crypto::hmac::hmac_sha256(b"key", b"message");
+/// assert_eq!(mac.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Streaming HMAC-SHA256.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; 64],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length; keys longer
+    /// than the 64-byte block size are hashed first, per RFC 2104).
+    pub fn new(key: &[u8]) -> HmacSha256 {
+        let mut block_key = [0u8; 64];
+        if key.len() > 64 {
+            block_key[..32].copy_from_slice(&sha256(key));
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; 64];
+        let mut opad = [0u8; 64];
+        for i in 0..64 {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs more message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte MAC.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex::encode(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        // Key longer than block size must be hashed first.
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex::encode(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let data = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let mac = hmac_sha256(&key, data);
+        assert_eq!(
+            hex::encode(&mac),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = b"stream key";
+        let data: Vec<u8> = (0..177u8).collect();
+        let expected = hmac_sha256(key, &data);
+        let mut mac = HmacSha256::new(key);
+        for chunk in data.chunks(7) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), expected);
+    }
+
+    #[test]
+    fn empty_message() {
+        // HMAC must be well-defined on empty input.
+        let a = hmac_sha256(b"k", b"");
+        let b = hmac_sha256(b"k", b"");
+        assert_eq!(a, b);
+        assert_ne!(a, hmac_sha256(b"other", b""));
+    }
+}

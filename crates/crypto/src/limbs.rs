@@ -1,0 +1,235 @@
+//! Shared 256-bit little-endian limb arithmetic used by the secp256k1 field
+//! and scalar implementations.
+//!
+//! Values are `[u64; 4]` in little-endian limb order. Both secp256k1 moduli
+//! have the form `m = 2^256 - c` with small-ish `c`, so reduction of a
+//! 512-bit product folds the high half down via `2^256 ≡ c (mod m)`.
+
+/// Adds `a + b`, returning the 4-limb sum and the carry-out bit.
+pub(crate) fn add(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut carry = 0u64;
+    for i in 0..4 {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out[i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    (out, carry)
+}
+
+/// Subtracts `a - b`, returning the 4-limb difference and the borrow-out bit.
+pub(crate) fn sub(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    (out, borrow)
+}
+
+/// Compares `a` and `b` as 256-bit integers.
+pub(crate) fn cmp(a: &[u64; 4], b: &[u64; 4]) -> std::cmp::Ordering {
+    for i in (0..4).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Returns true if all limbs are zero.
+pub(crate) fn is_zero(a: &[u64; 4]) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// Schoolbook multiplication `a * b` into an 8-limb (512-bit) product.
+pub(crate) fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let t = (a[i] as u128) * (b[j] as u128) + (out[i + j] as u128) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        out[i + 4] = carry as u64;
+    }
+    out
+}
+
+/// Reduces an 8-limb value modulo `m = 2^256 - c` (with `c` given as 4 limbs,
+/// high limb zero in practice), returning a fully reduced 4-limb value.
+pub(crate) fn reduce_wide(mut wide: [u64; 8], modulus: &[u64; 4], c: &[u64; 4]) -> [u64; 4] {
+    // Fold the high half down: v = hi * 2^256 + lo ≡ hi * c + lo (mod m).
+    // Each fold shrinks the value; a few iterations reach < 2^256.
+    loop {
+        let hi = [wide[4], wide[5], wide[6], wide[7]];
+        if is_zero(&hi) {
+            break;
+        }
+        let lo = [wide[0], wide[1], wide[2], wide[3]];
+        let prod = mul_wide(&hi, c); // hi * c, up to 512 bits but much smaller
+                                     // wide = prod + lo
+        let mut out = [0u64; 8];
+        let mut carry = 0u64;
+        for i in 0..8 {
+            let lo_limb = if i < 4 { lo[i] } else { 0 };
+            let (s1, c1) = prod[i].overflowing_add(lo_limb);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        debug_assert_eq!(carry, 0, "fold cannot overflow 512 bits");
+        wide = out;
+    }
+    let mut v = [wide[0], wide[1], wide[2], wide[3]];
+    // At most a couple of conditional subtractions remain.
+    while cmp(&v, modulus) != std::cmp::Ordering::Less {
+        let (d, borrow) = sub(&v, modulus);
+        debug_assert_eq!(borrow, 0);
+        v = d;
+    }
+    v
+}
+
+/// Reduces a 4-limb value (possibly >= m, plus an optional carry bit from an
+/// addition) modulo `m = 2^256 - c`.
+pub(crate) fn reduce_small(v: [u64; 4], carry: u64, modulus: &[u64; 4], c: &[u64; 4]) -> [u64; 4] {
+    let mut wide = [v[0], v[1], v[2], v[3], carry, 0, 0, 0];
+    if carry == 0 {
+        let mut out = v;
+        while cmp(&out, modulus) != std::cmp::Ordering::Less {
+            let (d, _) = sub(&out, modulus);
+            out = d;
+        }
+        return out;
+    }
+    // carry * 2^256 ≡ carry * c (mod m)
+    wide[4] = carry;
+    reduce_wide(wide, modulus, c)
+}
+
+/// Parses 32 big-endian bytes into little-endian limbs (no reduction).
+pub(crate) fn from_be_bytes(bytes: &[u8; 32]) -> [u64; 4] {
+    let mut limbs = [0u64; 4];
+    for i in 0..4 {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+        limbs[3 - i] = u64::from_be_bytes(word);
+    }
+    limbs
+}
+
+/// Serializes little-endian limbs into 32 big-endian bytes.
+pub(crate) fn to_be_bytes(limbs: &[u64; 4]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&limbs[3 - i].to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: [u64; 4] = [
+        // secp256k1 field prime p, little-endian limbs
+        0xFFFFFFFEFFFFFC2F,
+        0xFFFFFFFFFFFFFFFF,
+        0xFFFFFFFFFFFFFFFF,
+        0xFFFFFFFFFFFFFFFF,
+    ];
+    const C: [u64; 4] = [0x1000003D1, 0, 0, 0]; // 2^256 - p
+
+    #[test]
+    fn add_carries() {
+        let a = [u64::MAX, u64::MAX, u64::MAX, u64::MAX];
+        let b = [1, 0, 0, 0];
+        let (s, carry) = add(&a, &b);
+        assert_eq!(s, [0, 0, 0, 0]);
+        assert_eq!(carry, 1);
+    }
+
+    #[test]
+    fn sub_borrows() {
+        let a = [0, 0, 0, 0];
+        let b = [1, 0, 0, 0];
+        let (d, borrow) = sub(&a, &b);
+        assert_eq!(d, [u64::MAX, u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(borrow, 1);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = [0x1234, 0x5678, 0x9abc, 0x0def];
+        let b = [0xfeed, 0xbeef, 0xdead, 0x0123];
+        let (s, c) = add(&a, &b);
+        assert_eq!(c, 0);
+        let (d, b2) = sub(&s, &b);
+        assert_eq!(b2, 0);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn mul_wide_small() {
+        let a = [7, 0, 0, 0];
+        let b = [9, 0, 0, 0];
+        let p = mul_wide(&a, &b);
+        assert_eq!(p, [63, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mul_wide_max() {
+        // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+        let a = [u64::MAX; 4];
+        let p = mul_wide(&a, &a);
+        assert_eq!(p[0], 1);
+        for limb in &p[1..4] {
+            assert_eq!(*limb, 0);
+        }
+        assert_eq!(p[4], 0xFFFFFFFFFFFFFFFE);
+        for limb in &p[5..8] {
+            assert_eq!(*limb, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn reduce_identity_below_modulus() {
+        let v = [42, 0, 0, 0];
+        let wide = [42, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(reduce_wide(wide, &M, &C), v);
+    }
+
+    #[test]
+    fn reduce_exactly_modulus_is_zero() {
+        let wide = [M[0], M[1], M[2], M[3], 0, 0, 0, 0];
+        assert_eq!(reduce_wide(wide, &M, &C), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn reduce_two_to_256() {
+        // 2^256 mod p = c
+        let wide = [0, 0, 0, 0, 1, 0, 0, 0];
+        assert_eq!(reduce_wide(wide, &M, &C), C);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let limbs = [0x0123456789abcdef, 0xfedcba9876543210, 0x1111, 0x2222];
+        assert_eq!(from_be_bytes(&to_be_bytes(&limbs)), limbs);
+    }
+
+    #[test]
+    fn be_bytes_order() {
+        let limbs = [1u64, 0, 0, 0];
+        let bytes = to_be_bytes(&limbs);
+        assert_eq!(bytes[31], 1);
+        assert!(bytes[..31].iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,316 @@
+//! Bitcoin-style Merkle trees with inclusion proofs.
+//!
+//! These are the trees whose roots sit in block headers; a [`MerkleProof`]
+//! is the transaction-inclusion half of the PoW evidence that the
+//! `PayJudger` contract verifies during dispute resolution.
+//!
+//! Bitcoin's rule for odd levels — duplicate the last node — is implemented
+//! faithfully, including the caveat that proofs remain sound because a
+//! duplicated pair `(h, h)` can only occur at the end of a level.
+
+use crate::hash::Hash256;
+use crate::sha256::sha256d_pair;
+use std::error::Error;
+use std::fmt;
+
+/// A Merkle tree over a list of leaf hashes (typically txids).
+///
+/// ```
+/// use btcfast_crypto::{MerkleTree, Hash256};
+/// use btcfast_crypto::sha256::sha256d;
+///
+/// let leaves: Vec<Hash256> = (0u8..5).map(|i| sha256d(&[i])).collect();
+/// let tree = MerkleTree::from_leaves(leaves.clone()).unwrap();
+/// let proof = tree.prove(2).unwrap();
+/// assert!(proof.verify(&leaves[2], &tree.root()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels[0] = leaves, last level = [root].
+    levels: Vec<Vec<Hash256>>,
+}
+
+/// Errors constructing trees or proofs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MerkleError {
+    /// A tree needs at least one leaf.
+    Empty,
+    /// The requested leaf index does not exist.
+    IndexOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Number of leaves in the tree.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MerkleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MerkleError::Empty => write!(f, "merkle tree requires at least one leaf"),
+            MerkleError::IndexOutOfRange { index, len } => {
+                write!(f, "leaf index {index} out of range for {len} leaves")
+            }
+        }
+    }
+}
+
+impl Error for MerkleError {}
+
+impl MerkleTree {
+    /// Builds a tree from leaf hashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::Empty`] for an empty leaf list.
+    pub fn from_leaves(leaves: Vec<Hash256>) -> Result<MerkleTree, MerkleError> {
+        if leaves.is_empty() {
+            return Err(MerkleError::Empty);
+        }
+        let mut levels = vec![leaves];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left); // Bitcoin's duplicate rule
+                next.push(sha256d_pair(left, right));
+            }
+            levels.push(next);
+        }
+        Ok(MerkleTree { levels })
+    }
+
+    /// The Merkle root.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True if the tree has exactly one leaf (the root equals the leaf).
+    pub fn is_empty(&self) -> bool {
+        false // construction forbids empty trees; method exists for API symmetry
+    }
+
+    /// Produces an inclusion proof for the leaf at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerkleError::IndexOutOfRange`] for a bad index.
+    pub fn prove(&self, index: usize) -> Result<MerkleProof, MerkleError> {
+        let len = self.len();
+        if index >= len {
+            return Err(MerkleError::IndexOutOfRange { index, len });
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            let sibling = if sibling_idx < level.len() {
+                level[sibling_idx]
+            } else {
+                level[idx] // duplicated last node
+            };
+            siblings.push(sibling);
+            idx /= 2;
+        }
+        Ok(MerkleProof {
+            index: index as u64,
+            siblings,
+        })
+    }
+}
+
+/// An inclusion proof: the sibling path from a leaf to the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    index: u64,
+    siblings: Vec<Hash256>,
+}
+
+impl MerkleProof {
+    /// Reconstructs a proof from its parts (for deserialization).
+    pub fn from_parts(index: u64, siblings: Vec<Hash256>) -> MerkleProof {
+        MerkleProof { index, siblings }
+    }
+
+    /// The leaf position this proof commits to.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The sibling hashes, leaf level first.
+    pub fn siblings(&self) -> &[Hash256] {
+        &self.siblings
+    }
+
+    /// Computes the root implied by `leaf` under this proof.
+    pub fn compute_root(&self, leaf: &Hash256) -> Hash256 {
+        let mut acc = *leaf;
+        let mut idx = self.index;
+        for sibling in &self.siblings {
+            acc = if idx & 1 == 0 {
+                sha256d_pair(&acc, sibling)
+            } else {
+                sha256d_pair(sibling, &acc)
+            };
+            idx >>= 1;
+        }
+        acc
+    }
+
+    /// Verifies that `leaf` is included under `root`.
+    pub fn verify(&self, leaf: &Hash256, root: &Hash256) -> bool {
+        self.compute_root(leaf) == *root
+    }
+
+    /// Proof size in hashes (the on-chain verification cost driver).
+    pub fn depth(&self) -> usize {
+        self.siblings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256d;
+    use proptest::prelude::*;
+
+    fn leaves(n: usize) -> Vec<Hash256> {
+        (0..n).map(|i| sha256d(&(i as u64).to_le_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            MerkleTree::from_leaves(vec![]).unwrap_err(),
+            MerkleError::Empty
+        );
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        assert_eq!(tree.root(), l[0]);
+        let proof = tree.prove(0).unwrap();
+        assert_eq!(proof.depth(), 0);
+        assert!(proof.verify(&l[0], &tree.root()));
+    }
+
+    #[test]
+    fn two_leaves_root_is_pair_hash() {
+        let l = leaves(2);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        assert_eq!(tree.root(), sha256d_pair(&l[0], &l[1]));
+    }
+
+    #[test]
+    fn odd_count_duplicates_last() {
+        let l = leaves(3);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        let left = sha256d_pair(&l[0], &l[1]);
+        let right = sha256d_pair(&l[2], &l[2]);
+        assert_eq!(tree.root(), sha256d_pair(&left, &right));
+    }
+
+    #[test]
+    fn all_proofs_verify_for_many_sizes() {
+        for n in 1..=33 {
+            let l = leaves(n);
+            let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(leaf, &tree.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&l[4], &tree.root()));
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_root() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&l[3], &sha256d(b"fake root")));
+    }
+
+    #[test]
+    fn proof_fails_with_tampered_sibling() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        let proof = tree.prove(3).unwrap();
+        let mut siblings = proof.siblings().to_vec();
+        siblings[1] = sha256d(b"tampered");
+        let tampered = MerkleProof::from_parts(proof.index(), siblings);
+        assert!(!tampered.verify(&l[3], &tree.root()));
+    }
+
+    #[test]
+    fn proof_fails_with_wrong_index() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        let proof = tree.prove(3).unwrap();
+        let moved = MerkleProof::from_parts(5, proof.siblings().to_vec());
+        assert!(!moved.verify(&l[3], &tree.root()));
+    }
+
+    #[test]
+    fn out_of_range_index() {
+        let tree = MerkleTree::from_leaves(leaves(4)).unwrap();
+        assert_eq!(
+            tree.prove(4).unwrap_err(),
+            MerkleError::IndexOutOfRange { index: 4, len: 4 }
+        );
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let tree = MerkleTree::from_leaves(leaves(1024)).unwrap();
+        assert_eq!(tree.prove(0).unwrap().depth(), 10);
+        let tree = MerkleTree::from_leaves(leaves(1025)).unwrap();
+        assert_eq!(tree.prove(0).unwrap().depth(), 11);
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let tree = MerkleTree::from_leaves(leaves(7)).unwrap();
+        let proof = tree.prove(6).unwrap();
+        let rebuilt = MerkleProof::from_parts(proof.index(), proof.siblings().to_vec());
+        assert_eq!(rebuilt, proof);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_every_leaf_proves(n in 1usize..64, pick in any::<proptest::sample::Index>()) {
+            let l = leaves(n);
+            let i = pick.index(n);
+            let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(proof.verify(&l[i], &tree.root()));
+        }
+
+        #[test]
+        fn prop_foreign_leaf_rejected(n in 2usize..64, pick in any::<proptest::sample::Index>()) {
+            let l = leaves(n);
+            let i = pick.index(n);
+            let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+            let proof = tree.prove(i).unwrap();
+            let foreign = sha256d(b"not in tree");
+            prop_assert!(!proof.verify(&foreign, &tree.root()));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! secp256k1 group operations: `y^2 = x^3 + 7` over GF(p).
+//!
+//! Points are held in Jacobian projective coordinates internally so that
+//! additions and doublings avoid field inversions; [`Point::to_affine`]
+//! performs the single inversion needed at the end of a computation.
+
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+use std::fmt;
+
+/// A point on secp256k1 in Jacobian coordinates `(X, Y, Z)` representing the
+/// affine point `(X/Z^2, Y/Z^3)`; `Z = 0` encodes the point at infinity.
+#[derive(Clone, Copy)]
+pub struct Point {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+/// An affine secp256k1 point, or infinity. Produced by [`Point::to_affine`];
+/// this is the form that gets serialized.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AffinePoint {
+    /// The group identity.
+    Infinity,
+    /// A finite curve point.
+    Coordinates {
+        /// Affine x coordinate.
+        x: FieldElement,
+        /// Affine y coordinate.
+        y: FieldElement,
+    },
+}
+
+impl Point {
+    /// The point at infinity (group identity).
+    pub const INFINITY: Point = Point {
+        x: FieldElement::ONE,
+        y: FieldElement::ONE,
+        z: FieldElement::ZERO,
+    };
+
+    /// The standard generator `G`.
+    pub fn generator() -> Point {
+        let gx = FieldElement::from_be_bytes(&crate::hex_arr(
+            "79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798",
+        ))
+        .expect("generator x is canonical");
+        let gy = FieldElement::from_be_bytes(&crate::hex_arr(
+            "483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8",
+        ))
+        .expect("generator y is canonical");
+        Point::from_affine(gx, gy)
+    }
+
+    /// Lifts an affine point into Jacobian coordinates.
+    ///
+    /// Does not validate that `(x, y)` is on the curve; use
+    /// [`Point::from_affine_checked`] for untrusted input.
+    pub fn from_affine(x: FieldElement, y: FieldElement) -> Point {
+        Point {
+            x,
+            y,
+            z: FieldElement::ONE,
+        }
+    }
+
+    /// Lifts an affine point, verifying the curve equation
+    /// `y^2 = x^3 + 7` first.
+    pub fn from_affine_checked(x: FieldElement, y: FieldElement) -> Option<Point> {
+        let lhs = y.square();
+        let rhs = x.square() * x + FieldElement::from_u64(7);
+        if lhs == rhs {
+            Some(Point::from_affine(x, y))
+        } else {
+            None
+        }
+    }
+
+    /// Returns true for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> AffinePoint {
+        if self.is_infinity() {
+            return AffinePoint::Infinity;
+        }
+        let z_inv = self.z.invert();
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2 * z_inv;
+        AffinePoint::Coordinates {
+            x: self.x * z_inv2,
+            y: self.y * z_inv3,
+        }
+    }
+
+    /// Point doubling (dbl-2009-l, a = 0).
+    pub fn double(&self) -> Point {
+        if self.is_infinity() || self.y.is_zero() {
+            return Point::INFINITY;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        // d = 2*((x + b)^2 - a - c)
+        let d = {
+            let t = (self.x + b).square() - a - c;
+            t + t
+        };
+        let e = a + a + a;
+        let f = e.square();
+        let x3 = f - (d + d);
+        let c8 = {
+            let c2 = c + c;
+            let c4 = c2 + c2;
+            c4 + c4
+        };
+        let y3 = e * (d - x3) - c8;
+        let z3 = {
+            let t = self.y * self.z;
+            t + t
+        };
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Point addition (add-2007-bl), handling all degenerate cases.
+    pub fn add(&self, other: &Point) -> Point {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * z2z2 * other.z;
+        let s2 = other.y * z1z1 * self.z;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Point::INFINITY; // P + (-P)
+        }
+        let h = u2 - u1;
+        let i = {
+            let h2 = h + h;
+            h2.square()
+        };
+        let j = h * i;
+        let r = {
+            let t = s2 - s1;
+            t + t
+        };
+        let v = u1 * i;
+        let x3 = r.square() - j - (v + v);
+        let y3 = {
+            let s1j2 = {
+                let t = s1 * j;
+                t + t
+            };
+            r * (v - x3) - s1j2
+        };
+        let z3 = {
+            let t = (self.z + other.z).square() - z1z1 - z2z2;
+            t * h
+        };
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Negation: `(x, y) → (x, -y)`.
+    pub fn negate(&self) -> Point {
+        Point {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
+    }
+
+    /// Scalar multiplication by double-and-add (MSB first).
+    ///
+    /// Not constant time — this library backs a simulator, not a wallet
+    /// handling adversarial side channels.
+    pub fn mul(&self, k: &Scalar) -> Point {
+        let mut acc = Point::INFINITY;
+        for bit in k.bits_msb_first() {
+            acc = acc.double();
+            if bit {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Computes `a*G + b*Q` (Shamir's trick), the core of ECDSA verification.
+    pub fn lincomb(a: &Scalar, b: &Scalar, q: &Point) -> Point {
+        let g = Point::generator();
+        let gq = g.add(q);
+        let mut acc = Point::INFINITY;
+        let a_bits: Vec<bool> = a.bits_msb_first().collect();
+        let b_bits: Vec<bool> = b.bits_msb_first().collect();
+        for i in 0..256 {
+            acc = acc.double();
+            match (a_bits[i], b_bits[i]) {
+                (true, true) => acc = acc.add(&gq),
+                (true, false) => acc = acc.add(&g),
+                (false, true) => acc = acc.add(q),
+                (false, false) => {}
+            }
+        }
+        acc
+    }
+
+    /// Structural equality via cross-multiplied Jacobian coordinates
+    /// (no inversion).
+    pub fn equals(&self, other: &Point) -> bool {
+        match (self.is_infinity(), other.is_infinity()) {
+            (true, true) => return true,
+            (true, false) | (false, true) => return false,
+            _ => {}
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        self.x * z2z2 == other.x * z1z1 && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_affine() {
+            AffinePoint::Infinity => write!(f, "Point(infinity)"),
+            AffinePoint::Coordinates { x, y } => write!(f, "Point(x: {x:?}, y: {y:?})"),
+        }
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Point) -> bool {
+        self.equals(other)
+    }
+}
+
+impl Eq for Point {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn g() -> Point {
+        Point::generator()
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        match g().to_affine() {
+            AffinePoint::Coordinates { x, y } => {
+                assert!(Point::from_affine_checked(x, y).is_some());
+            }
+            AffinePoint::Infinity => panic!("generator is finite"),
+        }
+    }
+
+    #[test]
+    fn identity_laws() {
+        let p = g();
+        assert_eq!(p.add(&Point::INFINITY), p);
+        assert_eq!(Point::INFINITY.add(&p), p);
+        assert!(Point::INFINITY.double().is_infinity());
+    }
+
+    #[test]
+    fn add_inverse_is_infinity() {
+        let p = g();
+        assert!(p.add(&p.negate()).is_infinity());
+    }
+
+    #[test]
+    fn double_matches_add_self() {
+        let p = g();
+        assert_eq!(p.double(), p.add(&p));
+    }
+
+    #[test]
+    fn known_multiple_2g() {
+        // 2G on secp256k1 (well-known value).
+        let two_g = g().mul(&Scalar::from_u64(2));
+        let expected_x = FieldElement::from_be_bytes(&crate::hex_arr(
+            "C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5",
+        ))
+        .unwrap();
+        let expected_y = FieldElement::from_be_bytes(&crate::hex_arr(
+            "1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A",
+        ))
+        .unwrap();
+        assert_eq!(
+            two_g.to_affine(),
+            AffinePoint::Coordinates {
+                x: expected_x,
+                y: expected_y
+            }
+        );
+    }
+
+    #[test]
+    fn known_multiple_3g() {
+        let three_g = g().mul(&Scalar::from_u64(3));
+        let expected_x = FieldElement::from_be_bytes(&crate::hex_arr(
+            "F9308A019258C31049344F85F89D5229B531C845836F99B08601F113BCE036F9",
+        ))
+        .unwrap();
+        match three_g.to_affine() {
+            AffinePoint::Coordinates { x, .. } => assert_eq!(x, expected_x),
+            AffinePoint::Infinity => panic!("3G is finite"),
+        }
+    }
+
+    #[test]
+    fn n_times_g_is_infinity() {
+        // Multiplying by the group order lands on the identity.
+        let n_minus_1 = -Scalar::ONE; // n - 1 as a reduced scalar
+        let p = g().mul(&n_minus_1).add(&g());
+        assert!(p.is_infinity());
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_add() {
+        let a = Scalar::from_u64(11);
+        let b = Scalar::from_u64(31);
+        let lhs = g().mul(&(a + b));
+        let rhs = g().mul(&a).add(&g().mul(&b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn lincomb_matches_naive() {
+        let a = Scalar::from_u64(123456789);
+        let b = Scalar::from_u64(987654321);
+        let q = g().mul(&Scalar::from_u64(42));
+        let fast = Point::lincomb(&a, &b, &q);
+        let slow = g().mul(&a).add(&q.mul(&b));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn from_affine_checked_rejects_off_curve() {
+        let x = FieldElement::from_u64(1);
+        let y = FieldElement::from_u64(1);
+        assert!(Point::from_affine_checked(x, y).is_none());
+    }
+
+    #[test]
+    fn mul_by_zero_is_infinity() {
+        assert!(g().mul(&Scalar::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn mul_by_one_is_identity_map() {
+        assert_eq!(g().mul(&Scalar::ONE), g());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_mul_is_homomorphic(a in 1u64..10_000, b in 1u64..10_000) {
+            let sa = Scalar::from_u64(a);
+            let sb = Scalar::from_u64(b);
+            // (a*b)G == a(bG)
+            let lhs = g().mul(&(sa * sb));
+            let rhs = g().mul(&sb).mul(&sa);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_add_commutative(a in 1u64..10_000, b in 1u64..10_000) {
+            let p = g().mul(&Scalar::from_u64(a));
+            let q = g().mul(&Scalar::from_u64(b));
+            prop_assert_eq!(p.add(&q), q.add(&p));
+        }
+
+        #[test]
+        fn prop_affine_round_trip(a in 1u64..10_000) {
+            let p = g().mul(&Scalar::from_u64(a));
+            match p.to_affine() {
+                AffinePoint::Coordinates { x, y } => {
+                    let lifted = Point::from_affine_checked(x, y).expect("on curve");
+                    prop_assert_eq!(lifted, p);
+                }
+                AffinePoint::Infinity => prop_assert!(false, "nonzero multiple is finite"),
+            }
+        }
+    }
+}

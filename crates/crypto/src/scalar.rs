@@ -1,0 +1,287 @@
+//! The secp256k1 scalar field GF(n), where `n` is the group order.
+
+use crate::limbs;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// The group order `n`, little-endian limbs.
+const N: [u64; 4] = [
+    0xBFD25E8CD0364141,
+    0xBAAEDCE6AF48A03B,
+    0xFFFFFFFFFFFFFFFE,
+    0xFFFFFFFFFFFFFFFF,
+];
+
+/// `2^256 - n` (about 129 bits), little-endian limbs.
+const C: [u64; 4] = [0x402DA1732FC9BEBF, 0x4551231950B75FC4, 0x1, 0x0];
+
+/// A scalar modulo the secp256k1 group order, always stored fully reduced.
+///
+/// Scalars are private keys, ECDSA nonces, and signature components.
+///
+/// ```
+/// use btcfast_crypto::scalar::Scalar;
+///
+/// let two = Scalar::from_u64(2);
+/// let three = Scalar::from_u64(3);
+/// assert_eq!(two * three, Scalar::from_u64(6));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Scalar([u64; 4]);
+
+impl Scalar {
+    /// The additive identity.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Creates a scalar from a small integer.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar([v, 0, 0, 0])
+    }
+
+    /// Parses 32 big-endian bytes, reducing modulo `n`. This is how message
+    /// digests become the ECDSA `z` value.
+    pub fn from_be_bytes_reduced(bytes: &[u8; 32]) -> Scalar {
+        let v = limbs::from_be_bytes(bytes);
+        Scalar(limbs::reduce_small(v, 0, &N, &C))
+    }
+
+    /// Parses 32 big-endian bytes, returning `None` if the value is `>= n`.
+    /// RFC 6979 nonce candidates use this to reject out-of-range values.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let v = limbs::from_be_bytes(bytes);
+        if limbs::cmp(&v, &N) == std::cmp::Ordering::Less {
+            Some(Scalar(v))
+        } else {
+            None
+        }
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        limbs::to_be_bytes(&self.0)
+    }
+
+    /// Returns true for the additive identity.
+    pub fn is_zero(&self) -> bool {
+        limbs::is_zero(&self.0)
+    }
+
+    /// Returns true if the scalar exceeds `n/2`. ECDSA signatures normalize
+    /// `s` to the low half to rule out the `(r, s) / (r, n-s)` malleability.
+    pub fn is_high(&self) -> bool {
+        // n/2 rounded down.
+        const HALF_N: [u64; 4] = [
+            0xDFE92F46681B20A0,
+            0x5D576E7357A4501D,
+            0xFFFFFFFFFFFFFFFF,
+            0x7FFFFFFFFFFFFFFF,
+        ];
+        limbs::cmp(&self.0, &HALF_N) == std::cmp::Ordering::Greater
+    }
+
+    /// Iterates the 256 bits of the scalar from most significant to least.
+    pub fn bits_msb_first(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..256).map(move |i| {
+            let limb = 3 - i / 64;
+            let bit = 63 - (i % 64);
+            (self.0[limb] >> bit) & 1 == 1
+        })
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`x^(n-2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn invert(self) -> Scalar {
+        assert!(!self.is_zero(), "zero has no multiplicative inverse");
+        let mut exp = limbs::to_be_bytes(&N);
+        // N ends in 0x41; subtracting 2 cannot borrow.
+        exp[31] -= 2;
+        let mut result = Scalar::ONE;
+        for byte in exp {
+            for bit in (0..8).rev() {
+                result = result * result;
+                if (byte >> bit) & 1 == 1 {
+                    result = result * self;
+                }
+            }
+        }
+        result
+    }
+}
+
+impl Add for Scalar {
+    type Output = Scalar;
+    fn add(self, rhs: Scalar) -> Scalar {
+        let (sum, carry) = limbs::add(&self.0, &rhs.0);
+        Scalar(limbs::reduce_small(sum, carry, &N, &C))
+    }
+}
+
+impl Sub for Scalar {
+    type Output = Scalar;
+    fn sub(self, rhs: Scalar) -> Scalar {
+        let (diff, borrow) = limbs::sub(&self.0, &rhs.0);
+        if borrow == 0 {
+            Scalar(diff)
+        } else {
+            let (fixed, _) = limbs::add(&diff, &N);
+            Scalar(fixed)
+        }
+    }
+}
+
+impl Mul for Scalar {
+    type Output = Scalar;
+    fn mul(self, rhs: Scalar) -> Scalar {
+        let wide = limbs::mul_wide(&self.0, &rhs.0);
+        Scalar(limbs::reduce_wide(wide, &N, &C))
+    }
+}
+
+impl Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar::ZERO - self
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar({})", crate::hex::encode(&self.to_be_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn n_reduces_to_zero() {
+        let n_bytes = limbs::to_be_bytes(&N);
+        assert!(Scalar::from_be_bytes(&n_bytes).is_none());
+        assert!(Scalar::from_be_bytes_reduced(&n_bytes).is_zero());
+    }
+
+    #[test]
+    fn n_minus_one_is_negative_one() {
+        let mut bytes = limbs::to_be_bytes(&N);
+        bytes[31] -= 1;
+        let nm1 = Scalar::from_be_bytes(&bytes).unwrap();
+        assert_eq!(nm1 + Scalar::ONE, Scalar::ZERO);
+        assert_eq!(-Scalar::ONE, nm1);
+    }
+
+    #[test]
+    fn two_to_256_mod_n_is_c() {
+        // 2^256 mod n = C; check via (2^128)^2.
+        let two_128 = {
+            let mut b = [0u8; 32];
+            b[15] = 1;
+            Scalar::from_be_bytes(&b).unwrap()
+        };
+        let got = two_128 * two_128;
+        assert_eq!(got.0, C);
+    }
+
+    #[test]
+    fn half_n_boundary() {
+        // (n-1)/2 is not high; (n-1)/2 + 1 is high.
+        let half = Scalar::from_be_bytes(&crate::hex_arr(
+            "7FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF5D576E7357A4501DDFE92F46681B20A0",
+        ))
+        .unwrap();
+        assert!(!half.is_high());
+        assert!((half + Scalar::ONE).is_high());
+        assert!(!Scalar::ZERO.is_high());
+        assert!(!Scalar::ONE.is_high());
+    }
+
+    #[test]
+    fn inverse_small_values() {
+        for v in 1..40u64 {
+            let x = Scalar::from_u64(v);
+            assert_eq!(x * x.invert(), Scalar::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inverse_of_zero_panics() {
+        let _ = Scalar::ZERO.invert();
+    }
+
+    #[test]
+    fn bits_msb_first_of_one() {
+        let bits: Vec<bool> = Scalar::ONE.bits_msb_first().collect();
+        assert_eq!(bits.len(), 256);
+        assert!(bits[..255].iter().all(|&b| !b));
+        assert!(bits[255]);
+    }
+
+    #[test]
+    fn bits_msb_first_of_high_bit() {
+        let mut b = [0u8; 32];
+        b[0] = 0x80;
+        // 2^255 >= n, so reduce; instead test 2^200.
+        let mut b2 = [0u8; 32];
+        b2[31 - 25] = 1; // byte index 6 → 2^200
+        let s = Scalar::from_be_bytes(&b2).unwrap();
+        let bits: Vec<bool> = s.bits_msb_first().collect();
+        assert_eq!(bits.iter().filter(|&&x| x).count(), 1);
+        assert!(bits[255 - 200]);
+        let _ = b;
+    }
+
+    fn arb_scalar() -> impl Strategy<Value = Scalar> {
+        any::<[u8; 32]>().prop_map(|b| Scalar::from_be_bytes_reduced(&b))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_scalar(), b in arb_scalar()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_add_round_trip(a in arb_scalar(), b in arb_scalar()) {
+            prop_assert_eq!((a - b) + b, a);
+        }
+
+        #[test]
+        fn prop_neg_is_sub_from_zero(a in arb_scalar()) {
+            prop_assert_eq!(-a, Scalar::ZERO - a);
+            prop_assert_eq!(a + (-a), Scalar::ZERO);
+        }
+
+        #[test]
+        fn prop_inverse(a in arb_scalar()) {
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.invert(), Scalar::ONE);
+            }
+        }
+
+        #[test]
+        fn prop_bytes_round_trip(a in arb_scalar()) {
+            prop_assert_eq!(Scalar::from_be_bytes(&a.to_be_bytes()).unwrap(), a);
+        }
+
+        #[test]
+        fn prop_exactly_one_of_s_negs_is_high(a in arb_scalar()) {
+            // For nonzero s, exactly one of {s, -s} is high (n is odd so
+            // s != -s unless s == 0).
+            if !a.is_zero() {
+                prop_assert!(a.is_high() != (-a).is_high());
+            }
+        }
+    }
+}

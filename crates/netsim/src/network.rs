@@ -1,0 +1,245 @@
+//! A message-passing fabric: per-link latency, loss, and partitions.
+
+use crate::latency::LatencyModel;
+use crate::time::SimTime;
+use rand::Rng;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A node identity within a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A message scheduled for delivery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// The sender.
+    pub from: NodeId,
+    /// The recipient.
+    pub to: NodeId,
+    /// Arrival time.
+    pub at: SimTime,
+    /// The payload.
+    pub message: M,
+}
+
+/// The network fabric. It does not own a scheduler; [`Network::send`] and
+/// [`Network::broadcast`] return [`Delivery`] records for the caller to feed
+/// into its event loop — keeping the fabric reusable across simulation
+/// drivers.
+#[derive(Clone, Debug)]
+pub struct Network {
+    nodes: Vec<NodeId>,
+    latency: LatencyModel,
+    /// Probability an individual message is silently dropped.
+    loss_probability: f64,
+    /// Severed (unordered) node pairs.
+    partitions: HashSet<(NodeId, NodeId)>,
+}
+
+impl Network {
+    /// Creates a fabric over `n` nodes with a latency model.
+    pub fn new(n: u32, latency: LatencyModel) -> Network {
+        Network {
+            nodes: (0..n).map(NodeId).collect(),
+            latency,
+            loss_probability: 0.0,
+            partitions: HashSet::new(),
+        }
+    }
+
+    /// The node list.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(id);
+        id
+    }
+
+    /// Sets the per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.loss_probability = p;
+    }
+
+    /// Severs the link between two nodes (both directions).
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert(Self::key(a, b));
+    }
+
+    /// Heals a severed link.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.remove(&Self::key(a, b));
+    }
+
+    /// Heals every partition.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// True if the pair can currently communicate.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        !self.partitions.contains(&Self::key(a, b))
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Sends a message, returning its delivery record — or `None` when the
+    /// link is partitioned or the message was lost.
+    pub fn send<M, R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        message: M,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Option<Delivery<M>> {
+        if !self.connected(from, to) {
+            return None;
+        }
+        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
+            return None;
+        }
+        Some(Delivery {
+            from,
+            to,
+            at: now + self.latency.sample(rng),
+            message,
+        })
+    }
+
+    /// Broadcasts to every other node, with independent per-link delays and
+    /// losses.
+    pub fn broadcast<M: Clone, R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        message: M,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Vec<Delivery<M>> {
+        self.nodes
+            .iter()
+            .filter(|&&to| to != from)
+            .filter_map(|&to| self.send(from, to, message.clone(), now, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn send_applies_latency() {
+        let net = Network::new(2, LatencyModel::Constant { secs: 0.1 });
+        let d = net
+            .send(
+                NodeId(0),
+                NodeId(1),
+                "hi",
+                SimTime::from_secs(1),
+                &mut rng(),
+            )
+            .unwrap();
+        assert_eq!(d.at, SimTime::from_secs_f64(1.1));
+        assert_eq!(d.message, "hi");
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_else() {
+        let net = Network::new(5, LatencyModel::lan());
+        let deliveries = net.broadcast(NodeId(2), 7u8, SimTime::ZERO, &mut rng());
+        assert_eq!(deliveries.len(), 4);
+        assert!(deliveries.iter().all(|d| d.to != NodeId(2)));
+        assert!(deliveries.iter().all(|d| d.from == NodeId(2)));
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut net = Network::new(3, LatencyModel::lan());
+        net.partition(NodeId(0), NodeId(1));
+        assert!(!net.connected(NodeId(0), NodeId(1)));
+        assert!(!net.connected(NodeId(1), NodeId(0))); // symmetric
+        assert!(net.connected(NodeId(0), NodeId(2)));
+        assert!(net
+            .send(NodeId(0), NodeId(1), (), SimTime::ZERO, &mut rng())
+            .is_none());
+        assert_eq!(
+            net.broadcast(NodeId(0), (), SimTime::ZERO, &mut rng())
+                .len(),
+            1
+        );
+        net.heal(NodeId(0), NodeId(1));
+        assert!(net.connected(NodeId(0), NodeId(1)));
+        net.partition(NodeId(0), NodeId(1));
+        net.heal_all();
+        assert!(net.connected(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let mut net = Network::new(2, LatencyModel::lan());
+        net.set_loss_probability(1.0);
+        assert!(net
+            .send(NodeId(0), NodeId(1), (), SimTime::ZERO, &mut rng())
+            .is_none());
+        net.set_loss_probability(0.0);
+        assert!(net
+            .send(NodeId(0), NodeId(1), (), SimTime::ZERO, &mut rng())
+            .is_some());
+    }
+
+    #[test]
+    fn loss_is_probabilistic() {
+        let mut net = Network::new(2, LatencyModel::lan());
+        net.set_loss_probability(0.5);
+        let mut r = rng();
+        let delivered = (0..1000)
+            .filter(|_| {
+                net.send(NodeId(0), NodeId(1), (), SimTime::ZERO, &mut r)
+                    .is_some()
+            })
+            .count();
+        assert!((300..700).contains(&delivered), "{delivered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_loss_probability_panics() {
+        Network::new(1, LatencyModel::lan()).set_loss_probability(1.5);
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut net = Network::new(1, LatencyModel::lan());
+        let id = net.add_node();
+        assert_eq!(id, NodeId(1));
+        assert_eq!(net.nodes().len(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Poisson-process helpers: exponential inter-arrival times for block
+//! discovery.
+//!
+//! Bitcoin block discovery is a Poisson process with rate `1/600 s⁻¹`; when
+//! miners split hashrate, each miner's discoveries form an independent
+//! thinned process. The simulation drives miner events with these samples.
+
+use crate::time::SimTime;
+use rand::Rng;
+
+/// Samples an exponential inter-arrival time with the given mean.
+///
+/// # Panics
+///
+/// Panics unless `mean_secs` is positive and finite.
+pub fn exponential<R: Rng + ?Sized>(mean_secs: f64, rng: &mut R) -> SimTime {
+    assert!(
+        mean_secs.is_finite() && mean_secs > 0.0,
+        "mean must be positive"
+    );
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    SimTime::from_secs_f64(-mean_secs * u.ln())
+}
+
+/// A per-miner block arrival process: total network interval `interval_secs`
+/// split by `hashrate_share`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockArrivals {
+    /// Expected whole-network block interval in seconds.
+    pub interval_secs: f64,
+    /// This miner's share of total hashrate, in `(0, 1]`.
+    pub hashrate_share: f64,
+}
+
+impl BlockArrivals {
+    /// Creates a process for one miner.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < hashrate_share <= 1` and `interval_secs > 0`.
+    pub fn new(interval_secs: f64, hashrate_share: f64) -> BlockArrivals {
+        assert!(interval_secs > 0.0, "interval must be positive");
+        assert!(
+            hashrate_share > 0.0 && hashrate_share <= 1.0,
+            "hashrate share must be in (0, 1]"
+        );
+        BlockArrivals {
+            interval_secs,
+            hashrate_share,
+        }
+    }
+
+    /// This miner's expected time between blocks.
+    pub fn mean_secs(&self) -> f64 {
+        self.interval_secs / self.hashrate_share
+    }
+
+    /// Samples the time until this miner's next block.
+    pub fn next_block_in<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        exponential(self.mean_secs(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| exponential(600.0, &mut rng).as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((550.0..650.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_always_positive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(exponential(1.0, &mut rng) > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mean_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        exponential(0.0, &mut rng);
+    }
+
+    #[test]
+    fn thinned_process_scales_mean() {
+        let honest = BlockArrivals::new(600.0, 0.9);
+        let attacker = BlockArrivals::new(600.0, 0.1);
+        assert!((honest.mean_secs() - 666.67).abs() < 0.01);
+        assert_eq!(attacker.mean_secs(), 6000.0);
+    }
+
+    #[test]
+    fn split_processes_sum_to_network_rate() {
+        // Rate(honest) + rate(attacker) == network rate.
+        let q = 0.3;
+        let honest = BlockArrivals::new(600.0, 1.0 - q);
+        let attacker = BlockArrivals::new(600.0, q);
+        let total_rate = 1.0 / honest.mean_secs() + 1.0 / attacker.mean_secs();
+        assert!((total_rate - 1.0 / 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "hashrate")]
+    fn bad_share_panics() {
+        BlockArrivals::new(600.0, 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! A deterministic discrete-event scheduler.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event (internal heap entry).
+struct Entry<E> {
+    time: SimTime,
+    /// Tie-breaker preserving insertion order among equal-time events.
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A priority-queue event loop: events pop in time order, FIFO among ties.
+///
+/// The simulation driver owns the loop:
+///
+/// ```
+/// use btcfast_netsim::{Scheduler, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick(u32) }
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule(SimTime::from_secs(5), Ev::Tick(2));
+/// sched.schedule(SimTime::from_secs(1), Ev::Tick(1));
+/// let mut seen = vec![];
+/// while let Some((t, ev)) = sched.pop() {
+///     seen.push((t.as_secs(), ev));
+/// }
+/// assert_eq!(seen, vec![(1, Ev::Tick(1)), (5, Ev::Tick(2))]);
+/// ```
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Scheduler<E> {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// Events scheduled in the past are delivered at `now` (clamped), which
+    /// keeps the clock monotonic.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Schedules an event `delay` after now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Time of the next event without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events (e.g. when a scenario ends early).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(3), "c");
+        s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(SimTime::from_secs(1), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(5), "later");
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        // Scheduling in the past clamps to now.
+        s.schedule(SimTime::from_secs(1), "stale");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(10), "first");
+        s.pop();
+        s.schedule_in(SimTime::from_secs(2), "second");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut s = Scheduler::new();
+        assert!(s.is_empty());
+        assert!(s.peek_time().is_none());
+        s.schedule(SimTime::from_secs(1), ());
+        s.schedule(SimTime::from_secs(2), ());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(1)));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+            let mut s = Scheduler::new();
+            for &t in &times {
+                s.schedule(SimTime::from_micros(t), t);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = s.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! The PayJudger contract: escrow lifecycle and the PoW-based payment
+//! judgment.
+
+use crate::evidence::{heavier, verify_on_chain, EvidenceBundle};
+use crate::types::{
+    CheckpointRecord, DisputeVerdict, EscrowRecord, JudgerConfig, PaymentRecord, PaymentState,
+};
+use btcfast_pscsim::account::AccountId;
+use btcfast_pscsim::codec::{Decode, Encode};
+use btcfast_pscsim::contract::{Contract, ContractError, Env, Storage};
+
+/// The registry code id under which PayJudger deploys.
+pub const CODE_ID: &str = "payjudger";
+
+/// The PayJudger contract (stateless singleton; all state in [`Storage`]).
+///
+/// # ABI
+///
+/// | method | args | value | returns |
+/// |---|---|---|---|
+/// | `init` | [`JudgerConfig`] | 0 | — |
+/// | `deposit` | — | collateral | escrow balance (`u128`) |
+/// | `open_payment` | `(merchant, btc_txid, amount_sats, collateral)` | 0 | payment id (`u64`) |
+/// | `ack_payment` | `(customer, payment_id)` | 0 | — |
+/// | `close_payment` | `payment_id` | 0 | — |
+/// | `dispute` | `(customer, payment_id)` | 0 | — |
+/// | `submit_evidence` | `(customer, payment_id, EvidenceBundle)` | 0 | accepted work (32 BE bytes) |
+/// | `judge` | `(customer, payment_id)` | 0 | [`DisputeVerdict`] |
+/// | `withdraw` | amount (`u128`) | 0 | — |
+/// | `advance_checkpoint` | [`EvidenceBundle`] (no inclusion) | 0 | new anchor hash |
+/// | `get_config` / `get_escrow` / `get_payment` / `get_checkpoint` | views | 0 | records |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PayJudger;
+
+fn revert(msg: impl Into<String>) -> ContractError {
+    ContractError::Revert(msg.into())
+}
+
+const CONFIG_KEY: &[u8] = b"config";
+const CHECKPOINT_KEY: &[u8] = b"checkpoint";
+
+fn escrow_key(customer: &AccountId) -> Vec<u8> {
+    let mut key = b"escrow/".to_vec();
+    key.extend_from_slice(&customer.0);
+    key
+}
+
+fn payment_key(customer: &AccountId, payment_id: u64) -> Vec<u8> {
+    let mut key = b"payment/".to_vec();
+    key.extend_from_slice(&customer.0);
+    key.push(b'/');
+    key.extend_from_slice(&payment_id.to_le_bytes());
+    key
+}
+
+impl PayJudger {
+    fn load_config(storage: &mut dyn Storage) -> Result<JudgerConfig, ContractError> {
+        let bytes = storage
+            .get(CONFIG_KEY)?
+            .ok_or_else(|| revert("contract not initialized"))?;
+        Ok(JudgerConfig::decode(&bytes)?)
+    }
+
+    fn load_checkpoint(storage: &mut dyn Storage) -> Result<CheckpointRecord, ContractError> {
+        let bytes = storage
+            .get(CHECKPOINT_KEY)?
+            .ok_or_else(|| revert("contract not initialized"))?;
+        Ok(CheckpointRecord::decode(&bytes)?)
+    }
+
+    fn load_escrow(
+        storage: &mut dyn Storage,
+        customer: &AccountId,
+    ) -> Result<EscrowRecord, ContractError> {
+        let bytes = storage
+            .get(&escrow_key(customer))?
+            .ok_or_else(|| revert(format!("no escrow for {customer}")))?;
+        Ok(EscrowRecord::decode(&bytes)?)
+    }
+
+    fn store_escrow(
+        storage: &mut dyn Storage,
+        customer: &AccountId,
+        escrow: &EscrowRecord,
+    ) -> Result<(), ContractError> {
+        storage.set(&escrow_key(customer), &escrow.encode())
+    }
+
+    fn load_payment(
+        storage: &mut dyn Storage,
+        customer: &AccountId,
+        payment_id: u64,
+    ) -> Result<PaymentRecord, ContractError> {
+        let bytes = storage
+            .get(&payment_key(customer, payment_id))?
+            .ok_or_else(|| revert(format!("no payment {payment_id} for {customer}")))?;
+        Ok(PaymentRecord::decode(&bytes)?)
+    }
+
+    fn store_payment(
+        storage: &mut dyn Storage,
+        customer: &AccountId,
+        payment_id: u64,
+        payment: &PaymentRecord,
+    ) -> Result<(), ContractError> {
+        storage.set(&payment_key(customer, payment_id), &payment.encode())
+    }
+
+    fn method_init(
+        &self,
+        _env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        if storage.get(CONFIG_KEY)?.is_some() {
+            return Err(revert("already initialized"));
+        }
+        let config = JudgerConfig::decode(args)?;
+        if config.min_evidence_blocks == 0 {
+            return Err(revert("min_evidence_blocks must be positive"));
+        }
+        if config.challenge_window_secs == 0 {
+            return Err(revert("challenge_window_secs must be positive"));
+        }
+        storage.set(CONFIG_KEY, &config.encode())?;
+        let checkpoint = CheckpointRecord {
+            hash: config.checkpoint,
+            advanced_blocks: 0,
+            advanced_at: 0,
+        };
+        storage.set(CHECKPOINT_KEY, &checkpoint.encode())?;
+        storage.emit("Initialized", config.encode())?;
+        Ok(vec![])
+    }
+
+    fn method_deposit(
+        &self,
+        env: &Env,
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        if env.value == 0 {
+            return Err(revert("deposit requires attached value"));
+        }
+        let mut escrow = match storage.get(&escrow_key(&env.caller))? {
+            Some(bytes) => EscrowRecord::decode(&bytes)?,
+            None => EscrowRecord {
+                customer: env.caller,
+                balance: 0,
+                locked: 0,
+                payment_count: 0,
+            },
+        };
+        escrow.balance = escrow
+            .balance
+            .checked_add(env.value)
+            .ok_or_else(|| revert("escrow balance overflow"))?;
+        Self::store_escrow(storage, &env.caller, &escrow)?;
+        storage.emit("Deposited", (env.caller, env.value).encode())?;
+        Ok(escrow.balance.encode())
+    }
+
+    fn method_open_payment(
+        &self,
+        env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        let mut input = args;
+        let merchant = AccountId::decode_from(&mut input)?;
+        let btc_txid = btcfast_crypto::Hash256::decode_from(&mut input)?;
+        let amount_sats = u64::decode_from(&mut input)?;
+        let collateral = u128::decode_from(&mut input)?;
+        if !input.is_empty() {
+            return Err(revert("trailing bytes in open_payment args"));
+        }
+        if collateral == 0 {
+            return Err(revert("collateral must be positive"));
+        }
+        if merchant == env.caller {
+            return Err(revert("merchant must differ from customer"));
+        }
+        let mut escrow = Self::load_escrow(storage, &env.caller)?;
+        if escrow.available() < collateral {
+            return Err(revert(format!(
+                "escrow has {} available, payment needs {}",
+                escrow.available(),
+                collateral
+            )));
+        }
+        let payment_id = escrow.payment_count;
+        escrow.payment_count += 1;
+        escrow.locked += collateral;
+        let checkpoint = Self::load_checkpoint(storage)?;
+        let payment = PaymentRecord {
+            checkpoint: checkpoint.hash,
+            merchant,
+            btc_txid,
+            amount_sats,
+            collateral,
+            opened_at: env.block_time,
+            disputed_at: 0,
+            state: PaymentState::Open,
+            merchant_evidence: Default::default(),
+            customer_evidence: Default::default(),
+        };
+        Self::store_escrow(storage, &env.caller, &escrow)?;
+        Self::store_payment(storage, &env.caller, payment_id, &payment)?;
+        storage.emit(
+            "PaymentOpened",
+            (env.caller, (payment_id, btc_txid)).encode(),
+        )?;
+        Ok(payment_id.encode())
+    }
+
+    fn method_ack_payment(
+        &self,
+        env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        let (customer, payment_id) = <(AccountId, u64)>::decode(args)?;
+        let mut payment = Self::load_payment(storage, &customer, payment_id)?;
+        if payment.merchant != env.caller {
+            return Err(revert("only the merchant may acknowledge"));
+        }
+        if payment.state != PaymentState::Open {
+            return Err(revert("payment is not open"));
+        }
+        payment.state = PaymentState::Acked;
+        Self::unlock_collateral(storage, &customer, payment.collateral)?;
+        Self::store_payment(storage, &customer, payment_id, &payment)?;
+        storage.emit("PaymentAcked", (customer, payment_id).encode())?;
+        Ok(vec![])
+    }
+
+    fn method_close_payment(
+        &self,
+        env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        let payment_id = u64::decode(args)?;
+        let config = Self::load_config(storage)?;
+        let mut payment = Self::load_payment(storage, &env.caller, payment_id)?;
+        if payment.state != PaymentState::Open {
+            return Err(revert("payment is not open"));
+        }
+        if env.block_time < payment.opened_at + config.challenge_window_secs {
+            return Err(revert("challenge window still open"));
+        }
+        payment.state = PaymentState::Closed;
+        Self::unlock_collateral(storage, &env.caller, payment.collateral)?;
+        Self::store_payment(storage, &env.caller, payment_id, &payment)?;
+        storage.emit("PaymentClosed", (env.caller, payment_id).encode())?;
+        Ok(vec![])
+    }
+
+    fn method_dispute(
+        &self,
+        env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        let (customer, payment_id) = <(AccountId, u64)>::decode(args)?;
+        let config = Self::load_config(storage)?;
+        let mut payment = Self::load_payment(storage, &customer, payment_id)?;
+        if payment.merchant != env.caller {
+            return Err(revert("only the payee merchant may dispute"));
+        }
+        if payment.state != PaymentState::Open {
+            return Err(revert("payment is not open"));
+        }
+        if env.block_time >= payment.opened_at + config.challenge_window_secs {
+            return Err(revert("challenge window has expired"));
+        }
+        payment.state = PaymentState::Disputed;
+        payment.disputed_at = env.block_time;
+        Self::store_payment(storage, &customer, payment_id, &payment)?;
+        storage.emit("DisputeOpened", (customer, payment_id).encode())?;
+        Ok(vec![])
+    }
+
+    fn method_submit_evidence(
+        &self,
+        env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        let mut input = args;
+        let customer = AccountId::decode_from(&mut input)?;
+        let payment_id = u64::decode_from(&mut input)?;
+        let bundle = EvidenceBundle::decode_from(&mut input)?;
+        if !input.is_empty() {
+            return Err(revert("trailing bytes in submit_evidence args"));
+        }
+        let config = Self::load_config(storage)?;
+        let mut payment = Self::load_payment(storage, &customer, payment_id)?;
+        if payment.state != PaymentState::Disputed {
+            return Err(revert("payment is not under dispute"));
+        }
+        if env.block_time >= payment.disputed_at + config.challenge_window_secs {
+            return Err(revert("evidence window has closed"));
+        }
+        let is_merchant = env.caller == payment.merchant;
+        let is_customer = env.caller == customer;
+        if !is_merchant && !is_customer {
+            return Err(revert("only the disputing parties may submit evidence"));
+        }
+
+        let verified = verify_on_chain(
+            &bundle,
+            &payment.checkpoint,
+            btcfast_btcsim::pow::CompactBits(config.min_target_bits),
+            &payment.btc_txid,
+            storage,
+        )?;
+
+        let slot = if is_merchant {
+            &mut payment.merchant_evidence
+        } else {
+            &mut payment.customer_evidence
+        };
+        if heavier(&verified.summary, slot) == std::cmp::Ordering::Greater {
+            *slot = verified.summary.clone();
+        } else {
+            return Err(revert("evidence is not heavier than what is on file"));
+        }
+        Self::store_payment(storage, &customer, payment_id, &payment)?;
+        storage.emit(
+            "EvidenceAccepted",
+            (customer, (payment_id, verified.summary.blocks)).encode(),
+        )?;
+        Ok(verified.summary.work.to_vec())
+    }
+
+    fn method_judge(
+        &self,
+        env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        let (customer, payment_id) = <(AccountId, u64)>::decode(args)?;
+        let config = Self::load_config(storage)?;
+        let mut payment = Self::load_payment(storage, &customer, payment_id)?;
+        if payment.state != PaymentState::Disputed {
+            return Err(revert("payment is not under dispute"));
+        }
+        if env.block_time < payment.disputed_at + config.challenge_window_secs {
+            return Err(revert("evidence window still open"));
+        }
+
+        // The PoW-based payment judgment: the customer prevails only with an
+        // inclusion proof on evidence at least as heavy as the merchant's,
+        // showing the payment buried at least Δ = min_evidence_blocks deep
+        // (the "z confirmations" equivalent). Everything else — no
+        // evidence, lighter evidence, a shallow inclusion, or a heavier
+        // merchant chain that abandoned the txid — pays the merchant from
+        // collateral.
+        let customer_ok = payment.customer_evidence.includes_tx
+            && payment.customer_evidence.tx_confirmations >= config.min_evidence_blocks
+            && heavier(&payment.customer_evidence, &payment.merchant_evidence)
+                != std::cmp::Ordering::Less;
+        let verdict = if customer_ok {
+            DisputeVerdict::CustomerWins
+        } else {
+            DisputeVerdict::MerchantWins
+        };
+
+        let mut escrow = Self::load_escrow(storage, &customer)?;
+        escrow.locked = escrow
+            .locked
+            .checked_sub(payment.collateral)
+            .ok_or_else(|| revert("locked balance underflow"))?;
+        match verdict {
+            DisputeVerdict::CustomerWins => {
+                payment.state = PaymentState::CustomerCleared;
+            }
+            DisputeVerdict::MerchantWins => {
+                payment.state = PaymentState::MerchantPaid;
+                escrow.balance = escrow
+                    .balance
+                    .checked_sub(payment.collateral)
+                    .ok_or_else(|| revert("escrow balance underflow"))?;
+                storage.transfer_out(payment.merchant, payment.collateral)?;
+            }
+        }
+        Self::store_escrow(storage, &customer, &escrow)?;
+        Self::store_payment(storage, &customer, payment_id, &payment)?;
+        storage.emit("Judged", (customer, (payment_id, verdict)).encode())?;
+        Ok(verdict.encode())
+    }
+
+    /// Extension: rolls the evidence anchor forward. Anyone may submit a
+    /// valid header segment of at least `2Δ` headers anchored at the
+    /// current checkpoint; the anchor advances to the header `Δ` blocks
+    /// below the claimed tip, keeping a reorg safety margin. Payments
+    /// remember the anchor in force when they were opened, so in-flight
+    /// disputes are unaffected.
+    fn method_advance_checkpoint(
+        &self,
+        env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        let bundle = EvidenceBundle::decode(args)?;
+        if bundle.0.inclusion.is_some() {
+            return Err(revert("checkpoint advancement takes a bare header segment"));
+        }
+        let config = Self::load_config(storage)?;
+        let mut checkpoint = Self::load_checkpoint(storage)?;
+        let delta = config.min_evidence_blocks as usize;
+        if bundle.0.segment.len() < 2 * delta {
+            return Err(revert(format!(
+                "advancement needs at least {} headers, got {}",
+                2 * delta,
+                bundle.0.segment.len()
+            )));
+        }
+        // Anchoring and PoW checks; the txid argument is irrelevant since
+        // inclusion proofs were rejected above.
+        let verified = verify_on_chain(
+            &bundle,
+            &checkpoint.hash,
+            btcfast_btcsim::pow::CompactBits(config.min_target_bits),
+            &btcfast_crypto::Hash256::ZERO,
+            storage,
+        )?;
+        let new_anchor_index = bundle.0.segment.len() - 1 - delta;
+        let new_anchor = bundle.0.segment.headers[new_anchor_index].hash();
+        checkpoint.hash = new_anchor;
+        checkpoint.advanced_blocks += (new_anchor_index + 1) as u64;
+        checkpoint.advanced_at = env.block_time;
+        storage.set(CHECKPOINT_KEY, &checkpoint.encode())?;
+        storage.emit(
+            "CheckpointAdvanced",
+            (new_anchor, verified.summary.blocks).encode(),
+        )?;
+        Ok(new_anchor.encode())
+    }
+
+    fn method_withdraw(
+        &self,
+        env: &Env,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        let amount = u128::decode(args)?;
+        let mut escrow = Self::load_escrow(storage, &env.caller)?;
+        if amount == 0 || amount > escrow.available() {
+            return Err(revert(format!(
+                "cannot withdraw {amount}: available {}",
+                escrow.available()
+            )));
+        }
+        escrow.balance -= amount;
+        Self::store_escrow(storage, &env.caller, &escrow)?;
+        storage.transfer_out(env.caller, amount)?;
+        storage.emit("Withdrawn", (env.caller, amount).encode())?;
+        Ok(vec![])
+    }
+
+    fn unlock_collateral(
+        storage: &mut dyn Storage,
+        customer: &AccountId,
+        collateral: u128,
+    ) -> Result<(), ContractError> {
+        let mut escrow = Self::load_escrow(storage, customer)?;
+        escrow.locked = escrow
+            .locked
+            .checked_sub(collateral)
+            .ok_or_else(|| revert("locked balance underflow"))?;
+        Self::store_escrow(storage, customer, &escrow)
+    }
+}
+
+impl Contract for PayJudger {
+    fn code_id(&self) -> &'static str {
+        CODE_ID
+    }
+
+    fn call(
+        &self,
+        env: &Env,
+        method: &str,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError> {
+        // Only `deposit` is payable; value attached anywhere else would be
+        // stranded in the contract with no escrow credited for it.
+        if env.value > 0 && method != "deposit" {
+            return Err(revert(format!("method {method:?} is not payable")));
+        }
+        match method {
+            "init" => self.method_init(env, args, storage),
+            "deposit" => self.method_deposit(env, storage),
+            "open_payment" => self.method_open_payment(env, args, storage),
+            "ack_payment" => self.method_ack_payment(env, args, storage),
+            "close_payment" => self.method_close_payment(env, args, storage),
+            "dispute" => self.method_dispute(env, args, storage),
+            "submit_evidence" => self.method_submit_evidence(env, args, storage),
+            "judge" => self.method_judge(env, args, storage),
+            "withdraw" => self.method_withdraw(env, args, storage),
+            "advance_checkpoint" => self.method_advance_checkpoint(env, args, storage),
+            "get_checkpoint" => {
+                let checkpoint = Self::load_checkpoint(storage)?;
+                Ok(checkpoint.encode())
+            }
+            "get_config" => {
+                let config = Self::load_config(storage)?;
+                Ok(config.encode())
+            }
+            "get_escrow" => {
+                let customer = AccountId::decode(args)?;
+                let escrow = Self::load_escrow(storage, &customer)?;
+                Ok(escrow.encode())
+            }
+            "get_payment" => {
+                let (customer, payment_id) = <(AccountId, u64)>::decode(args)?;
+                let payment = Self::load_payment(storage, &customer, payment_id)?;
+                Ok(payment.encode())
+            }
+            other => Err(ContractError::UnknownMethod(other.to_string())),
+        }
+    }
+}

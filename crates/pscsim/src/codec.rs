@@ -1,0 +1,305 @@
+//! A minimal deterministic binary codec for contract storage values and
+//! call arguments.
+//!
+//! Contracts persist state as bytes (as on any real PSC chain); this codec
+//! is the ABI. It is deliberately simple: little-endian fixed-width
+//! integers, length-prefixed byte strings, and derived-by-hand composites.
+
+use std::error::Error;
+use std::fmt;
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A tag byte had no corresponding variant.
+    BadTag(u8),
+    /// Trailing bytes remained after decoding the value.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// A value that can be serialized into the storage/ABI format.
+pub trait Encode {
+    /// Appends the encoding of `self` to `out`.
+    fn encode_to(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_to(&mut out);
+        out
+    }
+}
+
+/// A value that can be deserialized from the storage/ABI format.
+pub trait Decode: Sized {
+    /// Reads a value from the front of `input`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed input.
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Decodes a complete buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed input or leftovers.
+    fn decode(mut input: &[u8]) -> Result<Self, CodecError> {
+        let value = Self::decode_from(&mut input)?;
+        if input.is_empty() {
+            Ok(value)
+        } else {
+            Err(CodecError::TrailingBytes(input.len()))
+        }
+    }
+}
+
+/// Reads exactly `n` bytes from the front of the input.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError::UnexpectedEnd);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode_to(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128);
+
+impl Encode for bool {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.as_bytes().to_vec().encode_to(out);
+    }
+}
+
+impl Decode for String {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let bytes = Vec::<u8>::decode_from(input)?;
+        String::from_utf8(bytes).map_err(|_| CodecError::BadTag(0xFF))
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let bytes = take(input, N)?;
+        Ok(bytes.try_into().expect("sized take"))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_to(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(input)?)),
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(out);
+        for item in self {
+            item.encode_to(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode_from(input)? as usize;
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode_from(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for crate::account::AccountId {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+    }
+}
+
+impl Decode for crate::account::AccountId {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(crate::account::AccountId(<[u8; 20]>::decode_from(input)?))
+    }
+}
+
+impl Encode for btcfast_crypto::Hash256 {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+    }
+}
+
+impl Decode for btcfast_crypto::Hash256 {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(btcfast_crypto::Hash256(<[u8; 32]>::decode_from(input)?))
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+        self.1.encode_to(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok((A::decode_from(input)?, B::decode_from(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn ints() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(12345u32);
+        round_trip(u64::MAX);
+        round_trip(u128::MAX);
+    }
+
+    #[test]
+    fn bools_and_bad_tag() {
+        round_trip(true);
+        round_trip(false);
+        assert_eq!(bool::decode(&[2]), Err(CodecError::BadTag(2)));
+    }
+
+    #[test]
+    fn byte_vectors_and_strings() {
+        round_trip(Vec::<u8>::new());
+        round_trip(vec![1u8, 2, 3]);
+        round_trip("hello".to_string());
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn options() {
+        round_trip(Option::<u64>::None);
+        round_trip(Some(42u64));
+    }
+
+    #[test]
+    fn vectors_of_values() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u64>::new());
+    }
+
+    #[test]
+    fn tuples_and_ids() {
+        round_trip((7u32, "x".to_string()));
+        round_trip(crate::account::AccountId([9; 20]));
+        round_trip(btcfast_crypto::Hash256([7; 32]));
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        assert_eq!(u64::decode(&[1, 2, 3]), Err(CodecError::UnexpectedEnd));
+        let mut encoded = vec![5u8, 0, 0, 0]; // claims 5 bytes
+        encoded.push(1);
+        assert_eq!(Vec::<u8>::decode(&encoded), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut encoded = 7u32.encode();
+        encoded.push(0);
+        assert_eq!(u32::decode(&encoded), Err(CodecError::TrailingBytes(1)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_round_trip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            round_trip(data);
+        }
+
+        #[test]
+        fn prop_u128_round_trip(v in any::<u128>()) {
+            round_trip(v);
+        }
+
+        #[test]
+        fn prop_nested_round_trip(v in proptest::collection::vec(any::<u64>(), 0..20),
+                                  s in ".*") {
+            round_trip((42u32, s));
+            round_trip(v);
+        }
+    }
+}

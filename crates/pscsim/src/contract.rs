@@ -1,0 +1,377 @@
+//! The contract runtime: the [`Contract`] trait, execution environment, and
+//! the gas-metered [`Storage`] interface contracts persist state through.
+
+use crate::account::AccountId;
+use crate::codec::CodecError;
+use crate::gas::{Gas, GasMeter, GasSchedule, OutOfGas};
+use crate::state::WorldState;
+use std::error::Error;
+use std::fmt;
+
+/// The execution environment visible to a contract call.
+#[derive(Clone, Copy, Debug)]
+pub struct Env {
+    /// The externally owned account that signed the transaction.
+    pub caller: AccountId,
+    /// The contract's own account.
+    pub contract: AccountId,
+    /// Native value attached to the call (already credited to the contract
+    /// when the method runs; reverts return it).
+    pub value: u128,
+    /// Number of the block including the call.
+    pub block_number: u64,
+    /// Timestamp of the block including the call.
+    pub block_time: u64,
+}
+
+/// An event emitted by a contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The emitting contract.
+    pub contract: AccountId,
+    /// Event name.
+    pub topic: String,
+    /// ABI-encoded payload.
+    pub data: Vec<u8>,
+}
+
+/// Contract execution failures. `Revert` carries the contract's message;
+/// everything reverts state (the fee is still charged, as on Ethereum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractError {
+    /// Explicit revert by contract logic.
+    Revert(String),
+    /// Gas limit exhausted.
+    OutOfGas(OutOfGas),
+    /// The method name is not part of the contract's ABI.
+    UnknownMethod(String),
+    /// Call arguments failed to decode.
+    BadArguments(CodecError),
+    /// A contract-initiated transfer exceeded its balance.
+    InsufficientContractBalance {
+        /// Balance available to the contract.
+        available: u128,
+        /// Amount requested.
+        requested: u128,
+    },
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::Revert(msg) => write!(f, "reverted: {msg}"),
+            ContractError::OutOfGas(e) => write!(f, "{e}"),
+            ContractError::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            ContractError::BadArguments(e) => write!(f, "bad call arguments: {e}"),
+            ContractError::InsufficientContractBalance {
+                available,
+                requested,
+            } => write!(
+                f,
+                "contract balance {available} cannot cover transfer of {requested}"
+            ),
+        }
+    }
+}
+
+impl Error for ContractError {}
+
+impl From<OutOfGas> for ContractError {
+    fn from(e: OutOfGas) -> ContractError {
+        ContractError::OutOfGas(e)
+    }
+}
+
+impl From<CodecError> for ContractError {
+    fn from(e: CodecError) -> ContractError {
+        ContractError::BadArguments(e)
+    }
+}
+
+/// The gas-metered world interface handed to a contract during a call.
+///
+/// Every operation charges the schedule *before* executing, so a contract
+/// cannot observe state it did not pay for.
+pub trait Storage {
+    /// Reads a storage slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ContractError::OutOfGas`].
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ContractError>;
+
+    /// Writes a storage slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ContractError::OutOfGas`].
+    fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), ContractError>;
+
+    /// Deletes a storage slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ContractError::OutOfGas`].
+    fn remove(&mut self, key: &[u8]) -> Result<(), ContractError>;
+
+    /// Emits an event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ContractError::OutOfGas`].
+    fn emit(&mut self, topic: &str, data: Vec<u8>) -> Result<(), ContractError>;
+
+    /// Sends native value from the contract's balance to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ContractError::OutOfGas`] or
+    /// [`ContractError::InsufficientContractBalance`].
+    fn transfer_out(&mut self, to: AccountId, value: u128) -> Result<(), ContractError>;
+
+    /// The contract's current native balance.
+    fn contract_balance(&self) -> u128;
+
+    /// Charges gas for contract-specific computation (e.g. PoW header
+    /// verification), per the schedule the host exposes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ContractError::OutOfGas`].
+    fn charge(&mut self, gas: Gas) -> Result<(), ContractError>;
+
+    /// The active gas schedule (for computing custom charges).
+    fn schedule(&self) -> &GasSchedule;
+
+    /// Gas consumed so far in this call.
+    fn gas_used(&self) -> Gas;
+}
+
+/// A deployable contract. Implementations are **stateless**: all persistent
+/// data must go through [`Storage`].
+pub trait Contract: Send + Sync {
+    /// The registry identifier for this code.
+    fn code_id(&self) -> &'static str;
+
+    /// Dispatches a method call.
+    ///
+    /// The special method `"init"` is invoked once at deployment.
+    ///
+    /// # Errors
+    ///
+    /// See [`ContractError`]; any error reverts the call's state changes.
+    fn call(
+        &self,
+        env: &Env,
+        method: &str,
+        args: &[u8],
+        storage: &mut dyn Storage,
+    ) -> Result<Vec<u8>, ContractError>;
+}
+
+/// The host-side [`Storage`] implementation backing a single call.
+///
+/// Public so that contract crates can unit-test their logic against a real
+/// metered storage without standing up a full chain.
+pub struct HostStorage<'a> {
+    /// The world state being mutated.
+    pub world: &'a mut WorldState,
+    /// The call's gas meter.
+    pub meter: &'a mut GasMeter,
+    /// The active cost schedule.
+    pub schedule: &'a GasSchedule,
+    /// The executing contract's account (storage namespace).
+    pub contract: AccountId,
+    /// Events emitted so far.
+    pub events: Vec<Event>,
+    /// Transfers executed by the contract; applied immediately to `world`
+    /// (the caller holds a pre-call snapshot for revert).
+    pub transfers: Vec<(AccountId, u128)>,
+}
+
+impl Storage for HostStorage<'_> {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ContractError> {
+        self.meter.charge(self.schedule.storage_read)?;
+        Ok(self.world.storage_get(&self.contract, key).cloned())
+    }
+
+    fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), ContractError> {
+        let exists = self.world.storage_get(&self.contract, key).is_some();
+        let base = if exists {
+            self.schedule.storage_write_existing
+        } else {
+            self.schedule.storage_write_new
+        };
+        let byte_cost = self.schedule.storage_byte * (value.len() as u64).saturating_sub(32);
+        self.meter.charge(base + byte_cost)?;
+        self.world
+            .storage_set(self.contract, key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &[u8]) -> Result<(), ContractError> {
+        self.meter.charge(self.schedule.storage_delete)?;
+        self.world.storage_remove(&self.contract, key);
+        Ok(())
+    }
+
+    fn emit(&mut self, topic: &str, data: Vec<u8>) -> Result<(), ContractError> {
+        self.meter.charge(
+            self.schedule.log_base + self.schedule.log_byte * (topic.len() + data.len()) as u64,
+        )?;
+        self.events.push(Event {
+            contract: self.contract,
+            topic: topic.to_string(),
+            data,
+        });
+        Ok(())
+    }
+
+    fn transfer_out(&mut self, to: AccountId, value: u128) -> Result<(), ContractError> {
+        self.meter.charge(self.schedule.transfer)?;
+        let available = self.world.balance(&self.contract);
+        if available < value {
+            return Err(ContractError::InsufficientContractBalance {
+                available,
+                requested: value,
+            });
+        }
+        self.world
+            .transfer(self.contract, to, value)
+            .expect("balance checked above");
+        self.transfers.push((to, value));
+        Ok(())
+    }
+
+    fn contract_balance(&self) -> u128 {
+        self.world.balance(&self.contract)
+    }
+
+    fn charge(&mut self, gas: Gas) -> Result<(), ContractError> {
+        self.meter.charge(gas)?;
+        Ok(())
+    }
+
+    fn schedule(&self) -> &GasSchedule {
+        self.schedule
+    }
+
+    fn gas_used(&self) -> Gas {
+        self.meter.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host<'a>(
+        world: &'a mut WorldState,
+        meter: &'a mut GasMeter,
+        schedule: &'a GasSchedule,
+    ) -> HostStorage<'a> {
+        HostStorage {
+            world,
+            meter,
+            schedule,
+            contract: AccountId([0xCC; 20]),
+            events: Vec::new(),
+            transfers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn storage_ops_charge_gas() {
+        let mut world = WorldState::new();
+        let mut meter = GasMeter::new(1_000_000);
+        let schedule = GasSchedule::evm_shaped();
+        let mut storage = host(&mut world, &mut meter, &schedule);
+
+        storage.set(b"k", b"v").unwrap();
+        let after_new_write = storage.gas_used();
+        assert_eq!(after_new_write, schedule.storage_write_new);
+
+        storage.set(b"k", b"v2").unwrap();
+        assert_eq!(
+            storage.gas_used(),
+            after_new_write + schedule.storage_write_existing
+        );
+
+        assert_eq!(storage.get(b"k").unwrap().unwrap(), b"v2");
+        storage.remove(b"k").unwrap();
+        assert!(storage.get(b"k").unwrap().is_none());
+    }
+
+    #[test]
+    fn long_values_cost_more() {
+        let mut world = WorldState::new();
+        let mut meter = GasMeter::new(10_000_000);
+        let schedule = GasSchedule::evm_shaped();
+        let mut storage = host(&mut world, &mut meter, &schedule);
+        storage.set(b"a", &[0u8; 32]).unwrap();
+        let small = storage.gas_used();
+        storage.set(b"b", &[0u8; 132]).unwrap();
+        let big = storage.gas_used() - small;
+        assert_eq!(
+            big,
+            schedule.storage_write_new + 100 * schedule.storage_byte
+        );
+    }
+
+    #[test]
+    fn out_of_gas_surfaces() {
+        let mut world = WorldState::new();
+        let mut meter = GasMeter::new(10);
+        let schedule = GasSchedule::evm_shaped();
+        let mut storage = host(&mut world, &mut meter, &schedule);
+        assert!(matches!(
+            storage.set(b"k", b"v"),
+            Err(ContractError::OutOfGas(_))
+        ));
+    }
+
+    #[test]
+    fn events_recorded() {
+        let mut world = WorldState::new();
+        let mut meter = GasMeter::new(1_000_000);
+        let schedule = GasSchedule::evm_shaped();
+        let mut storage = host(&mut world, &mut meter, &schedule);
+        storage.emit("Deposited", vec![1, 2, 3]).unwrap();
+        assert_eq!(storage.events.len(), 1);
+        assert_eq!(storage.events[0].topic, "Deposited");
+    }
+
+    #[test]
+    fn transfer_out_moves_balance() {
+        let mut world = WorldState::new();
+        let contract_id = AccountId([0xCC; 20]);
+        world.credit(contract_id, 100);
+        let mut meter = GasMeter::new(1_000_000);
+        let schedule = GasSchedule::evm_shaped();
+        let mut storage = host(&mut world, &mut meter, &schedule);
+        let dest = AccountId([0x01; 20]);
+        storage.transfer_out(dest, 60).unwrap();
+        assert_eq!(storage.contract_balance(), 40);
+        assert!(matches!(
+            storage.transfer_out(dest, 41),
+            Err(ContractError::InsufficientContractBalance { .. })
+        ));
+        drop(storage);
+        assert_eq!(world.balance(&dest), 60);
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            ContractError::Revert("nope".into()),
+            ContractError::UnknownMethod("m".into()),
+            ContractError::BadArguments(CodecError::UnexpectedEnd),
+            ContractError::InsufficientContractBalance {
+                available: 1,
+                requested: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Gas metering with an EVM-shaped cost schedule.
+//!
+//! The BTCFast evaluation's fee claims reduce to a gas table for PayJudger
+//! operations, so the schedule mirrors the dominant EVM cost sources:
+//! intrinsic transaction cost, calldata bytes, storage reads/writes/deletes,
+//! hashing, signature checks, and log emission.
+
+use std::error::Error;
+use std::fmt;
+
+/// A quantity of gas.
+pub type Gas = u64;
+
+/// Cost schedule (units: gas).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GasSchedule {
+    /// Flat cost of any transaction (EVM: 21000).
+    pub tx_intrinsic: Gas,
+    /// Per calldata byte (EVM charges 16 per nonzero byte; we use a flat 16).
+    pub calldata_byte: Gas,
+    /// Storage read (EVM cold SLOAD: 2100).
+    pub storage_read: Gas,
+    /// Storage write to a fresh slot (EVM SSTORE set: 20000).
+    pub storage_write_new: Gas,
+    /// Storage overwrite (EVM SSTORE reset: 2900).
+    pub storage_write_existing: Gas,
+    /// Storage delete (refunds exist in the EVM; we charge a small cost).
+    pub storage_delete: Gas,
+    /// Per stored byte beyond the first 32 of a value.
+    pub storage_byte: Gas,
+    /// One SHA-256 application over <= 64 bytes (EVM precompile-ish: 60+12/word).
+    pub hash_base: Gas,
+    /// Per 32-byte word hashed.
+    pub hash_word: Gas,
+    /// One ECDSA verification (EVM ecrecover precompile: 3000).
+    pub ecdsa_verify: Gas,
+    /// Emitting a log/event (EVM LOG1 base: 750) plus per-byte below.
+    pub log_base: Gas,
+    /// Per event data byte (EVM: 8).
+    pub log_byte: Gas,
+    /// Base cost of verifying one 88-byte PoW header inside a contract
+    /// (two SHA-256 compressions + compact-target math; calibrated against
+    /// the BTCRelay per-header figure of roughly 60-100k gas when combined
+    /// with its storage writes).
+    pub header_verify: Gas,
+    /// Value transfer initiated by a contract (EVM CALL with value: 9000).
+    pub transfer: Gas,
+    /// Contract deployment surcharge (EVM create: 32000).
+    pub deploy: Gas,
+}
+
+impl GasSchedule {
+    /// The default EVM-shaped schedule.
+    pub fn evm_shaped() -> GasSchedule {
+        GasSchedule {
+            tx_intrinsic: 21_000,
+            calldata_byte: 16,
+            storage_read: 2_100,
+            storage_write_new: 20_000,
+            storage_write_existing: 2_900,
+            storage_delete: 5_000,
+            storage_byte: 8,
+            hash_base: 60,
+            hash_word: 12,
+            ecdsa_verify: 3_000,
+            log_base: 750,
+            log_byte: 8,
+            header_verify: 3_200,
+            transfer: 9_000,
+            deploy: 32_000,
+        }
+    }
+
+    /// Cost of hashing `len` bytes.
+    pub fn hash_cost(&self, len: usize) -> Gas {
+        self.hash_base + self.hash_word * (len as u64).div_ceil(32)
+    }
+}
+
+impl Default for GasSchedule {
+    fn default() -> Self {
+        GasSchedule::evm_shaped()
+    }
+}
+
+/// Raised when a transaction exhausts its gas limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfGas {
+    /// The limit that was exhausted.
+    pub limit: Gas,
+    /// The charge that pushed past the limit.
+    pub attempted: Gas,
+}
+
+impl fmt::Display for OutOfGas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of gas: limit {}, attempted charge of {}",
+            self.limit, self.attempted
+        )
+    }
+}
+
+impl Error for OutOfGas {}
+
+/// A gas meter: charges against a limit and records usage.
+#[derive(Clone, Debug)]
+pub struct GasMeter {
+    limit: Gas,
+    used: Gas,
+}
+
+impl GasMeter {
+    /// Creates a meter with the given limit.
+    pub fn new(limit: Gas) -> GasMeter {
+        GasMeter { limit, used: 0 }
+    }
+
+    /// Gas consumed so far.
+    pub fn used(&self) -> Gas {
+        self.used
+    }
+
+    /// Gas remaining.
+    pub fn remaining(&self) -> Gas {
+        self.limit - self.used
+    }
+
+    /// The limit.
+    pub fn limit(&self) -> Gas {
+        self.limit
+    }
+
+    /// Charges `amount` gas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfGas`] if the charge exceeds the remaining budget; the
+    /// meter is pinned at the limit so the full limit is billed.
+    pub fn charge(&mut self, amount: Gas) -> Result<(), OutOfGas> {
+        if amount > self.remaining() {
+            self.used = self.limit;
+            return Err(OutOfGas {
+                limit: self.limit,
+                attempted: amount,
+            });
+        }
+        self.used += amount;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn meter_charges_and_reports() {
+        let mut meter = GasMeter::new(100);
+        meter.charge(30).unwrap();
+        assert_eq!(meter.used(), 30);
+        assert_eq!(meter.remaining(), 70);
+        meter.charge(70).unwrap();
+        assert_eq!(meter.remaining(), 0);
+    }
+
+    #[test]
+    fn out_of_gas_pins_to_limit() {
+        let mut meter = GasMeter::new(100);
+        meter.charge(90).unwrap();
+        let err = meter.charge(20).unwrap_err();
+        assert_eq!(err.limit, 100);
+        assert_eq!(err.attempted, 20);
+        assert_eq!(meter.used(), 100);
+        assert_eq!(meter.remaining(), 0);
+    }
+
+    #[test]
+    fn hash_cost_scales_by_word() {
+        let s = GasSchedule::evm_shaped();
+        assert_eq!(s.hash_cost(0), s.hash_base);
+        assert_eq!(s.hash_cost(1), s.hash_base + s.hash_word);
+        assert_eq!(s.hash_cost(32), s.hash_base + s.hash_word);
+        assert_eq!(s.hash_cost(33), s.hash_base + 2 * s.hash_word);
+        assert_eq!(s.hash_cost(64), s.hash_base + 2 * s.hash_word);
+    }
+
+    #[test]
+    fn default_is_evm_shaped() {
+        assert_eq!(GasSchedule::default(), GasSchedule::evm_shaped());
+    }
+
+    #[test]
+    fn schedule_orders_match_evm_intuition() {
+        let s = GasSchedule::evm_shaped();
+        assert!(s.storage_write_new > s.storage_write_existing);
+        assert!(s.storage_write_existing > s.storage_read / 2);
+        assert!(s.tx_intrinsic > s.ecdsa_verify);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_meter_used_never_exceeds_limit(limit in 0u64..1_000_000,
+                                               charges in proptest::collection::vec(0u64..10_000, 0..50)) {
+            let mut meter = GasMeter::new(limit);
+            for c in charges {
+                let _ = meter.charge(c);
+            }
+            prop_assert!(meter.used() <= limit);
+            prop_assert_eq!(meter.remaining(), limit - meter.used());
+        }
+    }
+}

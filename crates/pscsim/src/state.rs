@@ -1,0 +1,256 @@
+//! The world state: accounts and contract storage.
+
+use crate::account::{Account, AccountId};
+use btcfast_crypto::sha256::Sha256;
+use btcfast_crypto::Hash256;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Balance movement failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateError {
+    /// Debit larger than the account balance.
+    InsufficientBalance {
+        /// The account debited.
+        account: AccountId,
+        /// Balance available.
+        available: u128,
+        /// Amount requested.
+        requested: u128,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::InsufficientBalance {
+                account,
+                available,
+                requested,
+            } => write!(
+                f,
+                "insufficient balance on {account}: have {available}, need {requested}"
+            ),
+        }
+    }
+}
+
+impl Error for StateError {}
+
+/// Accounts plus per-contract key/value storage.
+///
+/// `BTreeMap`s keep iteration deterministic, which makes the state
+/// commitment reproducible across runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorldState {
+    accounts: BTreeMap<AccountId, Account>,
+    storage: BTreeMap<(AccountId, Vec<u8>), Vec<u8>>,
+}
+
+impl WorldState {
+    /// Creates an empty state.
+    pub fn new() -> WorldState {
+        WorldState::default()
+    }
+
+    /// Read-only account lookup.
+    pub fn account(&self, id: &AccountId) -> Option<&Account> {
+        self.accounts.get(id)
+    }
+
+    /// Mutable account access, creating a default record on first touch.
+    pub fn account_mut(&mut self, id: AccountId) -> &mut Account {
+        self.accounts.entry(id).or_default()
+    }
+
+    /// Balance of an account (0 when absent).
+    pub fn balance(&self, id: &AccountId) -> u128 {
+        self.accounts.get(id).map(|a| a.balance).unwrap_or(0)
+    }
+
+    /// Nonce of an account (0 when absent).
+    pub fn nonce(&self, id: &AccountId) -> u64 {
+        self.accounts.get(id).map(|a| a.nonce).unwrap_or(0)
+    }
+
+    /// Credits an account.
+    pub fn credit(&mut self, id: AccountId, amount: u128) {
+        let account = self.account_mut(id);
+        account.balance = account
+            .balance
+            .checked_add(amount)
+            .expect("simulated supply cannot overflow u128");
+    }
+
+    /// Debits an account.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::InsufficientBalance`] if the balance is short.
+    pub fn debit(&mut self, id: AccountId, amount: u128) -> Result<(), StateError> {
+        let balance = self.balance(&id);
+        if balance < amount {
+            return Err(StateError::InsufficientBalance {
+                account: id,
+                available: balance,
+                requested: amount,
+            });
+        }
+        self.account_mut(id).balance = balance - amount;
+        Ok(())
+    }
+
+    /// Moves value between accounts atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::InsufficientBalance`] if `from` is short; no
+    /// state changes in that case.
+    pub fn transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: u128,
+    ) -> Result<(), StateError> {
+        self.debit(from, amount)?;
+        self.credit(to, amount);
+        Ok(())
+    }
+
+    /// Reads a contract storage slot.
+    pub fn storage_get(&self, contract: &AccountId, key: &[u8]) -> Option<&Vec<u8>> {
+        self.storage.get(&(*contract, key.to_vec()))
+    }
+
+    /// Writes a contract storage slot, returning the previous value.
+    pub fn storage_set(
+        &mut self,
+        contract: AccountId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    ) -> Option<Vec<u8>> {
+        self.storage.insert((contract, key), value)
+    }
+
+    /// Deletes a contract storage slot, returning the previous value.
+    pub fn storage_remove(&mut self, contract: &AccountId, key: &[u8]) -> Option<Vec<u8>> {
+        self.storage.remove(&(*contract, key.to_vec()))
+    }
+
+    /// Number of live storage slots (diagnostics).
+    pub fn storage_len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// A deterministic commitment over the full state (hash of the sorted
+    /// account and storage entries) — stands in for a Merkle-Patricia root.
+    pub fn commitment(&self) -> Hash256 {
+        let mut hasher = Sha256::new();
+        for (id, account) in &self.accounts {
+            hasher.update(&id.0);
+            hasher.update(&account.balance.to_le_bytes());
+            hasher.update(&account.nonce.to_le_bytes());
+            if let Some(code_id) = &account.code_id {
+                hasher.update(code_id.as_bytes());
+            }
+            hasher.update(&[0xFE]); // account-record separator
+        }
+        for ((contract, key), value) in &self.storage {
+            hasher.update(&contract.0);
+            hasher.update(&(key.len() as u64).to_le_bytes());
+            hasher.update(key);
+            hasher.update(&(value.len() as u64).to_le_bytes());
+            hasher.update(value);
+        }
+        Hash256(hasher.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(tag: u8) -> AccountId {
+        AccountId([tag; 20])
+    }
+
+    #[test]
+    fn credit_debit() {
+        let mut state = WorldState::new();
+        state.credit(id(1), 100);
+        assert_eq!(state.balance(&id(1)), 100);
+        state.debit(id(1), 40).unwrap();
+        assert_eq!(state.balance(&id(1)), 60);
+    }
+
+    #[test]
+    fn overdraft_rejected() {
+        let mut state = WorldState::new();
+        state.credit(id(1), 10);
+        let err = state.debit(id(1), 11).unwrap_err();
+        assert!(matches!(err, StateError::InsufficientBalance { .. }));
+        assert_eq!(state.balance(&id(1)), 10);
+    }
+
+    #[test]
+    fn transfer_atomicity() {
+        let mut state = WorldState::new();
+        state.credit(id(1), 50);
+        state.transfer(id(1), id(2), 20).unwrap();
+        assert_eq!(state.balance(&id(1)), 30);
+        assert_eq!(state.balance(&id(2)), 20);
+        assert!(state.transfer(id(1), id(2), 100).is_err());
+        assert_eq!(state.balance(&id(1)), 30);
+        assert_eq!(state.balance(&id(2)), 20);
+    }
+
+    #[test]
+    fn storage_round_trip() {
+        let mut state = WorldState::new();
+        assert!(state.storage_get(&id(3), b"k").is_none());
+        assert!(state
+            .storage_set(id(3), b"k".to_vec(), b"v1".to_vec())
+            .is_none());
+        assert_eq!(state.storage_get(&id(3), b"k").unwrap(), b"v1");
+        assert_eq!(
+            state.storage_set(id(3), b"k".to_vec(), b"v2".to_vec()),
+            Some(b"v1".to_vec())
+        );
+        assert_eq!(state.storage_remove(&id(3), b"k"), Some(b"v2".to_vec()));
+        assert!(state.storage_get(&id(3), b"k").is_none());
+    }
+
+    #[test]
+    fn storage_isolated_per_contract() {
+        let mut state = WorldState::new();
+        state.storage_set(id(1), b"k".to_vec(), b"a".to_vec());
+        state.storage_set(id(2), b"k".to_vec(), b"b".to_vec());
+        assert_eq!(state.storage_get(&id(1), b"k").unwrap(), b"a");
+        assert_eq!(state.storage_get(&id(2), b"k").unwrap(), b"b");
+    }
+
+    #[test]
+    fn commitment_changes_with_state() {
+        let mut state = WorldState::new();
+        let c0 = state.commitment();
+        state.credit(id(1), 1);
+        let c1 = state.commitment();
+        assert_ne!(c0, c1);
+        state.storage_set(id(1), b"k".to_vec(), b"v".to_vec());
+        let c2 = state.commitment();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn commitment_deterministic() {
+        let mut a = WorldState::new();
+        let mut b = WorldState::new();
+        // Different insertion orders, same content.
+        a.credit(id(1), 5);
+        a.credit(id(2), 7);
+        b.credit(id(2), 7);
+        b.credit(id(1), 5);
+        assert_eq!(a.commitment(), b.commitment());
+    }
+}

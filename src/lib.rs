@@ -1,0 +1,35 @@
+//! # btcfast-suite
+//!
+//! Umbrella crate for the BTCFast reproduction (Lei, Xie, Tu, Liu —
+//! "An Inter-blockchain Escrow Approach for Fast Bitcoin Payment",
+//! ICDCS 2020).
+//!
+//! Re-exports every workspace crate under one roof and hosts the
+//! repo-level `examples/` and integration `tests/`. Start with
+//! [`protocol::FastPaySession`] or run `cargo run --example quickstart`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use btcfast as protocol;
+pub use btcfast_analysis as analysis;
+pub use btcfast_btcsim as btcsim;
+pub use btcfast_crypto as crypto;
+pub use btcfast_netsim as netsim;
+pub use btcfast_payjudger as payjudger;
+pub use btcfast_pscsim as pscsim;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_crates_reachable() {
+        // A smoke test that the re-export surface links.
+        let _ = crate::crypto::sha256::sha256(b"suite");
+        let _ = crate::btcsim::params::ChainParams::regtest();
+        let _ = crate::pscsim::params::PscParams::ethereum_like();
+        let _ = crate::analysis::nakamoto::attack_success(0.1, 6);
+        let _ = crate::netsim::time::SimTime::ZERO;
+        let _ = crate::payjudger::contract::CODE_ID;
+        let _ = crate::protocol::SessionConfig::default();
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based integration tests: escrow safety invariants under random
+//! operation sequences driven against the real contract.
+
+use btcfast_suite::crypto::keys::KeyPair;
+use btcfast_suite::crypto::Hash256;
+use btcfast_suite::payjudger::contract::PayJudger;
+use btcfast_suite::payjudger::types::JudgerConfig;
+use btcfast_suite::payjudger::PayJudgerClient;
+use btcfast_suite::pscsim::params::PscParams;
+use btcfast_suite::pscsim::PscChain;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random operations a customer/merchant pair may attempt.
+#[derive(Debug, Clone)]
+enum Op {
+    Deposit(u128),
+    OpenPayment { collateral: u128 },
+    Ack { payment_id: u64 },
+    Close { payment_id: u64 },
+    Withdraw(u128),
+    AdvanceTime(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1_000u128..1_000_000).prop_map(Op::Deposit),
+        (1u128..500_000).prop_map(|collateral| Op::OpenPayment { collateral }),
+        (0u64..6).prop_map(|payment_id| Op::Ack { payment_id }),
+        (0u64..6).prop_map(|payment_id| Op::Close { payment_id }),
+        (1u128..2_000_000).prop_map(Op::Withdraw),
+        (10u64..5_000).prop_map(Op::AdvanceTime),
+    ]
+}
+
+struct World {
+    psc: PscChain,
+    judger: PayJudgerClient,
+    customer: KeyPair,
+    merchant: KeyPair,
+    time: u64,
+}
+
+impl World {
+    fn new(seed: u64) -> World {
+        let mut psc = PscChain::new(PscParams::ethereum_like());
+        psc.register_code(Arc::new(PayJudger));
+        let customer = KeyPair::from_seed(&seed.to_le_bytes());
+        let merchant = KeyPair::from_seed(&(seed ^ 0xFFFF).to_le_bytes());
+        psc.faucet(customer.address().into(), u128::MAX / 4);
+        psc.faucet(merchant.address().into(), u128::MAX / 4);
+        let config = JudgerConfig {
+            checkpoint: Hash256::ZERO,
+            min_target_bits: 0x2000ffff,
+            challenge_window_secs: 600,
+            min_evidence_blocks: 6,
+        };
+        let deploy = PayJudgerClient::deploy_tx(&customer, 0, &config, 1);
+        let hash = psc.submit_transaction(deploy).unwrap();
+        psc.produce_block(1);
+        let contract = psc.receipt(&hash).unwrap().contract_address.unwrap();
+        World {
+            psc,
+            judger: PayJudgerClient::new(contract, 1),
+            customer,
+            merchant,
+            time: 1,
+        }
+    }
+
+    fn run(&mut self, tx: btcfast_suite::pscsim::tx::PscTransaction) {
+        // Any individual op may legitimately revert; invariants must hold
+        // regardless.
+        let _ = self.psc.submit_transaction(tx);
+        self.time += 15;
+        self.psc.produce_block(self.time);
+    }
+
+    fn apply(&mut self, op: &Op) {
+        let customer_id = self.customer.address().into();
+        let nonce_c = self.psc.nonce_of(&customer_id);
+        let nonce_m = self.psc.nonce_of(&self.merchant.address().into());
+        match op {
+            Op::Deposit(value) => {
+                let tx = self.judger.deposit_tx(&self.customer, nonce_c, *value);
+                self.run(tx);
+            }
+            Op::OpenPayment { collateral } => {
+                let tx = self.judger.open_payment_tx(
+                    &self.customer,
+                    nonce_c,
+                    self.merchant.address().into(),
+                    Hash256([7; 32]),
+                    1_000,
+                    *collateral,
+                );
+                self.run(tx);
+            }
+            Op::Ack { payment_id } => {
+                let tx =
+                    self.judger
+                        .ack_payment_tx(&self.merchant, nonce_m, customer_id, *payment_id);
+                self.run(tx);
+            }
+            Op::Close { payment_id } => {
+                let tx = self
+                    .judger
+                    .close_payment_tx(&self.customer, nonce_c, *payment_id);
+                self.run(tx);
+            }
+            Op::Withdraw(amount) => {
+                let tx = self.judger.withdraw_tx(&self.customer, nonce_c, *amount);
+                self.run(tx);
+            }
+            Op::AdvanceTime(secs) => {
+                self.time += secs;
+                self.psc.produce_block(self.time);
+            }
+        }
+    }
+
+    /// The safety invariants that must hold after every operation.
+    fn check_invariants(&self) {
+        if let Ok(escrow) = self
+            .judger
+            .escrow(&self.psc, self.customer.address().into())
+        {
+            // Locked never exceeds balance.
+            assert!(
+                escrow.locked <= escrow.balance,
+                "locked {} > balance {}",
+                escrow.locked,
+                escrow.balance
+            );
+            // The contract account actually holds at least the escrow
+            // balance (no fractional-reserve judger).
+            let held = self.psc.balance_of(&self.judger.contract);
+            assert!(
+                held >= escrow.balance,
+                "contract holds {held} < escrow balance {}",
+                escrow.balance
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn escrow_invariants_hold_under_random_ops(
+        seed in 0u64..1_000,
+        ops in proptest::collection::vec(arb_op(), 1..25),
+    ) {
+        let mut world = World::new(seed);
+        for op in &ops {
+            world.apply(op);
+            world.check_invariants();
+        }
+    }
+}

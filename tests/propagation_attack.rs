@@ -1,0 +1,160 @@
+//! Integration: the classic propagation-based fast-payment attack
+//! (Karame et al.) — no secret mining required. The attacker hands the
+//! merchant the payment while simultaneously relaying a conflicting spend
+//! to the miners; the merchant's mempool is clean at acceptance time and
+//! the conflict confirms first.
+//!
+//! Plain 0-conf loses the payment outright. BTCFast turns the same event
+//! into a compensated dispute.
+
+use btcfast_suite::btcsim::node::Node;
+use btcfast_suite::btcsim::spv::SpvEvidence;
+use btcfast_suite::btcsim::Amount;
+use btcfast_suite::netsim::time::SimTime;
+use btcfast_suite::payjudger::types::DisputeVerdict;
+use btcfast_suite::payjudger::PayJudgerClient;
+use btcfast_suite::protocol::{FastPaySession, SessionConfig};
+
+#[test]
+fn propagation_double_spend_is_detected_and_compensated() {
+    let mut config = SessionConfig::default();
+    config.challenge_window_secs = 7200;
+    let mut session = FastPaySession::new(config, 900);
+    let customer_id = session.customer.psc_account();
+
+    // The merchant runs their own node; the session's mempool plays the
+    // miners' view. Network propagation is what the attacker exploits.
+    let mut merchant_node = Node::from_chain(session.btc.clone());
+
+    // The attacker builds both transactions up front.
+    let pay = session
+        .customer
+        .build_btc_payment(
+            &session.btc,
+            session.merchant.btc_wallet().address(),
+            Amount::from_sats(1_000_000).unwrap(),
+            Amount::from_sats(1_000).unwrap(),
+            None,
+        )
+        .unwrap();
+    let steal = session.customer.btc_wallet().create_conflicting_spend(
+        &session.btc,
+        &pay,
+        Amount::from_sats(5_000).unwrap(),
+    );
+
+    // Register the payment intent honestly (the escrow sees nothing odd).
+    let open = session.customer.build_open_payment(
+        &session.judger,
+        &session.psc,
+        session.merchant.psc_account(),
+        pay.txid(),
+        1_000_000,
+        1_200_000,
+    );
+    let receipt = session.run_psc_tx(open);
+    assert!(receipt.status.is_success());
+    let payment_id = PayJudgerClient::payment_id_from(&receipt).unwrap();
+
+    // Split-relay: `steal` to the miners, `pay` only to the merchant.
+    session
+        .mempool
+        .insert(
+            steal.clone(),
+            session.btc.utxo(),
+            session.btc.height() + 1,
+            session.clock.as_secs(),
+        )
+        .unwrap();
+    merchant_node
+        .submit_transaction(pay.clone(), session.clock.as_secs())
+        .unwrap();
+
+    // The merchant's view is clean: the offer passes every check.
+    let offer = session
+        .customer
+        .make_offer(pay.clone(), payment_id, 1_000_000);
+    let decision = session.merchant.evaluate_offer(
+        &offer,
+        merchant_node.chain(),
+        merchant_node.mempool(),
+        &session.psc,
+        &session.judger,
+    );
+    assert!(
+        decision.is_ok(),
+        "merchant cannot see the conflict: {decision:?}"
+    );
+
+    // The miners confirm the conflicting spend.
+    session.advance_clock(SimTime::from_secs(600));
+    session.mine_public_block();
+    assert_eq!(session.btc.confirmations(&steal.txid()), Some(1));
+
+    // The block propagates to the merchant's node; the payment's coins are
+    // gone and the mempool copy was purged as conflicted.
+    let tip = session
+        .btc
+        .block_at_height(session.btc.height())
+        .unwrap()
+        .clone();
+    merchant_node
+        .submit_block(tip, session.clock.as_secs())
+        .unwrap();
+    assert!(session.merchant.detect_double_spend(
+        &pay,
+        merchant_node.chain(),
+        merchant_node.mempool()
+    ));
+
+    // Dispute → evidence (the heaviest chain lacks the payment) → verdict.
+    let dispute =
+        session
+            .merchant
+            .build_dispute(&session.judger, &session.psc, customer_id, payment_id);
+    assert!(session.run_psc_tx(dispute).status.is_success());
+    // Bury the conflicting spend Δ deep so the evidence is conclusive.
+    for _ in 0..6 {
+        session.advance_clock(SimTime::from_secs(600));
+        session.mine_public_block();
+    }
+    let evidence = SpvEvidence::from_chain(
+        merchant_node.chain(),
+        1,
+        merchant_node.chain().height(),
+        Some(&pay.txid()),
+    );
+    // Refresh the merchant node view (blocks mined above went to session.btc).
+    let evidence = if evidence.segment.len() < session.btc.height() as usize {
+        SpvEvidence::from_chain(&session.btc, 1, session.btc.height(), Some(&pay.txid()))
+    } else {
+        evidence
+    };
+    assert!(
+        evidence.inclusion.is_none(),
+        "the payment is not on the chain"
+    );
+    let submit = session.merchant.build_evidence_submission(
+        &session.judger,
+        &session.psc,
+        customer_id,
+        payment_id,
+        evidence,
+    );
+    assert!(session.run_psc_tx(submit).status.is_success());
+
+    session.advance_clock(SimTime::from_secs(7300));
+    let judge =
+        session
+            .merchant
+            .build_judge(&session.judger, &session.psc, customer_id, payment_id);
+    let receipt = session.run_psc_tx(judge);
+    assert_eq!(
+        PayJudgerClient::verdict_from(&receipt),
+        Some(DisputeVerdict::MerchantWins)
+    );
+
+    // Collateral (ratio 1.2) covers the stolen 1,000,000 sats.
+    let escrow = session.judger.escrow(&session.psc, customer_id).unwrap();
+    assert_eq!(escrow.balance, session.config.escrow_deposit - 1_200_000);
+}
