@@ -3,6 +3,7 @@
 //! Every module exposes `run(quick: bool) -> Vec<Table>`; `quick` trims
 //! trial counts so the experiment suite can run inside the test suite.
 
+pub mod e10_robustness;
 pub mod e1_waiting_time;
 pub mod e2_double_spend;
 pub mod e3_btcfast_security;
@@ -15,7 +16,7 @@ pub mod e9_judgment_accuracy;
 
 use crate::table::Table;
 
-/// Runs one experiment by id ("e1".."e9") or all of them ("all").
+/// Runs one experiment by id ("e1".."e10") or all of them ("all").
 ///
 /// Returns the rendered tables; unknown ids return an empty list.
 pub fn run(id: &str, quick: bool) -> Vec<Table> {
@@ -29,9 +30,10 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
         "e7" => e7_latency_cdf::run(quick),
         "e8" => e8_collateral::run(quick),
         "e9" => e9_judgment_accuracy::run(quick),
+        "e10" => e10_robustness::run(quick),
         "all" => {
             let mut tables = Vec::new();
-            for id in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"] {
+            for id in ALL_IDS {
                 tables.extend(run(id, quick));
             }
             tables
@@ -41,7 +43,7 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
 }
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+pub const ALL_IDS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 #[cfg(test)]
 mod tests {

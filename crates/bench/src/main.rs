@@ -14,7 +14,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "quick" || a == "--quick");
 
     if id == "--help" || id == "-h" {
-        println!("usage: harness [e1..e9|all] [quick]");
+        println!("usage: harness [e1..e10|all] [quick]");
         for id in experiments::ALL_IDS {
             println!("  {id}");
         }

@@ -73,10 +73,10 @@ impl U256 {
     pub fn checked_add(&self, rhs: &U256) -> Option<U256> {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *limb = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         if carry != 0 {
@@ -90,10 +90,10 @@ impl U256 {
     pub fn checked_sub(&self, rhs: &U256) -> Option<U256> {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         if borrow != 0 {
@@ -107,9 +107,9 @@ impl U256 {
     pub fn saturating_mul_u64(&self, rhs: u64) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let t = (self.0[i] as u128) * (rhs as u128) + carry;
-            out[i] = t as u64;
+            *limb = t as u64;
             carry = t >> 64;
         }
         if carry != 0 {
@@ -240,10 +240,10 @@ impl Shr<u32> for U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..(4 - limb_shift) {
-            out[i] = self.0[i + limb_shift] >> bit_shift;
+        for (i, limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
+            *limb = self.0[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
-                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                *limb |= self.0[i + limb_shift + 1] << (64 - bit_shift);
             }
         }
         U256(out)

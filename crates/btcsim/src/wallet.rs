@@ -108,7 +108,7 @@ impl Wallet {
                 available: self.balance(chain),
             })?;
         let mut coins = self.spendable(chain);
-        coins.sort_by(|a, b| b.1.value.cmp(&a.1.value)); // largest first
+        coins.sort_by_key(|c| std::cmp::Reverse(c.1.value)); // largest first
 
         let mut selected: Vec<(OutPoint, Coin)> = Vec::new();
         let mut total = Amount::ZERO;

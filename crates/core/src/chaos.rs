@@ -1,0 +1,682 @@
+//! Chaos-mode protocol sessions: the escrow flow under fault injection.
+//!
+//! [`ChaosSession`] wraps a [`FastPaySession`] and routes every
+//! network-crossing protocol phase — open-payment registration, offer
+//! delivery, acceptance, dispute open, evidence submission, judge call —
+//! through a reliable [`Transport`] while a seeded
+//! [`FaultPlan`] injects loss windows, partitions, crashes, and PSC
+//! block-production stalls. Three nodes live on the chaos fabric:
+//! customer (`node0`), merchant (`node1`), and the PSC endpoint
+//! (`node2`); a PSC call first travels caller → PSC node, so a partition
+//! around `node2` *is* "the chain is unreachable".
+//!
+//! Two invariants drive the design:
+//!
+//! * **Determinism.** All randomness (fault schedule, loss draws,
+//!   backoff jitter) descends from the run's `u64` seed. The transport's
+//!   event trace plus the plan's fingerprint replay byte-identically.
+//! * **Graceful degradation.** When escrow protection cannot be
+//!   established before the deadline, the merchant never silently
+//!   accepts an unprotected 0-conf payment: per
+//!   [`FallbackPolicy`] it either refuses the sale or degrades to the
+//!   classic k-confirmation baseline.
+
+use crate::config::SessionConfig;
+use crate::protocol::RejectReason;
+use crate::robustness::{ChaosConfig, FallbackPolicy, ProtocolPhase, RobustnessError};
+use crate::session::{FastPaySession, RaceOutcome, SessionError};
+use btcfast_btcsim::Amount;
+use btcfast_crypto::keys::KeyPair;
+use btcfast_crypto::Hash256;
+use btcfast_netsim::faults::{FaultAction, FaultPlan};
+use btcfast_netsim::network::{Network, NodeId};
+use btcfast_netsim::time::SimTime;
+use btcfast_netsim::transport::{SendStatus, Transport, TransportStats};
+use btcfast_payjudger::client::CALL_GAS_LIMIT;
+use btcfast_payjudger::retry::{submit_with_retry, AttemptResult, RetryReport};
+use btcfast_payjudger::types::DisputeVerdict;
+use btcfast_payjudger::PayJudgerClient;
+use btcfast_pscsim::tx::PscTransaction;
+
+/// The customer's node on the chaos fabric.
+pub const CUSTOMER_NODE: NodeId = NodeId(0);
+/// The merchant's node on the chaos fabric.
+pub const MERCHANT_NODE: NodeId = NodeId(1);
+/// The PSC chain endpoint on the chaos fabric.
+pub const PSC_NODE: NodeId = NodeId(2);
+
+/// One resolved message phase: how long it took and how hard it was.
+#[derive(Clone, Copy, Debug)]
+struct PhaseDelivery {
+    /// Send → first arrival at the receiver.
+    arrival: SimTime,
+    /// Transmissions needed.
+    attempts: u32,
+}
+
+/// Report of one fast payment attempted under chaos.
+#[derive(Clone, Debug)]
+pub struct ChaosPaymentReport {
+    /// Did a sale complete (on either path)?
+    pub accepted: bool,
+    /// True when the escrow fast path protected the payment.
+    pub protected: bool,
+    /// True when the merchant degraded to the k-confirmation baseline.
+    pub fell_back: bool,
+    /// Point-of-sale waiting time (baseline waiting when degraded).
+    pub waiting: SimTime,
+    /// The BTC txid of the payment.
+    pub txid: Hash256,
+    /// The escrow payment id, when registration succeeded.
+    pub payment_id: Option<u64>,
+    /// Transmissions the offer needed.
+    pub offer_attempts: u32,
+    /// Transmissions the acceptance needed.
+    pub acceptance_attempts: u32,
+    /// The merchant's rejection, when the offer was refused on the merits.
+    pub reject: Option<RejectReason>,
+}
+
+/// Report of a double-spend attack resolved under chaos.
+#[derive(Clone, Debug)]
+pub struct ChaosDisputeReport {
+    /// The protected payment that was attacked.
+    pub payment: ChaosPaymentReport,
+    /// The BTC race outcome.
+    pub race: RaceOutcome,
+    /// The judgment, when a dispute ran to completion.
+    pub verdict: Option<DisputeVerdict>,
+    /// Did collateral reach the merchant?
+    pub merchant_compensated: bool,
+    /// Merchant's net loss in satoshis (negative = over-compensated).
+    pub merchant_net_loss_sats: i64,
+    /// PSC submissions the dispute call needed.
+    pub dispute_attempts: u32,
+    /// PSC submissions the evidence call needed.
+    pub evidence_attempts: u32,
+    /// PSC submissions the judge call needed.
+    pub judge_attempts: u32,
+    /// PSC gas fees the merchant paid across every dispute-path attempt.
+    pub merchant_fee_units: u128,
+    /// Dispute open → verdict, simulated.
+    pub dispute_duration: SimTime,
+}
+
+/// Escrow-side balances at one instant, for conservation checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EscrowSnapshot {
+    /// The customer's escrow balance inside the contract.
+    pub escrow_balance: u128,
+    /// The locked portion of that balance.
+    pub escrow_locked: u128,
+    /// The contract account's native balance.
+    pub contract_balance: u128,
+    /// The merchant's native balance.
+    pub merchant_balance: u128,
+}
+
+/// A [`FastPaySession`] driven through a reliable transport under a
+/// scripted fault plan. See the module docs.
+pub struct ChaosSession {
+    /// The wrapped protocol session.
+    pub session: FastPaySession,
+    /// Chaos knobs (deadlines, retry policy, fallback).
+    pub config: ChaosConfig,
+    transport: Transport<ProtocolPhase>,
+    plan: FaultPlan,
+    psc_stalled: bool,
+}
+
+impl ChaosSession {
+    /// Provisions a session (funded accounts, deployed judger, finalized
+    /// escrow) and a three-node chaos fabric, all seeded from `seed`.
+    pub fn new(
+        session_config: SessionConfig,
+        chaos_config: ChaosConfig,
+        plan: FaultPlan,
+        seed: u64,
+    ) -> ChaosSession {
+        let network = Network::new(3, session_config.latency);
+        let transport = Transport::new(
+            network,
+            chaos_config.transport.clone(),
+            seed ^ 0xC4A0_5CA0_5EED,
+        );
+        ChaosSession {
+            session: FastPaySession::new(session_config, seed),
+            config: chaos_config,
+            transport,
+            plan,
+            psc_stalled: false,
+        }
+    }
+
+    /// The transport's deterministic event trace (replay evidence).
+    pub fn event_trace(&self) -> &[String] {
+        self.transport.trace()
+    }
+
+    /// Transport counters (retransmissions, dedups, failures).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// The fault plan's canonical fingerprint.
+    pub fn plan_fingerprint(&self) -> String {
+        self.plan.fingerprint()
+    }
+
+    /// True while PSC block production is stalled by the fault plan.
+    pub fn psc_stalled(&self) -> bool {
+        self.psc_stalled
+    }
+
+    /// Escrow-side balances right now, for conservation assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the escrow does not exist (pre-provisioning).
+    pub fn escrow_snapshot(&self) -> EscrowSnapshot {
+        let session = &self.session;
+        let record = session
+            .judger
+            .escrow(&session.psc, session.customer.psc_account())
+            .expect("escrow provisioned");
+        EscrowSnapshot {
+            escrow_balance: record.balance,
+            escrow_locked: record.locked,
+            contract_balance: session.psc.balance_of(&session.judger.contract),
+            merchant_balance: session.psc.balance_of(&session.merchant.psc_account()),
+        }
+    }
+
+    /// One fast payment with every phase routed through the transport.
+    ///
+    /// When the PSC chain cannot be reached before
+    /// [`ChaosConfig::psc_deadline`] (or registration delivery fails),
+    /// the merchant degrades per [`ChaosConfig::fallback`] instead of
+    /// accepting unprotected 0-conf.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RobustnessError`] when a point-of-sale phase fails
+    /// outright (offer/acceptance undeliverable) or on session failures.
+    pub fn run_fast_payment_chaos(
+        &mut self,
+        amount_sats: u64,
+    ) -> Result<ChaosPaymentReport, RobustnessError> {
+        self.apply_faults_due(self.transport.now());
+
+        let amount = Amount::from_sats(amount_sats)
+            .map_err(|e| RobustnessError::Session(SessionError::Btc(e.to_string())))?;
+        let fee = Amount::from_sats(self.session.config.btc_fee_sats)
+            .map_err(|e| RobustnessError::Session(SessionError::Btc(e.to_string())))?;
+        let tx = self
+            .session
+            .customer
+            .build_btc_payment(
+                &self.session.btc,
+                self.session.merchant.btc_wallet().address(),
+                amount,
+                fee,
+                None,
+            )
+            .map_err(|e| RobustnessError::Session(SessionError::Btc(e.to_string())))?;
+        let txid = tx.txid();
+
+        // -- Registration (customer → PSC), with graceful degradation. ----
+        let collateral = self.session.config.required_collateral(amount_sats);
+        let registration = self.submit_psc_with_retry(
+            ProtocolPhase::OpenPayment,
+            CUSTOMER_NODE,
+            None,
+            |session, gas| {
+                let tx = session.customer.build_open_payment(
+                    &session.judger,
+                    &session.psc,
+                    session.merchant.psc_account(),
+                    txid,
+                    amount_sats,
+                    collateral,
+                );
+                regas(tx, gas, session.customer.psc_keys())
+            },
+        );
+        let payment_id = match registration {
+            Ok(report) => {
+                PayJudgerClient::payment_id_from(&report.receipt).expect("successful open")
+            }
+            Err(
+                RobustnessError::PscUnreachable { .. }
+                | RobustnessError::DeliveryFailed { .. }
+                | RobustnessError::DeadlineExceeded { .. },
+            ) => return self.degrade(amount_sats, txid),
+            Err(e) => return Err(e),
+        };
+
+        // -- Point of sale: offer → checks → acceptance over transport. ---
+        let offer_leg = self.drive_message(CUSTOMER_NODE, MERCHANT_NODE, ProtocolPhase::Offer)?;
+        self.session.advance_clock(offer_leg.arrival);
+
+        let offer = self
+            .session
+            .customer
+            .make_offer(tx.clone(), payment_id, amount_sats);
+        let decision = self.session.merchant.evaluate_offer(
+            &offer,
+            &self.session.btc,
+            &self.session.mempool,
+            &self.session.psc,
+            &self.session.judger,
+        );
+        let verify = SimTime::from_secs_f64(self.session.config.verify_secs);
+        self.session.advance_clock(verify);
+
+        let response_leg =
+            self.drive_message(MERCHANT_NODE, CUSTOMER_NODE, ProtocolPhase::Acceptance)?;
+        self.session.advance_clock(response_leg.arrival);
+
+        let waiting = offer_leg.arrival + verify + response_leg.arrival;
+        let (accepted, reject) = match decision {
+            Ok(_) => {
+                self.session
+                    .mempool
+                    .insert(
+                        tx,
+                        self.session.btc.utxo(),
+                        self.session.btc.height() + 1,
+                        self.session.clock.as_secs(),
+                    )
+                    .map_err(|e| RobustnessError::Session(SessionError::Btc(e.to_string())))?;
+                (true, None)
+            }
+            Err(reason) => (false, Some(reason)),
+        };
+
+        Ok(ChaosPaymentReport {
+            accepted,
+            protected: true,
+            fell_back: false,
+            waiting,
+            txid,
+            payment_id: Some(payment_id),
+            offer_attempts: offer_leg.attempts,
+            acceptance_attempts: response_leg.attempts,
+            reject,
+        })
+    }
+
+    /// A double-spend attack resolved under chaos: protected payment,
+    /// BTC race, then a transport-routed, retry-aware dispute flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RobustnessError`] when the payment cannot complete on
+    /// the protected path or a dispute-phase submission fails for a
+    /// non-retryable reason.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < attacker_hashrate < 1`.
+    pub fn run_dispute_chaos(
+        &mut self,
+        amount_sats: u64,
+        attacker_hashrate: f64,
+        max_race_blocks: u64,
+    ) -> Result<ChaosDisputeReport, RobustnessError> {
+        let payment = self.run_fast_payment_chaos(amount_sats)?;
+        if !payment.accepted || !payment.protected {
+            return Err(RobustnessError::Session(SessionError::Btc(format!(
+                "payment not escrow-protected under chaos: {payment:?}"
+            ))));
+        }
+        let payment_id = payment.payment_id.expect("protected payment has id");
+        let txid = payment.txid;
+
+        let race = self
+            .session
+            .run_double_spend_race(&txid, attacker_hashrate, max_race_blocks)?;
+        if !race.merchant_lost_payment {
+            return Ok(ChaosDisputeReport {
+                payment,
+                race,
+                verdict: None,
+                merchant_compensated: false,
+                merchant_net_loss_sats: 0,
+                dispute_attempts: 0,
+                evidence_attempts: 0,
+                judge_attempts: 0,
+                merchant_fee_units: 0,
+                dispute_duration: SimTime::ZERO,
+            });
+        }
+
+        // The dispute must land inside the challenge window measured from
+        // now (the contract enforces the true bound; this is the
+        // simulation's own give-up clock for retries).
+        let dispute_start = self.session.clock;
+        let window_deadline =
+            dispute_start + SimTime::from_secs(self.session.config.challenge_window_secs);
+        let customer_account = self.session.customer.psc_account();
+
+        let dispute = self.submit_psc_with_retry(
+            ProtocolPhase::DisputeOpen,
+            MERCHANT_NODE,
+            Some(window_deadline),
+            |session, gas| {
+                let tx = session.merchant.build_dispute(
+                    &session.judger,
+                    &session.psc,
+                    customer_account,
+                    payment_id,
+                );
+                regas(tx, gas, session.merchant.psc_keys())
+            },
+        )?;
+
+        let evidence = self.submit_psc_with_retry(
+            ProtocolPhase::EvidenceSubmission,
+            MERCHANT_NODE,
+            Some(window_deadline),
+            |session, gas| {
+                let proof = session.merchant.build_dispute_evidence(&session.btc, &txid);
+                let tx = session.merchant.build_evidence_submission(
+                    &session.judger,
+                    &session.psc,
+                    customer_account,
+                    payment_id,
+                    proof,
+                );
+                regas(tx, gas, session.merchant.psc_keys())
+            },
+        )?;
+
+        // Wait out the evidence window, then judge (no window bound: the
+        // judge call is valid any time after expiry).
+        self.session.advance_clock(SimTime::from_secs(
+            self.session.config.challenge_window_secs + 1,
+        ));
+        let judge = self.submit_psc_with_retry(
+            ProtocolPhase::JudgeCall,
+            MERCHANT_NODE,
+            None,
+            |session, gas| {
+                let tx = session.merchant.build_judge(
+                    &session.judger,
+                    &session.psc,
+                    customer_account,
+                    payment_id,
+                );
+                regas(tx, gas, session.merchant.psc_keys())
+            },
+        )?;
+
+        let verdict = PayJudgerClient::verdict_from(&judge.receipt);
+        let merchant_compensated = verdict == Some(DisputeVerdict::MerchantWins);
+        let collateral_sats = (self.session.config.required_collateral(amount_sats) as f64
+            / self.session.config.psc_units_per_sat) as i64;
+        let merchant_net_loss_sats = if merchant_compensated {
+            amount_sats as i64 - collateral_sats
+        } else {
+            amount_sats as i64
+        };
+
+        Ok(ChaosDisputeReport {
+            payment,
+            race,
+            verdict,
+            merchant_compensated,
+            merchant_net_loss_sats,
+            dispute_attempts: dispute.attempts,
+            evidence_attempts: evidence.attempts,
+            judge_attempts: judge.attempts,
+            merchant_fee_units: dispute.total_fees + evidence.total_fees + judge.total_fees,
+            dispute_duration: self.session.clock - dispute_start,
+        })
+    }
+
+    /// Applies every fault-plan action due at or before `t`.
+    fn apply_faults_due(&mut self, t: SimTime) {
+        for event in self.plan.pop_due(t) {
+            match event.action {
+                FaultAction::SetLoss { p } => {
+                    self.transport.network_mut().set_loss_probability(p);
+                }
+                FaultAction::SetDuplication { p } => {
+                    self.transport.set_duplicate_probability(p);
+                }
+                FaultAction::Partition { a, b } => self.transport.network_mut().partition(a, b),
+                FaultAction::Heal { a, b } => self.transport.network_mut().heal(a, b),
+                FaultAction::Crash { node } => self.transport.crash(node),
+                FaultAction::Restart { node } => self.transport.restart(node),
+                FaultAction::PscStall => self.psc_stalled = true,
+                FaultAction::PscResume => self.psc_stalled = false,
+            }
+        }
+    }
+
+    /// Drives one message phase to resolution, interleaving fault-plan
+    /// actions with transport events in time order.
+    fn drive_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        phase: ProtocolPhase,
+    ) -> Result<PhaseDelivery, RobustnessError> {
+        let send_at = self.transport.now();
+        let deadline = send_at + self.config.phase_deadline;
+        self.apply_faults_due(send_at);
+        let id = self.transport.send(from, to, phase);
+        loop {
+            match self.transport.status(id) {
+                SendStatus::Delivered { at, attempts } => {
+                    let arrival = self
+                        .transport
+                        .take_inbox(to)
+                        .into_iter()
+                        .map(|(t, _)| t)
+                        .next_back()
+                        .unwrap_or(at);
+                    return Ok(PhaseDelivery {
+                        arrival: arrival.saturating_sub(send_at),
+                        attempts,
+                    });
+                }
+                SendStatus::Failed { attempts } => {
+                    return Err(RobustnessError::DeliveryFailed { phase, attempts });
+                }
+                SendStatus::Pending => {}
+            }
+            let Some(next) = self.transport.next_event_at() else {
+                return Err(RobustnessError::DeadlineExceeded { phase, deadline });
+            };
+            if next > deadline {
+                return Err(RobustnessError::DeadlineExceeded { phase, deadline });
+            }
+            self.apply_faults_due(next);
+            self.transport.run_until(next);
+        }
+    }
+
+    /// Waits out a PSC block-production stall by fast-forwarding to the
+    /// fault plan's next actions, up to [`ChaosConfig::psc_deadline`].
+    fn wait_psc_reachable(&mut self, phase: ProtocolPhase) -> Result<SimTime, RobustnessError> {
+        let mut waited = SimTime::ZERO;
+        let mut vnow = self.transport.now();
+        while self.psc_stalled {
+            let Some(next) = self.plan.next_at() else {
+                return Err(RobustnessError::PscUnreachable { phase, waited });
+            };
+            let delta = next.saturating_sub(vnow);
+            waited += delta;
+            if waited > self.config.psc_deadline {
+                return Err(RobustnessError::PscUnreachable { phase, waited });
+            }
+            vnow = vnow.max(next);
+            self.apply_faults_due(next);
+            self.session.advance_clock(delta);
+        }
+        Ok(waited)
+    }
+
+    /// Routes a PSC call through the transport to the PSC node, waits out
+    /// any production stall, then runs the gas-bumped resubmission loop.
+    fn submit_psc_with_retry(
+        &mut self,
+        phase: ProtocolPhase,
+        from: NodeId,
+        window_deadline: Option<SimTime>,
+        mut build: impl FnMut(&mut FastPaySession, u64) -> PscTransaction,
+    ) -> Result<RetryReport, RobustnessError> {
+        let leg = self.drive_message(from, PSC_NODE, phase)?;
+        self.session.advance_clock(leg.arrival);
+        self.wait_psc_reachable(phase)?;
+
+        let retry_policy = self.config.retry.clone();
+        let session = &mut self.session;
+        submit_with_retry(&retry_policy, CALL_GAS_LIMIT, |gas| {
+            if window_deadline.is_some_and(|d| session.clock > d) {
+                return AttemptResult::WindowClosed;
+            }
+            let tx = build(session, gas);
+            AttemptResult::Executed(session.run_psc_tx(tx))
+        })
+        .map_err(|error| RobustnessError::Retry { phase, error })
+    }
+
+    /// The merchant's degradation path: escrow protection unavailable, so
+    /// either refuse the sale or run the k-confirmation baseline.
+    fn degrade(
+        &mut self,
+        amount_sats: u64,
+        txid: Hash256,
+    ) -> Result<ChaosPaymentReport, RobustnessError> {
+        match self.config.fallback {
+            FallbackPolicy::RejectUnprotected => Ok(ChaosPaymentReport {
+                accepted: false,
+                protected: false,
+                fell_back: true,
+                waiting: SimTime::ZERO,
+                txid,
+                payment_id: None,
+                offer_attempts: 0,
+                acceptance_attempts: 0,
+                reject: Some(RejectReason::EscrowNotFound(
+                    "PSC unreachable past deadline; policy rejects unprotected sales".into(),
+                )),
+            }),
+            FallbackPolicy::KConfirmations(k) => {
+                let baseline = self
+                    .session
+                    .run_baseline_payment(amount_sats, k)
+                    .map_err(RobustnessError::Session)?;
+                Ok(ChaosPaymentReport {
+                    accepted: true,
+                    protected: false,
+                    fell_back: true,
+                    waiting: baseline.waiting,
+                    txid: baseline.txid,
+                    payment_id: None,
+                    offer_attempts: 0,
+                    acceptance_attempts: 0,
+                    reject: None,
+                })
+            }
+        }
+    }
+}
+
+/// Re-signs `tx` at a different gas limit (no-op when already there).
+fn regas(tx: PscTransaction, gas: u64, keys: &KeyPair) -> PscTransaction {
+    if tx.gas_limit == gas {
+        return tx;
+    }
+    let mut tx = tx;
+    tx.gas_limit = gas;
+    tx.signature = None;
+    tx.sign(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcfast_netsim::faults::ChaosSpec;
+
+    fn quick_config() -> SessionConfig {
+        let mut config = SessionConfig::default();
+        config.challenge_window_secs = 100_000;
+        config
+    }
+
+    #[test]
+    fn clean_chaos_run_matches_fast_path() {
+        let mut chaos =
+            ChaosSession::new(quick_config(), ChaosConfig::default(), FaultPlan::new(), 11);
+        let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        assert!(report.accepted && report.protected && !report.fell_back);
+        assert_eq!(report.offer_attempts, 1);
+        assert_eq!(report.acceptance_attempts, 1);
+        assert!(
+            report.waiting.as_secs_f64() < 1.0,
+            "clean-run waiting = {}",
+            report.waiting
+        );
+    }
+
+    #[test]
+    fn lossy_run_still_protected_with_retransmissions() {
+        let mut plan = FaultPlan::new();
+        plan.loss_window(SimTime::ZERO, SimTime::from_secs(3_600), 0.3);
+        let mut chaos = ChaosSession::new(quick_config(), ChaosConfig::default(), plan, 12);
+        let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        assert!(report.accepted && report.protected);
+        let stats = chaos.transport_stats();
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn psc_stall_past_deadline_degrades_to_baseline() {
+        let mut plan = FaultPlan::new();
+        // Stall the PSC chain for far longer than the reachability deadline.
+        plan.psc_stall_window(SimTime::ZERO, SimTime::from_secs(100_000));
+        let mut chaos = ChaosSession::new(quick_config(), ChaosConfig::default(), plan, 13);
+        let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        assert!(report.fell_back, "merchant must degrade, not accept 0-conf");
+        assert!(!report.protected);
+        assert!(report.accepted, "k-conf fallback still completes the sale");
+        assert!(
+            report.waiting.as_secs_f64() > 600.0,
+            "baseline wait is blocks, not millis: {}",
+            report.waiting
+        );
+    }
+
+    #[test]
+    fn reject_unprotected_policy_refuses_the_sale() {
+        let mut plan = FaultPlan::new();
+        plan.psc_stall_window(SimTime::ZERO, SimTime::from_secs(100_000));
+        let mut config = ChaosConfig::default();
+        config.fallback = FallbackPolicy::RejectUnprotected;
+        let mut chaos = ChaosSession::new(quick_config(), config, plan, 14);
+        let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        assert!(!report.accepted && report.fell_back);
+    }
+
+    #[test]
+    fn seeded_chaos_payment_is_reproducible() {
+        let run = |seed: u64| {
+            let spec = ChaosSpec {
+                loss_rate: 0.2,
+                ..ChaosSpec::default()
+            };
+            let plan = FaultPlan::from_seed(seed, &spec);
+            let mut chaos = ChaosSession::new(quick_config(), ChaosConfig::default(), plan, seed);
+            let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
+            (report.waiting, chaos.event_trace().to_vec())
+        };
+        let (w1, t1) = run(21);
+        let (w2, t2) = run(21);
+        assert_eq!(w1, w2);
+        assert_eq!(t1, t2);
+    }
+}

@@ -19,6 +19,11 @@
 //!   dispute resolution;
 //! * [`baseline`] — the comparison schemes (wait-for-z, naive 0-conf);
 //! * [`fees`] — the cost model behind the "no extra operation fee" claim;
+//! * [`robustness`] — typed failure surface ([`robustness::RobustnessError`])
+//!   and the merchant's graceful-degradation policy for adverse networks;
+//! * [`chaos`] — [`chaos::ChaosSession`]: the full protocol driven through
+//!   a reliable transport under a seeded fault plan (loss, partitions,
+//!   crashes, PSC stalls), with retry-aware dispute submission;
 //! * [`config`] — one knob surface for all of the above.
 //!
 //! # Quickstart
@@ -36,14 +41,18 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod chaos;
 pub mod config;
 pub mod fees;
 pub mod policy;
 pub mod protocol;
+pub mod robustness;
 pub mod roles;
 pub mod session;
 
+pub use chaos::{ChaosDisputeReport, ChaosPaymentReport, ChaosSession, EscrowSnapshot};
 pub use config::SessionConfig;
 pub use policy::AcceptancePolicy;
 pub use protocol::{Acceptance, PaymentOffer, RejectReason};
+pub use robustness::{ChaosConfig, FallbackPolicy, ProtocolPhase, RobustnessError};
 pub use session::FastPaySession;

@@ -105,6 +105,18 @@ pub struct AttackReport {
     pub dispute_duration: SimTime,
 }
 
+/// Outcome of the BTC race phase of a double-spend attack, before any
+/// dispute runs (see [`FastPaySession::run_double_spend_race`]).
+#[derive(Clone, Debug)]
+pub struct RaceOutcome {
+    /// Did the attacker's branch overtake on the BTC chain?
+    pub attacker_won_race: bool,
+    /// Did the merchant's payment vanish from the ledger?
+    pub merchant_lost_payment: bool,
+    /// Simulated duration of the race.
+    pub race_duration: SimTime,
+}
+
 /// Session-level failures.
 #[derive(Debug)]
 pub enum SessionError {
@@ -446,45 +458,35 @@ impl FastPaySession {
         self.mempool.purge_confirmed(&block.transactions);
     }
 
-    /// A full double-spend attack against an accepted fast payment.
-    ///
-    /// The customer *is* the attacker: immediately after acceptance they
-    /// fork the chain privately with a conflicting self-spend and race the
-    /// honest network (hashrate share `attacker_hashrate`). If they
-    /// overtake within `max_race_blocks` honest blocks, they publish; the
-    /// merchant detects the reorg, disputes, submits evidence, and the
-    /// judgment runs.
+    /// The BTC race phase of a double-spend attack on its own: the
+    /// customer forks privately with a conflicting self-spend and races
+    /// the honest network until they overtake or `max_race_blocks` honest
+    /// blocks pass. No dispute runs — callers (the standard attack flow
+    /// and the chaos harness, which routes its dispute through the
+    /// reliable transport) layer their own resolution on top.
     ///
     /// # Errors
     ///
-    /// Returns [`SessionError`] on provisioning failures.
+    /// Returns [`SessionError`] when `txid` is not a pooled accepted
+    /// payment.
     ///
     /// # Panics
     ///
     /// Panics unless `0 < attacker_hashrate < 1`.
-    pub fn run_double_spend_attack(
+    pub fn run_double_spend_race(
         &mut self,
-        amount_sats: u64,
+        txid: &Hash256,
         attacker_hashrate: f64,
         max_race_blocks: u64,
-    ) -> Result<AttackReport, SessionError> {
+    ) -> Result<RaceOutcome, SessionError> {
         assert!(
             attacker_hashrate > 0.0 && attacker_hashrate < 1.0,
             "attacker hashrate must be in (0,1)"
         );
-        let report = self.run_fast_payment(amount_sats)?;
-        if !report.accepted {
-            return Err(SessionError::Btc(format!(
-                "fast payment unexpectedly rejected: {:?}",
-                report.reject
-            )));
-        }
-        let txid = report.txid;
-        let payment_id = report.payment_id;
         let accepted_tx = self
             .mempool
-            .get(&txid)
-            .expect("accepted tx is pooled")
+            .get(txid)
+            .ok_or_else(|| SessionError::Btc("accepted tx not pooled".into()))?
             .tx
             .clone();
         let race_start = self.clock;
@@ -539,6 +541,54 @@ impl FastPaySession {
         let merchant_lost_payment =
             self.merchant
                 .detect_double_spend(&accepted_tx, &self.btc, &self.mempool);
+
+        Ok(RaceOutcome {
+            attacker_won_race,
+            merchant_lost_payment,
+            race_duration,
+        })
+    }
+
+    /// A full double-spend attack against an accepted fast payment.
+    ///
+    /// The customer *is* the attacker: immediately after acceptance they
+    /// fork the chain privately with a conflicting self-spend and race the
+    /// honest network (hashrate share `attacker_hashrate`). If they
+    /// overtake within `max_race_blocks` honest blocks, they publish; the
+    /// merchant detects the reorg, disputes, submits evidence, and the
+    /// judgment runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] on provisioning failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < attacker_hashrate < 1`.
+    pub fn run_double_spend_attack(
+        &mut self,
+        amount_sats: u64,
+        attacker_hashrate: f64,
+        max_race_blocks: u64,
+    ) -> Result<AttackReport, SessionError> {
+        assert!(
+            attacker_hashrate > 0.0 && attacker_hashrate < 1.0,
+            "attacker hashrate must be in (0,1)"
+        );
+        let report = self.run_fast_payment(amount_sats)?;
+        if !report.accepted {
+            return Err(SessionError::Btc(format!(
+                "fast payment unexpectedly rejected: {:?}",
+                report.reject
+            )));
+        }
+        let txid = report.txid;
+        let payment_id = report.payment_id;
+        let RaceOutcome {
+            attacker_won_race,
+            merchant_lost_payment,
+            race_duration,
+        } = self.run_double_spend_race(&txid, attacker_hashrate, max_race_blocks)?;
 
         if !merchant_lost_payment {
             return Ok(AttackReport {

@@ -1,0 +1,343 @@
+//! Deterministic, scripted fault injection ("chaos plans").
+//!
+//! A [`FaultPlan`] is a time-ordered script of [`FaultAction`]s: loss
+//! windows, partitions with scheduled heals, node crash/restart cycles,
+//! message duplication, and PSC block-production stalls. Plans are either
+//! hand-built through the window helpers or generated from a `u64` seed
+//! via [`FaultPlan::from_seed`]; the same seed always yields the same
+//! schedule, byte for byte, so any chaos run can be replayed exactly.
+//!
+//! The plan itself mutates nothing. A driver polls
+//! [`FaultPlan::pop_due`] as simulated time advances and applies each
+//! action to its [`crate::transport::Transport`] (network-facing actions)
+//! or to its chain simulator (PSC stall/resume).
+
+use crate::network::NodeId;
+use crate::time::SimTime;
+use rand::prelude::*;
+
+/// One injectable fault (or its reversal).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Set the network-wide message-loss probability.
+    SetLoss {
+        /// New loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Set the probability that a transmission is duplicated in flight.
+    SetDuplication {
+        /// New duplication probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Sever the link between two nodes.
+    Partition {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Heal a severed link.
+    Heal {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Take a node down (state loss on restart).
+    Crash {
+        /// The node to take down.
+        node: NodeId,
+    },
+    /// Bring a crashed node back.
+    Restart {
+        /// The node to bring back.
+        node: NodeId,
+    },
+    /// Halt PSC block production (the chain stops advancing).
+    PscStall,
+    /// Resume PSC block production.
+    PscResume,
+}
+
+impl FaultAction {
+    /// True for actions a [`crate::transport::Transport`] can apply
+    /// directly; PSC actions are for the chain driver.
+    pub fn is_network_action(&self) -> bool {
+        !matches!(self, FaultAction::PscStall | FaultAction::PscResume)
+    }
+}
+
+/// A scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the action fires (simulated time).
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// Shape parameters for seed-generated chaos (see [`FaultPlan::from_seed`]).
+#[derive(Clone, Debug)]
+pub struct ChaosSpec {
+    /// Plan horizon; no fault fires at or after this time.
+    pub horizon: SimTime,
+    /// Baseline loss probability applied at time zero.
+    pub loss_rate: f64,
+    /// Number of partition/heal cycles to scatter over the horizon.
+    pub partition_cycles: u32,
+    /// Mean partition duration in seconds.
+    pub partition_mean_secs: f64,
+    /// Number of crash/restart cycles to scatter over the horizon.
+    pub crash_cycles: u32,
+    /// Number of PSC stall/resume cycles to scatter over the horizon.
+    pub psc_stall_cycles: u32,
+    /// Duplication probability applied at time zero (0 disables).
+    pub duplication: f64,
+    /// Node ids eligible for partitions and crashes.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> ChaosSpec {
+        ChaosSpec {
+            horizon: SimTime::from_secs(600),
+            loss_rate: 0.1,
+            partition_cycles: 1,
+            partition_mean_secs: 30.0,
+            crash_cycles: 0,
+            psc_stall_cycles: 0,
+            duplication: 0.0,
+            nodes: vec![NodeId(0), NodeId(1)],
+        }
+    }
+}
+
+/// A time-ordered fault script. See the module docs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules one action, keeping the script time-ordered. Equal-time
+    /// actions keep their insertion order.
+    pub fn schedule(&mut self, at: SimTime, action: FaultAction) -> &mut Self {
+        assert_eq!(
+            self.cursor, 0,
+            "cannot extend a plan already being consumed"
+        );
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, action });
+        self
+    }
+
+    /// Loss probability `p` during `[start, end)`, zero after.
+    pub fn loss_window(&mut self, start: SimTime, end: SimTime, p: f64) -> &mut Self {
+        assert!(start < end, "empty loss window");
+        self.schedule(start, FaultAction::SetLoss { p });
+        self.schedule(end, FaultAction::SetLoss { p: 0.0 })
+    }
+
+    /// Partition `a`–`b` during `[start, end)`, healed after.
+    pub fn partition_window(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        start: SimTime,
+        end: SimTime,
+    ) -> &mut Self {
+        assert!(start < end, "empty partition window");
+        self.schedule(start, FaultAction::Partition { a, b });
+        self.schedule(end, FaultAction::Heal { a, b })
+    }
+
+    /// Crash `node` during `[start, end)`, restarted after.
+    pub fn crash_window(&mut self, node: NodeId, start: SimTime, end: SimTime) -> &mut Self {
+        assert!(start < end, "empty crash window");
+        self.schedule(start, FaultAction::Crash { node });
+        self.schedule(end, FaultAction::Restart { node })
+    }
+
+    /// Stall PSC block production during `[start, end)`.
+    pub fn psc_stall_window(&mut self, start: SimTime, end: SimTime) -> &mut Self {
+        assert!(start < end, "empty stall window");
+        self.schedule(start, FaultAction::PscStall);
+        self.schedule(end, FaultAction::PscResume)
+    }
+
+    /// Generates a reproducible plan from a seed: identical `(seed, spec)`
+    /// inputs yield identical schedules on every platform and run.
+    pub fn from_seed(seed: u64, spec: &ChaosSpec) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let horizon = spec.horizon.as_secs_f64();
+        assert!(horizon > 0.0, "zero-length chaos horizon");
+
+        if spec.loss_rate > 0.0 {
+            plan.schedule(SimTime::ZERO, FaultAction::SetLoss { p: spec.loss_rate });
+        }
+        if spec.duplication > 0.0 {
+            plan.schedule(
+                SimTime::ZERO,
+                FaultAction::SetDuplication {
+                    p: spec.duplication,
+                },
+            );
+        }
+
+        let window = |rng: &mut StdRng, mean_secs: f64| {
+            let start = rng.gen_range(0.0..horizon * 0.8);
+            let len = (mean_secs * rng.gen_range(0.5f64..1.5)).max(0.001);
+            let end = (start + len).min(horizon);
+            (SimTime::from_secs_f64(start), SimTime::from_secs_f64(end))
+        };
+
+        for _ in 0..spec.partition_cycles {
+            if spec.nodes.len() < 2 {
+                break;
+            }
+            let i = rng.gen_range(0..spec.nodes.len());
+            let j = (i + 1 + rng.gen_range(0..spec.nodes.len() - 1)) % spec.nodes.len();
+            let (start, end) = window(&mut rng, spec.partition_mean_secs);
+            plan.partition_window(spec.nodes[i], spec.nodes[j], start, end);
+        }
+        for _ in 0..spec.crash_cycles {
+            if spec.nodes.is_empty() {
+                break;
+            }
+            let node = spec.nodes[rng.gen_range(0..spec.nodes.len())];
+            let (start, end) = window(&mut rng, spec.partition_mean_secs * 0.5);
+            plan.crash_window(node, start, end);
+        }
+        for _ in 0..spec.psc_stall_cycles {
+            let (start, end) = window(&mut rng, spec.partition_mean_secs);
+            plan.psc_stall_window(start, end);
+        }
+        plan
+    }
+
+    /// The full schedule (consumed and not).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Time of the next un-consumed action, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Removes and returns every action due at or before `now`, in order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<FaultEvent> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// True when every action has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// A canonical textual form of the whole schedule. Two plans are the
+    /// same chaos scenario iff their fingerprints are byte-identical —
+    /// the reproducibility contract the harness asserts.
+    pub fn fingerprint(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| format!("{}us {:?}", e.at.as_micros(), e.action))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_expand_to_paired_actions() {
+        let mut plan = FaultPlan::new();
+        plan.loss_window(SimTime::from_secs(1), SimTime::from_secs(5), 0.3)
+            .partition_window(
+                NodeId(0),
+                NodeId(1),
+                SimTime::from_secs(2),
+                SimTime::from_secs(4),
+            );
+        let kinds: Vec<&FaultAction> = plan.events().iter().map(|e| &e.action).collect();
+        assert_eq!(kinds.len(), 4);
+        assert!(matches!(kinds[0], FaultAction::SetLoss { .. }));
+        assert!(matches!(kinds[1], FaultAction::Partition { .. }));
+        assert!(matches!(kinds[2], FaultAction::Heal { .. }));
+        assert!(matches!(kinds[3], FaultAction::SetLoss { p } if *p == 0.0));
+    }
+
+    #[test]
+    fn pop_due_consumes_in_order() {
+        let mut plan = FaultPlan::new();
+        plan.loss_window(SimTime::from_secs(1), SimTime::from_secs(3), 0.5);
+        assert_eq!(plan.pop_due(SimTime::ZERO).len(), 0);
+        let due = plan.pop_due(SimTime::from_secs(2));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].at, SimTime::from_secs(1));
+        assert_eq!(plan.next_at(), Some(SimTime::from_secs(3)));
+        assert!(!plan.exhausted());
+        assert_eq!(plan.pop_due(SimTime::from_secs(10)).len(), 1);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let spec = ChaosSpec {
+            partition_cycles: 3,
+            crash_cycles: 2,
+            psc_stall_cycles: 1,
+            duplication: 0.05,
+            ..ChaosSpec::default()
+        };
+        let a = FaultPlan::from_seed(99, &spec);
+        let b = FaultPlan::from_seed(99, &spec);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = FaultPlan::from_seed(100, &spec);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn seeded_plan_respects_horizon_and_ordering() {
+        let spec = ChaosSpec {
+            partition_cycles: 5,
+            crash_cycles: 3,
+            psc_stall_cycles: 2,
+            ..ChaosSpec::default()
+        };
+        let plan = FaultPlan::from_seed(7, &spec);
+        assert!(plan.events().iter().all(|e| e.at <= spec.horizon));
+        assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn network_action_classification() {
+        assert!(FaultAction::SetLoss { p: 0.1 }.is_network_action());
+        assert!(FaultAction::Crash { node: NodeId(0) }.is_network_action());
+        assert!(!FaultAction::PscStall.is_network_action());
+        assert!(!FaultAction::PscResume.is_network_action());
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed")]
+    fn extending_consumed_plan_panics() {
+        let mut plan = FaultPlan::new();
+        plan.loss_window(SimTime::from_secs(1), SimTime::from_secs(2), 0.5);
+        plan.pop_due(SimTime::from_secs(5));
+        plan.schedule(SimTime::from_secs(9), FaultAction::PscStall);
+    }
+}

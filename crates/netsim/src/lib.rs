@@ -12,7 +12,11 @@
 //!   log-normal) with LAN/WAN presets;
 //! * [`network`] — a message-passing fabric with per-link latency,
 //!   loss, and partitions;
-//! * [`poisson`] — exponential inter-arrival sampling for block discovery.
+//! * [`poisson`] — exponential inter-arrival sampling for block discovery;
+//! * [`transport`] — reliable at-least-once delivery (acks, bounded
+//!   retries, exponential backoff, receiver-side dedup) over [`network`];
+//! * [`faults`] — seeded, replayable fault-injection scripts (loss
+//!   windows, partitions, crashes, PSC stalls).
 //!
 //! # Example
 //!
@@ -31,13 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod latency;
 pub mod network;
 pub mod poisson;
 pub mod scheduler;
 pub mod time;
+pub mod transport;
 
+pub use faults::{ChaosSpec, FaultAction, FaultEvent, FaultPlan};
 pub use latency::LatencyModel;
 pub use network::{Network, NodeId};
 pub use scheduler::Scheduler;
 pub use time::SimTime;
+pub use transport::{MsgId, SendStatus, Transport, TransportConfig, TransportStats};

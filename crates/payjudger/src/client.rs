@@ -1049,7 +1049,10 @@ mod tests {
         let receipt = h.run(tx);
         assert!(matches!(receipt.status, TxStatus::Reverted(_)));
         // The attached value bounced back with the revert.
-        assert_eq!(h.psc.balance_of(&h.judger.contract), contract_balance_before);
+        assert_eq!(
+            h.psc.balance_of(&h.judger.contract),
+            contract_balance_before
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`contract`] — the contract state machine (deposit, openPayment, ack,
 //!   dispute, submitEvidence, judge, close, withdraw);
 //! * [`client`] — an off-chain helper that builds the PSC transactions and
-//!   decodes receipts, used by the protocol roles in `btcfast`.
+//!   decodes receipts, used by the protocol roles in `btcfast`;
+//! * [`retry`] — a rebuild-and-resubmit loop so dispute-path calls survive
+//!   `OutOfGas` and land before the challenge window closes.
 //!
 //! # Lifecycle
 //!
@@ -42,8 +44,10 @@
 pub mod client;
 pub mod contract;
 pub mod evidence;
+pub mod retry;
 pub mod types;
 
 pub use client::PayJudgerClient;
 pub use contract::{PayJudger, CODE_ID};
+pub use retry::{submit_with_retry, AttemptResult, RetryError, RetryPolicy, RetryReport};
 pub use types::{DisputeVerdict, EscrowRecord, PaymentRecord, PaymentState};

@@ -236,10 +236,9 @@ impl PscChain {
         let snapshot = self.state.clone();
         self.state.account_mut(sender).nonce += 1;
 
-        let result: Result<
-            (Vec<u8>, Vec<crate::contract::Event>, Option<AccountId>),
-            ContractError,
-        > = match &tx.action {
+        type CallOutcome =
+            Result<(Vec<u8>, Vec<crate::contract::Event>, Option<AccountId>), ContractError>;
+        let result: CallOutcome = match &tx.action {
             Action::Transfer { to } => match self.state.transfer(sender, *to, tx.value) {
                 Ok(()) => Ok((vec![], vec![], None)),
                 Err(e) => Err(ContractError::Revert(e.to_string())),

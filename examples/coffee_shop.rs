@@ -16,8 +16,10 @@ fn main() {
     let cups = 12u64;
     let cup_price_sats = 30_000; // ~a coffee at the paper's exchange rates
 
-    let mut config = SessionConfig::default();
-    config.escrow_deposit = 10_000_000; // covers many cups of collateral
+    let config = SessionConfig {
+        escrow_deposit: 10_000_000, // covers many cups of collateral
+        ..SessionConfig::default()
+    };
     let mut session = FastPaySession::new(config, 1234);
 
     println!("The Busy Bean — BTCFast point of sale");

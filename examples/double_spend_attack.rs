@@ -14,9 +14,11 @@ use btcfast_suite::payjudger::types::DisputeVerdict;
 use btcfast_suite::protocol::{FastPaySession, SessionConfig};
 
 fn main() {
-    let mut config = SessionConfig::default();
-    config.challenge_window_secs = 100_000; // generous dispute window
-    config.collateral_ratio = 1.2;
+    let config = SessionConfig {
+        challenge_window_secs: 100_000, // generous dispute window
+        collateral_ratio: 1.2,
+        ..SessionConfig::default()
+    };
     let mut session = FastPaySession::new(config, 666);
 
     println!("BTCFast under attack");

@@ -119,8 +119,10 @@ fn too_short_challenge_window_leaves_merchant_exposed() {
     // window is shorter than the attack, the dispute arrives too late and
     // the merchant eats the loss. This is a misconfiguration, not a
     // protocol failure — the window must cover Δ blocks' worth of time.
-    let mut config = SessionConfig::default();
-    config.challenge_window_secs = 300; // « one expected block interval
+    let config = SessionConfig {
+        challenge_window_secs: 300, // « one expected block interval
+        ..SessionConfig::default()
+    };
     let mut exposed = 0;
     for t in 0..4 {
         let mut session = FastPaySession::new(config.clone(), 250 + t);

@@ -1,0 +1,213 @@
+//! Integration: the chaos harness end to end — typed failure surfaces,
+//! dedup, seeded reproducibility, and the headline scenario: a full
+//! dispute resolved correctly across a lossy, partitioned network.
+
+use btcfast_suite::netsim::faults::{ChaosSpec, FaultAction, FaultPlan};
+use btcfast_suite::netsim::time::SimTime;
+use btcfast_suite::payjudger::types::DisputeVerdict;
+use btcfast_suite::protocol::chaos::{ChaosSession, CUSTOMER_NODE, MERCHANT_NODE, PSC_NODE};
+use btcfast_suite::protocol::robustness::{
+    ChaosConfig, FallbackPolicy, ProtocolPhase, RobustnessError,
+};
+use btcfast_suite::protocol::SessionConfig;
+use proptest::prelude::*;
+
+/// Transport policy generous enough to ride out a ~10 s partition.
+fn patient_chaos_config() -> ChaosConfig {
+    let mut config = ChaosConfig::default();
+    config.transport.max_attempts = 12;
+    config.phase_deadline = SimTime::from_secs(60);
+    config
+}
+
+fn session_config() -> SessionConfig {
+    SessionConfig {
+        challenge_window_secs: 1800,
+        ..SessionConfig::default()
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_surfaces_typed_error() {
+    // Customer↔merchant permanently partitioned: registration (customer →
+    // PSC) succeeds, but the offer can never reach the merchant. The
+    // failure must be the typed per-phase error, not a panic or a hang.
+    let mut plan = FaultPlan::new();
+    plan.schedule(
+        SimTime::ZERO,
+        FaultAction::Partition {
+            a: CUSTOMER_NODE,
+            b: MERCHANT_NODE,
+        },
+    );
+    let mut chaos = ChaosSession::new(session_config(), ChaosConfig::default(), plan, 41);
+    let err = chaos.run_fast_payment_chaos(700_000).unwrap_err();
+    match err {
+        RobustnessError::DeliveryFailed { phase, attempts } => {
+            assert_eq!(phase, ProtocolPhase::Offer);
+            assert_eq!(attempts, ChaosConfig::default().transport.max_attempts);
+        }
+        other => panic!("expected DeliveryFailed on the offer, got {other}"),
+    }
+    assert_eq!(chaos.transport_stats().failed, 1);
+}
+
+#[test]
+fn unreachable_psc_with_strict_policy_refuses_the_sale() {
+    // The PSC endpoint partitioned away from everyone: with the strict
+    // fallback the merchant refuses rather than accepting unprotected.
+    let mut plan = FaultPlan::new();
+    for peer in [CUSTOMER_NODE, MERCHANT_NODE] {
+        plan.schedule(
+            SimTime::ZERO,
+            FaultAction::Partition {
+                a: peer,
+                b: PSC_NODE,
+            },
+        );
+    }
+    let config = ChaosConfig {
+        fallback: FallbackPolicy::RejectUnprotected,
+        ..ChaosConfig::default()
+    };
+    let mut chaos = ChaosSession::new(session_config(), config, plan, 42);
+    let report = chaos
+        .run_fast_payment_chaos(700_000)
+        .expect("policy result");
+    assert!(!report.accepted && report.fell_back && !report.protected);
+    assert!(report.reject.is_some());
+}
+
+#[test]
+fn duplicated_messages_are_delivered_exactly_once() {
+    // Force the fabric to duplicate every send: the protocol must behave
+    // identically and the transport must drop every extra copy.
+    let mut plan = FaultPlan::new();
+    plan.schedule(SimTime::ZERO, FaultAction::SetDuplication { p: 1.0 });
+    let mut chaos = ChaosSession::new(session_config(), ChaosConfig::default(), plan, 43);
+    let report = chaos.run_fast_payment_chaos(700_000).expect("payment");
+    assert!(report.accepted && report.protected);
+    let stats = chaos.transport_stats();
+    assert!(
+        stats.duplicates_dropped > 0,
+        "duplication 1.0 must produce dropped copies, stats: {stats:?}"
+    );
+    // Exactly-once upward delivery: every message the protocol consumed
+    // was delivered once, every surplus copy was deduped.
+    assert_eq!(stats.delivered as u32, 3, "3 phases, one delivery each");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_seed_yields_byte_identical_fault_schedule(seed in any::<u64>()) {
+        let spec = ChaosSpec {
+            loss_rate: 0.25,
+            partition_cycles: 2,
+            crash_cycles: 1,
+            psc_stall_cycles: 1,
+            duplication: 0.05,
+            ..ChaosSpec::default()
+        };
+        let a = FaultPlan::from_seed(seed, &spec);
+        let b = FaultPlan::from_seed(seed, &spec);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a, b);
+        // A different seed virtually always moves at least one window.
+        let c = FaultPlan::from_seed(seed ^ 0x9E37_79B9_7F4A_7C15, &spec);
+        prop_assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}
+
+/// The headline robustness scenario from the roadmap: 30% loss the whole
+/// run plus a merchant↔PSC partition that opens right as the dispute
+/// phases begin and heals mid-flow. The dispute must still complete with
+/// `MerchantWins`, escrow value must be conserved, and the whole run must
+/// replay byte-identically from its seed.
+#[test]
+fn dispute_completes_correctly_across_lossy_partitioned_network() {
+    let chaos_plan = || {
+        let mut plan = FaultPlan::new();
+        plan.loss_window(SimTime::ZERO, SimTime::from_secs(86_400), 0.3);
+        plan.partition_window(
+            MERCHANT_NODE,
+            PSC_NODE,
+            SimTime::from_secs(1),
+            SimTime::from_secs(9),
+        );
+        plan
+    };
+    let run = |seed: u64| {
+        let mut chaos =
+            ChaosSession::new(session_config(), patient_chaos_config(), chaos_plan(), seed);
+        let before = chaos.escrow_snapshot();
+        let report = chaos
+            .run_dispute_chaos(1_000_000, 0.35, 24)
+            .expect("dispute flow");
+        let after = chaos.escrow_snapshot();
+        (report, before, after, chaos.event_trace().to_vec())
+    };
+
+    // Find a seed whose BTC race the merchant actually loses (the attack
+    // succeeds), so the dispute flow genuinely runs.
+    let seed = (50..80)
+        .find(|&s| {
+            let mut probe =
+                ChaosSession::new(session_config(), patient_chaos_config(), chaos_plan(), s);
+            probe
+                .run_dispute_chaos(1_000_000, 0.35, 24)
+                .map(|r| r.race.merchant_lost_payment)
+                .unwrap_or(false)
+        })
+        .expect("some seed in range loses the race to a 35% attacker");
+
+    let (report, before, after, trace) = run(seed);
+
+    // The payment was protected despite 30% loss.
+    assert!(report.payment.protected && report.payment.accepted);
+    assert!(report.race.merchant_lost_payment);
+
+    // The dispute fought through the partition to the right verdict.
+    assert_eq!(report.verdict, Some(DisputeVerdict::MerchantWins));
+    assert!(report.merchant_compensated);
+
+    // Escrow conservation: the customer forfeits exactly the collateral,
+    // the contract pays out exactly what was forfeited, nothing stays
+    // locked, and the merchant's balance moves by exactly the collateral
+    // minus the gas fees of every dispute-path attempt — no value appears
+    // or vanishes anywhere in the escrow under chaos.
+    let collateral = session_config().required_collateral(1_000_000);
+    assert_eq!(before.escrow_balance - after.escrow_balance, collateral);
+    assert_eq!(before.contract_balance - after.contract_balance, collateral);
+    assert_eq!(after.escrow_locked, 0);
+    assert_eq!(
+        before.merchant_balance + collateral,
+        after.merchant_balance + report.merchant_fee_units,
+        "merchant balance must change by collateral minus fees: {before:?} -> {after:?}"
+    );
+
+    // Collateral covers the lost payment: the merchant never loses the
+    // payment amount (gas fees are the operational cost the paper prices
+    // separately in E4).
+    assert!(report.merchant_net_loss_sats <= 0, "{report:?}");
+
+    // Reproducibility: the identical seed replays the identical run.
+    let (report2, _, _, trace2) = run(seed);
+    assert_eq!(trace, trace2, "event traces diverged for seed {seed}");
+    assert_eq!(report.dispute_duration, report2.dispute_duration);
+    assert_eq!(
+        (
+            report.payment.offer_attempts,
+            report.dispute_attempts,
+            report.evidence_attempts,
+            report.judge_attempts
+        ),
+        (
+            report2.payment.offer_attempts,
+            report2.dispute_attempts,
+            report2.evidence_attempts,
+            report2.judge_attempts
+        ),
+    );
+}

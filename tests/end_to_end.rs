@@ -52,8 +52,10 @@ fn honest_lifecycle_with_ack() {
 
 #[test]
 fn honest_lifecycle_with_window_close_and_withdraw() {
-    let mut config = SessionConfig::default();
-    config.challenge_window_secs = 1200;
+    let config = SessionConfig {
+        challenge_window_secs: 1200,
+        ..SessionConfig::default()
+    };
     let mut session = FastPaySession::new(config, 101);
     let customer_id = session.customer.psc_account();
 
@@ -95,8 +97,10 @@ fn honest_lifecycle_with_window_close_and_withdraw() {
 
 #[test]
 fn several_sequential_payments_share_one_escrow() {
-    let mut config = SessionConfig::default();
-    config.escrow_deposit = 50_000_000;
+    let config = SessionConfig {
+        escrow_deposit: 50_000_000,
+        ..SessionConfig::default()
+    };
     let mut session = FastPaySession::new(config, 102);
 
     let mut ids = Vec::new();
@@ -126,8 +130,10 @@ fn one_escrow_serves_two_merchants_concurrently() {
     use btcfast_suite::protocol::policy::AcceptancePolicy;
     use btcfast_suite::protocol::roles::Merchant;
 
-    let mut config = SessionConfig::default();
-    config.challenge_window_secs = 2400;
+    let config = SessionConfig {
+        challenge_window_secs: 2400,
+        ..SessionConfig::default()
+    };
     let mut session = FastPaySession::new(config, 104);
     let customer_id = session.customer.psc_account();
 

@@ -17,8 +17,10 @@ use btcfast_suite::protocol::{FastPaySession, SessionConfig};
 
 #[test]
 fn propagation_double_spend_is_detected_and_compensated() {
-    let mut config = SessionConfig::default();
-    config.challenge_window_secs = 7200;
+    let config = SessionConfig {
+        challenge_window_secs: 7200,
+        ..SessionConfig::default()
+    };
     let mut session = FastPaySession::new(config, 900);
     let customer_id = session.customer.psc_account();
 

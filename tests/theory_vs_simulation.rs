@@ -82,8 +82,10 @@ fn full_machinery_attack_rate_tracks_theory_at_high_hashrate() {
     let trials = 4;
     let mut wins = 0;
     for t in 0..trials {
-        let mut config = SessionConfig::default();
-        config.challenge_window_secs = 100_000;
+        let config = SessionConfig {
+            challenge_window_secs: 100_000,
+            ..SessionConfig::default()
+        };
         let mut session = FastPaySession::new(config, 500 + t);
         let report = session
             .run_double_spend_attack(1_000_000, 0.75, 25)

@@ -1,0 +1,299 @@
+//! An offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], benchmark groups with
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted: no warm-up phase,
+//! no statistical analysis or outlier detection, no HTML reports. Each
+//! benchmark runs `sample_size` samples and prints the per-iteration
+//! mean and min wall-clock time — enough to compare runs by eye and to
+//! keep `cargo bench` functional offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. Only the variant the
+/// workspace uses is provided; it never batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Run setup before every single routine invocation.
+    PerIteration,
+    /// Let the harness pick a batch size (treated as per-iteration here).
+    SmallInput,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: u64,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            iters_per_sample: 1,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.results
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.results.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.results.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.results.iter().sum();
+        let mean = total / self.results.len() as u32;
+        let min = self.results.iter().min().copied().unwrap_or_default();
+        println!(
+            "{id:<40} mean {mean:>12?}   min {min:>12?}   ({} samples)",
+            self.results.len()
+        );
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark collects.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Hook for [`criterion_main!`]; upstream parses CLI args here.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Hook for [`criterion_main!`]; upstream prints the final summary.
+    pub fn final_summary(&self) {}
+
+    fn run_one<F>(&mut self, id: &str, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// Bundles benchmark functions under one name, optionally with a custom
+/// [`Criterion`] configuration. Both upstream invocation forms are
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Criterion {
+        Criterion::default().sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut runs = 0u32;
+        quiet().bench_function("counter", |b| b.iter(|| runs += 1));
+        // 3 samples x 1 iter each.
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_reruns_setup_per_iteration() {
+        let mut setups = 0u32;
+        quiet().bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| v * 2,
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = quiet();
+        let mut group = c.benchmark_group("g");
+        for n in [1u32, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| b.iter(|| n + 1));
+        }
+        group.bench_with_input(BenchmarkId::new("sub", 3), &3u32, |b, &n| b.iter(|| n + 1));
+        group.finish();
+    }
+
+    criterion_group!(plain_group, noop_bench);
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench, noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn both_group_macro_forms_expand() {
+        plain_group();
+        configured_group();
+    }
+}

@@ -1,0 +1,103 @@
+//! The [`Arbitrary`] trait and [`any`] entry point.
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore};
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`, as in `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::default()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $method:ident),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.inner().$method() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64
+);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        let hi = (rng.inner().next_u64() as u128) << 64;
+        hi | rng.inner().next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.inner().gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Bias toward ASCII; always a valid scalar value.
+        if rng.inner().gen_bool(0.8) {
+            rng.inner().gen_range(0x20u32..0x7F) as u8 as char
+        } else {
+            char::from_u32(rng.inner().gen_range(0xA0u32..0xD800)).unwrap_or('�')
+        }
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_tuple!((A, B), (A, B, C), (A, B, C, D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn arrays_fill_every_slot() {
+        let mut rng = TestRng::deterministic("arb-array");
+        let bytes: [u8; 32] = any::<[u8; 32]>().new_value(&mut rng);
+        assert!(bytes.iter().any(|&b| b != 0));
+        let words: [u64; 4] = any::<[u64; 4]>().new_value(&mut rng);
+        assert!(words.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = TestRng::deterministic("arb-bool");
+        let draws: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+}

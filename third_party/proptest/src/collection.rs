@@ -1,0 +1,93 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted length specifications for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> SizeRange {
+        SizeRange {
+            min: len,
+            max_inclusive: len,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> SizeRange {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max_inclusive: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> SizeRange {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange {
+            min: *range.start(),
+            max_inclusive: *range.end(),
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of values from an element strategy.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng
+            .inner()
+            .gen_range(self.size.min..=self.size.max_inclusive);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Vectors whose length falls in `size`, as in
+/// `proptest::collection::vec(0u64..100, 1..25)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_stay_in_range() {
+        let mut rng = TestRng::deterministic("collection-vec");
+        let s = vec(0u64..10, 1..5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            seen.insert(v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert_eq!(seen.len(), 4, "all lengths 1..=4 reachable: {seen:?}");
+    }
+
+    #[test]
+    fn exact_length_spec() {
+        let mut rng = TestRng::deterministic("collection-exact");
+        assert_eq!(vec(0u8..2, 7).new_value(&mut rng).len(), 7);
+    }
+}

@@ -1,0 +1,59 @@
+//! Sampling helpers.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+/// An index into a collection of not-yet-known size.
+///
+/// Generated via `any::<Index>()`; resolved against a concrete length
+/// with [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this abstract index into `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        // Widening multiply keeps the mapping close to uniform for any len.
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.inner().next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn index_stays_in_bounds_and_covers() {
+        let mut rng = TestRng::deterministic("sample-index");
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let idx = any::<Index>().new_value(&mut rng);
+            let i = idx.index(5);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        // Same abstract index is stable for a fixed len.
+        let idx = Index(u64::MAX / 2);
+        assert_eq!(idx.index(10), idx.index(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_len_panics() {
+        Index(1).index(0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Value-generation strategies.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying a predicate (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice among same-typed strategies; built by [`crate::prop_oneof!`].
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Wraps a non-empty option list.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.inner().gen_range(0..self.options.len());
+        self.options[i].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.inner().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.inner().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// String-literal strategies: upstream proptest treats `&str` as a regex
+/// describing generated strings. This subset supports the patterns the
+/// workspace uses (`".*"` and plain literals): a pattern containing regex
+/// metacharacters produces arbitrary short strings, anything else
+/// reproduces the literal itself.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let is_literal = !self.chars().any(|c| {
+            matches!(
+                c,
+                '.' | '*' | '+' | '?' | '[' | ']' | '(' | ')' | '|' | '\\'
+            )
+        });
+        if is_literal {
+            return (*self).to_string();
+        }
+        let len = rng.inner().gen_range(0usize..24);
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII, occasionally multi-byte to
+                // exercise UTF-8 handling in codecs.
+                if rng.inner().gen_bool(0.9) {
+                    rng.inner().gen_range(0x20u32..0x7F) as u8 as char
+                } else {
+                    char::from_u32(rng.inner().gen_range(0xA0u32..0x2FF)).unwrap_or('λ')
+                }
+            })
+            .collect()
+    }
+}
+
+/// See [`crate::any`].
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_map() {
+        let mut r = rng();
+        let s = (1u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.new_value(&mut r);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut r = rng();
+        let s = OneOf::new(vec![(0u32..1).boxed(), (10u32..11).boxed()]);
+        let values: Vec<u32> = (0..50).map(|_| s.new_value(&mut r)).collect();
+        assert!(values.contains(&0) && values.contains(&10));
+    }
+
+    #[test]
+    fn literal_str_is_literal_and_regex_varies() {
+        let mut r = rng();
+        assert_eq!("hello".new_value(&mut r), "hello");
+        let produced: Vec<String> = (0..20).map(|_| ".*".new_value(&mut r)).collect();
+        assert!(produced.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let mut r = rng();
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tuples_and_just() {
+        let mut r = rng();
+        let (a, b) = (0u8..10, Just(42u8)).new_value(&mut r);
+        assert!(a < 10);
+        assert_eq!(b, 42);
+    }
+}

@@ -1,0 +1,186 @@
+//! Minimal test-execution machinery.
+
+use crate::strategy::Strategy;
+use rand::prelude::*;
+
+/// Property-test configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies while generating values.
+///
+/// Seeded from a stable hash of the owning test's name so every run of a
+/// property test sees the same input sequence.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the generator for the named test (FNV-1a over the name).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Access to the underlying generator.
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's precondition failed; it is skipped, not counted.
+    Reject(String),
+    /// The property did not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor for a failure.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Convenience constructor for a rejection.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Why a whole property run failed.
+#[derive(Clone, Debug)]
+pub enum TestError<V> {
+    /// Too many cases were rejected by preconditions.
+    Abort(String),
+    /// The property failed on this input.
+    Fail(String, V),
+}
+
+/// Drives a strategy against a property closure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: Config) -> TestRunner {
+        TestRunner {
+            config,
+            rng: TestRng::deterministic("proptest-test-runner"),
+        }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs.
+    ///
+    /// Stops at the first failing input (no shrinking).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError<S::Value>>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        S::Value: Clone,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = self.config.cases.saturating_mul(16).max(1_024);
+        while passed < self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            match test(value.clone()) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        return Err(TestError::Abort(format!(
+                            "{rejected} cases rejected before {} passed",
+                            self.config.cases
+                        )));
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    return Err(TestError::Fail(reason, value));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> TestRunner {
+        TestRunner::new(Config::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.inner().next_u64(), b.inner().next_u64());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(a.inner().next_u64(), c.inner().next_u64());
+    }
+
+    #[test]
+    fn runner_reports_failures_with_input() {
+        let mut runner = TestRunner::new(Config::with_cases(50));
+        let result = runner.run(&(0u32..100), |v| {
+            if v < 90 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("too big"))
+            }
+        });
+        match result {
+            Err(TestError::Fail(_, v)) => assert!(v >= 90),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runner_passes_good_property() {
+        let mut runner = TestRunner::new(Config::with_cases(12));
+        runner
+            .run(&(0u32..10), |v| {
+                assert!(v < 10);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn runner_aborts_on_starvation() {
+        let mut runner = TestRunner::new(Config::with_cases(4));
+        let result = runner.run(&(0u32..10), |_| Err(TestCaseError::reject("never")));
+        assert!(matches!(result, Err(TestError::Abort(_))));
+    }
+}
