@@ -1,32 +1,140 @@
 //! The evaluation harness CLI.
 //!
 //! ```text
-//! harness            # run every experiment (full trial counts)
-//! harness e3         # run one experiment
-//! harness all quick  # reduced trial counts (what CI runs)
+//! harness                      # run every experiment (full trial counts)
+//! harness e3                   # run one experiment
+//! harness e1 e5 e6 e10 quick   # several experiments, reduced trials (CI)
+//! harness bench --quick        # micro-benchmarks -> BENCH_payjudger.json
+//! harness gate                 # compare BENCH json against the baseline
 //! ```
+//!
+//! Experiment runs exit 2 on an unknown id and 1 if any experiment emits
+//! an empty table (an empty table means the experiment silently produced
+//! no data — CI must treat that as a failure, not a pass).
 
 use btcfast_bench::experiments;
+use btcfast_bench::perf::{self, gate, json::Json};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let id = args.first().map(String::as_str).unwrap_or("all");
-    let quick = args.iter().any(|a| a == "quick" || a == "--quick");
-
-    if id == "--help" || id == "-h" {
-        println!("usage: harness [e1..e10|all] [quick]");
-        for id in experiments::ALL_IDS {
-            println!("  {id}");
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") => {
+            usage();
+            ExitCode::SUCCESS
         }
-        return;
+        Some("bench") => run_bench(&args[1..]),
+        Some("gate") => run_gate(&args[1..]),
+        _ => run_experiments(&args),
     }
+}
 
-    let tables = experiments::run(id, quick);
-    if tables.is_empty() {
-        eprintln!("unknown experiment id {id:?}; try --help");
-        std::process::exit(2);
+fn usage() {
+    println!("usage: harness [e1..e10|all ...] [quick]");
+    println!("       harness bench [--quick] [--out PATH]");
+    println!("       harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]");
+    for id in experiments::ALL_IDS {
+        println!("  {id}");
     }
-    for table in tables {
-        table.print();
+}
+
+/// `harness [ids...] [quick]` — one or more experiments; `all` by default.
+fn run_experiments(args: &[String]) -> ExitCode {
+    let quick = args.iter().any(|a| a == "quick" || a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "quick" && *a != "--quick")
+        .collect();
+    let ids = if ids.is_empty() { vec!["all"] } else { ids };
+
+    let mut empty = 0usize;
+    for id in ids {
+        let tables = experiments::run(id, quick);
+        if tables.is_empty() {
+            eprintln!("unknown experiment id {id:?}; try --help");
+            return ExitCode::from(2);
+        }
+        for table in tables {
+            table.print();
+            if table.is_empty() {
+                eprintln!("error: experiment {id} emitted an empty table");
+                empty += 1;
+            }
+        }
+    }
+    if empty > 0 {
+        eprintln!("{empty} empty table(s) — failing");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// `harness bench [--quick] [--out PATH]`.
+fn run_bench(args: &[String]) -> ExitCode {
+    let quick = args.iter().any(|a| a == "--quick" || a == "quick");
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or(perf::DEFAULT_OUT));
+    match perf::run_and_write(quick, &out) {
+        Ok((doc, summaries)) => {
+            for s in &summaries {
+                println!(
+                    "{:<24} {:>12.1} ops/s  p50 {:>12.0} ns  p95 {:>12.0} ns",
+                    s.name, s.ops_per_sec, s.p50_ns, s.p95_ns
+                );
+            }
+            if let Some(derived) = doc.get("derived") {
+                for (key, value) in derived.entries().unwrap_or(&[]) {
+                    println!("{key:<24} {:.2}x", value.as_f64().unwrap_or(0.0));
+                }
+            }
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]`.
+fn run_gate(args: &[String]) -> ExitCode {
+    let baseline_path = flag_value(args, "--baseline").unwrap_or("bench/baseline.json");
+    let current_path = flag_value(args, "--current").unwrap_or(perf::DEFAULT_OUT);
+    let threshold: f64 = match flag_value(args, "--threshold").unwrap_or("0.30").parse() {
+        Ok(v) if (0.0..1.0).contains(&v) => v,
+        _ => {
+            eprintln!("--threshold must be a fraction in (0, 1)");
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let report = load(baseline_path)
+        .and_then(|baseline| Ok((baseline, load(current_path)?)))
+        .and_then(|(baseline, current)| gate::compare(&baseline, &current, threshold));
+    match report {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passes() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gate failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

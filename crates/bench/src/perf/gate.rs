@@ -1,0 +1,209 @@
+//! The perf-regression gate: compares a fresh `BENCH_payjudger.json`
+//! against the committed `bench/baseline.json` and fails on any family
+//! whose throughput dropped more than the threshold (±30% by default —
+//! wide enough to absorb shared-runner noise, tight enough to catch a 2×
+//! slowdown cold).
+
+use crate::perf::json::Json;
+
+/// One benchmark family's baseline-vs-current comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline throughput, ops/sec.
+    pub baseline_ops: f64,
+    /// Current throughput, ops/sec.
+    pub current_ops: f64,
+    /// Relative change in percent (positive = faster).
+    pub delta_pct: f64,
+    /// Whether this family regressed past the threshold.
+    pub regressed: bool,
+}
+
+/// The full gate outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateReport {
+    /// Per-family comparisons, in baseline order.
+    pub rows: Vec<GateRow>,
+    /// Baseline families absent from the current run (each one fails the
+    /// gate — silently dropping a benchmark is itself a regression).
+    pub missing: Vec<String>,
+    /// The relative threshold used (0.30 = ±30%).
+    pub threshold: f64,
+}
+
+impl GateReport {
+    /// True when no family regressed and none went missing.
+    pub fn passes(&self) -> bool {
+        self.missing.is_empty() && self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// The delta table, one line per family.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf gate (threshold ±{:.0}%)\n",
+            self.threshold * 100.0
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "  {:<28} {:>14.1} -> {:>14.1} ops/s  {:+7.1}%  {}\n",
+                row.name,
+                row.baseline_ops,
+                row.current_ops,
+                row.delta_pct,
+                if row.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("  {name:<28} MISSING from current run\n"));
+        }
+        out.push_str(if self.passes() {
+            "gate: PASS\n"
+        } else {
+            "gate: FAIL\n"
+        });
+        out
+    }
+}
+
+fn bench_ops(doc: &Json, name: &str) -> Option<f64> {
+    doc.get("benches")?.get(name)?.get("ops_per_sec")?.as_f64()
+}
+
+/// Compares every family the baseline records against the current run.
+///
+/// # Errors
+///
+/// When either document lacks a `benches` object.
+pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Result<GateReport, String> {
+    let families = baseline
+        .get("benches")
+        .and_then(Json::entries)
+        .ok_or("baseline has no \"benches\" object")?;
+    if current.get("benches").and_then(Json::entries).is_none() {
+        return Err("current run has no \"benches\" object".into());
+    }
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (name, entry) in families {
+        let Some(baseline_ops) = entry.get("ops_per_sec").and_then(Json::as_f64) else {
+            missing.push(format!("{name} (baseline lacks ops_per_sec)"));
+            continue;
+        };
+        let Some(current_ops) = bench_ops(current, name) else {
+            missing.push(name.clone());
+            continue;
+        };
+        let delta_pct = (current_ops / baseline_ops - 1.0) * 100.0;
+        rows.push(GateRow {
+            name: name.clone(),
+            baseline_ops,
+            current_ops,
+            delta_pct,
+            regressed: current_ops < baseline_ops * (1.0 - threshold),
+        });
+    }
+    Ok(GateReport {
+        rows,
+        missing,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(families: &[(&str, f64)]) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("btcfast-bench/v1".into())),
+            (
+                "benches",
+                Json::Obj(
+                    families
+                        .iter()
+                        .map(|(name, ops)| {
+                            (
+                                name.to_string(),
+                                Json::obj(vec![("ops_per_sec", Json::Num(*ops))]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = doc(&[("header_verify", 10_000.0), ("dispute_e2e", 50.0)]);
+        let report = compare(&base, &base, 0.30).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.delta_pct.abs() < 1e-9));
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails() {
+        // The acceptance scenario: every family at half the baseline
+        // throughput must trip a ±30% gate.
+        let base = doc(&[("header_verify", 10_000.0), ("dispute_e2e", 50.0)]);
+        let slow = doc(&[("header_verify", 5_000.0), ("dispute_e2e", 25.0)]);
+        let report = compare(&base, &slow, 0.30).unwrap();
+        assert!(!report.passes());
+        assert!(report.rows.iter().all(|r| r.regressed));
+        assert!(report.render().contains("REGRESSED"));
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn single_family_regression_fails_whole_gate() {
+        let base = doc(&[("a", 1000.0), ("b", 1000.0)]);
+        let current = doc(&[("a", 1000.0), ("b", 600.0)]);
+        let report = compare(&base, &current, 0.30).unwrap();
+        assert!(!report.passes());
+        assert_eq!(
+            report.rows.iter().filter(|r| r.regressed).count(),
+            1,
+            "only b regressed"
+        );
+    }
+
+    #[test]
+    fn improvement_passes_and_reports_positive_delta() {
+        let base = doc(&[("header_verify", 10_000.0)]);
+        let fast = doc(&[("header_verify", 20_000.0)]);
+        let report = compare(&base, &fast, 0.30).unwrap();
+        assert!(report.passes());
+        assert!(report.rows[0].delta_pct > 99.0);
+        assert!(report.render().contains('+'));
+    }
+
+    #[test]
+    fn within_threshold_noise_passes() {
+        let base = doc(&[("x", 1000.0)]);
+        let noisy = doc(&[("x", 750.0)]); // -25%, inside ±30%
+        assert!(compare(&base, &noisy, 0.30).unwrap().passes());
+        let over = doc(&[("x", 690.0)]); // -31%
+        assert!(!compare(&base, &over, 0.30).unwrap().passes());
+    }
+
+    #[test]
+    fn missing_family_fails() {
+        let base = doc(&[("a", 1000.0), ("b", 1000.0)]);
+        let partial = doc(&[("a", 1000.0)]);
+        let report = compare(&base, &partial, 0.30).unwrap();
+        assert!(!report.passes());
+        assert_eq!(report.missing, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        let good = doc(&[("a", 1.0)]);
+        let bad = Json::obj(vec![("schema", Json::Str("x".into()))]);
+        assert!(compare(&bad, &good, 0.3).is_err());
+        assert!(compare(&good, &bad, 0.3).is_err());
+    }
+}

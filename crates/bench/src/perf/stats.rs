@@ -1,0 +1,135 @@
+//! Wall-clock measurement for the micro-benchmarks: per-sample timing with
+//! inner repetition for fast operations, summarized as mean/p50/p95/min and
+//! ops/sec.
+
+use crate::perf::json::Json;
+use std::time::Instant;
+
+/// Summary statistics of one benchmark family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Benchmark name (the JSON key).
+    pub name: String,
+    /// Timed samples collected.
+    pub samples: usize,
+    /// Operations per timed sample (inner repetitions).
+    pub inner: usize,
+    /// Mean wall time per operation, nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall time per operation, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile wall time per operation, nanoseconds.
+    pub p95_ns: f64,
+    /// Fastest sample, nanoseconds per operation.
+    pub min_ns: f64,
+    /// Throughput derived from the median (robust to scheduler noise).
+    pub ops_per_sec: f64,
+}
+
+impl Summary {
+    /// The JSON object for `BENCH_payjudger.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("samples", Json::Num(self.samples as f64)),
+            ("inner", Json::Num(self.inner as f64)),
+            ("mean_ns", Json::Num(round2(self.mean_ns))),
+            ("p50_ns", Json::Num(round2(self.p50_ns))),
+            ("p95_ns", Json::Num(round2(self.p95_ns))),
+            ("min_ns", Json::Num(round2(self.min_ns))),
+            ("ops_per_sec", Json::Num(round2(self.ops_per_sec))),
+        ])
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// Index of the `q`-quantile in a sorted sample vector (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Times `op`, collecting `samples` timed samples of `inner` calls each
+/// (after one untimed warmup sample). `inner > 1` amortizes `Instant`
+/// overhead for sub-microsecond operations.
+///
+/// # Panics
+///
+/// Panics when `samples` or `inner` is zero.
+pub fn bench<F: FnMut()>(name: &str, samples: usize, inner: usize, mut op: F) -> Summary {
+    assert!(samples > 0 && inner > 0, "need at least one sample/rep");
+    for _ in 0..inner.min(4) {
+        op(); // warmup: fault in code paths and caches
+    }
+    let mut per_op = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..inner {
+            op();
+        }
+        per_op.push(start.elapsed().as_nanos() as f64 / inner as f64);
+    }
+    let mut sorted = per_op.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let mean_ns = per_op.iter().sum::<f64>() / per_op.len() as f64;
+    let p50_ns = quantile(&sorted, 0.50);
+    let p95_ns = quantile(&sorted, 0.95);
+    Summary {
+        name: name.to_string(),
+        samples,
+        inner,
+        mean_ns,
+        p50_ns,
+        p95_ns,
+        min_ns: sorted[0],
+        ops_per_sec: if p50_ns > 0.0 { 1e9 / p50_ns } else { f64::MAX },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_a_trivial_op() {
+        let mut count = 0u64;
+        let s = bench("noop", 10, 8, || count += 1);
+        assert_eq!(s.samples, 10);
+        assert_eq!(s.inner, 8);
+        assert!(count >= 80, "all samples ran");
+        assert!(s.min_ns <= s.p50_ns && s.p50_ns <= s.p95_ns);
+        assert!(s.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_in_range() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 1.0), 100.0);
+        let p50 = quantile(&sorted, 0.5);
+        let p95 = quantile(&sorted, 0.95);
+        assert!((49.0..=52.0).contains(&p50));
+        assert!((94.0..=97.0).contains(&p95));
+    }
+
+    #[test]
+    fn json_shape_has_the_gate_fields() {
+        let s = bench("x", 3, 2, || {
+            std::hint::black_box(1 + 1);
+        });
+        let j = s.to_json();
+        for key in [
+            "samples",
+            "inner",
+            "mean_ns",
+            "p50_ns",
+            "p95_ns",
+            "min_ns",
+            "ops_per_sec",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

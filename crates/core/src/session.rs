@@ -41,7 +41,7 @@ use btcfast_netsim::poisson::BlockArrivals;
 use btcfast_netsim::time::SimTime;
 use btcfast_payjudger::contract::PayJudger;
 use btcfast_payjudger::types::{DisputeVerdict, JudgerConfig};
-use btcfast_payjudger::PayJudgerClient;
+use btcfast_payjudger::{EvidenceVerifier, PayJudgerClient};
 use btcfast_pscsim::tx::{PscTransaction, Receipt};
 use btcfast_pscsim::PscChain;
 use rand::rngs::StdRng;
@@ -161,6 +161,10 @@ pub struct FastPaySession {
     pub deploy_gas: u64,
     /// Gas the escrow deposit consumed (fee-table input).
     pub deposit_gas: u64,
+    /// Shared accelerated evidence verifier (the merchant's memo): every
+    /// dispute in the session preflights evidence through it, so repeated
+    /// rounds on a growing tip only re-verify the delta headers.
+    verifier: Arc<EvidenceVerifier>,
 }
 
 impl FastPaySession {
@@ -228,6 +232,7 @@ impl FastPaySession {
             config.psc_params.gas_price,
         );
 
+        let verifier = Arc::clone(merchant.verifier());
         let mut session = FastPaySession {
             clock: SimTime::from_secs(btc.tip_time()),
             config,
@@ -241,6 +246,7 @@ impl FastPaySession {
             honest_miner,
             deploy_gas: deploy_receipt.gas_used,
             deposit_gas: 0,
+            verifier,
         };
 
         // --- Escrow deposit (Setup phase), held to PSC finality. ----------
@@ -264,6 +270,43 @@ impl FastPaySession {
     /// Deterministic RNG access for sub-simulations.
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
+    }
+
+    /// The session's shared accelerated evidence verifier.
+    pub fn verifier(&self) -> &Arc<EvidenceVerifier> {
+        &self.verifier
+    }
+
+    /// Preflights dispute evidence off-chain through the shared verifier
+    /// before paying gas to submit it: the same checks `submit_evidence`
+    /// performs, anchored at the payment's opening checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Psc`] with the revert the contract would emit.
+    fn preflight_evidence(
+        &self,
+        evidence: &SpvEvidence,
+        payment_id: u64,
+        expected_txid: &Hash256,
+    ) -> Result<(), SessionError> {
+        let payment = self
+            .judger
+            .payment(&self.psc, self.customer.psc_account(), payment_id)
+            .map_err(|e| SessionError::Psc(format!("payment view: {e}")))?;
+        let config = self
+            .judger
+            .config(&self.psc)
+            .map_err(|e| SessionError::Psc(format!("config view: {e}")))?;
+        PayJudgerClient::preflight_evidence(
+            &self.verifier,
+            evidence,
+            &payment.checkpoint,
+            config.min_target_bits,
+            expected_txid,
+        )
+        .map(|_| ())
+        .map_err(|msg| SessionError::Psc(format!("evidence preflight: {msg}")))
     }
 
     /// Advances the simulation clock and the PSC chain together.
@@ -627,6 +670,9 @@ impl FastPaySession {
         }
 
         let evidence = self.merchant.build_dispute_evidence(&self.btc, &txid);
+        // Gas-free preflight through the shared accelerated verifier: a
+        // doomed submission never reaches the chain.
+        self.preflight_evidence(&evidence, payment_id, &txid)?;
         let submission = self.merchant.build_evidence_submission(
             &self.judger,
             &self.psc,
@@ -722,6 +768,7 @@ impl FastPaySession {
         // chain height grown above — `evidence_depth` controls it.
         let to_height = self.btc.height();
         let evidence = SpvEvidence::from_chain(&self.btc, 1, to_height, Some(&report.txid));
+        self.preflight_evidence(&evidence, payment_id, &report.txid)?;
         let submission =
             self.customer
                 .build_evidence_submission(&self.judger, &self.psc, payment_id, evidence);

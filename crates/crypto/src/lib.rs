@@ -16,6 +16,8 @@
 //!   normalization.
 //! * [`keys`] — key pairs, compressed public-key encoding, addresses.
 //! * [`merkle`] — Bitcoin-style Merkle trees with inclusion proofs.
+//! * [`pool`] — a scoped-thread worker pool for batched SHA-256d and
+//!   Merkle-proof verification on the dispute hot path.
 //! * [`base58`] — Base58Check for human-readable addresses.
 //! * [`hex`] — minimal hex encode/decode helpers.
 //!
@@ -43,6 +45,7 @@ pub mod keys;
 mod limbs;
 pub mod merkle;
 pub mod point;
+pub mod pool;
 pub mod ripemd160;
 pub mod scalar;
 pub mod sha256;
@@ -50,6 +53,7 @@ pub mod sha256;
 pub use hash::Hash256;
 pub use keys::{KeyPair, PublicKey, SecretKey};
 pub use merkle::{MerkleProof, MerkleTree};
+pub use pool::{MerkleCheck, WorkerPool};
 
 /// Decodes a 64-character hex string into a 32-byte big-endian array.
 ///

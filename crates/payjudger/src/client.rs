@@ -2,8 +2,12 @@
 //! decodes receipts, and performs view queries.
 
 use crate::contract::CODE_ID;
-use crate::evidence::EvidenceBundle;
-use crate::types::{CheckpointRecord, DisputeVerdict, EscrowRecord, JudgerConfig, PaymentRecord};
+use crate::evidence::{spv_error_message, EvidenceBundle};
+use crate::types::{
+    CheckpointRecord, DisputeVerdict, EscrowRecord, EvidenceSummary, JudgerConfig, PaymentRecord,
+};
+use crate::verify::EvidenceVerifier;
+use btcfast_btcsim::pow::CompactBits;
 use btcfast_btcsim::spv::SpvEvidence;
 use btcfast_crypto::keys::KeyPair;
 use btcfast_crypto::Hash256;
@@ -263,6 +267,55 @@ impl PayJudgerClient {
             return None;
         }
         DisputeVerdict::decode(&receipt.return_data).ok()
+    }
+
+    /// Preflights evidence off-chain before paying to submit it, using the
+    /// shared accelerated verifier (parallel + segment memo).
+    ///
+    /// Runs the same checks `submit_evidence` performs on-chain — anchor
+    /// equals the checkpoint, every header links and carries enough work,
+    /// the optional inclusion proof binds `expected_txid` — but charges no
+    /// gas and reuses cached segment prefixes, so repeated dispute rounds
+    /// on a growing chain tip only verify the delta. A `Ok` here means the
+    /// on-chain call can only fail for state reasons (window closed, wrong
+    /// payment phase), never for the evidence itself.
+    ///
+    /// # Errors
+    ///
+    /// The revert message the contract would emit for this evidence.
+    pub fn preflight_evidence(
+        verifier: &EvidenceVerifier,
+        evidence: &SpvEvidence,
+        checkpoint: &Hash256,
+        min_target_bits: u32,
+        expected_txid: &Hash256,
+    ) -> Result<EvidenceSummary, String> {
+        if evidence.segment.anchor != *checkpoint {
+            return Err("evidence rejected: anchor is not the escrow checkpoint".into());
+        }
+        let min_target = CompactBits(min_target_bits)
+            .to_target()
+            .map_err(|e| format!("bad judge config: {e}"))?;
+        let work = verifier
+            .verify_evidence(evidence, &min_target)
+            .map_err(spv_error_message)?;
+        let (includes_tx, tx_confirmations) = match &evidence.inclusion {
+            Some(inclusion) if &inclusion.txid == expected_txid => {
+                let depth = (evidence.segment.len() - inclusion.header_index) as u64;
+                (true, depth)
+            }
+            Some(_) => {
+                return Err("evidence rejected: inclusion proof is for a different txid".into())
+            }
+            None => (false, 0),
+        };
+        Ok(EvidenceSummary {
+            work: work.to_be_bytes(),
+            blocks: evidence.segment.len() as u64,
+            tip: evidence.segment.tip_hash().expect("verified nonempty"),
+            includes_tx,
+            tx_confirmations,
+        })
     }
 }
 
@@ -579,6 +632,57 @@ mod tests {
         let escrow = h.judger.escrow(&h.psc, customer_id).unwrap();
         assert_eq!(escrow.locked, 0);
         assert_eq!(escrow.balance, 500_000); // nothing forfeited
+    }
+
+    #[test]
+    fn preflight_matches_on_chain_acceptance() {
+        let mut h = Harness::new();
+        h.deposit(500_000);
+        let payment_id = h.open_payment(200_000);
+        let customer_id: AccountId = h.customer.address().into();
+        let config = h.judger.config(&h.psc).unwrap();
+        let verifier = EvidenceVerifier::default();
+
+        // Good evidence preflights clean and then lands on-chain.
+        let evidence =
+            btcfast_btcsim::spv::SpvEvidence::from_chain(&h.btc, 1, 9, Some(&h.pay_txid));
+        let summary = PayJudgerClient::preflight_evidence(
+            &verifier,
+            &evidence,
+            &config.checkpoint,
+            config.min_target_bits,
+            &h.pay_txid,
+        )
+        .expect("honest evidence preflights");
+        assert!(summary.includes_tx);
+        assert_eq!(summary.blocks, 9);
+
+        let tx = h
+            .judger
+            .dispute_tx(&h.merchant, h.nonce(&h.merchant), customer_id, payment_id);
+        assert!(h.run(tx).status.is_success());
+        let tx = h.judger.submit_evidence_tx(
+            &h.customer,
+            h.nonce(&h.customer),
+            customer_id,
+            payment_id,
+            evidence,
+        );
+        assert!(h.run(tx).status.is_success());
+
+        // Tampered evidence is rejected off-chain with the exact revert
+        // message the contract would have charged gas to produce.
+        let mut bad = btcfast_btcsim::spv::SpvEvidence::from_chain(&h.btc, 1, 9, None);
+        bad.segment.headers[4].nonce ^= 1;
+        let err = PayJudgerClient::preflight_evidence(
+            &verifier,
+            &bad,
+            &config.checkpoint,
+            config.min_target_bits,
+            &h.pay_txid,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("evidence rejected:"), "{err}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! gas-charged verification PayJudger performs on submission.
 
 use crate::types::EvidenceSummary;
+use crate::verify::EvidenceVerifier;
 use btcfast_btcsim::block::BlockHeader;
 use btcfast_btcsim::pow::CompactBits;
 use btcfast_btcsim::spv::{HeaderSegment, SpvError, SpvEvidence, TxInclusion};
@@ -9,6 +10,17 @@ use btcfast_btcsim::u256::U256;
 use btcfast_crypto::{Hash256, MerkleProof};
 use btcfast_pscsim::codec::{take, CodecError, Decode, Encode};
 use btcfast_pscsim::contract::{ContractError, Storage};
+
+/// Hard cap on headers in one evidence bundle. A length prefix above this
+/// is a decode error, not a request for a longer loop: before this cap the
+/// decoder clamped only `Vec::with_capacity` and still iterated the full
+/// attacker-supplied count, letting a hostile 4-byte prefix drive millions
+/// of decode iterations for free (the gas meter only sees decoded bundles).
+pub const MAX_EVIDENCE_HEADERS: usize = 4096;
+
+/// Hard cap on Merkle siblings in one inclusion proof (a 64-level path
+/// already addresses 2^64 leaves — no honest proof is deeper).
+pub const MAX_MERKLE_SIBLINGS: usize = 64;
 
 /// Wire wrapper: ABI encoding for [`SpvEvidence`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,7 +54,13 @@ impl Decode for EvidenceBundle {
     fn decode_from(input: &mut &[u8]) -> Result<Self, CodecError> {
         let anchor = Hash256::decode_from(input)?;
         let header_count = u32::decode_from(input)? as usize;
-        let mut headers = Vec::with_capacity(header_count.min(4096));
+        if header_count > MAX_EVIDENCE_HEADERS {
+            return Err(CodecError::LengthCap {
+                len: header_count,
+                max: MAX_EVIDENCE_HEADERS,
+            });
+        }
+        let mut headers = Vec::with_capacity(header_count);
         for _ in 0..header_count {
             let bytes = take(input, 88)?;
             let mut arr = [0u8; 88];
@@ -56,7 +74,13 @@ impl Decode for EvidenceBundle {
                 let header_index = u32::decode_from(input)? as usize;
                 let leaf_index = u64::decode_from(input)?;
                 let sibling_count = u32::decode_from(input)? as usize;
-                let mut siblings = Vec::with_capacity(sibling_count.min(64));
+                if sibling_count > MAX_MERKLE_SIBLINGS {
+                    return Err(CodecError::LengthCap {
+                        len: sibling_count,
+                        max: MAX_MERKLE_SIBLINGS,
+                    });
+                }
+                let mut siblings = Vec::with_capacity(sibling_count);
                 for _ in 0..sibling_count {
                     siblings.push(Hash256::decode_from(input)?);
                 }
@@ -108,6 +132,37 @@ pub fn verify_on_chain(
     expected_txid: &Hash256,
     storage: &mut dyn Storage,
 ) -> Result<VerifiedEvidence, ContractError> {
+    verify_on_chain_with(
+        bundle,
+        checkpoint,
+        min_target_bits,
+        expected_txid,
+        storage,
+        None,
+    )
+}
+
+/// [`verify_on_chain`] with an optional off-chain accelerator.
+///
+/// When `accel` is `Some`, segment verification goes through the parallel
+/// memoizing [`EvidenceVerifier`] — which returns verdicts byte-identical
+/// to the sequential path. **Gas accounting is unchanged either way**: the
+/// meter charges per header and per Merkle hash up front, because gas
+/// prices the work an L1 validator performs, not the work this particular
+/// (possibly cache-warm) verifier saved. The contract entry points pass
+/// `None`; clients preflighting evidence pass their shared verifier.
+///
+/// # Errors
+///
+/// [`ContractError::Revert`] with a reason, or [`ContractError::OutOfGas`].
+pub fn verify_on_chain_with(
+    bundle: &EvidenceBundle,
+    checkpoint: &Hash256,
+    min_target_bits: CompactBits,
+    expected_txid: &Hash256,
+    storage: &mut dyn Storage,
+    accel: Option<&EvidenceVerifier>,
+) -> Result<VerifiedEvidence, ContractError> {
     let evidence = &bundle.0;
 
     // Charge before verifying — gas covers the work whether or not the
@@ -127,9 +182,11 @@ pub fn verify_on_chain(
     let min_target = min_target_bits
         .to_target()
         .map_err(|e| ContractError::Revert(format!("bad judge config: {e}")))?;
-    let work = evidence
-        .verify(&min_target)
-        .map_err(|e| ContractError::Revert(spv_error_message(e)))?;
+    let work = match accel {
+        Some(verifier) => verifier.verify_evidence(evidence, &min_target),
+        None => evidence.verify(&min_target),
+    }
+    .map_err(|e| ContractError::Revert(spv_error_message(e)))?;
 
     let (includes_tx, tx_confirmations) = match &evidence.inclusion {
         Some(inclusion) if &inclusion.txid == expected_txid => {
@@ -334,6 +391,98 @@ mod tests {
         };
         let result = verify_on_chain(&bundle, &Hash256::ZERO, bits(), &txid, &mut host);
         assert!(matches!(result, Err(ContractError::OutOfGas(_))));
+    }
+
+    #[test]
+    fn hostile_header_count_is_a_hard_decode_error() {
+        // Craft a bundle whose 4-byte header count claims far more headers
+        // than the cap; the decoder must bail immediately rather than spin
+        // the full attacker-supplied count.
+        let mut hostile = Vec::new();
+        Hash256::ZERO.encode_to(&mut hostile);
+        (MAX_EVIDENCE_HEADERS as u32 + 1).encode_to(&mut hostile);
+        assert_eq!(
+            EvidenceBundle::decode(&hostile),
+            Err(CodecError::LengthCap {
+                len: MAX_EVIDENCE_HEADERS + 1,
+                max: MAX_EVIDENCE_HEADERS,
+            })
+        );
+        let mut worst = Vec::new();
+        Hash256::ZERO.encode_to(&mut worst);
+        u32::MAX.encode_to(&mut worst);
+        assert!(matches!(
+            EvidenceBundle::decode(&worst),
+            Err(CodecError::LengthCap { .. })
+        ));
+    }
+
+    #[test]
+    fn header_count_at_cap_still_decodes() {
+        // Exactly-at-cap input with too few header bytes fails with
+        // UnexpectedEnd (honest truncation), not the cap error.
+        let mut at_cap = Vec::new();
+        Hash256::ZERO.encode_to(&mut at_cap);
+        (MAX_EVIDENCE_HEADERS as u32).encode_to(&mut at_cap);
+        assert_eq!(
+            EvidenceBundle::decode(&at_cap),
+            Err(CodecError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn hostile_sibling_count_is_a_hard_decode_error() {
+        let (chain, txid) = chain_with_payment();
+        let bundle = EvidenceBundle(SpvEvidence::from_chain(&chain, 1, 8, Some(&txid)));
+        let mut encoded = bundle.encode();
+        // The sibling count sits 40 bytes before the end minus the sibling
+        // payload; rebuild the tail instead of byte surgery.
+        let inclusion = bundle.0.inclusion.as_ref().unwrap();
+        let sibling_bytes = inclusion.proof.siblings().len() * 32;
+        let count_pos = encoded.len() - sibling_bytes - 4;
+        encoded[count_pos..count_pos + 4]
+            .copy_from_slice(&(MAX_MERKLE_SIBLINGS as u32 + 1).to_le_bytes());
+        assert_eq!(
+            EvidenceBundle::decode(&encoded),
+            Err(CodecError::LengthCap {
+                len: MAX_MERKLE_SIBLINGS + 1,
+                max: MAX_MERKLE_SIBLINGS,
+            })
+        );
+    }
+
+    #[test]
+    fn accelerated_path_matches_sequential_verdict_and_gas() {
+        use crate::verify::{EvidenceVerifier, VerifierConfig};
+        let (chain, txid) = chain_with_payment();
+        let verifier = EvidenceVerifier::new(VerifierConfig {
+            threads: 2,
+            cache_capacity: 8,
+        });
+        let good = EvidenceBundle(SpvEvidence::from_chain(&chain, 1, 8, Some(&txid)));
+        let mut bad = good.clone();
+        bad.0.segment.headers[5].merkle_root = Hash256([7; 32]);
+        for bundle in [&good, &bad] {
+            let (seq, gas_seq) = with_storage(|storage| {
+                verify_on_chain(bundle, &Hash256::ZERO, bits(), &txid, storage)
+            });
+            // Twice: cold then cache-warm, both must match the sequential path.
+            for _ in 0..2 {
+                let (acc, gas_acc) = with_storage(|storage| {
+                    verify_on_chain_with(
+                        bundle,
+                        &Hash256::ZERO,
+                        bits(),
+                        &txid,
+                        storage,
+                        Some(&verifier),
+                    )
+                });
+                assert_eq!(acc, seq);
+                assert_eq!(gas_acc, gas_seq, "gas must not depend on the cache");
+            }
+        }
+        assert!(verifier.cache_stats().full_hits >= 1);
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! * [`client`] — an off-chain helper that builds the PSC transactions and
 //!   decodes receipts, used by the protocol roles in `btcfast`;
 //! * [`retry`] — a rebuild-and-resubmit loop so dispute-path calls survive
-//!   `OutOfGas` and land before the challenge window closes.
+//!   `OutOfGas` and land before the challenge window closes;
+//! * [`verify`] — the off-chain accelerated verifier: parallel PoW checks
+//!   plus an LRU memo of verified header-segment prefixes (byte-identical
+//!   verdicts to the sequential path; on-chain gas semantics untouched).
 //!
 //! # Lifecycle
 //!
@@ -46,8 +49,10 @@ pub mod contract;
 pub mod evidence;
 pub mod retry;
 pub mod types;
+pub mod verify;
 
 pub use client::PayJudgerClient;
 pub use contract::{PayJudger, CODE_ID};
 pub use retry::{submit_with_retry, AttemptResult, RetryError, RetryPolicy, RetryReport};
 pub use types::{DisputeVerdict, EscrowRecord, PaymentRecord, PaymentState};
+pub use verify::{CacheStats, EvidenceVerifier, VerifierConfig};

@@ -17,6 +17,13 @@ pub enum CodecError {
     BadTag(u8),
     /// Trailing bytes remained after decoding the value.
     TrailingBytes(usize),
+    /// A length prefix exceeded the decoder's hard cap (hostile input).
+    LengthCap {
+        /// The length the input claimed.
+        len: usize,
+        /// The maximum the decoder accepts.
+        max: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -25,6 +32,9 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEnd => write!(f, "unexpected end of input"),
             CodecError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            CodecError::LengthCap { len, max } => {
+                write!(f, "length prefix {len} exceeds decoder cap {max}")
+            }
         }
     }
 }
