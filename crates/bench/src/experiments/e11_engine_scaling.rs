@@ -1,0 +1,74 @@
+//! E11 — sharded engine scaling: aggregate fast-payment throughput as a
+//! function of the shard count.
+//!
+//! Each shard is a complete, independent merchant deployment (own BTC
+//! chain, mempool, PSC chain, escrow), so this measures the paper's
+//! per-merchant scaling story: capacity grows with merchants because they
+//! share nothing. Throughput is host-measured (payments executed per
+//! wall-clock second across all shards); the simulated point-of-sale
+//! latency quantiles confirm every accepted payment stays sub-second on
+//! the protocol clock regardless of the shard count.
+
+use crate::table::{f3, Table};
+use btcfast::engine::{EngineConfig, PaymentEngine};
+use btcfast_crypto::WorkerPool;
+use std::time::Instant;
+
+/// Runs E11.
+pub fn run(quick: bool) -> Vec<Table> {
+    let payments_per_shard = if quick { 4 } else { 16 };
+    let batch_size = if quick { 2 } else { 8 };
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let pool = WorkerPool::with_default_parallelism();
+
+    let mut table = Table::new(
+        "E11 — sharded engine scaling (host-measured)",
+        &[
+            "shards",
+            "payments",
+            "elapsed (s)",
+            "payments/sec",
+            "sim p50 (ms)",
+            "sim p99 (ms)",
+        ],
+    );
+
+    for &shards in shard_counts {
+        let engine = PaymentEngine::new(EngineConfig {
+            shards,
+            payments_per_shard,
+            batch_size,
+            ..EngineConfig::default()
+        });
+        let start = Instant::now();
+        let report = engine.run(0xE11, &pool).expect("engine run succeeds");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(
+            report.total_accepted, report.total_payments,
+            "every honest payment is accepted"
+        );
+        let (p50, p99) = report
+            .accept_latency_quantiles()
+            .expect("accepted payments exist");
+        table.push(vec![
+            shards.to_string(),
+            report.total_payments.to_string(),
+            f3(elapsed),
+            f3(report.total_payments as f64 / elapsed.max(1e-9)),
+            f3(p50 * 1e3),
+            f3(p99 * 1e3),
+        ]);
+    }
+
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e11_scales_to_every_listed_shard_count() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 2, "one row per shard count");
+    }
+}

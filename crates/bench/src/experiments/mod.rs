@@ -4,6 +4,7 @@
 //! trial counts so the experiment suite can run inside the test suite.
 
 pub mod e10_robustness;
+pub mod e11_engine_scaling;
 pub mod e1_waiting_time;
 pub mod e2_double_spend;
 pub mod e3_btcfast_security;
@@ -16,7 +17,7 @@ pub mod e9_judgment_accuracy;
 
 use crate::table::Table;
 
-/// Runs one experiment by id ("e1".."e10") or all of them ("all").
+/// Runs one experiment by id ("e1".."e11") or all of them ("all").
 ///
 /// Returns the rendered tables; unknown ids return an empty list.
 pub fn run(id: &str, quick: bool) -> Vec<Table> {
@@ -31,6 +32,7 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
         "e8" => e8_collateral::run(quick),
         "e9" => e9_judgment_accuracy::run(quick),
         "e10" => e10_robustness::run(quick),
+        "e11" => e11_engine_scaling::run(quick),
         "all" => {
             let mut tables = Vec::new();
             for id in ALL_IDS {
@@ -43,7 +45,9 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
 }
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL_IDS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 #[cfg(test)]
 mod tests {

@@ -31,7 +31,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    println!("usage: harness [e1..e10|all ...] [quick]");
+    println!("usage: harness [e1..e11|all ...] [quick]");
     println!("       harness bench [--quick] [--out PATH]");
     println!("       harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]");
     for id in experiments::ALL_IDS {

@@ -7,7 +7,7 @@
 
 use crate::amount::Amount;
 use crate::transaction::{OutPoint, Transaction};
-use crate::utxo::{UtxoError, UtxoSet};
+use crate::utxo::{validate_against, Coin, CoinView, UtxoError, UtxoSet};
 use btcfast_crypto::Hash256;
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
@@ -78,6 +78,45 @@ pub struct Mempool {
     entries: HashMap<Hash256, MempoolEntry>,
     /// Outpoint → txid of the pooled spender (the conflict index).
     spends: HashMap<OutPoint, Hash256>,
+    /// Spendable outputs created by pooled transactions, so chained
+    /// unconfirmed spends validate against an overlay instead of cloning
+    /// and replaying the whole confirmed set per insert.
+    outputs: HashMap<OutPoint, Coin>,
+    /// Fee-rate-descending selection index (ties broken by txid for
+    /// determinism), maintained incrementally on insert/remove instead of
+    /// being re-sorted on every `select_for_block` call.
+    order: BTreeMap<(u64, Hash256), ()>,
+}
+
+/// The confirmed set overlaid with pooled outputs, minus everything pooled
+/// transactions already spend — the view an incoming transaction's inputs
+/// must resolve against.
+struct PoolView<'a> {
+    base: &'a UtxoSet,
+    pool: &'a Mempool,
+}
+
+impl CoinView for PoolView<'_> {
+    fn view_coin(&self, outpoint: &OutPoint) -> Option<&Coin> {
+        if self.pool.spends.contains_key(outpoint) {
+            return None;
+        }
+        self.pool
+            .outputs
+            .get(outpoint)
+            .or_else(|| self.base.coin(outpoint))
+    }
+
+    fn view_maturity(&self) -> u64 {
+        self.base.view_maturity()
+    }
+}
+
+/// The selection-index key: fee rate descending, then txid ascending.
+fn priority_key(txid: Hash256, entry: &MempoolEntry) -> (u64, Hash256) {
+    // Negate the (scaled) fee rate so BTreeMap ascending order gives
+    // descending fee rate.
+    (u64::MAX - (entry.fee_rate() * 1000.0) as u64, txid)
 }
 
 impl Mempool {
@@ -149,34 +188,48 @@ impl Mempool {
                 existing_txid,
             });
         }
-        // Validate against confirmed set extended with pooled outputs.
-        let mut extended = utxo.clone();
-        for entry in self.entries.values() {
-            // Pooled parents' outputs become spendable; their inputs are
-            // consumed. Order-independent because conflicts are excluded.
-            let _ = extended.apply_transaction(&entry.tx, height);
-        }
-        let fee = extended
-            .validate_transaction(&tx, height)
-            .map_err(MempoolError::Invalid)?;
+        // Validate against the confirmed set overlaid with pooled outputs
+        // (no clone-and-replay of the whole set).
+        let view = PoolView {
+            base: utxo,
+            pool: self,
+        };
+        let fee = validate_against(&view, &tx, height).map_err(MempoolError::Invalid)?;
 
         let size = tx.size_bytes();
         for input in &tx.inputs {
             self.spends.insert(input.previous_output, txid);
         }
-        self.entries.insert(
-            txid,
-            MempoolEntry {
-                tx,
-                fee,
-                size,
-                seen_at: now,
-            },
-        );
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            if output.script_pubkey.is_unspendable() {
+                continue;
+            }
+            self.outputs.insert(
+                OutPoint {
+                    txid,
+                    vout: vout as u32,
+                },
+                Coin {
+                    value: output.value,
+                    script_pubkey: output.script_pubkey.clone(),
+                    height,
+                    is_coinbase: false,
+                },
+            );
+        }
+        let entry = MempoolEntry {
+            tx,
+            fee,
+            size,
+            seen_at: now,
+        };
+        self.order.insert(priority_key(txid, &entry), ());
+        self.entries.insert(txid, entry);
         Ok(txid)
     }
 
-    /// Removes a transaction (and its spend-index entries).
+    /// Removes a transaction (and its spend/output/selection-index
+    /// entries).
     pub fn remove(&mut self, txid: &Hash256) -> Option<MempoolEntry> {
         let entry = self.entries.remove(txid)?;
         for input in &entry.tx.inputs {
@@ -184,6 +237,13 @@ impl Mempool {
                 self.spends.remove(&input.previous_output);
             }
         }
+        for vout in 0..entry.tx.outputs.len() {
+            self.outputs.remove(&OutPoint {
+                txid: *txid,
+                vout: vout as u32,
+            });
+        }
+        self.order.remove(&priority_key(*txid, &entry));
         Some(entry)
     }
 
@@ -204,21 +264,17 @@ impl Mempool {
     /// Selects up to `max` transactions by descending fee rate for a block
     /// template, parents before children.
     pub fn select_for_block(&self, max: usize) -> Vec<Transaction> {
-        // Sort by fee rate descending, stable by txid for determinism.
-        let mut order: BTreeMap<(u64, Hash256), &MempoolEntry> = BTreeMap::new();
-        for (txid, entry) in &self.entries {
-            // Negate fee rate (scaled) so BTreeMap ascending order gives
-            // descending fee rate.
-            let key = u64::MAX - (entry.fee_rate() * 1000.0) as u64;
-            order.insert((key, *txid), entry);
-        }
+        // Walk the maintained fee-rate index; no per-call sort.
         let mut selected: Vec<Transaction> = Vec::new();
         let mut selected_ids: std::collections::HashSet<Hash256> = Default::default();
-        for entry in order.values() {
+        for (_, txid) in self.order.keys() {
             if selected.len() >= max {
                 break;
             }
-            // Pull unpooled... pooled parents first.
+            let Some(entry) = self.entries.get(txid) else {
+                continue;
+            };
+            // Pull pooled parents first.
             self.push_with_ancestors(&entry.tx, &mut selected, &mut selected_ids, max);
         }
         selected
@@ -245,9 +301,9 @@ impl Mempool {
         }
     }
 
-    /// All pooled txids (unordered).
-    pub fn txids(&self) -> Vec<Hash256> {
-        self.entries.keys().copied().collect()
+    /// All pooled txids (unordered, borrowed — no per-call allocation).
+    pub fn txids(&self) -> impl Iterator<Item = Hash256> + '_ {
+        self.entries.keys().copied()
     }
 }
 
@@ -460,6 +516,70 @@ mod tests {
         pool.insert(tx, chain.utxo(), chain.height() + 1, 0)
             .unwrap();
         assert!(pool.select_for_block(0).is_empty());
+    }
+
+    #[test]
+    fn grandchild_chain_accepted_via_overlay() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let parent = spend(&coinbase, &key, &merchant, sats(100_000), sats(200));
+        let parent_txid = pool
+            .insert(parent.clone(), chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        let mut child = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: parent_txid,
+                vout: 0,
+            })],
+            vec![TxOut::payment(sats(99_000), key.address())],
+        );
+        child
+            .sign_input(0, &merchant, &parent.outputs[0].script_pubkey)
+            .unwrap();
+        let child_txid = pool
+            .insert(child.clone(), chain.utxo(), chain.height() + 1, 1)
+            .unwrap();
+        // Grandchild spends the child's unconfirmed output.
+        let mut grandchild = Transaction::new(
+            vec![TxIn::spend(OutPoint {
+                txid: child_txid,
+                vout: 0,
+            })],
+            vec![TxOut::payment(sats(98_000), merchant.address())],
+        );
+        grandchild
+            .sign_input(0, &key, &child.outputs[0].script_pubkey)
+            .unwrap();
+        pool.insert(grandchild, chain.utxo(), chain.height() + 1, 2)
+            .unwrap();
+        assert_eq!(pool.len(), 3);
+        // The whole chain selects parents-first.
+        let ids: Vec<Hash256> = pool.select_for_block(10).iter().map(|t| t.txid()).collect();
+        let parent_pos = ids.iter().position(|h| *h == parent_txid).unwrap();
+        let child_pos = ids.iter().position(|h| *h == child_txid).unwrap();
+        assert!(parent_pos < child_pos);
+    }
+
+    #[test]
+    fn selection_index_survives_remove_and_reinsert() {
+        let key = KeyPair::from_seed(b"k");
+        let merchant = KeyPair::from_seed(b"m");
+        let (chain, coinbase) = funded_chain(&key);
+        let mut pool = Mempool::new();
+        let tx = spend(&coinbase, &key, &merchant, sats(1000), sats(200));
+        let txid = pool
+            .insert(tx.clone(), chain.utxo(), chain.height() + 1, 0)
+            .unwrap();
+        pool.remove(&txid);
+        assert!(pool.select_for_block(10).is_empty());
+        assert_eq!(pool.txids().count(), 0);
+        // Re-insert works: output/order indexes were fully cleared.
+        pool.insert(tx, chain.utxo(), chain.height() + 1, 1)
+            .unwrap();
+        assert_eq!(pool.select_for_block(10).len(), 1);
+        assert_eq!(pool.txids().count(), 1);
     }
 
     #[test]

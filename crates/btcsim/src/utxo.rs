@@ -10,7 +10,8 @@ use crate::block::Block;
 use crate::script::ScriptPubKey;
 use crate::transaction::{OutPoint, Transaction, TxError};
 use btcfast_crypto::keys::Address;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -54,6 +55,11 @@ pub enum UtxoError {
     NotFinal,
     /// A structural or script failure.
     Tx(TxError),
+    /// Internal invariant breach: an input that validation accepted was
+    /// gone (or double-staged) when the block's changes were staged. This
+    /// can only arise from a bug in validation/apply bookkeeping; surfacing
+    /// it as an error keeps a divergence from aborting the process.
+    StateDivergence(OutPoint),
 }
 
 impl fmt::Display for UtxoError {
@@ -74,6 +80,9 @@ impl fmt::Display for UtxoError {
             }
             UtxoError::NotFinal => write!(f, "transaction locktime not satisfied"),
             UtxoError::Tx(e) => write!(f, "transaction error: {e}"),
+            UtxoError::StateDivergence(op) => {
+                write!(f, "validation/apply divergence on input {op}")
+            }
         }
     }
 }
@@ -95,11 +104,246 @@ pub struct UndoLog {
     created: Vec<OutPoint>,
 }
 
+/// A read view over unspent coins. Validation runs against the live set,
+/// the live set plus a pending in-block overlay, or (in the mempool) the
+/// live set plus pooled outputs; sharing the lookup through this trait
+/// keeps the validation logic identical in every case.
+pub(crate) trait CoinView {
+    /// The coin an outpoint currently resolves to, if unspent.
+    fn view_coin(&self, outpoint: &OutPoint) -> Option<&Coin>;
+    /// The coinbase maturity in force.
+    fn view_maturity(&self) -> u64;
+}
+
+/// Validates a non-coinbase transaction against `view`, returning the fee.
+pub(crate) fn validate_against<V: CoinView>(
+    view: &V,
+    tx: &Transaction,
+    height: u64,
+) -> Result<Amount, UtxoError> {
+    tx.check_structure()?;
+    if tx.is_coinbase() {
+        return Err(UtxoError::Tx(TxError::MisplacedCoinbase));
+    }
+    if tx.lock_time > height {
+        return Err(UtxoError::NotFinal);
+    }
+    let mut total_in = Amount::ZERO;
+    let mut spent_scripts = Vec::with_capacity(tx.inputs.len());
+    for input in &tx.inputs {
+        let coin = view
+            .view_coin(&input.previous_output)
+            .ok_or(UtxoError::MissingCoin(input.previous_output))?;
+        if coin.is_coinbase && height < coin.height + view.view_maturity() {
+            return Err(UtxoError::ImmatureCoinbase {
+                outpoint: input.previous_output,
+                created: coin.height,
+                spend_height: height,
+            });
+        }
+        spent_scripts.push(coin.script_pubkey.clone());
+        total_in = total_in
+            .checked_add(coin.value)
+            .ok_or(UtxoError::ValueOutOfRange)?;
+    }
+    verify_scripts_cached(tx, &spent_scripts)?;
+    let total_out = tx.total_output();
+    total_in
+        .checked_sub(total_out)
+        .ok_or(UtxoError::ValueOutOfRange)
+}
+
+/// Entries the per-thread signature cache holds before it resets.
+const SIG_CACHE_CAP: usize = 1 << 16;
+
+thread_local! {
+    /// Script-verification cache (the Bitcoin Core idiom): a transaction
+    /// fully verified once — typically at mempool admission — skips ECDSA
+    /// re-verification when its block connects. The key commits to the
+    /// *complete* verified statement (core serialization, every witness,
+    /// every spent script; the txid alone would not do — it omits
+    /// witnesses), so a hit can only replay a verification that already
+    /// succeeded on identical inputs. Per-thread, so parallel shards stay
+    /// deterministic and lock-free; a hit or miss never changes any
+    /// validation outcome, only its cost.
+    static SIG_CACHE: std::cell::RefCell<HashSet<btcfast_crypto::Hash256>> =
+        RefCell::new(HashSet::new());
+}
+
+/// The cache key: everything input verification reads.
+fn sig_cache_key(tx: &Transaction, spent_scripts: &[ScriptPubKey]) -> btcfast_crypto::Hash256 {
+    let mut data = tx.encode_core();
+    for input in &tx.inputs {
+        match &input.witness {
+            Some(witness) => {
+                data.push(1);
+                witness.encode_to(&mut data);
+            }
+            None => data.push(0),
+        }
+    }
+    for script in spent_scripts {
+        script.encode_to(&mut data);
+    }
+    btcfast_crypto::sha256::sha256d(&data)
+}
+
+/// Verifies every input signature, consulting the per-thread cache.
+fn verify_scripts_cached(
+    tx: &Transaction,
+    spent_scripts: &[ScriptPubKey],
+) -> Result<(), UtxoError> {
+    let key = sig_cache_key(tx, spent_scripts);
+    let hit = SIG_CACHE.with(|cache| cache.borrow().contains(&key));
+    if hit {
+        return Ok(());
+    }
+    for (index, script) in spent_scripts.iter().enumerate() {
+        tx.verify_input(index, script)?;
+    }
+    SIG_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() >= SIG_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key);
+    });
+    Ok(())
+}
+
+/// The pending effect of a block being validated, layered over the live
+/// set. Nothing touches the [`UtxoSet`] until the whole block validates,
+/// at which point the staged changes commit atomically — replacing the
+/// previous validate-on-a-full-clone scheme with O(touched coins) work.
+struct BlockOverlay<'a> {
+    base: &'a UtxoSet,
+    /// Coins created by earlier transactions in the block and not yet
+    /// spent within it.
+    created: HashMap<OutPoint, Coin>,
+    /// Creation order of `created` entries (for deterministic undo logs).
+    created_order: Vec<OutPoint>,
+    /// Base-set coins consumed by the block, in consumption order.
+    spent: Vec<(OutPoint, Coin)>,
+    /// Fast membership for `spent`.
+    spent_set: HashSet<OutPoint>,
+}
+
+/// The net effect of a fully validated block, ready to commit.
+struct StagedBlock {
+    /// Base-set coins the block consumes.
+    spent: Vec<(OutPoint, Coin)>,
+    /// Coins the block adds to the final set, in creation order. Coins
+    /// created *and* spent within the block net out and appear in neither
+    /// list, so undoing the log restores the exact pre-block set.
+    created: Vec<(OutPoint, Coin)>,
+}
+
+impl<'a> BlockOverlay<'a> {
+    fn new(base: &'a UtxoSet) -> BlockOverlay<'a> {
+        BlockOverlay {
+            base,
+            created: HashMap::new(),
+            created_order: Vec::new(),
+            spent: Vec::new(),
+            spent_set: HashSet::new(),
+        }
+    }
+
+    /// Stages the consumption of an already validated input.
+    fn spend(&mut self, outpoint: OutPoint) -> Result<(), UtxoError> {
+        if self.spent_set.contains(&outpoint) {
+            return Err(UtxoError::StateDivergence(outpoint));
+        }
+        if self.created.remove(&outpoint).is_some() {
+            // A coin both created and spent inside the block cancels out.
+            return Ok(());
+        }
+        let coin = self
+            .base
+            .coins
+            .get(&outpoint)
+            .cloned()
+            .ok_or(UtxoError::StateDivergence(outpoint))?;
+        self.spent_set.insert(outpoint);
+        self.spent.push((outpoint, coin));
+        Ok(())
+    }
+
+    /// Stages the spendable outputs of a transaction.
+    fn create_outputs(&mut self, tx: &Transaction, height: u64, is_coinbase: bool) {
+        let txid = tx.txid();
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            if output.script_pubkey.is_unspendable() {
+                continue;
+            }
+            let outpoint = OutPoint {
+                txid,
+                vout: vout as u32,
+            };
+            self.created.insert(
+                outpoint,
+                Coin {
+                    value: output.value,
+                    script_pubkey: output.script_pubkey.clone(),
+                    height,
+                    is_coinbase,
+                },
+            );
+            self.created_order.push(outpoint);
+        }
+    }
+
+    fn into_staged(mut self) -> StagedBlock {
+        let order = std::mem::take(&mut self.created_order);
+        let created = order
+            .into_iter()
+            .filter_map(|op| self.created.remove(&op).map(|coin| (op, coin)))
+            .collect();
+        StagedBlock {
+            spent: self.spent,
+            created,
+        }
+    }
+}
+
+impl CoinView for BlockOverlay<'_> {
+    fn view_coin(&self, outpoint: &OutPoint) -> Option<&Coin> {
+        if self.spent_set.contains(outpoint) {
+            return None;
+        }
+        self.created
+            .get(outpoint)
+            .or_else(|| self.base.coins.get(outpoint))
+    }
+
+    fn view_maturity(&self) -> u64 {
+        self.base.maturity
+    }
+}
+
 /// The set of unspent transaction outputs.
-#[derive(Clone, Debug, Default)]
+///
+/// Keeps a per-address index over P2PKH coins so wallet queries
+/// ([`balance_of`](UtxoSet::balance_of),
+/// [`spendable_by`](UtxoSet::spendable_by)) cost O(coins owned) instead of
+/// scanning the whole set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UtxoSet {
     coins: HashMap<OutPoint, Coin>,
+    /// P2PKH coins by owning address. `BTreeSet` keeps each address's
+    /// outpoints sorted, so index walks stay deterministic.
+    by_address: HashMap<Address, BTreeSet<OutPoint>>,
     maturity: u64,
+}
+
+impl CoinView for UtxoSet {
+    fn view_coin(&self, outpoint: &OutPoint) -> Option<&Coin> {
+        self.coins.get(outpoint)
+    }
+
+    fn view_maturity(&self) -> u64 {
+        self.maturity
+    }
 }
 
 impl UtxoSet {
@@ -107,6 +351,7 @@ impl UtxoSet {
     pub fn new(coinbase_maturity: u64) -> UtxoSet {
         UtxoSet {
             coins: HashMap::new(),
+            by_address: HashMap::new(),
             maturity: coinbase_maturity,
         }
     }
@@ -126,33 +371,59 @@ impl UtxoSet {
         self.coins.is_empty()
     }
 
-    /// Total value held by an address (wallet balance scan).
+    /// Inserts a coin, maintaining the address index.
+    fn insert_coin(&mut self, outpoint: OutPoint, coin: Coin) {
+        if let ScriptPubKey::P2pkh(address) = &coin.script_pubkey {
+            self.by_address
+                .entry(*address)
+                .or_default()
+                .insert(outpoint);
+        }
+        self.coins.insert(outpoint, coin);
+    }
+
+    /// Removes a coin, maintaining the address index.
+    fn remove_coin(&mut self, outpoint: &OutPoint) -> Option<Coin> {
+        let coin = self.coins.remove(outpoint)?;
+        if let ScriptPubKey::P2pkh(address) = &coin.script_pubkey {
+            if let Some(owned) = self.by_address.get_mut(address) {
+                owned.remove(outpoint);
+                if owned.is_empty() {
+                    self.by_address.remove(address);
+                }
+            }
+        }
+        Some(coin)
+    }
+
+    /// Total value held by an address (index lookup, O(coins owned)).
     pub fn balance_of(&self, address: &Address) -> Amount {
-        self.coins
-            .values()
-            .filter_map(|c| match &c.script_pubkey {
-                ScriptPubKey::P2pkh(a) if a == address => Some(c.value),
-                _ => None,
-            })
+        let Some(owned) = self.by_address.get(address) else {
+            return Amount::ZERO;
+        };
+        owned
+            .iter()
+            .filter_map(|op| self.coins.get(op).map(|c| c.value))
             .sum()
     }
 
     /// All spendable outpoints of an address at `height` (excludes immature
     /// coinbases), sorted for determinism.
     pub fn spendable_by(&self, address: &Address, height: u64) -> Vec<(OutPoint, Coin)> {
-        let mut coins: Vec<(OutPoint, Coin)> = self
-            .coins
+        let Some(owned) = self.by_address.get(address) else {
+            return Vec::new();
+        };
+        // The index's BTreeSet is already outpoint-sorted.
+        owned
             .iter()
-            .filter(|(_, c)| match &c.script_pubkey {
-                ScriptPubKey::P2pkh(a) => {
-                    a == address && (!c.is_coinbase || height >= c.height + self.maturity)
+            .filter_map(|op| {
+                let coin = self.coins.get(op)?;
+                if coin.is_coinbase && height < coin.height + self.maturity {
+                    return None;
                 }
-                _ => false,
+                Some((*op, coin.clone()))
             })
-            .map(|(op, c)| (*op, c.clone()))
-            .collect();
-        coins.sort_by_key(|(op, _)| *op);
-        coins
+            .collect()
     }
 
     /// Validates a non-coinbase transaction against the current set,
@@ -162,35 +433,7 @@ impl UtxoSet {
     ///
     /// See [`UtxoError`].
     pub fn validate_transaction(&self, tx: &Transaction, height: u64) -> Result<Amount, UtxoError> {
-        tx.check_structure()?;
-        if tx.is_coinbase() {
-            return Err(UtxoError::Tx(TxError::MisplacedCoinbase));
-        }
-        if tx.lock_time > height {
-            return Err(UtxoError::NotFinal);
-        }
-        let mut total_in = Amount::ZERO;
-        for (index, input) in tx.inputs.iter().enumerate() {
-            let coin = self
-                .coins
-                .get(&input.previous_output)
-                .ok_or(UtxoError::MissingCoin(input.previous_output))?;
-            if coin.is_coinbase && height < coin.height + self.maturity {
-                return Err(UtxoError::ImmatureCoinbase {
-                    outpoint: input.previous_output,
-                    created: coin.height,
-                    spend_height: height,
-                });
-            }
-            tx.verify_input(index, &coin.script_pubkey)?;
-            total_in = total_in
-                .checked_add(coin.value)
-                .ok_or(UtxoError::ValueOutOfRange)?;
-        }
-        let total_out = tx.total_output();
-        total_in
-            .checked_sub(total_out)
-            .ok_or(UtxoError::ValueOutOfRange)
+        validate_against(self, tx, height)
     }
 
     /// Validates and applies a single non-coinbase transaction, mutating the
@@ -208,15 +451,18 @@ impl UtxoSet {
     ) -> Result<Amount, UtxoError> {
         let fee = self.validate_transaction(tx, height)?;
         for input in &tx.inputs {
-            self.coins.remove(&input.previous_output);
+            self.remove_coin(&input.previous_output);
         }
-        let mut scratch_undo = UndoLog::default();
-        self.add_outputs(tx, height, false, &mut scratch_undo);
+        self.add_outputs(tx, height, false);
         Ok(fee)
     }
 
     /// Applies a structurally valid block at `height`, returning the undo
     /// log. On error the set is left unchanged.
+    ///
+    /// The block's transactions are validated against a staged overlay of
+    /// the live set (no scratch clone); only once everything validates do
+    /// the staged changes commit atomically.
     ///
     /// # Errors
     ///
@@ -228,36 +474,30 @@ impl UtxoSet {
         height: u64,
         subsidy: Amount,
     ) -> Result<UndoLog, UtxoError> {
-        // Validate first against a scratch copy so failures cannot corrupt
-        // the live set.
-        let mut scratch = self.clone();
-        let undo = scratch.apply_block_inner(block, height, subsidy)?;
-        *self = scratch;
-        Ok(undo)
+        let staged = self.stage_block(block, height, subsidy)?;
+        Ok(self.commit_staged(staged))
     }
 
-    fn apply_block_inner(
-        &mut self,
+    /// Validates the whole block against the live set plus an in-block
+    /// overlay, without mutating anything.
+    fn stage_block(
+        &self,
         block: &Block,
         height: u64,
         subsidy: Amount,
-    ) -> Result<UndoLog, UtxoError> {
-        let mut undo = UndoLog::default();
+    ) -> Result<StagedBlock, UtxoError> {
+        let mut overlay = BlockOverlay::new(self);
         let mut total_fees = Amount::ZERO;
 
         for tx in block.transactions.iter().skip(1) {
-            let fee = self.validate_transaction(tx, height)?;
+            let fee = validate_against(&overlay, tx, height)?;
             total_fees = total_fees
                 .checked_add(fee)
                 .ok_or(UtxoError::ValueOutOfRange)?;
             for input in &tx.inputs {
-                let coin = self
-                    .coins
-                    .remove(&input.previous_output)
-                    .expect("validated above");
-                undo.spent.push((input.previous_output, coin));
+                overlay.spend(input.previous_output)?;
             }
-            self.add_outputs(tx, height, false, &mut undo);
+            overlay.create_outputs(tx, height, false);
         }
 
         // Coinbase value rule.
@@ -269,18 +509,28 @@ impl UtxoSet {
         if claimed > allowed {
             return Err(UtxoError::ExcessiveCoinbase { claimed, allowed });
         }
-        self.add_outputs(coinbase, height, true, &mut undo);
+        overlay.create_outputs(coinbase, height, true);
 
-        Ok(undo)
+        Ok(overlay.into_staged())
     }
 
-    fn add_outputs(
-        &mut self,
-        tx: &Transaction,
-        height: u64,
-        is_coinbase: bool,
-        undo: &mut UndoLog,
-    ) {
+    /// Commits a staged block. Infallible: every spent coin was cloned out
+    /// of this very set while staging held the borrow, so the removals
+    /// cannot miss.
+    fn commit_staged(&mut self, staged: StagedBlock) -> UndoLog {
+        let mut undo = UndoLog::default();
+        for (outpoint, coin) in staged.spent {
+            self.remove_coin(&outpoint);
+            undo.spent.push((outpoint, coin));
+        }
+        for (outpoint, coin) in staged.created {
+            self.insert_coin(outpoint, coin);
+            undo.created.push(outpoint);
+        }
+        undo
+    }
+
+    fn add_outputs(&mut self, tx: &Transaction, height: u64, is_coinbase: bool) {
         let txid = tx.txid();
         for (vout, output) in tx.outputs.iter().enumerate() {
             if output.script_pubkey.is_unspendable() {
@@ -290,7 +540,7 @@ impl UtxoSet {
                 txid,
                 vout: vout as u32,
             };
-            self.coins.insert(
+            self.insert_coin(
                 outpoint,
                 Coin {
                     value: output.value,
@@ -299,17 +549,18 @@ impl UtxoSet {
                     is_coinbase,
                 },
             );
-            undo.created.push(outpoint);
         }
     }
 
-    /// Rolls back a previously applied block using its undo log.
+    /// Rolls back a previously applied block using its undo log, restoring
+    /// the exact pre-block set (coins created and spent within the block
+    /// net out of the log entirely).
     pub fn undo_block(&mut self, undo: &UndoLog) {
         for outpoint in &undo.created {
-            self.coins.remove(outpoint);
+            self.remove_coin(outpoint);
         }
         for (outpoint, coin) in undo.spent.iter().rev() {
-            self.coins.insert(*outpoint, coin.clone());
+            self.insert_coin(*outpoint, coin.clone());
         }
     }
 }
@@ -587,6 +838,128 @@ mod tests {
         fx.mine(vec![tx]);
         // One coin spent, one payment + one coinbase created; OP_RETURN skipped.
         assert_eq!(fx.utxo.len(), before - 1 + 2);
+    }
+
+    #[test]
+    fn in_block_chain_applies_and_undoes_exactly() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        // Chained spend of `pay`'s output 0 within the same block.
+        let merchant = KeyPair::from_seed(b"merchant");
+        let chained_in = OutPoint {
+            txid: pay.txid(),
+            vout: 0,
+        };
+        let mut chained = Transaction::new(
+            vec![TxIn::spend(chained_in)],
+            vec![TxOut::payment(sats(999_000), merchant.address())],
+        );
+        chained
+            .sign_input(0, &customer, &pay.outputs[0].script_pubkey)
+            .unwrap();
+
+        let before = fx.utxo.clone();
+        let (_, undo) = fx.mine(vec![pay, chained]);
+        // The chained coin was consumed in-block; only its successor lives.
+        assert_eq!(fx.utxo.coin(&chained_in), None);
+        assert_eq!(fx.utxo.balance_of(&merchant.address()), sats(999_000));
+        fx.utxo.undo_block(&undo);
+        assert_eq!(fx.utxo, before);
+    }
+
+    #[test]
+    fn failed_block_leaves_set_and_index_untouched() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        let double = fx.spend_coinbase(&b1, customer.address(), sats(2_000_000));
+        let before = fx.utxo.clone();
+        // Build a block spending the same coinbase twice: second tx fails.
+        let subsidy = sats(fx.params.subsidy_at(fx.height + 1));
+        let coinbase = Transaction::coinbase(fx.height + 1, subsidy, fx.miner.address(), b"");
+        let transactions = vec![coinbase, pay, double];
+        let merkle_root = Block::compute_merkle_root(&transactions);
+        let mut header = BlockHeader {
+            version: 1,
+            prev_hash: fx.prev_hash,
+            merkle_root,
+            time: (fx.height + 1) * 600,
+            bits: fx.params.pow_limit_bits,
+            nonce: 0,
+        };
+        let target = header.target().unwrap();
+        while !hash_meets_target(&header.hash(), &target) {
+            header.nonce += 1;
+        }
+        let block = Block {
+            header,
+            transactions,
+        };
+        let err = fx.utxo.apply_block(&block, fx.height + 1, subsidy);
+        assert!(matches!(err, Err(UtxoError::MissingCoin(_))));
+        assert_eq!(fx.utxo, before);
+    }
+
+    #[test]
+    fn address_index_matches_full_scan() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        let (_, undo) = fx.mine(vec![pay]);
+        fx.mine(vec![]);
+        for addr in [fx.miner.address(), customer.address()] {
+            let scanned: Amount = fx
+                .utxo
+                .coins
+                .values()
+                .filter_map(|c| match &c.script_pubkey {
+                    ScriptPubKey::P2pkh(a) if *a == addr => Some(c.value),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(fx.utxo.balance_of(&addr), scanned);
+        }
+        // The index survives undo too.
+        fx.utxo.undo_block(&undo);
+        assert_eq!(fx.utxo.balance_of(&customer.address()), Amount::ZERO);
+        let mut rebuilt = UtxoSet::new(fx.utxo.maturity);
+        for (op, coin) in &fx.utxo.coins {
+            rebuilt.insert_coin(*op, coin.clone());
+        }
+        assert_eq!(fx.utxo.by_address, rebuilt.by_address);
+    }
+
+    #[test]
+    fn sig_cache_hit_preserves_validity_and_rejects_tampering() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"customer");
+        let valid = fx.spend_coinbase(&b1, customer.address(), sats(5_000));
+        let height = fx.height + 1;
+
+        // First validation verifies ECDSA and warms the cache; the second
+        // hits it. Both must agree exactly.
+        let cold = fx.utxo.validate_transaction(&valid, height).unwrap();
+        let warm = fx.utxo.validate_transaction(&valid, height).unwrap();
+        assert_eq!(cold, warm);
+
+        // A tampered witness (same core transaction, wrong key) keys a
+        // different cache entry, so the cached success cannot leak: the
+        // tampered copy must still fail signature verification.
+        let mut tampered = valid.clone();
+        let wrong = KeyPair::from_seed(b"not the miner");
+        tampered
+            .sign_input(0, &wrong, &b1.transactions[0].outputs[0].script_pubkey)
+            .unwrap();
+        assert_eq!(tampered.txid(), valid.txid(), "witness is not in the txid");
+        assert!(fx.utxo.validate_transaction(&tampered, height).is_err());
+        // And the valid transaction still validates afterwards.
+        fx.utxo.validate_transaction(&valid, height).unwrap();
     }
 
     #[test]

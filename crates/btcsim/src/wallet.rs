@@ -7,6 +7,7 @@ use crate::script::ScriptPubKey;
 use crate::transaction::{OutPoint, Transaction, TxIn, TxOut};
 use crate::utxo::Coin;
 use btcfast_crypto::keys::{Address, KeyPair};
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
@@ -101,6 +102,28 @@ impl Wallet {
         fee: Amount,
         memo: Option<Vec<u8>>,
     ) -> Result<Transaction, WalletError> {
+        self.create_payment_excluding(chain, to, value, fee, memo, &HashSet::new())
+    }
+
+    /// Like [`Wallet::create_payment`], but never selects a coin listed in
+    /// `exclude`. Batch drivers use this to build several payments that
+    /// spend *disjoint* confirmed coins — each one independently valid
+    /// against the confirmed UTXO set, so a merchant validating offers
+    /// against the chain (not the mempool) accepts all of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalletError::InsufficientFunds`] when the spendable
+    /// balance outside `exclude` cannot cover `value + fee`.
+    pub fn create_payment_excluding(
+        &self,
+        chain: &Chain,
+        to: Address,
+        value: Amount,
+        fee: Amount,
+        memo: Option<Vec<u8>>,
+        exclude: &HashSet<OutPoint>,
+    ) -> Result<Transaction, WalletError> {
         let needed = value
             .checked_add(fee)
             .ok_or(WalletError::InsufficientFunds {
@@ -108,6 +131,7 @@ impl Wallet {
                 available: self.balance(chain),
             })?;
         let mut coins = self.spendable(chain);
+        coins.retain(|(outpoint, _)| !exclude.contains(outpoint));
         coins.sort_by_key(|c| std::cmp::Reverse(c.1.value)); // largest first
 
         let mut selected: Vec<(OutPoint, Coin)> = Vec::new();
@@ -321,6 +345,55 @@ mod tests {
             )
             .unwrap();
         assert_eq!(tx.outputs.len(), 1);
+    }
+
+    #[test]
+    fn excluded_coins_are_never_selected() {
+        let wallet = Wallet::from_seed(b"w");
+        let chain = funded(&wallet);
+        let merchant = Wallet::from_seed(b"m");
+
+        let first = wallet
+            .create_payment(&chain, merchant.address(), sats(1_000_000), sats(500), None)
+            .unwrap();
+        let exclude: HashSet<OutPoint> = first
+            .inputs
+            .iter()
+            .map(|input| input.previous_output)
+            .collect();
+        let second = wallet
+            .create_payment_excluding(
+                &chain,
+                merchant.address(),
+                sats(1_000_000),
+                sats(500),
+                None,
+                &exclude,
+            )
+            .unwrap();
+        for input in &second.inputs {
+            assert!(!exclude.contains(&input.previous_output));
+        }
+        // Both are valid against the same confirmed set (disjoint coins).
+        chain
+            .utxo()
+            .validate_transaction(&first, chain.height() + 1)
+            .unwrap();
+        chain
+            .utxo()
+            .validate_transaction(&second, chain.height() + 1)
+            .unwrap();
+
+        // Excluding everything reports insufficient funds.
+        let all: HashSet<OutPoint> = wallet
+            .spendable(&chain)
+            .into_iter()
+            .map(|(outpoint, _)| outpoint)
+            .collect();
+        let err = wallet
+            .create_payment_excluding(&chain, merchant.address(), sats(1_000), sats(1), None, &all)
+            .unwrap_err();
+        assert!(matches!(err, WalletError::InsufficientFunds { .. }));
     }
 
     #[test]

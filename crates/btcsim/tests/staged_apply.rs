@@ -1,0 +1,254 @@
+//! Property: staged-overlay block application is atomic and exactly
+//! reversible.
+//!
+//! Blocks are generated from a model so they may chain transactions
+//! *within* the block (an output created by tx `i` spent by tx `j > i`) —
+//! precisely what the in-block overlay must resolve without mutating the
+//! live set. Two properties:
+//!
+//! * apply + undo is the identity — [`UtxoSet`] equality covers the coin
+//!   map *and* the per-address index, so a stale index entry fails the
+//!   round-trip too; re-applying after the undo reproduces the identical
+//!   post-state;
+//! * a block that fails validation partway through (double-spend, stripped
+//!   witness, inflated output, greedy coinbase — injected *after* valid
+//!   prefix transactions) leaves the set byte-identical to its pre-state:
+//!   no partial application, ever.
+
+use btcfast_btcsim::amount::Amount;
+use btcfast_btcsim::block::{Block, BlockHeader};
+use btcfast_btcsim::pow::CompactBits;
+use btcfast_btcsim::script::ScriptPubKey;
+use btcfast_btcsim::transaction::{OutPoint, Transaction, TxIn, TxOut};
+use btcfast_btcsim::utxo::UtxoSet;
+use btcfast_crypto::{Hash256, KeyPair};
+use proptest::prelude::*;
+
+const KEYS: usize = 4;
+const FUND_VALUE: u64 = 50_000_000;
+
+fn keys() -> Vec<KeyPair> {
+    (0..KEYS as u8)
+        .map(|i| KeyPair::from_seed(&[i + 1; 16]))
+        .collect()
+}
+
+fn header_for(transactions: &[Transaction]) -> BlockHeader {
+    BlockHeader {
+        version: 1,
+        prev_hash: Hash256::ZERO,
+        merkle_root: Block::compute_merkle_root(transactions),
+        time: 0,
+        bits: CompactBits(0x207fffff),
+        nonce: 0,
+    }
+}
+
+/// A funded set: one coinbase output per key, matured (maturity 0).
+fn funded_set(keys: &[KeyPair]) -> (UtxoSet, Vec<(OutPoint, u64, usize)>) {
+    let mut set = UtxoSet::new(0);
+    let mut coinbase = Transaction::coinbase(
+        0,
+        Amount::from_sats(FUND_VALUE).unwrap(),
+        keys[0].address(),
+        b"fund",
+    );
+    for key in &keys[1..] {
+        coinbase.outputs.push(TxOut::payment(
+            Amount::from_sats(FUND_VALUE).unwrap(),
+            key.address(),
+        ));
+    }
+    let subsidy = Amount::from_sats(FUND_VALUE * keys.len() as u64).unwrap();
+    let block = Block {
+        header: header_for(std::slice::from_ref(&coinbase)),
+        transactions: vec![coinbase.clone()],
+    };
+    set.apply_block(&block, 0, subsidy)
+        .expect("funding applies");
+    let txid = coinbase.txid();
+    let coins = (0..keys.len())
+        .map(|vout| {
+            (
+                OutPoint {
+                    txid,
+                    vout: vout as u32,
+                },
+                FUND_VALUE,
+                vout,
+            )
+        })
+        .collect();
+    (set, coins)
+}
+
+/// One model step: which available coin to spend, who receives, whether to
+/// split the value across two outputs, and the fee to leave the miner.
+type Plan = Vec<(u8, u8, bool, u16)>;
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    proptest::collection::vec(
+        (any::<u8>(), any::<u8>(), any::<bool>(), 0u16..2_000),
+        1..10,
+    )
+}
+
+/// Builds a valid spend block from the plan. Later transactions may spend
+/// outputs created earlier in the same block, exercising the overlay.
+/// Returns the block plus the total fees it pays.
+fn build_block(plan: &Plan, keys: &[KeyPair], coins: &[(OutPoint, u64, usize)]) -> (Block, u64) {
+    // (outpoint, value, owner key index) — grows as the block creates
+    // outputs, shrinks as it spends them.
+    let mut available: Vec<(OutPoint, u64, usize)> = coins.to_vec();
+    let mut transactions = Vec::new();
+    let mut total_fees = 0u64;
+
+    for &(selector, recipient, split, fee) in plan {
+        let index = selector as usize % available.len();
+        let (outpoint, value, owner) = available.remove(index);
+        // Keep every output ≥ 1 sat so the transaction stays valid.
+        let fee = u64::from(fee).min(value.saturating_sub(2));
+        let spendable = value - fee;
+        let to = recipient as usize % keys.len();
+
+        let mut outputs = Vec::new();
+        if split && spendable >= 2 {
+            let half = spendable / 2;
+            outputs.push(TxOut::payment(
+                Amount::from_sats(half).unwrap(),
+                keys[to].address(),
+            ));
+            outputs.push(TxOut::payment(
+                Amount::from_sats(spendable - half).unwrap(),
+                keys[owner].address(),
+            ));
+        } else {
+            outputs.push(TxOut::payment(
+                Amount::from_sats(spendable).unwrap(),
+                keys[to].address(),
+            ));
+        }
+
+        let mut tx = Transaction::new(vec![TxIn::spend(outpoint)], outputs);
+        tx.sign_input(0, &keys[owner], &ScriptPubKey::P2pkh(keys[owner].address()))
+            .expect("signable");
+
+        // The new outputs are spendable by *later* transactions in this
+        // same block.
+        let txid = tx.txid();
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            let owner = keys
+                .iter()
+                .position(|k| ScriptPubKey::P2pkh(k.address()) == output.script_pubkey)
+                .expect("outputs pay model keys");
+            available.push((
+                OutPoint {
+                    txid,
+                    vout: vout as u32,
+                },
+                output.value.to_sats(),
+                owner,
+            ));
+        }
+        total_fees += fee;
+        transactions.push(tx);
+    }
+
+    // Coinbase claims exactly subsidy + fees.
+    let coinbase = Transaction::coinbase(
+        1,
+        Amount::from_sats(FUND_VALUE + total_fees).unwrap(),
+        keys[0].address(),
+        b"spend",
+    );
+    transactions.insert(0, coinbase);
+    let block = Block {
+        header: header_for(&transactions),
+        transactions,
+    };
+    (block, total_fees)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// apply + undo restores the exact pre-block set (coins *and* address
+    /// index), and re-applying reproduces the identical post-state.
+    #[test]
+    fn apply_then_undo_is_identity(plan in plan_strategy()) {
+        let keys = keys();
+        let (mut set, coins) = funded_set(&keys);
+        let (block, _) = build_block(&plan, &keys, &coins);
+        let subsidy = Amount::from_sats(FUND_VALUE).unwrap();
+
+        let pre = set.clone();
+        let undo = set.apply_block(&block, 1, subsidy).expect("valid block");
+        let post = set.clone();
+        prop_assert_ne!(&post, &pre, "a spend block must change the set");
+
+        set.undo_block(&undo);
+        prop_assert_eq!(&set, &pre, "undo must restore the exact pre-state");
+
+        set.apply_block(&block, 1, subsidy).expect("still valid");
+        prop_assert_eq!(&set, &post, "re-apply must be deterministic");
+    }
+
+    /// A block that fails validation at any point — even after several
+    /// valid transactions — leaves the set completely untouched.
+    #[test]
+    fn failed_block_leaves_set_untouched(
+        plan in plan_strategy(),
+        mode in 0u8..4,
+    ) {
+        let keys = keys();
+        let (mut set, coins) = funded_set(&keys);
+        let (mut block, _) = build_block(&plan, &keys, &coins);
+        let subsidy = Amount::from_sats(FUND_VALUE).unwrap();
+
+        match mode {
+            // Double-spend: a final tx re-spends the first spend's input.
+            0 => {
+                let victim = block.transactions[1].inputs[0].previous_output;
+                let owner = coins
+                    .iter()
+                    .find(|(outpoint, _, _)| *outpoint == victim)
+                    .map(|(_, _, owner)| *owner)
+                    .unwrap_or(0);
+                let mut dup = Transaction::new(
+                    vec![TxIn::spend(victim)],
+                    vec![TxOut::payment(
+                        Amount::from_sats(1).unwrap(),
+                        keys[owner].address(),
+                    )],
+                );
+                dup.sign_input(0, &keys[owner], &ScriptPubKey::P2pkh(keys[owner].address()))
+                    .expect("signable");
+                block.transactions.push(dup);
+            }
+            // Stripped witness on the last spend: script check fails.
+            1 => {
+                let last = block.transactions.len() - 1;
+                block.transactions[last].inputs[0].witness = None;
+            }
+            // Inflated output: more value out than in (and a broken
+            // signature, since the sighash covers outputs) — either way,
+            // invalid.
+            2 => {
+                let last = block.transactions.len() - 1;
+                let bloated = Amount::from_sats(FUND_VALUE * 10).unwrap();
+                block.transactions[last].outputs[0].value = bloated;
+            }
+            // Greedy coinbase: claims one sat more than subsidy + fees.
+            _ => {
+                let claimed = block.transactions[0].outputs[0].value;
+                block.transactions[0].outputs[0].value =
+                    claimed.checked_add(Amount::from_sats(1).unwrap()).unwrap();
+            }
+        }
+
+        let pre = set.clone();
+        let result = set.apply_block(&block, 1, subsidy);
+        prop_assert!(result.is_err(), "tampered block must be rejected");
+        prop_assert_eq!(&set, &pre, "failed apply must not touch the set");
+    }
+}

@@ -1,0 +1,293 @@
+//! The sharded payment engine: N concurrent customer→merchant sessions.
+//!
+//! The paper's throughput story is per-merchant: each merchant runs its own
+//! PSC node and accepts fast payments independently, so aggregate capacity
+//! scales with merchants, not with a shared bottleneck. [`PaymentEngine`]
+//! models that as *shards* — each shard owns a complete, independent
+//! [`FastPaySession`] (its own BTC chain, mempool, PSC chain, and escrow),
+//! so shards share no mutable state and run in parallel on a
+//! [`WorkerPool`] without locks.
+//!
+//! # Determinism
+//!
+//! Runs replay byte-identically from a single `u64` base seed:
+//!
+//! * each shard derives its own seed via a splitmix64 finalizer over
+//!   `(base_seed, shard_index)` — shard streams never overlap and do not
+//!   depend on worker scheduling;
+//! * shards are shared-nothing, so execution order across threads cannot
+//!   leak into any shard's outcome;
+//! * [`WorkerPool::map_coarse`] preserves input order, so the outcome
+//!   vector — and the [`EngineReport::fingerprint`] hashed over it — is
+//!   independent of the worker count.
+//!
+//! The fingerprint covers every per-shard observable (accept counts,
+//! exact simulated latencies, the PSC state commitment, the BTC tip), so
+//! two runs with equal fingerprints executed the same payments against
+//! the same final chain states.
+
+use crate::config::SessionConfig;
+use crate::session::{FastPaySession, SessionError};
+use btcfast_crypto::sha256::sha256d;
+use btcfast_crypto::{Hash256, WorkerPool};
+use btcfast_netsim::time::SimTime;
+
+/// Knobs of a sharded engine run.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Per-shard session configuration. The escrow deposit is
+    /// automatically raised (never lowered) to cover every payment's
+    /// collateral for the whole run.
+    pub session: SessionConfig,
+    /// Independent shards (merchant deployments) to drive.
+    pub shards: usize,
+    /// Payments each shard executes.
+    pub payments_per_shard: usize,
+    /// Payments per batch: a batch spends disjoint confirmed coins,
+    /// registers all its escrow payments in one PSC block, and is
+    /// confirmed by one public BTC block.
+    pub batch_size: usize,
+    /// Value of each payment, satoshis.
+    pub amount_sats: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            session: SessionConfig::default(),
+            shards: 4,
+            payments_per_shard: 16,
+            batch_size: 8,
+            amount_sats: 1_000_000,
+        }
+    }
+}
+
+/// What one shard observed, in a deterministic, hashable form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardOutcome {
+    /// The shard index.
+    pub shard: usize,
+    /// The derived per-shard seed.
+    pub seed: u64,
+    /// Payments the merchant accepted.
+    pub accepted: usize,
+    /// Payments the merchant rejected.
+    pub rejected: usize,
+    /// Point-of-sale waiting time of every accepted payment, in order.
+    pub accept_latencies: Vec<SimTime>,
+    /// The shard's final PSC world-state commitment.
+    pub psc_commitment: Hash256,
+    /// The shard's final BTC tip hash.
+    pub btc_tip: Hash256,
+}
+
+impl ShardOutcome {
+    /// Canonical byte encoding hashed into the run fingerprint.
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.shard as u64).to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.accepted as u64).to_le_bytes());
+        out.extend_from_slice(&(self.rejected as u64).to_le_bytes());
+        out.extend_from_slice(&(self.accept_latencies.len() as u64).to_le_bytes());
+        for latency in &self.accept_latencies {
+            out.extend_from_slice(&latency.as_micros().to_le_bytes());
+        }
+        out.extend_from_slice(&self.psc_commitment.0);
+        out.extend_from_slice(&self.btc_tip.0);
+    }
+}
+
+/// The aggregate of one engine run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineReport {
+    /// Per-shard outcomes, in shard order.
+    pub outcomes: Vec<ShardOutcome>,
+    /// Payments attempted across all shards.
+    pub total_payments: usize,
+    /// Payments accepted across all shards.
+    pub total_accepted: usize,
+    /// SHA-256d over the canonical encoding of every outcome: equal
+    /// fingerprints ⇒ byte-identical replays.
+    pub fingerprint: Hash256,
+}
+
+impl EngineReport {
+    /// `(p50, p99)` of the simulated accept latency across all shards, in
+    /// seconds. `None` when nothing was accepted.
+    pub fn accept_latency_quantiles(&self) -> Option<(f64, f64)> {
+        let mut micros: Vec<u64> = self
+            .outcomes
+            .iter()
+            .flat_map(|o| o.accept_latencies.iter().map(SimTime::as_micros))
+            .collect();
+        if micros.is_empty() {
+            return None;
+        }
+        micros.sort_unstable();
+        let rank = |q: f64| {
+            let i = ((micros.len() as f64 - 1.0) * q).round() as usize;
+            micros[i.min(micros.len() - 1)] as f64 / 1e6
+        };
+        Some((rank(0.50), rank(0.99)))
+    }
+}
+
+/// Derives shard `index`'s seed from the base seed: a splitmix64
+/// finalizer, so neighboring indices produce uncorrelated streams.
+fn shard_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives [`EngineConfig::shards`] independent payment sessions in
+/// parallel.
+#[derive(Clone, Debug)]
+pub struct PaymentEngine {
+    config: EngineConfig,
+}
+
+impl PaymentEngine {
+    /// An engine over `config`.
+    pub fn new(config: EngineConfig) -> PaymentEngine {
+        PaymentEngine { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs every shard to completion on `pool` and aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard's [`SessionError`] (in shard order) when a
+    /// payment or registration fails.
+    pub fn run(&self, base_seed: u64, pool: &WorkerPool) -> Result<EngineReport, SessionError> {
+        let shards: Vec<usize> = (0..self.config.shards).collect();
+        let results = pool.map_coarse(&shards, |&shard| {
+            run_shard(&self.config, shard, shard_seed(base_seed, shard as u64))
+        });
+
+        let mut outcomes = Vec::with_capacity(results.len());
+        for result in results {
+            outcomes.push(result?);
+        }
+        let total_accepted = outcomes.iter().map(|o| o.accepted).sum();
+        let mut bytes = Vec::new();
+        for outcome in &outcomes {
+            outcome.encode(&mut bytes);
+        }
+        Ok(EngineReport {
+            total_payments: self.config.shards * self.config.payments_per_shard,
+            total_accepted,
+            fingerprint: sha256d(&bytes),
+            outcomes,
+        })
+    }
+}
+
+/// One shard, start to finish: provision a session, then run payments in
+/// batches — disjoint coin selection, one registration block per batch,
+/// one confirming BTC block per batch.
+fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutcome, SessionError> {
+    let mut session_config = config.session.clone();
+    let per_payment = session_config.required_collateral(config.amount_sats);
+    let whole_run = per_payment.saturating_mul(config.payments_per_shard as u128 + 1);
+    session_config.escrow_deposit = session_config.escrow_deposit.max(whole_run);
+
+    let mut session = FastPaySession::new(session_config, seed);
+    let batch = config.batch_size.max(1);
+    session.fund_customer_coins(batch);
+
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut accept_latencies = Vec::with_capacity(config.payments_per_shard);
+    let mut remaining = config.payments_per_shard;
+    while remaining > 0 {
+        let k = remaining.min(batch);
+        let amounts = vec![config.amount_sats; k];
+        for report in session.run_fast_payment_batch(&amounts)? {
+            if report.accepted {
+                accepted += 1;
+                accept_latencies.push(report.waiting);
+            } else {
+                rejected += 1;
+            }
+        }
+        // Confirm the batch: the change outputs become the next batch's
+        // disjoint confirmed coins.
+        session.mine_public_block();
+        remaining -= k;
+    }
+
+    Ok(ShardOutcome {
+        shard,
+        seed,
+        accepted,
+        rejected,
+        accept_latencies,
+        psc_commitment: session.psc.state_commitment(),
+        btc_tip: session.btc.tip_hash(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EngineConfig {
+        EngineConfig {
+            shards: 2,
+            payments_per_shard: 3,
+            batch_size: 2,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn engine_accepts_every_payment_sub_second() {
+        let engine = PaymentEngine::new(small());
+        let report = engine.run(42, &WorkerPool::new(2)).unwrap();
+        assert_eq!(report.total_payments, 6);
+        assert_eq!(report.total_accepted, 6);
+        assert!(report.outcomes.iter().all(|o| o.rejected == 0));
+        let (p50, p99) = report.accept_latency_quantiles().unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 < 1.0, "p99 accept latency = {p99}s");
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically_across_worker_counts() {
+        let engine = PaymentEngine::new(small());
+        let sequential = engine.run(7, &WorkerPool::new(1)).unwrap();
+        let parallel = engine.run(7, &WorkerPool::new(4)).unwrap();
+        assert_eq!(sequential.fingerprint, parallel.fingerprint);
+        assert_eq!(sequential.outcomes, parallel.outcomes);
+        // And a third run, same pool, still identical.
+        let again = engine.run(7, &WorkerPool::new(4)).unwrap();
+        assert_eq!(parallel.fingerprint, again.fingerprint);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let engine = PaymentEngine::new(small());
+        let a = engine.run(1, &WorkerPool::new(2)).unwrap();
+        let b = engine.run(2, &WorkerPool::new(2)).unwrap();
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..16).map(|i| shard_seed(99, i)).collect();
+        let unique: std::collections::HashSet<&u64> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(
+            seeds,
+            (0..16).map(|i| shard_seed(99, i)).collect::<Vec<_>>()
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`session`] — end-to-end discrete-event simulations: honest fast
 //!   payments, confirmation baselines, full double-spend attacks with
 //!   dispute resolution;
+//! * [`engine`] — [`engine::PaymentEngine`]: N concurrent shared-nothing
+//!   payment sessions sharded over a worker pool, with batched escrow
+//!   registration and seed-deterministic, byte-identical replays;
 //! * [`baseline`] — the comparison schemes (wait-for-z, naive 0-conf);
 //! * [`fees`] — the cost model behind the "no extra operation fee" claim;
 //! * [`robustness`] — typed failure surface ([`robustness::RobustnessError`])
@@ -43,6 +46,7 @@
 pub mod baseline;
 pub mod chaos;
 pub mod config;
+pub mod engine;
 pub mod fees;
 pub mod policy;
 pub mod protocol;
@@ -52,6 +56,7 @@ pub mod session;
 
 pub use chaos::{ChaosDisputeReport, ChaosPaymentReport, ChaosSession, EscrowSnapshot};
 pub use config::SessionConfig;
+pub use engine::{EngineConfig, EngineReport, PaymentEngine, ShardOutcome};
 pub use policy::AcceptancePolicy;
 pub use protocol::{Acceptance, PaymentOffer, RejectReason};
 pub use robustness::{ChaosConfig, FallbackPolicy, ProtocolPhase, RobustnessError};

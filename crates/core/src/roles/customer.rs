@@ -75,6 +75,57 @@ impl Customer {
             .create_payment(btc, merchant_btc, amount, fee, payment_tag)
     }
 
+    /// Like [`Customer::build_btc_payment`], but never spends a coin in
+    /// `exclude` — the batch driver's tool for building several payments
+    /// over disjoint confirmed coins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WalletError`] on insufficient funds.
+    pub fn build_btc_payment_excluding(
+        &self,
+        btc: &Chain,
+        merchant_btc: btcfast_crypto::keys::Address,
+        amount: Amount,
+        fee: Amount,
+        payment_tag: Option<Vec<u8>>,
+        exclude: &std::collections::HashSet<btcfast_btcsim::transaction::OutPoint>,
+    ) -> Result<Transaction, WalletError> {
+        self.btc_wallet.create_payment_excluding(
+            btc,
+            merchant_btc,
+            amount,
+            fee,
+            payment_tag,
+            exclude,
+        )
+    }
+
+    /// Builds the escrow payment registration at an *explicit* nonce.
+    ///
+    /// [`Customer::build_open_payment`] reads the confirmed nonce from the
+    /// chain, so two registrations built before either is mined would
+    /// collide. Batched registration builds K transactions at
+    /// `nonce_base..nonce_base + K` and includes them all in one PSC block.
+    pub fn build_open_payment_at(
+        &self,
+        judger: &PayJudgerClient,
+        nonce: u64,
+        merchant_psc: AccountId,
+        btc_txid: Hash256,
+        amount_sats: u64,
+        collateral: u128,
+    ) -> PscTransaction {
+        judger.open_payment_tx(
+            &self.psc_keys,
+            nonce,
+            merchant_psc,
+            btc_txid,
+            amount_sats,
+            collateral,
+        )
+    }
+
     /// Builds the escrow payment registration (FastPay phase, step 2).
     pub fn build_open_payment(
         &self,

@@ -435,6 +435,165 @@ impl FastPaySession {
         })
     }
 
+    /// Mines blocks paying the customer until they own at least `count`
+    /// spendable coins — batch provisioning, so a K-payment batch can
+    /// spend K disjoint confirmed coins.
+    pub fn fund_customer_coins(&mut self, count: usize) {
+        let mut funder = Miner::new(
+            self.config.btc_params.clone(),
+            self.customer.btc_wallet().address(),
+        );
+        let interval = self.config.btc_params.block_interval_secs;
+        while self.customer.btc_wallet().spendable(&self.btc).len() < count {
+            self.advance_clock(SimTime::from_secs(interval));
+            let time = self.clock.as_secs().max(self.btc.tip_time());
+            let block = funder.mine_block(&self.btc, vec![], time);
+            self.btc
+                .submit_block(block)
+                .expect("funding blocks connect");
+        }
+    }
+
+    /// A batch of honest fast payments sharing one registration block.
+    ///
+    /// The batch pipeline the engine drives:
+    ///
+    /// 1. every payment spends *disjoint* confirmed coins (exclusion-aware
+    ///    coin selection), so each offer independently validates against
+    ///    the merchant's confirmed UTXO view;
+    /// 2. all K escrow registrations are built at explicit sequential
+    ///    nonces and included in a *single* PSC block (batched
+    ///    registration — K× fewer blocks than registering one at a time);
+    /// 3. each offer then runs the measured point-of-sale exchange and,
+    ///    on acceptance, enters the shared mempool.
+    ///
+    /// Callers are expected to mine a public block afterwards (e.g.
+    /// [`FastPaySession::mine_public_block`]) so the change outputs
+    /// replenish the customer's confirmed coins for the next batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] if the customer cannot fund a payment or a
+    /// registration fails.
+    pub fn run_fast_payment_batch(
+        &mut self,
+        amounts: &[u64],
+    ) -> Result<Vec<FastPayReport>, SessionError> {
+        use std::collections::HashSet;
+
+        let fee = Amount::from_sats(self.config.btc_fee_sats)
+            .map_err(|e| SessionError::Btc(e.to_string()))?;
+
+        // -- Disjoint BTC payments over the confirmed set. -----------------
+        let mut exclude = HashSet::new();
+        let mut txs = Vec::with_capacity(amounts.len());
+        for &amount_sats in amounts {
+            let amount =
+                Amount::from_sats(amount_sats).map_err(|e| SessionError::Btc(e.to_string()))?;
+            let tx = self
+                .customer
+                .build_btc_payment_excluding(
+                    &self.btc,
+                    self.merchant.btc_wallet().address(),
+                    amount,
+                    fee,
+                    None,
+                    &exclude,
+                )
+                .map_err(|e| SessionError::Btc(e.to_string()))?;
+            for input in &tx.inputs {
+                exclude.insert(input.previous_output);
+            }
+            txs.push(tx);
+        }
+
+        // -- Batched registration: K opens, one PSC block. -----------------
+        let registration_start = self.clock;
+        let nonce_base = self.psc.nonce_of(&self.customer.psc_account());
+        let mut hashes = Vec::with_capacity(txs.len());
+        for (i, tx) in txs.iter().enumerate() {
+            let collateral = self.config.required_collateral(amounts[i]);
+            let open = self.customer.build_open_payment_at(
+                &self.judger,
+                nonce_base + i as u64,
+                self.merchant.psc_account(),
+                tx.txid(),
+                amounts[i],
+                collateral,
+            );
+            let hash = self
+                .psc
+                .submit_transaction(open)
+                .expect("batch registrations are well-formed");
+            hashes.push(hash);
+        }
+        self.clock += SimTime::from_secs_f64(self.config.psc_params.block_interval_secs);
+        let t = self.clock.as_secs().max(self.psc.tip_time() + 1);
+        self.psc.produce_block(t);
+        let registration = self.clock - registration_start;
+
+        // -- Point of sale, one offer at a time. ---------------------------
+        let mut reports = Vec::with_capacity(txs.len());
+        for (i, tx) in txs.into_iter().enumerate() {
+            let receipt = self
+                .psc
+                .receipt(&hashes[i])
+                .expect("registration block just produced")
+                .clone();
+            if !receipt.status.is_success() {
+                return Err(SessionError::Psc(format!(
+                    "batched open_payment {i} failed: {:?}",
+                    receipt.status
+                )));
+            }
+            let payment_id =
+                PayJudgerClient::payment_id_from(&receipt).expect("successful open returns id");
+            let txid = tx.txid();
+            let offer = self.customer.make_offer(tx.clone(), payment_id, amounts[i]);
+
+            let wait_start = self.clock;
+            let delivery = self.config.latency.sample(&mut self.rng);
+            self.clock += delivery;
+            let decision = self.merchant.evaluate_offer(
+                &offer,
+                &self.btc,
+                &self.mempool,
+                &self.psc,
+                &self.judger,
+            );
+            self.clock += SimTime::from_secs_f64(self.config.verify_secs);
+            let response = self.config.latency.sample(&mut self.rng);
+            self.clock += response;
+            let waiting = self.clock - wait_start;
+
+            let (accepted, reject) = match decision {
+                Ok(_) => {
+                    self.mempool
+                        .insert(
+                            tx,
+                            self.btc.utxo(),
+                            self.btc.height() + 1,
+                            self.clock.as_secs(),
+                        )
+                        .map_err(|e| SessionError::Btc(e.to_string()))?;
+                    (true, None)
+                }
+                Err(reason) => (false, Some(reason)),
+            };
+            reports.push(FastPayReport {
+                waiting,
+                registration,
+                end_to_end: waiting + registration,
+                accepted,
+                reject,
+                txid,
+                payment_id,
+                registration_gas: receipt.gas_used,
+            });
+        }
+        Ok(reports)
+    }
+
     /// One baseline payment: broadcast, then wait for `confirmations`
     /// Poisson-timed blocks.
     ///
@@ -878,6 +1037,40 @@ mod tests {
         let mut session = FastPaySession::new(slow_config, 6);
         let (latency_long, _) = session.run_dispute_resolution(1_000_000, 6).unwrap();
         assert!(latency_long > latency_short);
+    }
+
+    #[test]
+    fn batched_fast_payments_share_one_registration_block() {
+        let mut session = FastPaySession::new(SessionConfig::default(), 11);
+        session.fund_customer_coins(4);
+        let psc_height_before = session.psc.height();
+        let reports = session.run_fast_payment_batch(&[1_000_000; 4]).unwrap();
+        assert_eq!(reports.len(), 4);
+        // Exactly one PSC block carried all four registrations.
+        assert_eq!(session.psc.height(), psc_height_before + 1);
+        let mut payment_ids = std::collections::HashSet::new();
+        let mut txids = std::collections::HashSet::new();
+        for report in &reports {
+            assert!(report.accepted, "{:?}", report.reject);
+            assert!(
+                report.waiting.as_secs_f64() < 1.0,
+                "waiting = {}",
+                report.waiting
+            );
+            payment_ids.insert(report.payment_id);
+            txids.insert(report.txid);
+        }
+        assert_eq!(payment_ids.len(), 4, "distinct escrow registrations");
+        assert_eq!(txids.len(), 4, "distinct BTC payments");
+
+        // One public block confirms the whole batch, and the change
+        // outputs fund a second batch without fresh coinbases.
+        session.mine_public_block();
+        for report in &reports {
+            assert_eq!(session.btc.confirmations(&report.txid), Some(1));
+        }
+        let second = session.run_fast_payment_batch(&[2_000_000; 4]).unwrap();
+        assert!(second.iter().all(|r| r.accepted));
     }
 
     #[test]

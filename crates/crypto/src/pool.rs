@@ -99,6 +99,41 @@ impl WorkerPool {
         chunks.into_iter().flatten().collect()
     }
 
+    /// Like [`WorkerPool::map`], but parallelizes even tiny batches: for
+    /// coarse-grained items (whole simulation shards, not 88-byte headers)
+    /// the per-item work dwarfs thread-spawn latency, so the
+    /// [`WorkerPool::MIN_PARALLEL_ITEMS`] inline cutoff would serialize
+    /// exactly the workloads that benefit most. Order is preserved, so
+    /// results are independent of the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the worker's panic aborts the batch).
+    pub fn map_coarse<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() < 2 {
+            return items.iter().map(f).collect();
+        }
+        let chunk_len = items.len().div_ceil(self.threads);
+        let f = &f;
+        let mut chunks: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            chunks = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect();
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
     /// Double-SHA256 over every input, in input order.
     pub fn sha256d_batch<I>(&self, inputs: &[I]) -> Vec<Hash256>
     where
@@ -173,6 +208,24 @@ mod tests {
         for (i, ok) in verdicts.iter().enumerate() {
             assert_eq!(*ok, i != 40, "check {i}");
         }
+    }
+
+    #[test]
+    fn map_coarse_parallelizes_tiny_batches_and_preserves_order() {
+        let items: Vec<u64> = (0..4).collect();
+        let expected: Vec<u64> = items.iter().map(|i| i * 7 + 2).collect();
+        for threads in [1, 2, 4, 16] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(
+                pool.map_coarse(&items, |i| i * 7 + 2),
+                expected,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(
+            WorkerPool::new(8).map_coarse::<u8, u8, _>(&[], |x| *x),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

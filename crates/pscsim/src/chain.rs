@@ -3,8 +3,8 @@
 
 use crate::account::AccountId;
 use crate::block::PscBlock;
-use crate::contract::{Contract, ContractError, Env, HostStorage};
-use crate::gas::GasMeter;
+use crate::contract::{Contract, ContractError, Env, HostStorage, ViewStorage};
+use crate::gas::{GasMeter, GasSchedule};
 use crate::params::PscParams;
 use crate::state::WorldState;
 use crate::tx::{Action, PscTransaction, PscTxError, Receipt, TxStatus};
@@ -156,10 +156,14 @@ impl PscChain {
     pub fn produce_block(&mut self, time: u64) -> &PscBlock {
         let number = self.height() + 1;
         let pending = std::mem::take(&mut self.pending);
+        // One schedule clone per block, shared by every transaction; the
+        // borrow cannot come from `self.params` because execution takes
+        // `&mut self`.
+        let schedule = self.params.schedule.clone();
         let mut tx_hashes = Vec::with_capacity(pending.len());
         for tx in pending {
             let hash = tx.hash();
-            let receipt = self.execute(tx, number, time);
+            let receipt = self.execute(tx, number, time, &schedule);
             self.total_gas_used += receipt.gas_used;
             self.receipts.insert(hash, receipt);
             tx_hashes.push(hash);
@@ -180,7 +184,13 @@ impl PscChain {
     }
 
     /// Executes one transaction against the state.
-    fn execute(&mut self, tx: PscTransaction, block_number: u64, block_time: u64) -> Receipt {
+    fn execute(
+        &mut self,
+        tx: PscTransaction,
+        block_number: u64,
+        block_time: u64,
+        schedule: &GasSchedule,
+    ) -> Receipt {
         let tx_hash = tx.hash();
         let sender = tx.sender();
         let invalid = |msg: String| Receipt {
@@ -208,7 +218,6 @@ impl PscChain {
         }
 
         // Intrinsic gas.
-        let schedule = self.params.schedule.clone();
         let mut meter = GasMeter::new(tx.gas_limit);
         let intrinsic = schedule.tx_intrinsic
             + schedule.calldata_byte * tx.action.calldata_len() as u64
@@ -231,9 +240,9 @@ impl PscChain {
             };
         }
 
-        // Snapshot for revert. (State maps are modest in simulation; a
-        // full clone keeps revert semantics trivially correct.)
-        let snapshot = self.state.clone();
+        // Open a journal transaction for revert: a failed call rolls back
+        // only the entries it touched instead of restoring a full clone.
+        let checkpoint = self.state.begin_transaction();
         self.state.account_mut(sender).nonce += 1;
 
         type CallOutcome =
@@ -263,8 +272,10 @@ impl PscChain {
                                         block_number,
                                         block_time,
                                     };
-                                    self.run_contract(&code, &env, "init", args, &mut meter)
-                                        .map(|(ret, events)| (ret, events, Some(contract_id)))
+                                    self.run_contract(
+                                        &code, &env, "init", args, &mut meter, schedule,
+                                    )
+                                    .map(|(ret, events)| (ret, events, Some(contract_id)))
                                 }
                             }
                         }
@@ -291,7 +302,7 @@ impl PscChain {
                                 block_number,
                                 block_time,
                             };
-                            self.run_contract(&code, &env, method, args, &mut meter)
+                            self.run_contract(&code, &env, method, args, &mut meter, schedule)
                                 .map(|(ret, events)| (ret, events, None))
                         }
                     },
@@ -304,6 +315,7 @@ impl PscChain {
 
         match result {
             Ok((return_data, events, contract_address)) => {
+                self.state.commit(checkpoint);
                 self.state
                     .debit(sender, fee)
                     .expect("max fee pre-checked against balance");
@@ -321,7 +333,7 @@ impl PscChain {
             }
             Err(error) => {
                 // Revert all state changes, then charge the fee.
-                self.state = snapshot;
+                self.state.rollback(checkpoint);
                 self.state.account_mut(sender).nonce += 1;
                 let (status, billed_gas) = match error {
                     ContractError::OutOfGas(_) => (TxStatus::OutOfGas, tx.gas_limit),
@@ -353,12 +365,12 @@ impl PscChain {
         method: &str,
         args: &[u8],
         meter: &mut GasMeter,
+        schedule: &GasSchedule,
     ) -> Result<(Vec<u8>, Vec<crate::contract::Event>), ContractError> {
-        let schedule = self.params.schedule.clone();
         let mut host = HostStorage {
             world: &mut self.state,
             meter,
-            schedule: &schedule,
+            schedule,
             contract: env.contract,
             events: Vec::new(),
             transfers: Vec::new(),
@@ -370,6 +382,10 @@ impl PscChain {
 
     /// Executes a read-only call against current state without a
     /// transaction: free, unmetered (large scratch budget), uncommitted.
+    ///
+    /// Zero-copy: the call reads the live state through a borrow and any
+    /// writes the method makes land in a discarded overlay
+    /// ([`ViewStorage`]) — the state is never cloned.
     ///
     /// # Errors
     ///
@@ -391,9 +407,7 @@ impl PscChain {
             .get(code_id.as_str())
             .cloned()
             .ok_or_else(|| ContractError::Revert(format!("unregistered code {code_id:?}")))?;
-        let mut scratch = self.state.clone();
         let mut meter = GasMeter::new(u64::MAX / 2);
-        let schedule = self.params.schedule.clone();
         let env = Env {
             caller,
             contract,
@@ -401,15 +415,13 @@ impl PscChain {
             block_number: self.height(),
             block_time: self.tip_time(),
         };
-        let mut host = HostStorage {
-            world: &mut scratch,
-            meter: &mut meter,
-            schedule: &schedule,
-            contract,
-            events: Vec::new(),
-            transfers: Vec::new(),
-        };
+        let mut host = ViewStorage::new(&self.state, &mut meter, &self.params.schedule, contract);
         code.call(&env, method, args, &mut host)
+    }
+
+    /// Commitment over the current world state (the tip "state root").
+    pub fn state_commitment(&self) -> Hash256 {
+        self.state.commitment()
     }
 }
 

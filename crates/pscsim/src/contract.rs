@@ -5,6 +5,7 @@ use crate::account::AccountId;
 use crate::codec::CodecError;
 use crate::gas::{Gas, GasMeter, GasSchedule, OutOfGas};
 use crate::state::WorldState;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -261,6 +262,141 @@ impl Storage for HostStorage<'_> {
     }
 }
 
+/// A read-only [`Storage`] host for view calls: reads go straight to a
+/// *borrowed* world state, while any writes the viewed method makes land in
+/// a private overlay that is discarded when the view returns. This keeps
+/// view execution zero-copy — no clone of the world state is ever taken —
+/// while charging exactly the same gas as [`HostStorage`] would for the
+/// same operations against the same underlying state.
+pub struct ViewStorage<'a> {
+    world: &'a WorldState,
+    meter: &'a mut GasMeter,
+    schedule: &'a GasSchedule,
+    contract: AccountId,
+    /// Uncommitted slot writes made during the view (`None` = deleted).
+    writes: HashMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Uncommitted balance overrides from view-time transfers.
+    balances: HashMap<AccountId, u128>,
+    /// Events emitted during the view (discarded with the overlay).
+    pub events: Vec<Event>,
+}
+
+impl<'a> ViewStorage<'a> {
+    /// A view host over `world` for `contract`, metered by `meter`.
+    pub fn new(
+        world: &'a WorldState,
+        meter: &'a mut GasMeter,
+        schedule: &'a GasSchedule,
+        contract: AccountId,
+    ) -> ViewStorage<'a> {
+        ViewStorage {
+            world,
+            meter,
+            schedule,
+            contract,
+            writes: HashMap::new(),
+            balances: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Overlay-then-base slot lookup.
+    fn slot(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        match self.writes.get(key) {
+            Some(Some(value)) => Some(value),
+            Some(None) => None,
+            None => self.world.storage_get(&self.contract, key),
+        }
+    }
+
+    /// Overlay-then-base balance lookup.
+    fn balance_of(&self, id: &AccountId) -> u128 {
+        self.balances
+            .get(id)
+            .copied()
+            .unwrap_or_else(|| self.world.balance(id))
+    }
+}
+
+impl Storage for ViewStorage<'_> {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ContractError> {
+        self.meter.charge(self.schedule.storage_read)?;
+        Ok(self.slot(key).cloned())
+    }
+
+    fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), ContractError> {
+        let exists = self.slot(key).is_some();
+        let base = if exists {
+            self.schedule.storage_write_existing
+        } else {
+            self.schedule.storage_write_new
+        };
+        let byte_cost = self.schedule.storage_byte * (value.len() as u64).saturating_sub(32);
+        self.meter.charge(base + byte_cost)?;
+        self.writes.insert(key.to_vec(), Some(value.to_vec()));
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &[u8]) -> Result<(), ContractError> {
+        self.meter.charge(self.schedule.storage_delete)?;
+        self.writes.insert(key.to_vec(), None);
+        Ok(())
+    }
+
+    fn emit(&mut self, topic: &str, data: Vec<u8>) -> Result<(), ContractError> {
+        self.meter.charge(
+            self.schedule.log_base + self.schedule.log_byte * (topic.len() + data.len()) as u64,
+        )?;
+        self.events.push(Event {
+            contract: self.contract,
+            topic: topic.to_string(),
+            data,
+        });
+        Ok(())
+    }
+
+    fn transfer_out(&mut self, to: AccountId, value: u128) -> Result<(), ContractError> {
+        self.meter.charge(self.schedule.transfer)?;
+        let available = self.balance_of(&self.contract);
+        if available < value {
+            return Err(ContractError::InsufficientContractBalance {
+                available,
+                requested: value,
+            });
+        }
+        if to == self.contract {
+            // Debit-then-credit of the same account nets to zero.
+            return Ok(());
+        }
+        let to_balance = self.balance_of(&to);
+        self.balances.insert(self.contract, available - value);
+        self.balances.insert(
+            to,
+            to_balance
+                .checked_add(value)
+                .expect("simulated supply cannot overflow u128"),
+        );
+        Ok(())
+    }
+
+    fn contract_balance(&self) -> u128 {
+        self.balance_of(&self.contract)
+    }
+
+    fn charge(&mut self, gas: Gas) -> Result<(), ContractError> {
+        self.meter.charge(gas)?;
+        Ok(())
+    }
+
+    fn schedule(&self) -> &GasSchedule {
+        self.schedule
+    }
+
+    fn gas_used(&self) -> Gas {
+        self.meter.used()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +494,82 @@ mod tests {
         ));
         drop(storage);
         assert_eq!(world.balance(&dest), 60);
+    }
+
+    #[test]
+    fn view_overlay_reads_own_writes_without_touching_base() {
+        let mut world = WorldState::new();
+        let contract_id = AccountId([0xCC; 20]);
+        world.storage_set(contract_id, b"k".to_vec(), b"base".to_vec());
+        let base_commitment = world.commitment();
+        let schedule = GasSchedule::evm_shaped();
+        let mut meter = GasMeter::new(1_000_000);
+        let mut view = ViewStorage::new(&world, &mut meter, &schedule, contract_id);
+
+        assert_eq!(view.get(b"k").unwrap().unwrap(), b"base");
+        view.set(b"k", b"shadow").unwrap();
+        assert_eq!(view.get(b"k").unwrap().unwrap(), b"shadow");
+        view.remove(b"k").unwrap();
+        assert!(view.get(b"k").unwrap().is_none());
+        view.set(b"fresh", b"v").unwrap();
+        assert_eq!(view.get(b"fresh").unwrap().unwrap(), b"v");
+        drop(view);
+        // The borrowed base state is untouched.
+        assert_eq!(world.commitment(), base_commitment);
+        assert_eq!(world.storage_get(&contract_id, b"k").unwrap(), b"base");
+    }
+
+    #[test]
+    fn view_gas_matches_host_storage() {
+        let schedule = GasSchedule::evm_shaped();
+        let contract_id = AccountId([0xCC; 20]);
+        let mut base = WorldState::new();
+        base.storage_set(contract_id, b"k".to_vec(), b"v".to_vec());
+        base.credit(contract_id, 100);
+
+        let script = |s: &mut dyn Storage| -> Result<(), ContractError> {
+            s.get(b"k")?;
+            s.set(b"k", b"v2")?; // existing slot
+            s.set(b"new", &[0u8; 64])?; // new slot, 32 bytes beyond base
+            s.remove(b"k")?;
+            s.emit("Topic", vec![1, 2, 3])?;
+            s.transfer_out(AccountId([0x01; 20]), 40)?;
+            Ok(())
+        };
+
+        let mut host_world = base.clone();
+        let mut host_meter = GasMeter::new(1_000_000);
+        let mut host = host(&mut host_world, &mut host_meter, &schedule);
+        script(&mut host).unwrap();
+        let host_gas = host.gas_used();
+
+        let mut view_meter = GasMeter::new(1_000_000);
+        let mut view = ViewStorage::new(&base, &mut view_meter, &schedule, contract_id);
+        script(&mut view).unwrap();
+        assert_eq!(view.gas_used(), host_gas);
+    }
+
+    #[test]
+    fn view_transfer_overlays_balances() {
+        let mut world = WorldState::new();
+        let contract_id = AccountId([0xCC; 20]);
+        world.credit(contract_id, 100);
+        let schedule = GasSchedule::evm_shaped();
+        let mut meter = GasMeter::new(1_000_000);
+        let mut view = ViewStorage::new(&world, &mut meter, &schedule, contract_id);
+        let dest = AccountId([0x01; 20]);
+        view.transfer_out(dest, 60).unwrap();
+        assert_eq!(view.contract_balance(), 40);
+        assert!(matches!(
+            view.transfer_out(dest, 41),
+            Err(ContractError::InsufficientContractBalance { .. })
+        ));
+        // Self-transfer leaves the balance unchanged, as debit+credit would.
+        view.transfer_out(contract_id, 10).unwrap();
+        assert_eq!(view.contract_balance(), 40);
+        drop(view);
+        assert_eq!(world.balance(&contract_id), 100);
+        assert_eq!(world.balance(&dest), 0);
     }
 
     #[test]

@@ -38,15 +38,58 @@ impl fmt::Display for StateError {
 
 impl Error for StateError {}
 
+/// The pre-image of one touched entry, recorded while a transaction is
+/// open so [`WorldState::rollback`] can restore it.
+#[derive(Clone, Debug)]
+enum JournalEntry {
+    Account {
+        id: AccountId,
+        prev: Option<Account>,
+    },
+    Storage {
+        contract: AccountId,
+        key: Vec<u8>,
+        prev: Option<Vec<u8>>,
+    },
+}
+
+/// A position in the write journal returned by
+/// [`WorldState::begin_transaction`]. Consume it with
+/// [`WorldState::commit`] or [`WorldState::rollback`].
+#[derive(Debug)]
+#[must_use = "a checkpoint must be committed or rolled back"]
+pub struct Checkpoint(usize);
+
 /// Accounts plus per-contract key/value storage.
 ///
 /// `BTreeMap`s keep iteration deterministic, which makes the state
 /// commitment reproducible across runs.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Between [`begin_transaction`](WorldState::begin_transaction) and
+/// [`commit`](WorldState::commit)/[`rollback`](WorldState::rollback) every
+/// mutation records the pre-image of the entry it touches, so reverting a
+/// transaction costs O(touched keys) rather than O(state size) — no
+/// whole-state snapshot clone is ever taken.
+#[derive(Clone, Debug, Default)]
 pub struct WorldState {
     accounts: BTreeMap<AccountId, Account>,
     storage: BTreeMap<(AccountId, Vec<u8>), Vec<u8>>,
+    /// Pre-images of entries touched since the outermost open checkpoint.
+    journal: Vec<JournalEntry>,
+    /// True while a transaction is open; mutations outside one skip the
+    /// journal entirely, so steady-state writes stay allocation-free.
+    recording: bool,
 }
+
+impl PartialEq for WorldState {
+    fn eq(&self, other: &WorldState) -> bool {
+        // The journal is transient bookkeeping, not state: two states with
+        // identical content are equal regardless of open transactions.
+        self.accounts == other.accounts && self.storage == other.storage
+    }
+}
+
+impl Eq for WorldState {}
 
 impl WorldState {
     /// Creates an empty state.
@@ -61,6 +104,12 @@ impl WorldState {
 
     /// Mutable account access, creating a default record on first touch.
     pub fn account_mut(&mut self, id: AccountId) -> &mut Account {
+        if self.recording {
+            self.journal.push(JournalEntry::Account {
+                id,
+                prev: self.accounts.get(&id).cloned(),
+            });
+        }
         self.accounts.entry(id).or_default()
     }
 
@@ -130,17 +179,92 @@ impl WorldState {
         key: Vec<u8>,
         value: Vec<u8>,
     ) -> Option<Vec<u8>> {
-        self.storage.insert((contract, key), value)
+        if self.recording {
+            let prev = self.storage.insert((contract, key.clone()), value);
+            self.journal.push(JournalEntry::Storage {
+                contract,
+                key,
+                prev: prev.clone(),
+            });
+            prev
+        } else {
+            self.storage.insert((contract, key), value)
+        }
     }
 
     /// Deletes a contract storage slot, returning the previous value.
     pub fn storage_remove(&mut self, contract: &AccountId, key: &[u8]) -> Option<Vec<u8>> {
-        self.storage.remove(&(*contract, key.to_vec()))
+        let prev = self.storage.remove(&(*contract, key.to_vec()));
+        if self.recording {
+            self.journal.push(JournalEntry::Storage {
+                contract: *contract,
+                key: key.to_vec(),
+                prev: prev.clone(),
+            });
+        }
+        prev
     }
 
     /// Number of live storage slots (diagnostics).
     pub fn storage_len(&self) -> usize {
         self.storage.len()
+    }
+
+    /// Opens a transaction: mutations from here on record pre-images so
+    /// they can be undone. Checkpoints nest — an inner rollback undoes
+    /// only the entries made after it.
+    pub fn begin_transaction(&mut self) -> Checkpoint {
+        self.recording = true;
+        Checkpoint(self.journal.len())
+    }
+
+    /// Commits the changes made since `checkpoint`.
+    ///
+    /// Committing a *nested* checkpoint keeps its journal entries: they
+    /// still belong to the enclosing transaction's undo set. Committing
+    /// the outermost checkpoint clears the journal and stops recording.
+    pub fn commit(&mut self, checkpoint: Checkpoint) {
+        if checkpoint.0 == 0 {
+            self.journal.clear();
+            self.recording = false;
+        }
+    }
+
+    /// Undoes every mutation made since `checkpoint` by replaying the
+    /// recorded pre-images newest-first.
+    pub fn rollback(&mut self, checkpoint: Checkpoint) {
+        while self.journal.len() > checkpoint.0 {
+            match self.journal.pop().expect("length checked above") {
+                JournalEntry::Account { id, prev } => match prev {
+                    Some(account) => {
+                        self.accounts.insert(id, account);
+                    }
+                    None => {
+                        self.accounts.remove(&id);
+                    }
+                },
+                JournalEntry::Storage {
+                    contract,
+                    key,
+                    prev,
+                } => match prev {
+                    Some(value) => {
+                        self.storage.insert((contract, key), value);
+                    }
+                    None => {
+                        self.storage.remove(&(contract, key));
+                    }
+                },
+            }
+        }
+        if checkpoint.0 == 0 {
+            self.recording = false;
+        }
+    }
+
+    /// Number of journal entries currently recorded (diagnostics).
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
     }
 
     /// A deterministic commitment over the full state (hash of the sorted
@@ -240,6 +364,75 @@ mod tests {
         state.storage_set(id(1), b"k".to_vec(), b"v".to_vec());
         let c2 = state.commitment();
         assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn rollback_restores_accounts_and_storage() {
+        let mut state = WorldState::new();
+        state.credit(id(1), 100);
+        state.storage_set(id(1), b"keep".to_vec(), b"old".to_vec());
+        let before = state.clone();
+
+        let cp = state.begin_transaction();
+        state.credit(id(1), 50);
+        state.credit(id(2), 7); // fresh account
+        state.account_mut(id(1)).nonce += 1;
+        state.storage_set(id(1), b"keep".to_vec(), b"new".to_vec());
+        state.storage_set(id(1), b"fresh".to_vec(), b"x".to_vec());
+        state.storage_remove(&id(1), b"keep");
+        state.rollback(cp);
+
+        assert_eq!(state, before);
+        assert_eq!(state.commitment(), before.commitment());
+        assert_eq!(state.journal_len(), 0);
+    }
+
+    #[test]
+    fn commit_keeps_changes_and_clears_journal() {
+        let mut state = WorldState::new();
+        let cp = state.begin_transaction();
+        state.credit(id(1), 42);
+        state.storage_set(id(1), b"k".to_vec(), b"v".to_vec());
+        state.commit(cp);
+        assert_eq!(state.balance(&id(1)), 42);
+        assert_eq!(state.storage_get(&id(1), b"k").unwrap(), b"v");
+        assert_eq!(state.journal_len(), 0);
+        // Post-commit mutations no longer journal.
+        state.credit(id(1), 1);
+        assert_eq!(state.journal_len(), 0);
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_independently() {
+        let mut state = WorldState::new();
+        state.credit(id(1), 10);
+        let outer = state.begin_transaction();
+        state.credit(id(1), 5);
+        let inner = state.begin_transaction();
+        state.credit(id(1), 100);
+        state.rollback(inner);
+        assert_eq!(state.balance(&id(1)), 15);
+        // An inner commit leaves its entries in the outer undo set.
+        let inner = state.begin_transaction();
+        state.credit(id(2), 9);
+        state.commit(inner);
+        state.rollback(outer);
+        assert_eq!(state.balance(&id(1)), 10);
+        assert_eq!(state.balance(&id(2)), 0);
+    }
+
+    #[test]
+    fn equality_ignores_open_journal() {
+        let mut a = WorldState::new();
+        a.credit(id(1), 10);
+        let mut b = a.clone();
+        let cp = b.begin_transaction();
+        b.credit(id(1), 1);
+        b.rollback(cp);
+        let _ = b.begin_transaction(); // leave a transaction open
+        assert_eq!(a, b);
+        a.credit(id(1), 1);
+        assert_ne!(a, b);
     }
 
     #[test]
