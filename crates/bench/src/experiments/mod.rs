@@ -5,6 +5,7 @@
 
 pub mod e10_robustness;
 pub mod e11_engine_scaling;
+pub mod e12_phase_latency;
 pub mod e1_waiting_time;
 pub mod e2_double_spend;
 pub mod e3_btcfast_security;
@@ -17,7 +18,7 @@ pub mod e9_judgment_accuracy;
 
 use crate::table::Table;
 
-/// Runs one experiment by id ("e1".."e11") or all of them ("all").
+/// Runs one experiment by id ("e1".."e12") or all of them ("all").
 ///
 /// Returns the rendered tables; unknown ids return an empty list.
 pub fn run(id: &str, quick: bool) -> Vec<Table> {
@@ -33,6 +34,7 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
         "e9" => e9_judgment_accuracy::run(quick),
         "e10" => e10_robustness::run(quick),
         "e11" => e11_engine_scaling::run(quick),
+        "e12" => e12_phase_latency::run(quick),
         "all" => {
             let mut tables = Vec::new();
             for id in ALL_IDS {
@@ -45,8 +47,8 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
 }
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL_IDS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! harness e1 e5 e6 e10 quick   # several experiments, reduced trials (CI)
 //! harness bench --quick        # micro-benchmarks -> BENCH_payjudger.json
 //! harness gate                 # compare BENCH json against the baseline
+//! harness trace                # chaos run -> JSONL trace + Prometheus dump
 //! ```
 //!
 //! Experiment runs exit 2 on an unknown id and 1 if any experiment emits
@@ -26,14 +27,16 @@ fn main() -> ExitCode {
         }
         Some("bench") => run_bench(&args[1..]),
         Some("gate") => run_gate(&args[1..]),
+        Some("trace") => run_trace(&args[1..]),
         _ => run_experiments(&args),
     }
 }
 
 fn usage() {
-    println!("usage: harness [e1..e11|all ...] [quick]");
+    println!("usage: harness [e1..e12|all ...] [quick]");
     println!("       harness bench [--quick] [--out PATH]");
     println!("       harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]");
+    println!("       harness trace [--seed N] [--trace PATH] [--metrics PATH]");
     for id in experiments::ALL_IDS {
         println!("  {id}");
     }
@@ -103,6 +106,81 @@ fn run_bench(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `harness trace [--seed N] [--trace PATH] [--metrics PATH]` — run one
+/// seeded chaos scenario (payment under 20% loss, then a dispute) and
+/// export its sim-time span trace as JSONL plus a Prometheus-style dump
+/// of every subsystem counter. Same seed → byte-identical trace file.
+fn run_trace(args: &[String]) -> ExitCode {
+    use btcfast::chaos::ChaosSession;
+    use btcfast::robustness::ChaosConfig;
+    use btcfast::telemetry;
+    use btcfast::SessionConfig;
+    use btcfast_netsim::faults::FaultPlan;
+    use btcfast_netsim::time::SimTime;
+
+    // Default seed chosen so the dispute leg's race is actually lost and
+    // the dispute phases land on the exported trace.
+    let seed: u64 = match flag_value(args, "--seed").unwrap_or("17").parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("--seed must be a u64");
+            return ExitCode::from(2);
+        }
+    };
+    let trace_path = PathBuf::from(flag_value(args, "--trace").unwrap_or("TRACE_btcfast.jsonl"));
+    let metrics_path =
+        PathBuf::from(flag_value(args, "--metrics").unwrap_or("METRICS_btcfast.prom"));
+
+    let mut plan = FaultPlan::new();
+    plan.loss_window(SimTime::ZERO, SimTime::from_secs(86_400), 0.2);
+    let mut config = ChaosConfig::default();
+    config.transport.max_attempts = 12;
+    config.phase_deadline = SimTime::from_secs(60);
+    let mut chaos = ChaosSession::new(SessionConfig::default(), config, plan, seed);
+
+    if let Err(e) = chaos.run_fast_payment_chaos(1_000_000) {
+        eprintln!("trace scenario: payment leg failed under chaos: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Confirm the first sale so the dispute leg's payment does not
+    // conflict with it in the mempool.
+    chaos.session.mine_public_block();
+    if let Err(e) = chaos.run_dispute_chaos(1_000_000, 0.3, 24) {
+        eprintln!("trace scenario: dispute leg failed under chaos: {e}");
+        return ExitCode::FAILURE;
+    }
+    // The dispute path already snapshots the transport counters; only add
+    // a final snapshot when the run ended without one.
+    if chaos
+        .session
+        .trace()
+        .last()
+        .is_none_or(|e| e.name != "transport.stats")
+    {
+        chaos.trace_transport_stats();
+    }
+
+    let registry = btcfast_obs::Registry::new();
+    telemetry::publish_chaos(&registry, &chaos);
+
+    let jsonl = btcfast_obs::render_jsonl(&chaos.session.take_trace());
+    let prom = registry.render_prometheus();
+    let events = jsonl.lines().count();
+    let metrics = prom.lines().filter(|l| !l.starts_with('#')).count();
+    if let Err(e) = std::fs::write(&trace_path, &jsonl) {
+        eprintln!("write {}: {e}", trace_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&metrics_path, &prom) {
+        eprintln!("write {}: {e}", metrics_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("seed {seed}");
+    println!("wrote {} ({events} events)", trace_path.display());
+    println!("wrote {} ({metrics} series)", metrics_path.display());
+    ExitCode::SUCCESS
 }
 
 /// `harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]`.

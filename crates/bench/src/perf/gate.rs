@@ -6,6 +6,29 @@
 
 use crate::perf::json::Json;
 
+/// Name prefix of the instrumentation-overhead ratio pseudo-families.
+///
+/// An `overhead_*` family's `ops_per_sec` is a plain/instrumented time
+/// ratio measured *within one run* (baseline 1.0), so host noise largely
+/// cancels and a much tighter budget than the wall-clock threshold is
+/// meaningful.
+pub const OVERHEAD_PREFIX: &str = "overhead_";
+
+/// The overhead budget: instrumented hot paths may cost at most 5% over
+/// their plain twins before the gate fails.
+pub const OVERHEAD_THRESHOLD: f64 = 0.05;
+
+/// The threshold a family is gated at: `overhead_*` families get the 5%
+/// budget (never looser than the run's own threshold), everything else
+/// the caller's wall-clock threshold.
+fn family_threshold(name: &str, threshold: f64) -> f64 {
+    if name.starts_with(OVERHEAD_PREFIX) {
+        threshold.min(OVERHEAD_THRESHOLD)
+    } else {
+        threshold
+    }
+}
+
 /// One benchmark family's baseline-vs-current comparison.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GateRow {
@@ -97,12 +120,13 @@ pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Result<GateRe
             continue;
         };
         let delta_pct = (current_ops / baseline_ops - 1.0) * 100.0;
+        let family = family_threshold(name, threshold);
         rows.push(GateRow {
             name: name.clone(),
             baseline_ops,
             current_ops,
             delta_pct,
-            regressed: current_ops < baseline_ops * (1.0 - threshold),
+            regressed: current_ops < baseline_ops * (1.0 - family),
         });
     }
     Ok(GateReport {
@@ -197,6 +221,23 @@ mod tests {
         let report = compare(&base, &partial, 0.30).unwrap();
         assert!(!report.passes());
         assert_eq!(report.missing, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn overhead_families_are_gated_at_five_percent() {
+        // -4% on an overhead ratio passes; -6% fails, even though the
+        // run-wide threshold is a loose ±30%.
+        let base = doc(&[("overhead_engine_tracing", 1.0), ("x", 1000.0)]);
+        let close = doc(&[("overhead_engine_tracing", 0.96), ("x", 800.0)]);
+        assert!(compare(&base, &close, 0.30).unwrap().passes());
+        let over = doc(&[("overhead_engine_tracing", 0.94), ("x", 1000.0)]);
+        let report = compare(&base, &over, 0.30).unwrap();
+        assert!(!report.passes());
+        assert_eq!(
+            report.rows.iter().filter(|r| r.regressed).count(),
+            1,
+            "only the overhead family trips"
+        );
     }
 
     #[test]

@@ -45,10 +45,11 @@ fn round2(v: f64) -> f64 {
     (v * 100.0).round() / 100.0
 }
 
-/// Index of the `q`-quantile in a sorted sample vector (nearest-rank).
+/// The `q`-quantile of a sorted sample vector — the workspace-wide
+/// nearest-rank rule from `btcfast-obs`, so bench percentiles and
+/// histogram percentiles are directly comparable.
 fn quantile(sorted: &[f64], q: f64) -> f64 {
-    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    btcfast_obs::stats::quantile_sorted_f64(sorted, q).expect("bench samples are nonempty")
 }
 
 /// Times `op`, collecting `samples` timed samples of `inner` calls each
@@ -88,6 +89,44 @@ pub fn bench<F: FnMut()>(name: &str, samples: usize, inner: usize, mut op: F) ->
     }
 }
 
+/// Interleaved paired measurement for overhead ratios: each round times
+/// `inner` calls of `plain` immediately followed by `inner` calls of
+/// `instrumented`, and yields that round's plain/instrumented time ratio.
+/// Because both sides of a round run back to back, slow-host noise hits
+/// them near-equally and mostly cancels — unlike comparing two families
+/// benchmarked seconds apart.
+///
+/// # Panics
+///
+/// Panics when `samples` or `inner` is zero.
+pub fn bench_pair<A: FnMut(), B: FnMut()>(
+    samples: usize,
+    inner: usize,
+    mut plain: A,
+    mut instrumented: B,
+) -> Vec<f64> {
+    assert!(samples > 0 && inner > 0, "need at least one sample/rep");
+    for _ in 0..inner.min(4) {
+        plain(); // warmup both sides
+        instrumented();
+    }
+    let mut ratios = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..inner {
+            plain();
+        }
+        let plain_ns = start.elapsed().as_nanos() as f64;
+        let start = Instant::now();
+        for _ in 0..inner {
+            instrumented();
+        }
+        let instrumented_ns = (start.elapsed().as_nanos() as f64).max(1.0);
+        ratios.push(plain_ns / instrumented_ns);
+    }
+    ratios
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +140,28 @@ mod tests {
         assert!(count >= 80, "all samples ran");
         assert!(s.min_ns <= s.p50_ns && s.p50_ns <= s.p95_ns);
         assert!(s.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn paired_rounds_of_identical_work_ratio_near_one() {
+        let ratios = bench_pair(
+            10,
+            16,
+            || {
+                std::hint::black_box(btcfast_crypto::sha256::sha256d(b"twin"));
+            },
+            || {
+                std::hint::black_box(btcfast_crypto::sha256::sha256d(b"twin"));
+            },
+        );
+        assert_eq!(ratios.len(), 10);
+        let mut sorted = ratios.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = quantile(&sorted, 0.5);
+        assert!(
+            (0.5..2.0).contains(&median),
+            "identical twin work should ratio near 1.0, got {median}"
+        );
     }
 
     #[test]

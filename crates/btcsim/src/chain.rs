@@ -92,6 +92,23 @@ pub struct Chain {
     /// txid → containing block hash, for the active chain only.
     tx_index: HashMap<Hash256, Hash256>,
     utxo: UtxoSet,
+    /// Connection counters since construction.
+    stats: ChainStats,
+}
+
+/// Block-connection counters (observability; saturating). Purely
+/// descriptive: never consulted by consensus and excluded from every
+/// replay fingerprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Submitted blocks that became (part of) the best chain.
+    pub blocks_connected: u64,
+    /// Transactions inside those connected blocks (coinbases included).
+    pub txs_connected: u64,
+    /// Connections that disconnected at least one block first.
+    pub reorgs: u64,
+    /// Submitted blocks stored on a side branch.
+    pub side_chain_blocks: u64,
 }
 
 impl Chain {
@@ -105,7 +122,13 @@ impl Chain {
             undo_logs: HashMap::new(),
             tx_index: HashMap::new(),
             utxo,
+            stats: ChainStats::default(),
         }
+    }
+
+    /// Connection counters since construction.
+    pub fn stats(&self) -> ChainStats {
+        self.stats
     }
 
     /// The chain parameters.
@@ -278,11 +301,19 @@ impl Chain {
             chainwork,
         };
 
+        let tx_count = stored.block.transactions.len() as u64;
         if chainwork > self.tip_work() {
             // This branch becomes best: connect, possibly reorging.
             self.blocks.insert(hash, stored);
             match self.reorg_to(hash) {
-                Ok(reorged) => Ok(SubmitOutcome::Connected { reorged }),
+                Ok(reorged) => {
+                    self.stats.blocks_connected = self.stats.blocks_connected.saturating_add(1);
+                    self.stats.txs_connected = self.stats.txs_connected.saturating_add(tx_count);
+                    if reorged {
+                        self.stats.reorgs = self.stats.reorgs.saturating_add(1);
+                    }
+                    Ok(SubmitOutcome::Connected { reorged })
+                }
                 Err(e) => {
                     // Invalid branch: drop the offending block entirely.
                     self.blocks.remove(&hash);
@@ -291,6 +322,7 @@ impl Chain {
             }
         } else {
             self.blocks.insert(hash, stored);
+            self.stats.side_chain_blocks = self.stats.side_chain_blocks.saturating_add(1);
             Ok(SubmitOutcome::SideChain)
         }
     }

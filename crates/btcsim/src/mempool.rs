@@ -68,6 +68,18 @@ impl fmt::Display for MempoolError {
 
 impl Error for MempoolError {}
 
+/// Admission-control counters (observability; saturating).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Transactions accepted into the pool.
+    pub admitted: u64,
+    /// Insert attempts refused (duplicate, conflict, or invalid).
+    pub rejected: u64,
+    /// The subset of rejections that were double-spend conflicts — the
+    /// observable that triggers a BTCFast dispute.
+    pub conflicts: u64,
+}
+
 /// A pool of unconfirmed transactions.
 ///
 /// Chained unconfirmed transactions (child spends parent's output while both
@@ -86,6 +98,8 @@ pub struct Mempool {
     /// determinism), maintained incrementally on insert/remove instead of
     /// being re-sorted on every `select_for_block` call.
     order: BTreeMap<(u64, Hash256), ()>,
+    /// Admission counters since construction.
+    stats: MempoolStats,
 }
 
 /// The confirmed set overlaid with pooled outputs, minus everything pooled
@@ -145,6 +159,11 @@ impl Mempool {
         self.entries.contains_key(txid)
     }
 
+    /// Admission counters since construction.
+    pub fn stats(&self) -> MempoolStats {
+        self.stats
+    }
+
     /// Returns the pooled transaction spending `outpoint`, if any — the
     /// double-spend observation primitive.
     pub fn spender_of(&self, outpoint: &OutPoint) -> Option<Hash256> {
@@ -180,9 +199,12 @@ impl Mempool {
     ) -> Result<Hash256, MempoolError> {
         let txid = tx.txid();
         if self.entries.contains_key(&txid) {
+            self.stats.rejected = self.stats.rejected.saturating_add(1);
             return Err(MempoolError::Duplicate);
         }
         if let Some((outpoint, existing_txid)) = self.find_conflict(&tx) {
+            self.stats.rejected = self.stats.rejected.saturating_add(1);
+            self.stats.conflicts = self.stats.conflicts.saturating_add(1);
             return Err(MempoolError::Conflict {
                 outpoint,
                 existing_txid,
@@ -194,7 +216,13 @@ impl Mempool {
             base: utxo,
             pool: self,
         };
-        let fee = validate_against(&view, &tx, height).map_err(MempoolError::Invalid)?;
+        let fee = match validate_against(&view, &tx, height) {
+            Ok(fee) => fee,
+            Err(e) => {
+                self.stats.rejected = self.stats.rejected.saturating_add(1);
+                return Err(MempoolError::Invalid(e));
+            }
+        };
 
         let size = tx.size_bytes();
         for input in &tx.inputs {
@@ -225,6 +253,7 @@ impl Mempool {
         };
         self.order.insert(priority_key(txid, &entry), ());
         self.entries.insert(txid, entry);
+        self.stats.admitted = self.stats.admitted.saturating_add(1);
         Ok(txid)
     }
 
@@ -411,6 +440,8 @@ mod tests {
             }
             other => panic!("expected Conflict, got {other:?}"),
         }
+        let stats = pool.stats();
+        assert_eq!((stats.admitted, stats.rejected, stats.conflicts), (1, 1, 1));
     }
 
     #[test]

@@ -156,6 +156,37 @@ pub(crate) fn validate_against<V: CoinView>(
 /// Entries the per-thread signature cache holds before it resets.
 const SIG_CACHE_CAP: usize = 1 << 16;
 
+/// Observability counters for the per-thread signature cache. All fields
+/// saturate rather than wrap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SigCacheStats {
+    /// Verifications skipped because the full statement was cached.
+    pub hits: u64,
+    /// Verifications that ran ECDSA (and then warmed the cache).
+    pub misses: u64,
+    /// Times the cache hit capacity and was cleared.
+    pub resets: u64,
+}
+
+thread_local! {
+    static SIG_CACHE_STATS: RefCell<SigCacheStats> = const { RefCell::new(SigCacheStats {
+        hits: 0,
+        misses: 0,
+        resets: 0,
+    }) };
+}
+
+/// This thread's signature-cache counters since the last
+/// [`reset_sig_cache_stats`].
+pub fn sig_cache_stats() -> SigCacheStats {
+    SIG_CACHE_STATS.with(|s| *s.borrow())
+}
+
+/// Zeroes this thread's signature-cache counters (scoping a measurement).
+pub fn reset_sig_cache_stats() {
+    SIG_CACHE_STATS.with(|s| *s.borrow_mut() = SigCacheStats::default());
+}
+
 thread_local! {
     /// Script-verification cache (the Bitcoin Core idiom): a transaction
     /// fully verified once — typically at mempool admission — skips ECDSA
@@ -196,8 +227,16 @@ fn verify_scripts_cached(
     let key = sig_cache_key(tx, spent_scripts);
     let hit = SIG_CACHE.with(|cache| cache.borrow().contains(&key));
     if hit {
+        SIG_CACHE_STATS.with(|s| {
+            let stats = &mut s.borrow_mut();
+            stats.hits = stats.hits.saturating_add(1);
+        });
         return Ok(());
     }
+    SIG_CACHE_STATS.with(|s| {
+        let stats = &mut s.borrow_mut();
+        stats.misses = stats.misses.saturating_add(1);
+    });
     for (index, script) in spent_scripts.iter().enumerate() {
         tx.verify_input(index, script)?;
     }
@@ -205,6 +244,10 @@ fn verify_scripts_cached(
         let mut cache = cache.borrow_mut();
         if cache.len() >= SIG_CACHE_CAP {
             cache.clear();
+            SIG_CACHE_STATS.with(|s| {
+                let stats = &mut s.borrow_mut();
+                stats.resets = stats.resets.saturating_add(1);
+            });
         }
         cache.insert(key);
     });
@@ -943,10 +986,16 @@ mod tests {
         let height = fx.height + 1;
 
         // First validation verifies ECDSA and warms the cache; the second
-        // hits it. Both must agree exactly.
+        // hits it. Both must agree exactly — and the per-thread counters
+        // observe exactly one miss then one hit.
+        reset_sig_cache_stats();
         let cold = fx.utxo.validate_transaction(&valid, height).unwrap();
+        let after_cold = sig_cache_stats();
         let warm = fx.utxo.validate_transaction(&valid, height).unwrap();
+        let after_warm = sig_cache_stats();
         assert_eq!(cold, warm);
+        assert_eq!((after_cold.hits, after_cold.misses), (0, 1));
+        assert_eq!((after_warm.hits, after_warm.misses), (1, 1));
 
         // A tampered witness (same core transaction, wrong key) keys a
         // different cache entry, so the cached success cannot leak: the

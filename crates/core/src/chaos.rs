@@ -161,6 +161,23 @@ impl ChaosSession {
         self.transport.stats()
     }
 
+    /// Records the transport counters as a point event on the wrapped
+    /// session's sim-time trace (a snapshot the JSONL exporters pick up).
+    pub fn trace_transport_stats(&mut self) {
+        let stats = self.transport.stats();
+        self.session.trace_point(
+            "transport.stats",
+            vec![
+                ("sent", stats.sent.into()),
+                ("retransmissions", stats.retransmissions.into()),
+                ("delivered", stats.delivered.into()),
+                ("failed", stats.failed.into()),
+                ("dedup_drops", stats.duplicates_dropped.into()),
+                ("backoff_wait_us", stats.backoff_wait_micros.into()),
+            ],
+        );
+    }
+
     /// The fault plan's canonical fingerprint.
     pub fn plan_fingerprint(&self) -> String {
         self.plan.fingerprint()
@@ -225,6 +242,7 @@ impl ChaosSession {
         let txid = tx.txid();
 
         // -- Registration (customer → PSC), with graceful degradation. ----
+        let registration_start = self.session.clock;
         let collateral = self.session.config.required_collateral(amount_sats);
         let registration = self.submit_psc_with_retry(
             ProtocolPhase::OpenPayment,
@@ -244,17 +262,31 @@ impl ChaosSession {
         );
         let payment_id = match registration {
             Ok(report) => {
-                PayJudgerClient::payment_id_from(&report.receipt).expect("successful open")
+                let id =
+                    PayJudgerClient::payment_id_from(&report.receipt).expect("successful open");
+                self.session.trace_span_from(
+                    "chaos.register",
+                    registration_start,
+                    vec![
+                        ("payment", id.into()),
+                        ("attempts", u64::from(report.attempts).into()),
+                    ],
+                );
+                id
             }
             Err(
                 RobustnessError::PscUnreachable { .. }
                 | RobustnessError::DeliveryFailed { .. }
                 | RobustnessError::DeadlineExceeded { .. },
-            ) => return self.degrade(amount_sats, txid),
+            ) => {
+                self.session.trace_point("chaos.degrade", vec![]);
+                return self.degrade(amount_sats, txid);
+            }
             Err(e) => return Err(e),
         };
 
         // -- Point of sale: offer → checks → acceptance over transport. ---
+        let pos_start = self.session.clock;
         let offer_leg = self.drive_message(CUSTOMER_NODE, MERCHANT_NODE, ProtocolPhase::Offer)?;
         self.session.advance_clock(offer_leg.arrival);
 
@@ -277,6 +309,19 @@ impl ChaosSession {
         self.session.advance_clock(response_leg.arrival);
 
         let waiting = offer_leg.arrival + verify + response_leg.arrival;
+        self.session.trace_span_from(
+            "chaos.accept",
+            pos_start,
+            vec![
+                ("payment", payment_id.into()),
+                ("accepted", decision.is_ok().into()),
+                ("offer_attempts", u64::from(offer_leg.attempts).into()),
+                (
+                    "acceptance_attempts",
+                    u64::from(response_leg.attempts).into(),
+                ),
+            ],
+        );
         let (accepted, reject) = match decision {
             Ok(_) => {
                 self.session
@@ -413,6 +458,18 @@ impl ChaosSession {
 
         let verdict = PayJudgerClient::verdict_from(&judge.receipt);
         let merchant_compensated = verdict == Some(DisputeVerdict::MerchantWins);
+        self.session.trace_span_from(
+            "chaos.dispute",
+            dispute_start,
+            vec![
+                ("payment", payment_id.into()),
+                ("merchant_wins", merchant_compensated.into()),
+                ("dispute_attempts", u64::from(dispute.attempts).into()),
+                ("evidence_attempts", u64::from(evidence.attempts).into()),
+                ("judge_attempts", u64::from(judge.attempts).into()),
+            ],
+        );
+        self.trace_transport_stats();
         let collateral_sats = (self.session.config.required_collateral(amount_sats) as f64
             / self.session.config.psc_units_per_sat) as i64;
         let merchant_net_loss_sats = if merchant_compensated {

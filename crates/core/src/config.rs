@@ -31,6 +31,12 @@ pub struct SessionConfig {
     pub btc_fee_sats: u64,
     /// Escrow size customers provision, in PSC native units.
     pub escrow_deposit: u128,
+    /// Record per-phase spans and events on the session's sim-time
+    /// tracer. On by default: the tracer is allocation-cheap (a `Vec`
+    /// push per phase on a discrete-event clock) and the overhead gate
+    /// in the bench suite holds the instrumented hot paths within 5% of
+    /// the untraced ones.
+    pub tracing: bool,
 }
 
 impl Default for SessionConfig {
@@ -46,6 +52,7 @@ impl Default for SessionConfig {
             psc_units_per_sat: 1.0,
             btc_fee_sats: 1_000,
             escrow_deposit: 500_000_000,
+            tracing: true,
         }
     }
 }

@@ -22,9 +22,10 @@
 //!   independent of the worker count.
 //!
 //! The fingerprint covers every per-shard observable (accept counts,
-//! exact simulated latencies, the PSC state commitment, the BTC tip), so
-//! two runs with equal fingerprints executed the same payments against
-//! the same final chain states.
+//! exact simulated latencies, the PSC state commitment, the BTC tip, and
+//! the shard's rendered JSONL trace), so two runs with equal fingerprints
+//! executed the same payments against the same final chain states — and
+//! recorded byte-identical per-phase traces doing it.
 
 use crate::config::SessionConfig;
 use crate::session::{FastPaySession, SessionError};
@@ -80,6 +81,10 @@ pub struct ShardOutcome {
     pub psc_commitment: Hash256,
     /// The shard's final BTC tip hash.
     pub btc_tip: Hash256,
+    /// The shard's per-phase trace, rendered as canonical JSONL (empty
+    /// when [`SessionConfig::tracing`] is off). Hashed into the run
+    /// fingerprint, so the replay guarantee covers traces too.
+    pub trace_jsonl: String,
 }
 
 impl ShardOutcome {
@@ -95,6 +100,8 @@ impl ShardOutcome {
         }
         out.extend_from_slice(&self.psc_commitment.0);
         out.extend_from_slice(&self.btc_tip.0);
+        out.extend_from_slice(&(self.trace_jsonl.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.trace_jsonl.as_bytes());
     }
 }
 
@@ -121,15 +128,10 @@ impl EngineReport {
             .iter()
             .flat_map(|o| o.accept_latencies.iter().map(SimTime::as_micros))
             .collect();
-        if micros.is_empty() {
-            return None;
-        }
         micros.sort_unstable();
-        let rank = |q: f64| {
-            let i = ((micros.len() as f64 - 1.0) * q).round() as usize;
-            micros[i.min(micros.len() - 1)] as f64 / 1e6
-        };
-        Some((rank(0.50), rank(0.99)))
+        let rank =
+            |q: f64| btcfast_obs::stats::quantile_sorted_u64(&micros, q).map(|v| v as f64 / 1e6);
+        Some((rank(0.50)?, rank(0.99)?))
     }
 }
 
@@ -209,6 +211,14 @@ fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutc
     let mut remaining = config.payments_per_shard;
     while remaining > 0 {
         let k = remaining.min(batch);
+        session.trace_point(
+            "engine.batch",
+            vec![
+                ("shard", shard.into()),
+                ("size", k.into()),
+                ("queued", remaining.into()),
+            ],
+        );
         let amounts = vec![config.amount_sats; k];
         for report in session.run_fast_payment_batch(&amounts)? {
             if report.accepted {
@@ -224,6 +234,7 @@ fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutc
         remaining -= k;
     }
 
+    let trace_jsonl = btcfast_obs::render_jsonl(&session.take_trace());
     Ok(ShardOutcome {
         shard,
         seed,
@@ -232,6 +243,7 @@ fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutc
         accept_latencies,
         psc_commitment: session.psc.state_commitment(),
         btc_tip: session.btc.tip_hash(),
+        trace_jsonl,
     })
 }
 
@@ -267,6 +279,12 @@ mod tests {
         let parallel = engine.run(7, &WorkerPool::new(4)).unwrap();
         assert_eq!(sequential.fingerprint, parallel.fingerprint);
         assert_eq!(sequential.outcomes, parallel.outcomes);
+        // The fingerprint now hashes the rendered trace too, so equal
+        // fingerprints certify byte-identical per-shard traces.
+        for (a, b) in sequential.outcomes.iter().zip(&parallel.outcomes) {
+            assert!(!a.trace_jsonl.is_empty(), "tracing defaults on");
+            assert_eq!(a.trace_jsonl, b.trace_jsonl);
+        }
         // And a third run, same pool, still identical.
         let again = engine.run(7, &WorkerPool::new(4)).unwrap();
         assert_eq!(parallel.fingerprint, again.fingerprint);

@@ -27,6 +27,9 @@
 //! * [`chaos`] — [`chaos::ChaosSession`]: the full protocol driven through
 //!   a reliable transport under a seeded fault plan (loss, partitions,
 //!   crashes, PSC stalls), with retry-aware dispute submission;
+//! * [`telemetry`] — scrapes every substrate's stat counters into one
+//!   `btcfast-obs` registry; sessions also record per-phase spans on the
+//!   sim-time clock, so replays produce byte-identical traces;
 //! * [`config`] — one knob surface for all of the above.
 //!
 //! # Quickstart
@@ -53,6 +56,7 @@ pub mod protocol;
 pub mod robustness;
 pub mod roles;
 pub mod session;
+pub mod telemetry;
 
 pub use chaos::{ChaosDisputeReport, ChaosPaymentReport, ChaosSession, EscrowSnapshot};
 pub use config::SessionConfig;

@@ -39,6 +39,7 @@ use btcfast_btcsim::Amount;
 use btcfast_crypto::Hash256;
 use btcfast_netsim::poisson::BlockArrivals;
 use btcfast_netsim::time::SimTime;
+use btcfast_obs::{Field, TraceEvent, Tracer};
 use btcfast_payjudger::contract::PayJudger;
 use btcfast_payjudger::types::{DisputeVerdict, JudgerConfig};
 use btcfast_payjudger::{EvidenceVerifier, PayJudgerClient};
@@ -165,6 +166,9 @@ pub struct FastPaySession {
     /// dispute in the session preflights evidence through it, so repeated
     /// rounds on a growing tip only re-verify the delta headers.
     verifier: Arc<EvidenceVerifier>,
+    /// Per-phase span recorder on the *sim-time* clock (never wall time),
+    /// so a replay at the same seed produces a byte-identical trace.
+    tracer: Tracer,
 }
 
 impl FastPaySession {
@@ -233,6 +237,7 @@ impl FastPaySession {
         );
 
         let verifier = Arc::clone(merchant.verifier());
+        let tracer = Tracer::new(config.tracing);
         let mut session = FastPaySession {
             clock: SimTime::from_secs(btc.tip_time()),
             config,
@@ -247,9 +252,11 @@ impl FastPaySession {
             deploy_gas: deploy_receipt.gas_used,
             deposit_gas: 0,
             verifier,
+            tracer,
         };
 
         // --- Escrow deposit (Setup phase), held to PSC finality. ----------
+        let escrow_open_start = session.clock;
         let deposit = session.customer.build_deposit(
             &session.judger,
             &session.psc,
@@ -264,7 +271,41 @@ impl FastPaySession {
         session.deposit_gas = receipt.gas_used;
         let finality = session.config.psc_params.finality_latency_secs();
         session.advance_clock(SimTime::from_secs_f64(finality));
+        session.tracer.span(
+            "session.escrow_open",
+            escrow_open_start.as_micros(),
+            session.clock.as_micros(),
+            vec![("gas", receipt.gas_used.into())],
+        );
         session
+    }
+
+    /// The per-phase trace recorded so far, in recording order.
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.tracer.events()
+    }
+
+    /// Drains the per-phase trace (e.g. to merge per-shard traces).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take()
+    }
+
+    /// Records a point event at the current sim-time clock. Used by the
+    /// harnesses layered above the session (engine shards, chaos fabric)
+    /// so their observations land on the same deterministic trace.
+    pub fn trace_point(&mut self, name: &'static str, fields: Vec<(&'static str, Field)>) {
+        self.tracer.point(name, self.clock.as_micros(), fields);
+    }
+
+    /// Records a span from `start` (an earlier clock reading) to now.
+    pub fn trace_span_from(
+        &mut self,
+        name: &'static str,
+        start: SimTime,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        self.tracer
+            .span(name, start.as_micros(), self.clock.as_micros(), fields);
     }
 
     /// Deterministic RNG access for sub-simulations.
@@ -383,6 +424,15 @@ impl FastPaySession {
         let payment_id =
             PayJudgerClient::payment_id_from(&receipt).expect("successful open returns id");
         let registration = self.clock - registration_start;
+        self.tracer.span(
+            "session.register",
+            registration_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("gas", receipt.gas_used.into()),
+            ],
+        );
 
         // -- Point of sale: offer → checks → acceptance. -------------------
         let offer = self
@@ -393,17 +443,40 @@ impl FastPaySession {
         // Offer travels customer → merchant.
         let delivery = self.config.latency.sample(&mut self.rng);
         self.clock += delivery;
+        self.tracer.span(
+            "session.offer_delivery",
+            wait_start.as_micros(),
+            self.clock.as_micros(),
+            vec![("payment", payment_id.into())],
+        );
 
         // Merchant verifies locally (BTC checks + PSC view calls on its own
         // node) — budgeted verification time.
+        let verify_start = self.clock;
         let decision =
             self.merchant
                 .evaluate_offer(&offer, &self.btc, &self.mempool, &self.psc, &self.judger);
         self.clock += SimTime::from_secs_f64(self.config.verify_secs);
+        self.tracer.span(
+            "session.merchant_verify",
+            verify_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("ok", decision.is_ok().into()),
+            ],
+        );
 
         // Acceptance travels merchant → customer.
+        let response_start = self.clock;
         let response = self.config.latency.sample(&mut self.rng);
         self.clock += response;
+        self.tracer.span(
+            "session.acceptance_delivery",
+            response_start.as_micros(),
+            self.clock.as_micros(),
+            vec![("payment", payment_id.into())],
+        );
 
         let waiting = self.clock - wait_start;
 
@@ -418,10 +491,27 @@ impl FastPaySession {
                         self.clock.as_secs(),
                     )
                     .map_err(|e| SessionError::Btc(e.to_string()))?;
+                self.tracer.point(
+                    "session.broadcast",
+                    self.clock.as_micros(),
+                    vec![
+                        ("payment", payment_id.into()),
+                        ("pool", self.mempool.len().into()),
+                    ],
+                );
                 (true, None)
             }
             Err(reason) => (false, Some(reason)),
         };
+        self.tracer.span(
+            "session.accept",
+            wait_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("accepted", accepted.into()),
+            ],
+        );
 
         Ok(FastPayReport {
             waiting,
@@ -531,6 +621,12 @@ impl FastPaySession {
         let t = self.clock.as_secs().max(self.psc.tip_time() + 1);
         self.psc.produce_block(t);
         let registration = self.clock - registration_start;
+        self.tracer.span(
+            "session.register",
+            registration_start.as_micros(),
+            self.clock.as_micros(),
+            vec![("batch", txs.len().into())],
+        );
 
         // -- Point of sale, one offer at a time. ---------------------------
         let mut reports = Vec::with_capacity(txs.len());
@@ -576,10 +672,27 @@ impl FastPaySession {
                             self.clock.as_secs(),
                         )
                         .map_err(|e| SessionError::Btc(e.to_string()))?;
+                    self.tracer.point(
+                        "session.broadcast",
+                        self.clock.as_micros(),
+                        vec![
+                            ("payment", payment_id.into()),
+                            ("pool", self.mempool.len().into()),
+                        ],
+                    );
                     (true, None)
                 }
                 Err(reason) => (false, Some(reason)),
             };
+            self.tracer.span(
+                "session.accept",
+                wait_start.as_micros(),
+                self.clock.as_micros(),
+                vec![
+                    ("payment", payment_id.into()),
+                    ("accepted", accepted.into()),
+                ],
+            );
             reports.push(FastPayReport {
                 waiting,
                 registration,
@@ -814,6 +927,15 @@ impl FastPaySession {
             payment_id,
         );
         let dispute_receipt = self.run_psc_tx(dispute);
+        self.tracer.span(
+            "session.dispute_open",
+            dispute_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("ok", dispute_receipt.status.is_success().into()),
+            ],
+        );
         if !dispute_receipt.status.is_success() {
             // Window already expired: the merchant is unprotected.
             return Ok(AttackReport {
@@ -828,6 +950,7 @@ impl FastPaySession {
             });
         }
 
+        let evidence_start = self.clock;
         let evidence = self.merchant.build_dispute_evidence(&self.btc, &txid);
         // Gas-free preflight through the shared accelerated verifier: a
         // doomed submission never reaches the chain.
@@ -840,6 +963,15 @@ impl FastPaySession {
             evidence,
         );
         let submit_receipt = self.run_psc_tx(submission);
+        self.tracer.span(
+            "session.evidence_submit",
+            evidence_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("gas", submit_receipt.gas_used.into()),
+            ],
+        );
         if !submit_receipt.status.is_success() {
             return Err(SessionError::Psc(format!(
                 "evidence submission failed: {:?}",
@@ -851,6 +983,7 @@ impl FastPaySession {
         // branch containing the payment — strictly lighter, so rational
         // attackers skip the gas. Wait out the evidence window and judge.
         self.advance_clock(SimTime::from_secs(self.config.challenge_window_secs + 1));
+        let judge_start = self.clock;
         let judge = self.merchant.build_judge(
             &self.judger,
             &self.psc,
@@ -860,6 +993,27 @@ impl FastPaySession {
         let judge_receipt = self.run_psc_tx(judge);
         let verdict = PayJudgerClient::verdict_from(&judge_receipt);
         let dispute_duration = self.clock - dispute_start;
+        self.tracer.span(
+            "session.judge",
+            judge_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("decided", verdict.is_some().into()),
+            ],
+        );
+        self.tracer.span(
+            "session.dispute",
+            dispute_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                (
+                    "merchant_wins",
+                    (verdict == Some(DisputeVerdict::MerchantWins)).into(),
+                ),
+            ],
+        );
 
         let merchant_compensated = verdict == Some(DisputeVerdict::MerchantWins);
         let collateral_sats = (report_collateral(&self.config, amount_sats) as f64
@@ -918,6 +1072,15 @@ impl FastPaySession {
             payment_id,
         );
         let receipt = self.run_psc_tx(dispute);
+        self.tracer.span(
+            "session.dispute_open",
+            start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("ok", receipt.status.is_success().into()),
+            ],
+        );
         if !receipt.status.is_success() {
             return Err(SessionError::Psc(format!("dispute: {:?}", receipt.status)));
         }
@@ -926,12 +1089,23 @@ impl FastPaySession {
         // segment must anchor at the escrow checkpoint, so its depth is the
         // chain height grown above — `evidence_depth` controls it.
         let to_height = self.btc.height();
+        let evidence_start = self.clock;
         let evidence = SpvEvidence::from_chain(&self.btc, 1, to_height, Some(&report.txid));
         self.preflight_evidence(&evidence, payment_id, &report.txid)?;
         let submission =
             self.customer
                 .build_evidence_submission(&self.judger, &self.psc, payment_id, evidence);
         let submit_receipt = self.run_psc_tx(submission);
+        self.tracer.span(
+            "session.evidence_submit",
+            evidence_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("gas", submit_receipt.gas_used.into()),
+                ("depth", to_height.into()),
+            ],
+        );
         if !submit_receipt.status.is_success() {
             return Err(SessionError::Psc(format!(
                 "evidence: {:?}",
@@ -941,6 +1115,7 @@ impl FastPaySession {
         let evidence_gas = submit_receipt.gas_used;
 
         self.advance_clock(SimTime::from_secs(self.config.challenge_window_secs + 1));
+        let judge_start = self.clock;
         let judge = self.merchant.build_judge(
             &self.judger,
             &self.psc,
@@ -948,12 +1123,24 @@ impl FastPaySession {
             payment_id,
         );
         let judge_receipt = self.run_psc_tx(judge);
+        self.tracer.span(
+            "session.judge",
+            judge_start.as_micros(),
+            self.clock.as_micros(),
+            vec![("payment", payment_id.into())],
+        );
         if !judge_receipt.status.is_success() {
             return Err(SessionError::Psc(format!(
                 "judge: {:?}",
                 judge_receipt.status
             )));
         }
+        self.tracer.span(
+            "session.dispute",
+            start.as_micros(),
+            self.clock.as_micros(),
+            vec![("payment", payment_id.into())],
+        );
         Ok((self.clock - start, evidence_gas))
     }
 }
@@ -1071,6 +1258,45 @@ mod tests {
         }
         let second = session.run_fast_payment_batch(&[2_000_000; 4]).unwrap();
         assert!(second.iter().all(|r| r.accepted));
+    }
+
+    #[test]
+    fn trace_replays_byte_identically_and_disables_cleanly() {
+        let run = |seed: u64| {
+            let mut session = FastPaySession::new(SessionConfig::default(), seed);
+            session.run_fast_payment(1_000_000).unwrap();
+            btcfast_obs::render_jsonl(session.trace())
+        };
+        let once = run(9);
+        let twice = run(9);
+        assert_eq!(once, twice, "same seed must replay the same trace bytes");
+        assert!(once.contains("\"span\":\"session.escrow_open\""));
+        assert!(once.contains("\"span\":\"session.register\""));
+        assert!(once.contains("\"span\":\"session.accept\""));
+        assert!(once.contains("\"event\":\"session.broadcast\""));
+
+        let mut config = SessionConfig::default();
+        config.tracing = false;
+        let mut quiet = FastPaySession::new(config, 9);
+        quiet.run_fast_payment(1_000_000).unwrap();
+        assert!(quiet.trace().is_empty(), "tracing=false records nothing");
+    }
+
+    #[test]
+    fn dispute_phases_land_on_the_trace() {
+        let mut config = SessionConfig::default();
+        config.challenge_window_secs = 100_000;
+        let mut session = FastPaySession::new(config, 4);
+        session.run_double_spend_attack(1_000_000, 0.8, 30).unwrap();
+        let jsonl = btcfast_obs::render_jsonl(session.trace());
+        for phase in [
+            "session.dispute_open",
+            "session.evidence_submit",
+            "session.judge",
+            "session.dispute",
+        ] {
+            assert!(jsonl.contains(phase), "missing {phase} in:\n{jsonl}");
+        }
     }
 
     #[test]

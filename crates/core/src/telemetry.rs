@@ -1,0 +1,134 @@
+//! Scrapes every subsystem's cheap stat structs into one obs [`Registry`].
+//!
+//! Each substrate keeps its own plain counter struct next to its hot path
+//! (mempool admissions, chain connects, sig-cache hits, PSC journal
+//! high-water, verifier cache behavior, transport retransmissions) — no
+//! substrate depends on the metrics layer. This module is the one place
+//! that knows all their shapes and publishes them under stable
+//! `btcfast_*` names, so `harness trace` and E12 can dump a single
+//! Prometheus-style snapshot for a whole session.
+//!
+//! Everything is published as a **gauge** (a scraped instantaneous
+//! snapshot of a monotonic source), so re-scraping the same session is
+//! idempotent rather than double-counting.
+
+use crate::chaos::ChaosSession;
+use crate::session::FastPaySession;
+use btcfast_netsim::transport::TransportStats;
+use btcfast_obs::Registry;
+
+/// Publishes every observable counter of `session` into `registry`.
+///
+/// Covers the BTC side (chain connect/reorg stats, mempool admissions and
+/// depth, this thread's signature-cache behavior), the PSC side (height,
+/// total gas, journal high-water), and the merchant's accelerated
+/// evidence-verifier cache.
+pub fn publish_session(registry: &Registry, session: &FastPaySession) {
+    let chain = session.btc.stats();
+    registry.set_gauge("btcfast_btc_blocks_connected", chain.blocks_connected);
+    registry.set_gauge("btcfast_btc_txs_connected", chain.txs_connected);
+    registry.set_gauge("btcfast_btc_reorgs", chain.reorgs);
+    registry.set_gauge("btcfast_btc_side_chain_blocks", chain.side_chain_blocks);
+    registry.set_gauge("btcfast_btc_height", session.btc.height());
+
+    let mempool = session.mempool.stats();
+    registry.set_gauge("btcfast_mempool_admitted", mempool.admitted);
+    registry.set_gauge("btcfast_mempool_rejected", mempool.rejected);
+    registry.set_gauge("btcfast_mempool_conflicts", mempool.conflicts);
+    registry.set_gauge("btcfast_mempool_depth", session.mempool.len() as u64);
+
+    // The signature cache is per-thread (shards never share one); this
+    // scrape reports the calling thread's view.
+    let sig = btcfast_btcsim::utxo::sig_cache_stats();
+    registry.set_gauge("btcfast_sig_cache_hits", sig.hits);
+    registry.set_gauge("btcfast_sig_cache_misses", sig.misses);
+    registry.set_gauge("btcfast_sig_cache_resets", sig.resets);
+
+    registry.set_gauge("btcfast_psc_height", session.psc.height());
+    registry.set_gauge("btcfast_psc_gas_used", session.psc.total_gas_used());
+    registry.set_gauge(
+        "btcfast_psc_journal_high_water",
+        session.psc.journal_high_water() as u64,
+    );
+
+    let cache = session.verifier().cache_stats();
+    registry.set_gauge("btcfast_verify_full_hits", cache.full_hits);
+    registry.set_gauge("btcfast_verify_prefix_hits", cache.prefix_hits);
+    registry.set_gauge("btcfast_verify_misses", cache.misses);
+    registry.set_gauge("btcfast_verify_insertions", cache.insertions);
+    registry.set_gauge("btcfast_verify_evictions", cache.evictions);
+    registry.set_gauge("btcfast_verify_headers_verified", cache.headers_verified);
+}
+
+/// Publishes reliable-transport counters into `registry`.
+pub fn publish_transport(registry: &Registry, stats: &TransportStats) {
+    registry.set_gauge("btcfast_transport_sent", stats.sent);
+    registry.set_gauge("btcfast_transport_retransmissions", stats.retransmissions);
+    registry.set_gauge("btcfast_transport_delivered", stats.delivered);
+    registry.set_gauge("btcfast_transport_failed", stats.failed);
+    registry.set_gauge("btcfast_transport_dedup_drops", stats.duplicates_dropped);
+    registry.set_gauge(
+        "btcfast_transport_backoff_wait_us",
+        stats.backoff_wait_micros,
+    );
+}
+
+/// Publishes a chaos session: the wrapped protocol session plus its
+/// transport fabric.
+pub fn publish_chaos(registry: &Registry, chaos: &ChaosSession) {
+    publish_session(registry, &chaos.session);
+    publish_transport(registry, &chaos.transport_stats());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SessionConfig;
+
+    #[test]
+    fn scrape_publishes_every_subsystem_under_stable_names() {
+        let mut session = FastPaySession::new(SessionConfig::default(), 31);
+        let report = session.run_fast_payment(1_000_000).unwrap();
+        assert!(report.accepted);
+
+        let registry = Registry::new();
+        publish_session(&registry, &session);
+        let text = registry.render_prometheus();
+        for name in [
+            "btcfast_btc_blocks_connected",
+            "btcfast_mempool_admitted",
+            "btcfast_psc_gas_used",
+            "btcfast_psc_journal_high_water",
+            "btcfast_verify_headers_verified",
+            "btcfast_sig_cache_hits",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        // Provisioning mined blocks and the accepted payment is pooled.
+        assert!(registry.gauge("btcfast_btc_blocks_connected").get() >= 3);
+        assert_eq!(registry.gauge("btcfast_mempool_depth").get(), 1);
+        assert_eq!(registry.gauge("btcfast_mempool_admitted").get(), 1);
+
+        // Re-scraping is idempotent: gauges snapshot, they don't accumulate.
+        publish_session(&registry, &session);
+        assert_eq!(registry.gauge("btcfast_mempool_admitted").get(), 1);
+    }
+
+    #[test]
+    fn chaos_scrape_includes_transport_counters() {
+        use crate::robustness::ChaosConfig;
+        use btcfast_netsim::faults::FaultPlan;
+
+        let mut chaos = ChaosSession::new(
+            SessionConfig::default(),
+            ChaosConfig::default(),
+            FaultPlan::new(),
+            32,
+        );
+        chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        let registry = Registry::new();
+        publish_chaos(&registry, &chaos);
+        assert!(registry.gauge("btcfast_transport_sent").get() >= 3);
+        assert_eq!(registry.gauge("btcfast_transport_failed").get(), 0);
+    }
+}

@@ -97,6 +97,10 @@ pub struct TransportStats {
     pub failed: u64,
     /// Redundant deliveries suppressed by receiver-side dedup.
     pub duplicates_dropped: u64,
+    /// Total simulated time spent waiting in retransmission backoff, in
+    /// microseconds: the sum of the backoff intervals that actually
+    /// elapsed before a retransmission fired. Saturating.
+    pub backoff_wait_micros: u64,
 }
 
 #[derive(Debug)]
@@ -116,6 +120,9 @@ struct PendingSend<M> {
     payload: M,
     attempts_made: u32,
     status: SendStatus,
+    /// The backoff interval scheduled after the latest attempt; charged
+    /// to `TransportStats::backoff_wait_micros` if that timer fires.
+    last_backoff: SimTime,
 }
 
 /// Reliable transport over a lossy [`Network`]. See the module docs.
@@ -227,6 +234,7 @@ impl<M: Clone> Transport<M> {
                 payload,
                 attempts_made: 0,
                 status: SendStatus::Pending,
+                last_backoff: SimTime::ZERO,
             },
         );
         self.stats.sent += 1;
@@ -301,12 +309,19 @@ impl<M: Clone> Transport<M> {
             return;
         }
         let attempt = entry.attempts_made + 1;
+        let waited = entry.last_backoff;
         self.pending
             .get_mut(&id)
             .expect("entry exists")
             .attempts_made = attempt;
         if attempt > 1 {
             self.stats.retransmissions += 1;
+            // This retransmission fired, so the whole previous backoff
+            // interval was spent waiting.
+            self.stats.backoff_wait_micros = self
+                .stats
+                .backoff_wait_micros
+                .saturating_add(waited.as_micros());
         }
         // A crashed sender cannot transmit, but its timer keeps running:
         // when it restarts within the budget, retransmission resumes.
@@ -334,6 +349,10 @@ impl<M: Clone> Transport<M> {
             ));
         }
         let wait = self.backoff(attempt);
+        self.pending
+            .get_mut(&id)
+            .expect("entry exists")
+            .last_backoff = wait;
         self.scheduler.schedule(now + wait, Event::Attempt { id });
     }
 
@@ -432,6 +451,7 @@ mod tests {
         let inbox = t.take_inbox(NodeId(1));
         assert_eq!(inbox.len(), 1);
         assert_eq!(inbox[0].1, "hello");
+        assert_eq!(t.stats().backoff_wait_micros, 0, "no retransmissions");
     }
 
     #[test]
@@ -462,6 +482,14 @@ mod tests {
         );
         assert!(t.take_inbox(NodeId(1)).is_empty());
         assert_eq!(t.stats().failed, 1);
+        // Five retransmissions each waited out a full backoff interval of
+        // at least ack_timeout ± jitter.
+        assert_eq!(t.stats().retransmissions, 5);
+        assert!(
+            t.stats().backoff_wait_micros >= 5 * 180_000,
+            "backoff wait {}us too small",
+            t.stats().backoff_wait_micros
+        );
     }
 
     #[test]

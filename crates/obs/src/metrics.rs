@@ -1,0 +1,417 @@
+//! Lock-cheap metric primitives and the named registry behind them.
+//!
+//! Hot paths hold `Arc` handles to individual [`Counter`]s, [`Gauge`]s, and
+//! [`Histogram`]s and touch only atomics; the [`Registry`]'s mutex is taken
+//! once at registration (and at export time), never per increment.
+//!
+//! All counters are **saturation-safe**: an increment can never overflow,
+//! panic in debug builds, or wrap back to zero on a week-long chaos run —
+//! it pins at `u64::MAX` instead.
+
+use crate::stats::nearest_rank;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic event counter. Increments saturate at `u64::MAX`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`, saturating at `u64::MAX`.
+    pub fn add(&self, v: u64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(v);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (queue depth, cache size, scraped total).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is below it (high-water tracking).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Buckets in a [`Histogram`]: one per possible bit length of a `u64`
+/// (bucket 0 holds the value zero).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in: its bit length, so bucket `i > 0`
+/// spans `[2^(i-1), 2^i - 1]` — log-spaced, constant-time, allocation-free.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` can hold (its recorded representative).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (latencies in microseconds,
+/// sizes in bytes, gas units). Recording is one saturating atomic add; a
+/// quantile query walks the 65 buckets and returns the upper bound of the
+/// bucket holding the nearest-rank sample — within one bucket width of the
+/// exact-sort answer on the same samples (property-tested).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: Counter,
+    sum: Counter,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: Counter::new(),
+            sum: Counter::new(),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = &self.buckets[bucket_index(value)];
+        let mut current = bucket.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(1);
+            match bucket.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        self.count.inc();
+        self.sum.add(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+
+    /// The `q`-quantile: the upper bound of the bucket holding the
+    /// nearest-rank sample. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().fold(0u64, |acc, c| acc.saturating_add(*c));
+        if total == 0 {
+            return None;
+        }
+        let len = usize::try_from(total).unwrap_or(usize::MAX);
+        let rank = nearest_rank(len, q) as u64;
+        let mut seen = 0u64;
+        for (index, count) in counts.iter().enumerate() {
+            seen = seen.saturating_add(*count);
+            if seen > rank {
+                return Some(bucket_upper_bound(index));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// One exported metric at scrape time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter value.
+    Counter(u64),
+    /// An instantaneous gauge value.
+    Gauge(u64),
+    /// A histogram summary: `(count, sum, p50, p95, p99)`.
+    Histogram(u64, u64, u64, u64, u64),
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Arc<Counter>)>,
+    gauges: Vec<(String, Arc<Gauge>)>,
+    histograms: Vec<(String, Arc<Histogram>)>,
+}
+
+/// A named collection of metrics with a Prometheus-style text exporter.
+///
+/// `counter`/`gauge`/`histogram` get-or-create by name and hand back an
+/// `Arc` handle; instrumented code keeps the handle and never touches the
+/// registry lock again.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        inner.counters.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        inner.gauges.push((name.to_string(), Arc::clone(&g)));
+        g
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        inner.histograms.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Convenience: sets the gauge named `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Every registered metric with its current value, sorted by name so
+    /// exports are deterministic regardless of registration order.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut out: Vec<(String, MetricValue)> = Vec::new();
+        for (name, c) in &inner.counters {
+            out.push((name.clone(), MetricValue::Counter(c.get())));
+        }
+        for (name, g) in &inner.gauges {
+            out.push((name.clone(), MetricValue::Gauge(g.get())));
+        }
+        for (name, h) in &inner.histograms {
+            out.push((
+                name.clone(),
+                MetricValue::Histogram(
+                    h.count(),
+                    h.sum(),
+                    h.quantile(0.50).unwrap_or(0),
+                    h.quantile(0.95).unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0),
+                ),
+            ));
+        }
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` headers plus one sample
+    /// line per value; histograms expose `_count`, `_sum`, and
+    /// `_p50`/`_p95`/`_p99` summary gauges.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                }
+                MetricValue::Histogram(count, sum, p50, p95, p99) => {
+                    let _ = writeln!(
+                        out,
+                        "# TYPE {name} histogram\n{name}_count {count}\n{name}_sum {sum}\n\
+                         {name}_p50 {p50}\n{name}_p95 {p95}\n{name}_p99 {p99}"
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.snapshot().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc(); // would overflow a plain `+=` in debug builds
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let g = Gauge::new();
+        g.set(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn bucket_geometry() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 100, 1 << 40, u64::MAX] {
+            assert!(bucket_upper_bound(bucket_index(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn histogram_empty_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_every_quantile() {
+        let h = Histogram::new();
+        h.record(1000);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let got = h.quantile(q).unwrap();
+            assert_eq!(bucket_index(got), bucket_index(1000));
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1000);
+    }
+
+    #[test]
+    fn histogram_umax_sample_is_representable() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+        // The sum saturates rather than wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotonic() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 17);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn registry_handles_are_shared_and_render_deterministically() {
+        let r = Registry::new();
+        let a = r.counter("btcfast_b_total");
+        let b = r.counter("btcfast_b_total");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("btcfast_b_total").get(), 2);
+        r.set_gauge("btcfast_a_depth", 4);
+        r.histogram("btcfast_c_us").record(9);
+        let text = r.render_prometheus();
+        // Sorted by name, independent of registration order.
+        let a_pos = text.find("btcfast_a_depth").unwrap();
+        let b_pos = text.find("btcfast_b_total").unwrap();
+        let c_pos = text.find("btcfast_c_us_count").unwrap();
+        assert!(a_pos < b_pos && b_pos < c_pos, "{text}");
+        assert!(text.contains("# TYPE btcfast_b_total counter"));
+        assert!(text.contains("btcfast_c_us_p99"));
+        assert_eq!(text, r.render_prometheus());
+    }
+}

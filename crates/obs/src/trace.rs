@@ -1,0 +1,286 @@
+//! A structured span/event tracer on an **injected sim-time clock**.
+//!
+//! Timestamps are plain `u64` microseconds supplied by the caller — the
+//! simulation's own clock, never wall time — so a replay of the same
+//! scenario at the same seed produces the **byte-identical** JSONL trace
+//! (asserted by tests over the chaos harness and the sharded engine).
+//!
+//! The tracer is deliberately single-owner (`&mut self`, no interior
+//! locking): each session/shard owns its own [`Tracer`] and the caller
+//! merges event vectors in a deterministic order. Field values are
+//! integers, booleans, and strings only — no floats — so rendering has
+//! exactly one byte representation per event.
+
+use std::fmt::Write as _;
+
+/// A trace field value. Deliberately float-free: every variant has one
+/// canonical textual form, which is what keeps traces byte-stable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Field {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (escaped on render).
+    Str(String),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Field {
+        Field::I64(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Field {
+        Field::Bool(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+
+/// One recorded trace entry: a completed span (has a duration) or a point
+/// event (no duration), stamped with sim-time microseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sim-time at which the span started / the event occurred, µs.
+    pub at_micros: u64,
+    /// Span duration in sim-time µs; `None` for point events.
+    pub dur_micros: Option<u64>,
+    /// Span/event name, e.g. `"session.register"`.
+    pub name: &'static str,
+    /// Structured attributes, in recording order.
+    pub fields: Vec<(&'static str, Field)>,
+}
+
+/// Records spans and point events for one single-threaded owner.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// A tracer; when `enabled` is false every record call is a no-op and
+    /// the event vector stays empty.
+    pub fn new(enabled: bool) -> Tracer {
+        Tracer {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a completed span `[start_micros, end_micros]` of sim-time.
+    /// A span that ends before it starts records a zero duration rather
+    /// than panicking (chaos schedules can reorder observations).
+    pub fn span(
+        &mut self,
+        name: &'static str,
+        start_micros: u64,
+        end_micros: u64,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            at_micros: start_micros,
+            dur_micros: Some(end_micros.saturating_sub(start_micros)),
+            name,
+            fields,
+        });
+    }
+
+    /// Records an instantaneous event at `at_micros` of sim-time.
+    pub fn point(
+        &mut self,
+        name: &'static str,
+        at_micros: u64,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            at_micros,
+            dur_micros: None,
+            name,
+            fields,
+        });
+    }
+
+    /// The events recorded so far, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drains and returns the recorded events (e.g. to merge per-shard
+    /// traces in shard order).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one event as a single JSON object with a **stable key order**:
+/// `t`, then `span`+`dur_us` or `event`, then each field in recording
+/// order. One canonical byte representation per event.
+pub fn render_event(event: &TraceEvent) -> String {
+    let mut out = String::with_capacity(64);
+    let _ = write!(out, "{{\"t\":{}", event.at_micros);
+    match event.dur_micros {
+        Some(dur) => {
+            out.push_str(",\"span\":\"");
+            escape_into(&mut out, event.name);
+            let _ = write!(out, "\",\"dur_us\":{dur}");
+        }
+        None => {
+            out.push_str(",\"event\":\"");
+            escape_into(&mut out, event.name);
+            out.push('"');
+        }
+    }
+    for (key, value) in &event.fields {
+        out.push_str(",\"");
+        escape_into(&mut out, key);
+        out.push_str("\":");
+        match value {
+            Field::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::Str(v) => {
+                out.push('"');
+                escape_into(&mut out, v);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders an event list as JSONL — one object per line, trailing newline
+/// after every line. Equal event lists render to equal bytes.
+pub fn render_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&render_event(event));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new(false);
+        t.span("x", 0, 10, vec![]);
+        t.point("y", 5, vec![("k", Field::U64(1))]);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn spans_and_points_render_with_stable_key_order() {
+        let mut t = Tracer::new(true);
+        t.span(
+            "session.register",
+            100,
+            350,
+            vec![("payment", Field::U64(7)), ("ok", Field::Bool(true))],
+        );
+        t.point("engine.batch", 400, vec![("size", 8usize.into())]);
+        let jsonl = render_jsonl(t.events());
+        assert_eq!(
+            jsonl,
+            "{\"t\":100,\"span\":\"session.register\",\"dur_us\":250,\"payment\":7,\"ok\":true}\n\
+             {\"t\":400,\"event\":\"engine.batch\",\"size\":8}\n"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_escapes_strings() {
+        let mut t = Tracer::new(true);
+        t.point(
+            "note",
+            1,
+            vec![("msg", Field::Str("a\"b\\c\nd".to_string()))],
+        );
+        let once = render_jsonl(t.events());
+        let twice = render_jsonl(t.events());
+        assert_eq!(once, twice);
+        assert_eq!(
+            once,
+            "{\"t\":1,\"event\":\"note\",\"msg\":\"a\\\"b\\\\c\\nd\"}\n"
+        );
+    }
+
+    #[test]
+    fn reversed_span_saturates_to_zero_duration() {
+        let mut t = Tracer::new(true);
+        t.span("odd", 50, 20, vec![]);
+        assert_eq!(t.events()[0].dur_micros, Some(0));
+    }
+
+    #[test]
+    fn take_drains_for_merging() {
+        let mut t = Tracer::new(true);
+        t.point("a", 1, vec![]);
+        let drained = t.take();
+        assert_eq!(drained.len(), 1);
+        assert!(t.events().is_empty());
+    }
+}

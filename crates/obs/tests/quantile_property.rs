@@ -1,0 +1,53 @@
+//! Satellite property: the bucketed histogram's p50/p95/p99 agree with the
+//! exact-sort nearest-rank quantiles (the math `bench/src/perf` uses) to
+//! within one bucket width on identical sample sets.
+
+use btcfast_obs::metrics::{bucket_index, bucket_upper_bound, Histogram};
+use btcfast_obs::stats::quantile_sorted_u64;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bucketed_quantiles_track_exact_sort(
+        samples in proptest::collection::vec(0u64..=1_000_000_000, 1..300),
+    ) {
+        let histogram = Histogram::new();
+        for &s in &samples {
+            histogram.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for q in [0.50, 0.95, 0.99] {
+            let exact = quantile_sorted_u64(&sorted, q).unwrap();
+            let bucketed = histogram.quantile(q).unwrap();
+            // Same bucket: the bucketed answer is the upper bound of the
+            // bucket the exact nearest-rank sample falls into, i.e. within
+            // one (log-scaled) bucket width of exact.
+            prop_assert_eq!(
+                bucket_index(bucketed),
+                bucket_index(exact),
+                "q={} exact={} bucketed={}",
+                q,
+                exact,
+                bucketed
+            );
+            prop_assert_eq!(bucketed, bucket_upper_bound(bucket_index(exact)));
+            prop_assert!(bucketed >= exact);
+        }
+    }
+
+    #[test]
+    fn bucketed_quantiles_are_monotonic_in_q(
+        samples in proptest::collection::vec(0u64..=u64::MAX, 1..200),
+    ) {
+        let histogram = Histogram::new();
+        for &s in &samples {
+            histogram.record(s);
+        }
+        let p50 = histogram.quantile(0.50).unwrap();
+        let p95 = histogram.quantile(0.95).unwrap();
+        let p99 = histogram.quantile(0.99).unwrap();
+        prop_assert!(p50 <= p95 && p95 <= p99);
+    }
+}

@@ -55,4 +55,4 @@ pub use client::PayJudgerClient;
 pub use contract::{PayJudger, CODE_ID};
 pub use retry::{submit_with_retry, AttemptResult, RetryError, RetryPolicy, RetryReport};
 pub use types::{DisputeVerdict, EscrowRecord, PaymentRecord, PaymentState};
-pub use verify::{CacheStats, EvidenceVerifier, VerifierConfig};
+pub use verify::{CacheStats, EvidenceVerifier, VerifierConfig, VerifyMetrics};

@@ -32,8 +32,9 @@ use btcfast_btcsim::pow::hash_meets_target;
 use btcfast_btcsim::spv::{HeaderSegment, SpvError, SpvEvidence};
 use btcfast_btcsim::u256::U256;
 use btcfast_crypto::{Hash256, WorkerPool};
+use btcfast_obs::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Serialized size of one [`BlockHeader`].
 const HEADER_BYTES: usize = 88;
@@ -69,6 +70,37 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries dropped by the LRU policy.
     pub evictions: u64,
+    /// Headers actually PoW-verified (cache hits skip these). Saturating.
+    pub headers_verified: u64,
+}
+
+/// Live metric handles a host can attach to a verifier so the registry
+/// sees cache behavior without polling [`EvidenceVerifier::cache_stats`].
+/// Bumping these `Arc<Counter>`s is the *instrumented* hot path the
+/// `header_verify_warm_6_instr` bench family measures against its plain
+/// twin.
+#[derive(Clone, Debug)]
+pub struct VerifyMetrics {
+    /// Mirrors [`CacheStats::full_hits`].
+    pub full_hits: Arc<Counter>,
+    /// Mirrors [`CacheStats::prefix_hits`].
+    pub prefix_hits: Arc<Counter>,
+    /// Mirrors [`CacheStats::misses`].
+    pub misses: Arc<Counter>,
+    /// Mirrors [`CacheStats::headers_verified`].
+    pub headers_verified: Arc<Counter>,
+}
+
+impl VerifyMetrics {
+    /// Creates the standard `payjudger_*` counters in `registry`.
+    pub fn register(registry: &Registry) -> VerifyMetrics {
+        VerifyMetrics {
+            full_hits: registry.counter("payjudger_cache_full_hits_total"),
+            prefix_hits: registry.counter("payjudger_cache_prefix_hits_total"),
+            misses: registry.counter("payjudger_cache_misses_total"),
+            headers_verified: registry.counter("payjudger_headers_verified_total"),
+        }
+    }
 }
 
 /// One memoized verified segment.
@@ -195,6 +227,8 @@ pub struct EvidenceVerifier {
     pool: WorkerPool,
     cache: Mutex<SegmentCache>,
     capacity: usize,
+    /// Optional live metric handles; set once, bumped lock-free.
+    metrics: OnceLock<VerifyMetrics>,
 }
 
 impl Default for EvidenceVerifier {
@@ -215,7 +249,14 @@ impl EvidenceVerifier {
             pool,
             cache: Mutex::new(SegmentCache::default()),
             capacity: config.cache_capacity.max(1),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Attaches live metric handles. The first attachment wins; later
+    /// calls are ignored (the verifier is shared behind `Arc`).
+    pub fn attach_metrics(&self, metrics: VerifyMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// The worker count actually in use.
@@ -264,15 +305,24 @@ impl EvidenceVerifier {
             let mut cache = self.cache.lock().expect("cache poisoned");
             if let Some(work) = cache.lookup_full(&full_key, &encoded) {
                 cache.stats.full_hits += 1;
+                if let Some(metrics) = self.metrics.get() {
+                    metrics.full_hits.inc();
+                }
                 return Ok(work);
             }
             match cache.lookup_prefix(&segment.anchor, &min_target_bytes, &encoded) {
                 Some((prefix, work, tip)) => {
                     cache.stats.prefix_hits += 1;
+                    if let Some(metrics) = self.metrics.get() {
+                        metrics.prefix_hits.inc();
+                    }
                     (prefix, work, tip)
                 }
                 None => {
                     cache.stats.misses += 1;
+                    if let Some(metrics) = self.metrics.get() {
+                        metrics.misses.inc();
+                    }
                     (0, U256::ZERO, segment.anchor)
                 }
             }
@@ -304,6 +354,13 @@ impl EvidenceVerifier {
 
         let mut cache = self.cache.lock().expect("cache poisoned");
         let capacity = self.capacity;
+        cache.stats.headers_verified = cache
+            .stats
+            .headers_verified
+            .saturating_add(delta.len() as u64);
+        if let Some(metrics) = self.metrics.get() {
+            metrics.headers_verified.add(delta.len() as u64);
+        }
         cache.insert(
             full_key,
             prev_hash,
@@ -416,6 +473,39 @@ mod tests {
         assert_eq!(work, long.verify(&limit()).unwrap());
         let stats = v.cache_stats();
         assert_eq!(stats.prefix_hits, 1);
+        // 8 cold headers plus the 4-header extension delta.
+        assert_eq!(stats.headers_verified, 12);
+    }
+
+    #[test]
+    fn attached_metrics_mirror_cache_stats() {
+        let chain = chain(10);
+        let v = verifier();
+        let registry = Registry::new();
+        v.attach_metrics(VerifyMetrics::register(&registry));
+        let short = HeaderSegment::from_chain(&chain, 1, 6);
+        v.verify_segment(&short, &limit()).unwrap(); // miss
+        v.verify_segment(&short, &limit()).unwrap(); // full hit
+        let long = HeaderSegment::from_chain(&chain, 1, 10);
+        v.verify_segment(&long, &limit()).unwrap(); // prefix hit
+        let stats = v.cache_stats();
+        assert_eq!(
+            registry.counter("payjudger_cache_misses_total").get(),
+            stats.misses
+        );
+        assert_eq!(
+            registry.counter("payjudger_cache_full_hits_total").get(),
+            stats.full_hits
+        );
+        assert_eq!(
+            registry.counter("payjudger_cache_prefix_hits_total").get(),
+            stats.prefix_hits
+        );
+        assert_eq!(
+            registry.counter("payjudger_headers_verified_total").get(),
+            stats.headers_verified
+        );
+        assert_eq!(stats.headers_verified, 10);
     }
 
     #[test]

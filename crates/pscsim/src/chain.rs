@@ -114,6 +114,12 @@ impl PscChain {
         self.total_gas_used
     }
 
+    /// Deepest the state's pre-image journal has ever grown — the
+    /// checkpoint-depth observability metric.
+    pub fn journal_high_water(&self) -> usize {
+        self.state.journal_high_water()
+    }
+
     /// Confirmations of the block containing `tx_hash` (1 = in tip block),
     /// or `None` if unprocessed.
     pub fn confirmations(&self, tx_hash: &Hash256) -> Option<u64> {

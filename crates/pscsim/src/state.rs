@@ -79,6 +79,9 @@ pub struct WorldState {
     /// True while a transaction is open; mutations outside one skip the
     /// journal entirely, so steady-state writes stay allocation-free.
     recording: bool,
+    /// Deepest the journal has ever grown (observability: the checkpoint
+    /// depth metric). Like the journal itself, excluded from equality.
+    journal_high_water: usize,
 }
 
 impl PartialEq for WorldState {
@@ -102,13 +105,17 @@ impl WorldState {
         self.accounts.get(id)
     }
 
+    /// Journals a pre-image, tracking the high-water depth.
+    fn record(&mut self, entry: JournalEntry) {
+        self.journal.push(entry);
+        self.journal_high_water = self.journal_high_water.max(self.journal.len());
+    }
+
     /// Mutable account access, creating a default record on first touch.
     pub fn account_mut(&mut self, id: AccountId) -> &mut Account {
         if self.recording {
-            self.journal.push(JournalEntry::Account {
-                id,
-                prev: self.accounts.get(&id).cloned(),
-            });
+            let prev = self.accounts.get(&id).cloned();
+            self.record(JournalEntry::Account { id, prev });
         }
         self.accounts.entry(id).or_default()
     }
@@ -181,7 +188,7 @@ impl WorldState {
     ) -> Option<Vec<u8>> {
         if self.recording {
             let prev = self.storage.insert((contract, key.clone()), value);
-            self.journal.push(JournalEntry::Storage {
+            self.record(JournalEntry::Storage {
                 contract,
                 key,
                 prev: prev.clone(),
@@ -196,7 +203,7 @@ impl WorldState {
     pub fn storage_remove(&mut self, contract: &AccountId, key: &[u8]) -> Option<Vec<u8>> {
         let prev = self.storage.remove(&(*contract, key.to_vec()));
         if self.recording {
-            self.journal.push(JournalEntry::Storage {
+            self.record(JournalEntry::Storage {
                 contract: *contract,
                 key: key.to_vec(),
                 prev: prev.clone(),
@@ -265,6 +272,12 @@ impl WorldState {
     /// Number of journal entries currently recorded (diagnostics).
     pub fn journal_len(&self) -> usize {
         self.journal.len()
+    }
+
+    /// The deepest the pre-image journal has ever grown — a proxy for the
+    /// largest transaction (touched-entry count) this state has executed.
+    pub fn journal_high_water(&self) -> usize {
+        self.journal_high_water
     }
 
     /// A deterministic commitment over the full state (hash of the sorted
@@ -397,9 +410,14 @@ mod tests {
         assert_eq!(state.balance(&id(1)), 42);
         assert_eq!(state.storage_get(&id(1), b"k").unwrap(), b"v");
         assert_eq!(state.journal_len(), 0);
+        // The high-water mark survives the commit (observability), and
+        // never affects equality.
+        assert_eq!(state.journal_high_water(), 2);
+        assert_eq!(state, state.clone());
         // Post-commit mutations no longer journal.
         state.credit(id(1), 1);
         assert_eq!(state.journal_len(), 0);
+        assert_eq!(state.journal_high_water(), 2);
     }
 
     #[test]
