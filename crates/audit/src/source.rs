@@ -1,0 +1,112 @@
+//! A finite byte stream that structure-aware fuzz targets draw from.
+//!
+//! The buffer **is** the fuzz case: every structural decision a target
+//! makes (how many blocks, which parent, what amount) is a deterministic
+//! function of the bytes, so a case reproduces from its bytes alone and
+//! minimises by truncation — an exhausted source keeps answering zeros,
+//! which every target must treat as a boring-but-valid schedule.
+
+/// Cursor over a fuzz case's raw bytes.
+#[derive(Clone, Debug)]
+pub struct ByteSource<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteSource<'a> {
+    /// Wraps a case's bytes.
+    pub fn new(data: &'a [u8]) -> ByteSource<'a> {
+        ByteSource { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    /// Draws one byte (0 when exhausted).
+    pub fn u8(&mut self) -> u8 {
+        let byte = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        byte
+    }
+
+    /// Draws a little-endian `u16`.
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes([self.u8(), self.u8()])
+    }
+
+    /// Draws a little-endian `u32`.
+    pub fn u32(&mut self) -> u32 {
+        let mut bytes = [0u8; 4];
+        self.fill(&mut bytes);
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Draws a little-endian `u64`.
+    pub fn u64(&mut self) -> u64 {
+        let mut bytes = [0u8; 8];
+        self.fill(&mut bytes);
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Draws a little-endian `u128`.
+    pub fn u128(&mut self) -> u128 {
+        let mut bytes = [0u8; 16];
+        self.fill(&mut bytes);
+        u128::from_le_bytes(bytes)
+    }
+
+    /// Draws a bool (low bit of one byte).
+    pub fn bool(&mut self) -> bool {
+        self.u8() & 1 == 1
+    }
+
+    /// Draws an index uniform-ish in `0..n` (`n` must be non-zero).
+    pub fn choice(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "choice over an empty range");
+        (self.u32() as usize) % n
+    }
+
+    /// Fills `out` from the stream, zero-padding past the end.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        for slot in out.iter_mut() {
+            *slot = self.u8();
+        }
+    }
+
+    /// Draws `n` bytes as an owned vector (zero-padded past the end).
+    pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        self.fill(&mut out);
+        out
+    }
+
+    /// Everything not yet consumed, as a slice (does not advance).
+    pub fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos.min(self.data.len())..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhausted_source_draws_zeros() {
+        let mut src = ByteSource::new(&[0xAB]);
+        assert_eq!(src.u8(), 0xAB);
+        assert_eq!(src.u8(), 0);
+        assert_eq!(src.u64(), 0);
+        assert!(!src.bool());
+        assert_eq!(src.choice(7), 0);
+    }
+
+    #[test]
+    fn draws_are_little_endian_and_sequential() {
+        let mut src = ByteSource::new(&[1, 0, 0, 0, 2, 3]);
+        assert_eq!(src.u32(), 1);
+        assert_eq!(src.u8(), 2);
+        assert_eq!(src.rest(), &[3]);
+    }
+}

@@ -7,6 +7,7 @@
 //! harness bench --quick        # micro-benchmarks -> BENCH_payjudger.json
 //! harness gate                 # compare BENCH json against the baseline
 //! harness trace                # chaos run -> JSONL trace + Prometheus dump
+//! harness fuzz --seed 7 --iters 2000   # corpus replay + fresh fuzzing
 //! ```
 //!
 //! Experiment runs exit 2 on an unknown id and 1 if any experiment emits
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         Some("bench") => run_bench(&args[1..]),
         Some("gate") => run_gate(&args[1..]),
         Some("trace") => run_trace(&args[1..]),
+        Some("fuzz") => run_fuzz(&args[1..]),
         _ => run_experiments(&args),
     }
 }
@@ -37,6 +39,10 @@ fn usage() {
     println!("       harness bench [--quick] [--out PATH]");
     println!("       harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]");
     println!("       harness trace [--seed N] [--trace PATH] [--metrics PATH]");
+    println!(
+        "       harness fuzz [--seed N] [--iters N] [--engine codec|diff|invariant] \
+         [--corpus DIR] [--out DIR] [--metrics PATH]"
+    );
     for id in experiments::ALL_IDS {
         println!("  {id}");
     }
@@ -181,6 +187,94 @@ fn run_trace(args: &[String]) -> ExitCode {
     println!("wrote {} ({events} events)", trace_path.display());
     println!("wrote {} ({metrics} series)", metrics_path.display());
     ExitCode::SUCCESS
+}
+
+/// `harness fuzz [--seed N] [--iters N] [--engine E] [--corpus DIR]
+/// [--out DIR] [--metrics PATH]` — replay the regression corpus, then fuzz
+/// fresh cases through the codec/differential/invariant engines. The whole
+/// run is a pure function of the seed: same seed, same corpus → byte-
+/// identical stdout and metrics dump. Exits 1 when any property fires
+/// (minimized reproducers land in the `--out` directory), 2 on bad flags.
+fn run_fuzz(args: &[String]) -> ExitCode {
+    use btcfast_audit::{Engine, FuzzConfig};
+
+    let seed: u64 = match flag_value(args, "--seed").unwrap_or("7").parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("--seed must be a u64");
+            return ExitCode::from(2);
+        }
+    };
+    let iters: u64 = match flag_value(args, "--iters").unwrap_or("200").parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("--iters must be a u64");
+            return ExitCode::from(2);
+        }
+    };
+    let engine = match flag_value(args, "--engine") {
+        None => None,
+        Some(name) => match Engine::parse(name) {
+            Some(engine) => Some(engine),
+            None => {
+                eprintln!("--engine must be codec, diff, or invariant");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let corpus_dir = PathBuf::from(flag_value(args, "--corpus").unwrap_or("fuzz/corpus"));
+    let failure_dir = PathBuf::from(flag_value(args, "--out").unwrap_or("fuzz/out"));
+    let metrics_path = PathBuf::from(flag_value(args, "--metrics").unwrap_or("FUZZ_btcfast.prom"));
+
+    let config = FuzzConfig {
+        seed,
+        iters,
+        engine,
+        corpus_dir,
+        failure_dir: Some(failure_dir.clone()),
+    };
+    let registry = btcfast_obs::Registry::new();
+    let report = match btcfast_audit::run(&config, &registry) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fuzz run failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let prom = registry.render_prometheus();
+    if let Err(e) = std::fs::write(&metrics_path, &prom) {
+        eprintln!("write {}: {e}", metrics_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("seed {seed}");
+    println!("corpus replayed: {}", report.corpus_replayed);
+    println!("cases run: {}", report.cases_run);
+    println!("findings: {}", report.findings.len());
+    for finding in &report.findings {
+        println!(
+            "  {}/{}: {} (input {})",
+            finding.engine,
+            finding.target,
+            finding.message,
+            btcfast_audit::corpus::hex_encode(&finding.bytes)
+        );
+    }
+    println!(
+        "wrote {} ({} series)",
+        metrics_path.display(),
+        prom.lines().filter(|l| !l.starts_with('#')).count()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} finding(s) — minimized reproducers in {}",
+            report.findings.len(),
+            failure_dir.display()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// `harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]`.

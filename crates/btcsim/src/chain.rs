@@ -3,7 +3,7 @@
 
 use crate::amount::Amount;
 use crate::block::{Block, BlockError};
-use crate::params::ChainParams;
+use crate::params::{ChainParams, TimestampRule};
 use crate::pow::{retarget, CompactBits};
 use crate::u256::U256;
 use crate::utxo::{UndoLog, UtxoError, UtxoSet};
@@ -63,7 +63,9 @@ impl fmt::Display for ChainError {
             ChainError::WrongDifficulty { got, expected } => {
                 write!(f, "wrong difficulty: got {got:?}, expected {expected:?}")
             }
-            ChainError::TimeTooOld => write!(f, "block timestamp precedes its parent"),
+            ChainError::TimeTooOld => {
+                write!(f, "block timestamp is too old for its ancestry")
+            }
             ChainError::Utxo(e) => write!(f, "contextual validation failed: {e}"),
         }
     }
@@ -251,6 +253,27 @@ impl Chain {
         CompactBits::from_target(&new_target)
     }
 
+    /// Median-time-past over the last 11 blocks ending at `parent_hash`
+    /// (Bitcoin's BIP113-era timestamp baseline). `None` when the parent
+    /// is the virtual genesis, i.e. there is no ancestry to median over.
+    pub fn median_time_past(&self, parent_hash: &Hash256) -> Option<u64> {
+        let mut times = Vec::with_capacity(11);
+        let mut cursor = *parent_hash;
+        while times.len() < 11 {
+            let entry = self.blocks.get(&cursor)?;
+            times.push(entry.block.header.time);
+            cursor = entry.block.header.prev_hash;
+            if cursor == Hash256::ZERO {
+                break;
+            }
+        }
+        if times.is_empty() {
+            return None;
+        }
+        times.sort_unstable();
+        Some(times[times.len() / 2])
+    }
+
     /// Submits a block to the tree, connecting or reorganizing as needed.
     ///
     /// # Errors
@@ -275,8 +298,19 @@ impl Chain {
             (parent.height, parent.chainwork, parent.block.header.time)
         };
 
-        if block.header.time < parent_time {
-            return Err(ChainError::TimeTooOld);
+        match self.params.timestamp_rule {
+            TimestampRule::ParentOnly => {
+                if block.header.time < parent_time {
+                    return Err(ChainError::TimeTooOld);
+                }
+            }
+            TimestampRule::MedianTimePast => {
+                if let Some(mtp) = self.median_time_past(&parent_hash) {
+                    if block.header.time <= mtp {
+                        return Err(ChainError::TimeTooOld);
+                    }
+                }
+            }
         }
         let expected = self.expected_bits(&parent_hash);
         if block.header.bits != expected {
@@ -506,6 +540,46 @@ mod tests {
         chain.submit_block(b1).unwrap();
         let b2 = miner.mine_block(&chain, vec![], 599);
         assert_eq!(chain.submit_block(b2), Err(ChainError::TimeTooOld));
+    }
+
+    #[test]
+    fn mtp_branch_with_non_monotone_timestamps_connects() {
+        // Bitcoin accepts a timestamp below the parent's as long as it
+        // exceeds the median of the last 11 ancestors. The old
+        // parent-only rule wrongly rejected such blocks, so a fuzzer-built
+        // branch that is valid on Bitcoin failed to replay here.
+        let (mut chain, mut miner, _) = setup();
+        let mut history = Vec::new();
+        for i in 1..=6 {
+            let block = miner.mine_block(&chain, vec![], i * 600);
+            history.push(block.clone());
+            chain.submit_block(block).unwrap();
+        }
+        // Ancestor times are 600..=3600; median (6 entries, upper middle)
+        // is 2400. A block at 2500 is below the 3600 tip but MTP-valid.
+        let non_monotone = miner.mine_block(&chain, vec![], 2500);
+        history.push(non_monotone.clone());
+        assert_eq!(
+            chain.submit_block(non_monotone.clone()).unwrap(),
+            SubmitOutcome::Connected { reorged: false }
+        );
+
+        // At or below the median is still too old.
+        let at_median = miner.mine_block(&chain, vec![], 2400);
+        assert_eq!(chain.submit_block(at_median), Err(ChainError::TimeTooOld));
+
+        // The legacy rule stays available behind ChainParams and rejects
+        // the same branch, preserving byte-identical legacy replays.
+        let mut params = ChainParams::regtest();
+        params.timestamp_rule = TimestampRule::ParentOnly;
+        let mut legacy = Chain::new(params);
+        for block in &history[..6] {
+            legacy.submit_block(block.clone()).unwrap();
+        }
+        assert_eq!(
+            legacy.submit_block(history[6].clone()),
+            Err(ChainError::TimeTooOld)
+        );
     }
 
     #[test]

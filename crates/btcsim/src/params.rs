@@ -3,6 +3,17 @@
 use crate::pow::CompactBits;
 use crate::u256::U256;
 
+/// Which rule validates a new block's timestamp against its ancestry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimestampRule {
+    /// Legacy rule: the timestamp must not precede the parent's. Stricter
+    /// than Bitcoin; kept for byte-identical replay of pre-existing seeds.
+    ParentOnly,
+    /// Bitcoin's rule: the timestamp must strictly exceed the median of
+    /// the previous 11 blocks' timestamps (median-time-past).
+    MedianTimePast,
+}
+
 /// Consensus and simulation parameters for a Bitcoin-style chain.
 ///
 /// The BTCFast evaluation uses Bitcoin mainnet timing (600 s expected block
@@ -31,6 +42,8 @@ pub struct ChainParams {
     /// The number of confirmations conventionally treated as final
     /// (the paper's baseline: 6).
     pub finality_confirmations: u64,
+    /// How block timestamps are validated against ancestors.
+    pub timestamp_rule: TimestampRule,
 }
 
 impl ChainParams {
@@ -46,6 +59,7 @@ impl ChainParams {
             halving_interval: 210_000,
             coinbase_maturity: 100,
             finality_confirmations: 6,
+            timestamp_rule: TimestampRule::MedianTimePast,
         }
     }
 
@@ -61,6 +75,7 @@ impl ChainParams {
             halving_interval: 150,
             coinbase_maturity: 1,
             finality_confirmations: 6,
+            timestamp_rule: TimestampRule::MedianTimePast,
         }
     }
 

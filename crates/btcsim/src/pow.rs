@@ -55,6 +55,11 @@ impl CompactBits {
     pub fn to_target(self) -> Result<U256, CompactBitsError> {
         let exponent = self.0 >> 24;
         let mantissa = self.0 & 0x007f_ffff;
+        if mantissa == 0 {
+            // A zero mantissa encodes the value zero regardless of the
+            // exponent or sign bit, mirroring Bitcoin's SetCompact.
+            return Err(CompactBitsError::Zero);
+        }
         if self.0 & 0x0080_0000 != 0 {
             return Err(CompactBitsError::Negative);
         }
@@ -80,25 +85,29 @@ impl CompactBits {
     }
 
     /// Encodes a 256-bit target into compact form (canonical encoding).
+    ///
+    /// The mantissa is taken directly from the three most significant
+    /// bytes of the big-endian representation, so no intermediate shift
+    /// can truncate through a limb boundary.
     pub fn from_target(target: &U256) -> CompactBits {
-        if target.is_zero() {
+        let be = target.to_be_bytes();
+        let size = 32 - be.iter().take_while(|&&b| b == 0).count();
+        if size == 0 {
             return CompactBits(0);
         }
-        let bits = target.highest_bit().expect("nonzero") + 1;
-        let mut exponent = bits.div_ceil(8);
-        let mut mantissa = if exponent <= 3 {
-            let shifted = *target << (8 * (3 - exponent));
-            shifted.0[0] as u32
-        } else {
-            let shifted = *target >> (8 * (exponent - 3));
-            shifted.0[0] as u32
-        };
+        let mut mantissa: u32 = 0;
+        for i in 0..3 {
+            let sig = size as i64 - 1 - i as i64;
+            let byte = if sig >= 0 { be[31 - sig as usize] } else { 0 };
+            mantissa = (mantissa << 8) | u32::from(byte);
+        }
+        let mut exponent = size as u32;
         // Avoid the sign bit by bumping the exponent.
         if mantissa & 0x0080_0000 != 0 {
             mantissa >>= 8;
             exponent += 1;
         }
-        CompactBits((exponent << 24) | (mantissa & 0x007f_ffff))
+        CompactBits((exponent << 24) | mantissa)
     }
 }
 
@@ -194,6 +203,82 @@ mod tests {
     }
 
     #[test]
+    fn sign_bit_with_zero_mantissa_decodes_as_zero() {
+        // Bitcoin's SetCompact only treats the encoding as negative when
+        // the mantissa is nonzero; 0x..800000 is the value zero. The old
+        // decoder misclassified these as Negative.
+        for bits in [0x0080_0000u32, 0x0380_0000, 0x2080_0000, 0xff80_0000] {
+            assert_eq!(
+                CompactBits(bits).to_target(),
+                Err(CompactBitsError::Zero),
+                "bits 0x{bits:08x}"
+            );
+        }
+        // A nonzero mantissa with the sign bit set really is negative.
+        assert_eq!(
+            CompactBits(0x0480_0001).to_target(),
+            Err(CompactBitsError::Negative)
+        );
+    }
+
+    #[test]
+    fn exponent_boundary_extremes() {
+        // Exponent 0: all mantissa bytes shift out, leaving zero.
+        assert_eq!(
+            CompactBits(0x00123456).to_target(),
+            Err(CompactBitsError::Zero)
+        );
+        // Exponent 32 never overflows (23-bit mantissa tops out at bit 254).
+        let bits = CompactBits(0x207f_ffff);
+        assert_eq!(CompactBits::from_target(&bits.to_target().unwrap()), bits);
+        // Exponent 33 holds two mantissa bytes; three overflow.
+        let bits = CompactBits(0x2100ffff);
+        assert_eq!(CompactBits::from_target(&bits.to_target().unwrap()), bits);
+        assert_eq!(
+            CompactBits(0x2101_0000).to_target(),
+            Err(CompactBitsError::Overflow)
+        );
+        // Exponent 34 holds one mantissa byte; two overflow.
+        let ok = CompactBits(0x2200_00ff).to_target().unwrap();
+        assert_eq!(ok, U256::from_u64(0xff) << 248);
+        assert_eq!(
+            CompactBits(0x2200_0100).to_target(),
+            Err(CompactBitsError::Overflow)
+        );
+        // Exponent >= 35 always overflows for a nonzero mantissa.
+        assert_eq!(
+            CompactBits(0x2300_0001).to_target(),
+            Err(CompactBitsError::Overflow)
+        );
+        assert_eq!(
+            CompactBits(0xff00_0001).to_target(),
+            Err(CompactBitsError::Overflow)
+        );
+    }
+
+    #[test]
+    fn max_target_encodes_canonically() {
+        // U256::MAX has a 0xffffff top mantissa whose sign bit forces the
+        // exponent bump; the byte-extraction encoder must land on
+        // 0x2100ffff, not truncate through a limb boundary.
+        let bits = CompactBits::from_target(&U256::MAX);
+        assert_eq!(bits, CompactBits(0x2100ffff));
+        // Round trip through decode is a fixpoint.
+        let target = bits.to_target().unwrap();
+        assert_eq!(CompactBits::from_target(&target), bits);
+    }
+
+    #[test]
+    fn non_canonical_encodings_re_encode_canonically() {
+        // 0x220000ff and 0x2100ff00 denote the same target; re-encoding
+        // must pick the canonical form with the smaller exponent.
+        let a = CompactBits(0x2200_00ff).to_target().unwrap();
+        let b = CompactBits(0x2100_ff00).to_target().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(CompactBits::from_target(&a), CompactBits(0x2100_ff00));
+    }
+
+    #[test]
     fn zero_rejected() {
         assert_eq!(
             CompactBits(0x01000000).to_target(),
@@ -279,12 +364,15 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_compact_round_trip(exp in 1u32..=32, mantissa in 1u32..0x0080_0000) {
+        fn prop_compact_round_trip(exp in 0u32..=40, mantissa in 0u32..0x0100_0000) {
+            // The full 24-bit mantissa range includes the sign bit.
             let bits = CompactBits((exp << 24) | mantissa);
             if let Ok(target) = bits.to_target() {
                 let re = CompactBits::from_target(&target);
-                // Canonical re-encoding decodes to the same target.
+                // Canonical re-encoding decodes to the same target and is
+                // a fixpoint of encode∘decode.
                 prop_assert_eq!(re.to_target().unwrap(), target);
+                prop_assert_eq!(CompactBits::from_target(&re.to_target().unwrap()), re);
             }
         }
     }

@@ -595,6 +595,50 @@ impl UtxoSet {
         }
     }
 
+    /// Sum of every unspent coin's value, or `None` on overflow. The
+    /// audit invariant checker compares this against the total subsidy
+    /// issued on the active chain (value conservation across reorgs).
+    pub fn total_value(&self) -> Option<Amount> {
+        self.coins
+            .values()
+            .try_fold(Amount::ZERO, |acc, coin| acc.checked_add(coin.value))
+    }
+
+    /// A deterministic digest of the full set — every coin (sorted by
+    /// outpoint), the derived address index, and the maturity parameter.
+    /// Two sets with equal fingerprints are byte-identical, which lets
+    /// differential tests compare an incrementally maintained set against
+    /// a from-scratch rebuild without serializing either.
+    pub fn fingerprint(&self) -> btcfast_crypto::Hash256 {
+        use btcfast_crypto::sha256::Sha256;
+        let mut hasher = Sha256::new();
+        hasher.update(&self.maturity.to_le_bytes());
+        let mut outpoints: Vec<&OutPoint> = self.coins.keys().collect();
+        outpoints.sort_unstable();
+        for outpoint in outpoints {
+            let coin = &self.coins[outpoint];
+            hasher.update(&outpoint.txid.0);
+            hasher.update(&outpoint.vout.to_le_bytes());
+            hasher.update(&coin.value.to_sats().to_le_bytes());
+            let mut script = Vec::new();
+            coin.script_pubkey.encode_to(&mut script);
+            hasher.update(&script);
+            hasher.update(&coin.height.to_le_bytes());
+            hasher.update(&[coin.is_coinbase as u8]);
+        }
+        let mut addresses: Vec<&Address> = self.by_address.keys().collect();
+        addresses.sort_unstable();
+        for address in addresses {
+            hasher.update(&address.0);
+            for outpoint in &self.by_address[address] {
+                hasher.update(&outpoint.txid.0);
+                hasher.update(&outpoint.vout.to_le_bytes());
+            }
+            hasher.update(&[0xFD]); // address-record separator
+        }
+        btcfast_crypto::Hash256(hasher.finalize())
+    }
+
     /// Rolls back a previously applied block using its undo log, restoring
     /// the exact pre-block set (coins created and spent within the block
     /// net out of the log entirely).
@@ -1009,6 +1053,39 @@ mod tests {
         assert!(fx.utxo.validate_transaction(&tampered, height).is_err());
         // And the valid transaction still validates afterwards.
         fx.utxo.validate_transaction(&valid, height).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_history() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        let empty = UtxoSet::new(fx.utxo.maturity);
+        assert_ne!(fx.utxo.fingerprint(), empty.fingerprint());
+
+        // Apply-then-undo returns to the exact prior fingerprint.
+        let before = fx.utxo.fingerprint();
+        let customer = KeyPair::from_seed(b"customer");
+        let pay = fx.spend_coinbase(&b1, customer.address(), sats(1_000_000));
+        let (_, undo) = fx.mine(vec![pay]);
+        assert_ne!(fx.utxo.fingerprint(), before);
+        fx.utxo.undo_block(&undo);
+        assert_eq!(fx.utxo.fingerprint(), before);
+
+        // A rebuilt set with the same coins fingerprints identically.
+        let mut rebuilt = UtxoSet::new(fx.utxo.maturity);
+        for (op, coin) in &fx.utxo.coins {
+            rebuilt.insert_coin(*op, coin.clone());
+        }
+        assert_eq!(rebuilt.fingerprint(), before);
+    }
+
+    #[test]
+    fn total_value_sums_all_coins() {
+        let mut fx = Fixture::new();
+        fx.mine(vec![]);
+        fx.mine(vec![]);
+        let expected = sats(fx.params.subsidy_at(1) + fx.params.subsidy_at(2));
+        assert_eq!(fx.utxo.total_value(), Some(expected));
     }
 
     #[test]

@@ -66,9 +66,16 @@ impl PscChain {
         self.registry.insert(code.code_id(), code);
     }
 
-    /// Mints native balance out of thin air (test/simulation faucet).
-    pub fn faucet(&mut self, account: AccountId, amount: u128) {
-        self.state.credit(account, amount);
+    /// Mints native balance out of thin air (test/simulation faucet),
+    /// clamped to the account's remaining `u128` headroom so repeated
+    /// fuzzed mints cannot overflow. Returns the amount actually minted.
+    pub fn faucet(&mut self, account: AccountId, amount: u128) -> u128 {
+        let headroom = u128::MAX - self.state.balance(&account);
+        let minted = amount.min(headroom);
+        self.state
+            .credit(account, minted)
+            .expect("mint is clamped to the account's headroom");
+        minted
     }
 
     /// Current block number (0 before any block).
@@ -84,6 +91,12 @@ impl PscChain {
     /// Balance of an account.
     pub fn balance_of(&self, account: &AccountId) -> u128 {
         self.state.balance(account)
+    }
+
+    /// The account fees accrue to. Exposed so value-conservation audits
+    /// can close their books without guessing at chain internals.
+    pub fn validator(&self) -> AccountId {
+        self.validator
     }
 
     /// Nonce of an account.
@@ -230,9 +243,7 @@ impl PscChain {
             + schedule.ecdsa_verify;
         if meter.charge(intrinsic).is_err() {
             // Intrinsic alone exceeds the limit: whole limit burned.
-            let fee = tx.max_fee();
-            let _ = self.state.debit(sender, fee);
-            self.state.credit(self.validator, fee);
+            let fee = self.collect_fee(sender, tx.max_fee());
             self.state.account_mut(sender).nonce += 1;
             return Receipt {
                 tx_hash,
@@ -317,15 +328,12 @@ impl PscChain {
         };
 
         let gas_used = meter.used();
-        let fee = gas_used as u128 * tx.gas_price;
+        let fee = (gas_used as u128).saturating_mul(tx.gas_price);
 
         match result {
             Ok((return_data, events, contract_address)) => {
                 self.state.commit(checkpoint);
-                self.state
-                    .debit(sender, fee)
-                    .expect("max fee pre-checked against balance");
-                self.state.credit(self.validator, fee);
+                let fee = self.collect_fee(sender, fee);
                 Receipt {
                     tx_hash,
                     status: TxStatus::Succeeded,
@@ -345,11 +353,8 @@ impl PscChain {
                     ContractError::OutOfGas(_) => (TxStatus::OutOfGas, tx.gas_limit),
                     other => (TxStatus::Reverted(other.to_string()), gas_used),
                 };
-                let fee = billed_gas as u128 * tx.gas_price;
-                self.state
-                    .debit(sender, fee)
-                    .expect("max fee pre-checked against balance");
-                self.state.credit(self.validator, fee);
+                let fee = (billed_gas as u128).saturating_mul(tx.gas_price);
+                let fee = self.collect_fee(sender, fee);
                 Receipt {
                     tx_hash,
                     status,
@@ -362,6 +367,24 @@ impl PscChain {
                 }
             }
         }
+    }
+
+    /// Moves a fee from `sender` to the validator, capping at whatever the
+    /// sender can actually pay and refunding if the validator's balance
+    /// cannot absorb it (fuzzed states hold near-`u128::MAX` balances).
+    /// Returns the fee actually collected — never panics on hostile input.
+    fn collect_fee(&mut self, sender: AccountId, fee: u128) -> u128 {
+        let paid = fee.min(self.state.balance(&sender));
+        if self.state.debit(sender, paid).is_err() {
+            return 0;
+        }
+        if self.state.credit(self.validator, paid).is_err() {
+            self.state
+                .credit(sender, paid)
+                .expect("restoring a just-debited balance cannot overflow");
+            return 0;
+        }
+        paid
     }
 
     fn run_contract(
@@ -811,6 +834,47 @@ mod tests {
             TxStatus::Invalid(_)
         ));
         assert!(chain.receipt(&h0).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn hostile_gas_price_cannot_abort_execution() {
+        // Found by the audit fuzzer: gas_limit × a u128::MAX gas_price
+        // overflowed max_fee() (a debug-build panic) before the balance
+        // pre-check could reject the transaction. The saturated cost now
+        // fails the pre-check and the receipt degrades to Invalid.
+        let mut chain = PscChain::new(PscParams::ethereum_like());
+        let alice = KeyPair::from_seed(b"hostile");
+        chain.faucet(alice.address().into(), 1_000_000_000);
+        let tx = PscTransaction::new(
+            *alice.public(),
+            0,
+            1,
+            Action::Transfer {
+                to: AccountId([9; 20]),
+            },
+        )
+        .with_gas(100_000, u128::MAX)
+        .sign(&alice);
+        let hash = chain.submit_transaction(tx).unwrap();
+        chain.produce_block(15);
+        assert!(matches!(
+            chain.receipt(&hash).unwrap().status,
+            TxStatus::Invalid(_)
+        ));
+        // Nothing moved.
+        assert_eq!(chain.balance_of(&AccountId([9; 20])), 0);
+        assert_eq!(chain.balance_of(&alice.address().into()), 1_000_000_000);
+    }
+
+    #[test]
+    fn faucet_clamps_to_headroom() {
+        // Repeated fuzzed mints used to overflow the credit; the faucet
+        // now reports how much it actually minted.
+        let mut chain = PscChain::new(PscParams::ethereum_like());
+        let rich = AccountId([7; 20]);
+        assert_eq!(chain.faucet(rich, u128::MAX), u128::MAX);
+        assert_eq!(chain.faucet(rich, 500), 0);
+        assert_eq!(chain.balance_of(&rich), u128::MAX);
     }
 
     #[test]

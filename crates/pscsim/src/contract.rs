@@ -4,7 +4,7 @@
 use crate::account::AccountId;
 use crate::codec::CodecError;
 use crate::gas::{Gas, GasMeter, GasSchedule, OutOfGas};
-use crate::state::WorldState;
+use crate::state::{StateError, WorldState};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -55,6 +55,12 @@ pub enum ContractError {
         /// Amount requested.
         requested: u128,
     },
+    /// A contract-initiated transfer would overflow the recipient's
+    /// `u128` balance; the call reverts instead of aborting the process.
+    BalanceOverflow {
+        /// The recipient whose balance cannot absorb the transfer.
+        account: AccountId,
+    },
 }
 
 impl fmt::Display for ContractError {
@@ -71,6 +77,9 @@ impl fmt::Display for ContractError {
                 f,
                 "contract balance {available} cannot cover transfer of {requested}"
             ),
+            ContractError::BalanceOverflow { account } => {
+                write!(f, "transfer would overflow the balance of {account}")
+            }
         }
     }
 }
@@ -237,9 +246,21 @@ impl Storage for HostStorage<'_> {
                 requested: value,
             });
         }
-        self.world
-            .transfer(self.contract, to, value)
-            .expect("balance checked above");
+        if let Err(e) = self.world.transfer(self.contract, to, value) {
+            return Err(match e {
+                StateError::InsufficientBalance {
+                    available,
+                    requested,
+                    ..
+                } => ContractError::InsufficientContractBalance {
+                    available,
+                    requested,
+                },
+                StateError::BalanceOverflow { account, .. } => {
+                    ContractError::BalanceOverflow { account }
+                }
+            });
+        }
         self.transfers.push((to, value));
         Ok(())
     }
@@ -369,13 +390,11 @@ impl Storage for ViewStorage<'_> {
             return Ok(());
         }
         let to_balance = self.balance_of(&to);
+        let new_to_balance = to_balance
+            .checked_add(value)
+            .ok_or(ContractError::BalanceOverflow { account: to })?;
         self.balances.insert(self.contract, available - value);
-        self.balances.insert(
-            to,
-            to_balance
-                .checked_add(value)
-                .expect("simulated supply cannot overflow u128"),
-        );
+        self.balances.insert(to, new_to_balance);
         Ok(())
     }
 
@@ -481,7 +500,7 @@ mod tests {
     fn transfer_out_moves_balance() {
         let mut world = WorldState::new();
         let contract_id = AccountId([0xCC; 20]);
-        world.credit(contract_id, 100);
+        world.credit(contract_id, 100).unwrap();
         let mut meter = GasMeter::new(1_000_000);
         let schedule = GasSchedule::evm_shaped();
         let mut storage = host(&mut world, &mut meter, &schedule);
@@ -525,7 +544,7 @@ mod tests {
         let contract_id = AccountId([0xCC; 20]);
         let mut base = WorldState::new();
         base.storage_set(contract_id, b"k".to_vec(), b"v".to_vec());
-        base.credit(contract_id, 100);
+        base.credit(contract_id, 100).unwrap();
 
         let script = |s: &mut dyn Storage| -> Result<(), ContractError> {
             s.get(b"k")?;
@@ -553,7 +572,7 @@ mod tests {
     fn view_transfer_overlays_balances() {
         let mut world = WorldState::new();
         let contract_id = AccountId([0xCC; 20]);
-        world.credit(contract_id, 100);
+        world.credit(contract_id, 100).unwrap();
         let schedule = GasSchedule::evm_shaped();
         let mut meter = GasMeter::new(1_000_000);
         let mut view = ViewStorage::new(&world, &mut meter, &schedule, contract_id);
@@ -573,6 +592,48 @@ mod tests {
     }
 
     #[test]
+    fn host_transfer_overflow_is_typed_not_a_panic() {
+        // A recipient sitting at u128::MAX used to trip the
+        // `expect("balance checked above")` in HostStorage::transfer_out.
+        let mut world = WorldState::new();
+        let contract_id = AccountId([0xCC; 20]);
+        let dest = AccountId([0x01; 20]);
+        world.credit(contract_id, 100).unwrap();
+        world.credit(dest, u128::MAX).unwrap();
+        let mut meter = GasMeter::new(1_000_000);
+        let schedule = GasSchedule::evm_shaped();
+        let mut storage = host(&mut world, &mut meter, &schedule);
+        assert_eq!(
+            storage.transfer_out(dest, 1),
+            Err(ContractError::BalanceOverflow { account: dest })
+        );
+        // The failed transfer left both balances untouched.
+        assert_eq!(storage.contract_balance(), 100);
+        drop(storage);
+        assert_eq!(world.balance(&dest), u128::MAX);
+    }
+
+    #[test]
+    fn view_transfer_overflow_reverts_instead_of_aborting() {
+        // Same hostile state through the view overlay: the old
+        // checked_add().expect() aborted the process.
+        let mut world = WorldState::new();
+        let contract_id = AccountId([0xCC; 20]);
+        let dest = AccountId([0x01; 20]);
+        world.credit(contract_id, 100).unwrap();
+        world.credit(dest, u128::MAX).unwrap();
+        let schedule = GasSchedule::evm_shaped();
+        let mut meter = GasMeter::new(1_000_000);
+        let mut view = ViewStorage::new(&world, &mut meter, &schedule, contract_id);
+        assert_eq!(
+            view.transfer_out(dest, 1),
+            Err(ContractError::BalanceOverflow { account: dest })
+        );
+        // The overlay records nothing for a failed transfer.
+        assert_eq!(view.contract_balance(), 100);
+    }
+
+    #[test]
     fn error_display() {
         for e in [
             ContractError::Revert("nope".into()),
@@ -581,6 +642,9 @@ mod tests {
             ContractError::InsufficientContractBalance {
                 available: 1,
                 requested: 2,
+            },
+            ContractError::BalanceOverflow {
+                account: AccountId([1; 20]),
             },
         ] {
             assert!(!e.to_string().is_empty());

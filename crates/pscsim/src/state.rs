@@ -19,6 +19,15 @@ pub enum StateError {
         /// Amount requested.
         requested: u128,
     },
+    /// Credit that would push the account balance past `u128::MAX`.
+    BalanceOverflow {
+        /// The account credited.
+        account: AccountId,
+        /// Balance before the credit.
+        balance: u128,
+        /// Amount that did not fit.
+        amount: u128,
+    },
 }
 
 impl fmt::Display for StateError {
@@ -31,6 +40,14 @@ impl fmt::Display for StateError {
             } => write!(
                 f,
                 "insufficient balance on {account}: have {available}, need {requested}"
+            ),
+            StateError::BalanceOverflow {
+                account,
+                balance,
+                amount,
+            } => write!(
+                f,
+                "balance overflow on {account}: {balance} + {amount} exceeds u128"
             ),
         }
     }
@@ -131,12 +148,24 @@ impl WorldState {
     }
 
     /// Credits an account.
-    pub fn credit(&mut self, id: AccountId, amount: u128) {
-        let account = self.account_mut(id);
-        account.balance = account
-            .balance
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::BalanceOverflow`] if the balance would
+    /// exceed `u128::MAX`; the state is unchanged in that case. Fuzzed
+    /// faucet/transfer schedules reach this path, so it must be a typed
+    /// error rather than a panic.
+    pub fn credit(&mut self, id: AccountId, amount: u128) -> Result<(), StateError> {
+        let balance = self.balance(&id);
+        let new_balance = balance
             .checked_add(amount)
-            .expect("simulated supply cannot overflow u128");
+            .ok_or(StateError::BalanceOverflow {
+                account: id,
+                balance,
+                amount,
+            })?;
+        self.account_mut(id).balance = new_balance;
+        Ok(())
     }
 
     /// Debits an account.
@@ -161,8 +190,9 @@ impl WorldState {
     ///
     /// # Errors
     ///
-    /// Returns [`StateError::InsufficientBalance`] if `from` is short; no
-    /// state changes in that case.
+    /// Returns [`StateError::InsufficientBalance`] if `from` is short and
+    /// [`StateError::BalanceOverflow`] if `to` cannot absorb the amount;
+    /// no state changes in either case.
     pub fn transfer(
         &mut self,
         from: AccountId,
@@ -170,7 +200,11 @@ impl WorldState {
         amount: u128,
     ) -> Result<(), StateError> {
         self.debit(from, amount)?;
-        self.credit(to, amount);
+        if let Err(e) = self.credit(to, amount) {
+            self.credit(from, amount)
+                .expect("restoring a just-debited balance cannot overflow");
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -315,7 +349,7 @@ mod tests {
     #[test]
     fn credit_debit() {
         let mut state = WorldState::new();
-        state.credit(id(1), 100);
+        state.credit(id(1), 100).unwrap();
         assert_eq!(state.balance(&id(1)), 100);
         state.debit(id(1), 40).unwrap();
         assert_eq!(state.balance(&id(1)), 60);
@@ -324,16 +358,40 @@ mod tests {
     #[test]
     fn overdraft_rejected() {
         let mut state = WorldState::new();
-        state.credit(id(1), 10);
+        state.credit(id(1), 10).unwrap();
         let err = state.debit(id(1), 11).unwrap_err();
         assert!(matches!(err, StateError::InsufficientBalance { .. }));
         assert_eq!(state.balance(&id(1)), 10);
     }
 
     #[test]
+    fn credit_overflow_is_typed_not_a_panic() {
+        // Found by the audit fuzzer: two faucet mints summing past
+        // u128::MAX used to abort on checked_add().expect().
+        let mut state = WorldState::new();
+        state.credit(id(1), u128::MAX).unwrap();
+        let err = state.credit(id(1), 1).unwrap_err();
+        assert!(matches!(err, StateError::BalanceOverflow { .. }));
+        // The failed credit left the balance untouched.
+        assert_eq!(state.balance(&id(1)), u128::MAX);
+    }
+
+    #[test]
+    fn transfer_overflow_unwinds_the_debit() {
+        let mut state = WorldState::new();
+        state.credit(id(1), 100).unwrap();
+        state.credit(id(2), u128::MAX).unwrap();
+        let err = state.transfer(id(1), id(2), 50).unwrap_err();
+        assert!(matches!(err, StateError::BalanceOverflow { .. }));
+        // Atomic: the debit from the sender was rolled back.
+        assert_eq!(state.balance(&id(1)), 100);
+        assert_eq!(state.balance(&id(2)), u128::MAX);
+    }
+
+    #[test]
     fn transfer_atomicity() {
         let mut state = WorldState::new();
-        state.credit(id(1), 50);
+        state.credit(id(1), 50).unwrap();
         state.transfer(id(1), id(2), 20).unwrap();
         assert_eq!(state.balance(&id(1)), 30);
         assert_eq!(state.balance(&id(2)), 20);
@@ -371,7 +429,7 @@ mod tests {
     fn commitment_changes_with_state() {
         let mut state = WorldState::new();
         let c0 = state.commitment();
-        state.credit(id(1), 1);
+        state.credit(id(1), 1).unwrap();
         let c1 = state.commitment();
         assert_ne!(c0, c1);
         state.storage_set(id(1), b"k".to_vec(), b"v".to_vec());
@@ -382,13 +440,13 @@ mod tests {
     #[test]
     fn rollback_restores_accounts_and_storage() {
         let mut state = WorldState::new();
-        state.credit(id(1), 100);
+        state.credit(id(1), 100).unwrap();
         state.storage_set(id(1), b"keep".to_vec(), b"old".to_vec());
         let before = state.clone();
 
         let cp = state.begin_transaction();
-        state.credit(id(1), 50);
-        state.credit(id(2), 7); // fresh account
+        state.credit(id(1), 50).unwrap();
+        state.credit(id(2), 7).unwrap(); // fresh account
         state.account_mut(id(1)).nonce += 1;
         state.storage_set(id(1), b"keep".to_vec(), b"new".to_vec());
         state.storage_set(id(1), b"fresh".to_vec(), b"x".to_vec());
@@ -404,7 +462,7 @@ mod tests {
     fn commit_keeps_changes_and_clears_journal() {
         let mut state = WorldState::new();
         let cp = state.begin_transaction();
-        state.credit(id(1), 42);
+        state.credit(id(1), 42).unwrap();
         state.storage_set(id(1), b"k".to_vec(), b"v".to_vec());
         state.commit(cp);
         assert_eq!(state.balance(&id(1)), 42);
@@ -415,7 +473,7 @@ mod tests {
         assert_eq!(state.journal_high_water(), 2);
         assert_eq!(state, state.clone());
         // Post-commit mutations no longer journal.
-        state.credit(id(1), 1);
+        state.credit(id(1), 1).unwrap();
         assert_eq!(state.journal_len(), 0);
         assert_eq!(state.journal_high_water(), 2);
     }
@@ -423,16 +481,16 @@ mod tests {
     #[test]
     fn nested_checkpoints_roll_back_independently() {
         let mut state = WorldState::new();
-        state.credit(id(1), 10);
+        state.credit(id(1), 10).unwrap();
         let outer = state.begin_transaction();
-        state.credit(id(1), 5);
+        state.credit(id(1), 5).unwrap();
         let inner = state.begin_transaction();
-        state.credit(id(1), 100);
+        state.credit(id(1), 100).unwrap();
         state.rollback(inner);
         assert_eq!(state.balance(&id(1)), 15);
         // An inner commit leaves its entries in the outer undo set.
         let inner = state.begin_transaction();
-        state.credit(id(2), 9);
+        state.credit(id(2), 9).unwrap();
         state.commit(inner);
         state.rollback(outer);
         assert_eq!(state.balance(&id(1)), 10);
@@ -442,14 +500,14 @@ mod tests {
     #[test]
     fn equality_ignores_open_journal() {
         let mut a = WorldState::new();
-        a.credit(id(1), 10);
+        a.credit(id(1), 10).unwrap();
         let mut b = a.clone();
         let cp = b.begin_transaction();
-        b.credit(id(1), 1);
+        b.credit(id(1), 1).unwrap();
         b.rollback(cp);
         let _ = b.begin_transaction(); // leave a transaction open
         assert_eq!(a, b);
-        a.credit(id(1), 1);
+        a.credit(id(1), 1).unwrap();
         assert_ne!(a, b);
     }
 
@@ -458,10 +516,10 @@ mod tests {
         let mut a = WorldState::new();
         let mut b = WorldState::new();
         // Different insertion orders, same content.
-        a.credit(id(1), 5);
-        a.credit(id(2), 7);
-        b.credit(id(2), 7);
-        b.credit(id(1), 5);
+        a.credit(id(1), 5).unwrap();
+        a.credit(id(2), 7).unwrap();
+        b.credit(id(2), 7).unwrap();
+        b.credit(id(1), 5).unwrap();
         assert_eq!(a.commitment(), b.commitment());
     }
 }

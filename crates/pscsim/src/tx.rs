@@ -211,9 +211,11 @@ impl PscTransaction {
         }
     }
 
-    /// Maximum fee this transaction can cost.
+    /// Maximum fee this transaction can cost. Saturates on a hostile
+    /// `gas_price`: the saturated cost then fails the balance pre-check,
+    /// so the transaction is rejected rather than aborting execution.
     pub fn max_fee(&self) -> u128 {
-        self.gas_limit as u128 * self.gas_price
+        (self.gas_limit as u128).saturating_mul(self.gas_price)
     }
 }
 
