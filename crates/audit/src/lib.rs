@@ -11,7 +11,10 @@
 //!   block/reorg/dispute schedules through the incremental production
 //!   paths and a naive from-scratch reference;
 //! * [`Engine::Invariant`] — cross-cutting conservation/solvency/
-//!   monotonicity checks evaluated after every step of a fuzzed scenario.
+//!   monotonicity checks evaluated after every step of a fuzzed scenario;
+//! * [`Engine::Store`] — durable-store targets: hostile WAL/snapshot
+//!   media must scan without panicking, and a journal crash-truncated at
+//!   every byte offset must recover exactly the clean-prefix state.
 //!
 //! Determinism contract: `run` with the same seed, iteration count, and
 //! corpus produces a byte-identical [`FuzzReport`] (and therefore
@@ -33,6 +36,7 @@ pub mod corpus;
 pub mod diff_fuzz;
 pub mod invariants;
 pub mod source;
+pub mod store_fuzz;
 
 use btcfast_obs::Registry;
 use corpus::FuzzCase;
@@ -50,11 +54,19 @@ pub enum Engine {
     Diff,
     /// Cross-cutting invariant targets.
     Invariant,
+    /// Durable-store targets: hostile WAL/snapshot media and the
+    /// crash-at-every-offset recovery differential.
+    Store,
 }
 
 impl Engine {
     /// All engines, in reporting order.
-    pub const ALL: [Engine; 3] = [Engine::Codec, Engine::Diff, Engine::Invariant];
+    pub const ALL: [Engine; 4] = [
+        Engine::Codec,
+        Engine::Diff,
+        Engine::Invariant,
+        Engine::Store,
+    ];
 
     /// The engine's stable name (CLI flag value, corpus field, metric key).
     pub fn name(&self) -> &'static str {
@@ -62,6 +74,7 @@ impl Engine {
             Engine::Codec => "codec",
             Engine::Diff => "diff",
             Engine::Invariant => "invariant",
+            Engine::Store => "store",
         }
     }
 
@@ -137,6 +150,21 @@ pub const TARGETS: &[Target] = &[
         engine: Engine::Invariant,
         name: "escrow-dispute",
         check: invariants::invariant_escrow_dispute,
+    },
+    Target {
+        engine: Engine::Store,
+        name: "wal-scan",
+        check: store_fuzz::fuzz_wal_scan,
+    },
+    Target {
+        engine: Engine::Store,
+        name: "snapshot-slot",
+        check: store_fuzz::fuzz_snapshot_slot,
+    },
+    Target {
+        engine: Engine::Store,
+        name: "crash-every-offset",
+        check: store_fuzz::diff_store_crash_every_offset,
     },
 ];
 

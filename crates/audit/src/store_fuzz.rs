@@ -1,0 +1,286 @@
+//! Durable-store fuzz targets: hostile WAL/snapshot media and the
+//! crash-at-every-byte-offset recovery differential.
+//!
+//! Three properties, all driven by the case's bytes:
+//!
+//! * hostile WAL media never panic the scanner, and the valid prefix it
+//!   reports re-scans clean (truncation repair is a fixed point);
+//! * hostile snapshot media never panic the loader — a corrupt slot is
+//!   `Ok(None)` (full-replay fallback), never garbage state;
+//! * for a journal built from a fuzzed step schedule, crashing at
+//!   **every** byte offset of the WAL and re-opening recovers exactly the
+//!   state a fresh manager reaches by replaying the surviving record
+//!   prefix — and the full-length "crash" recovers the uninterrupted
+//!   run's digest bit-for-bit.
+
+use crate::source::ByteSource;
+use btcfast::recovery::{Outcome, RecoveryManager, Step};
+use btcfast_crypto::Hash256;
+use btcfast_store::{MemStorage, SnapshotStore, Wal};
+
+/// Hostile bytes as a WAL medium: the scanner must not panic, must
+/// report a consistent valid prefix, and repairing by truncation must be
+/// a fixed point (the prefix re-scans with no corruption and the same
+/// records).
+pub fn fuzz_wal_scan(bytes: &[u8]) -> Result<(), String> {
+    let log = btcfast_store::wal::scan(bytes);
+    let valid_len = usize::try_from(log.valid_len).map_err(|_| "valid_len overflow".to_string())?;
+    if valid_len > bytes.len() {
+        return Err(format!(
+            "valid_len {valid_len} exceeds medium length {}",
+            bytes.len()
+        ));
+    }
+    if log.valid_len + log.truncated_bytes != bytes.len() as u64 {
+        return Err(format!(
+            "prefix {} + truncated {} != medium {}",
+            log.valid_len,
+            log.truncated_bytes,
+            bytes.len()
+        ));
+    }
+    let repaired = btcfast_store::wal::scan(&bytes[..valid_len]);
+    if repaired.corruption.is_some() || repaired.truncated_bytes != 0 {
+        return Err(format!(
+            "repaired prefix is not clean: {:?}",
+            repaired.corruption
+        ));
+    }
+    if repaired.records != log.records {
+        return Err("repaired prefix changed the recovered records".into());
+    }
+    // Opening a Wal over the hostile medium must repair, not panic, and
+    // appending afterwards must leave a clean log.
+    let (mut wal, _) =
+        Wal::open(MemStorage::from_bytes(bytes.to_vec())).map_err(|e| format!("open: {e}"))?;
+    wal.append(b"post-repair probe")
+        .map_err(|e| format!("append after repair: {e}"))?;
+    let reread = btcfast_store::wal::scan(&wal.storage().bytes());
+    if reread.corruption.is_some() {
+        return Err("append after repair left a corrupt log".into());
+    }
+    Ok(())
+}
+
+/// Hostile bytes as a snapshot slot: loading must never panic and a
+/// corrupt slot must read as absent, after which a fresh save round-trips.
+pub fn fuzz_snapshot_slot(bytes: &[u8]) -> Result<(), String> {
+    let mut store = SnapshotStore::new(MemStorage::from_bytes(bytes.to_vec()));
+    // Lenient load: anything unparseable is None, never an error/panic.
+    let loaded = store.load().map_err(|e| format!("lenient load: {e}"))?;
+    if let Some(snap) = &loaded {
+        // Whatever parsed must survive a save/load round-trip unchanged.
+        store
+            .save(snap.wal_seq, &snap.state)
+            .map_err(|e| format!("re-save: {e}"))?;
+    }
+    store
+        .save(7, b"probe-state")
+        .map_err(|e| format!("save over hostile slot: {e}"))?;
+    let reloaded = store
+        .load()
+        .map_err(|e| format!("load after save: {e}"))?
+        .ok_or("saved snapshot did not load back")?;
+    if reloaded.wal_seq != 7 || reloaded.state != b"probe-state" {
+        return Err("snapshot round-trip mutated the state".into());
+    }
+    Ok(())
+}
+
+/// Builds a deterministic journal workload from the case bytes: a short
+/// schedule of protocol steps journaled begin→done, some deliberately
+/// left pending (crash between intent and completion).
+fn journal_workload(src: &mut ByteSource<'_>) -> Vec<(Step, Option<Outcome>)> {
+    let mut txid_byte = 0u8;
+    let mut txid = || {
+        txid_byte = txid_byte.wrapping_add(1);
+        Hash256([txid_byte; 32])
+    };
+    let steps = 1 + src.choice(7);
+    let mut out = Vec::new();
+    out.push((
+        Step::EscrowOpen {
+            deposit_units: u128::from(src.u32()) + 1,
+            psc_nonce: 0,
+        },
+        Some(Outcome::Applied),
+    ));
+    for i in 0..steps {
+        let payment_id = (i as u64) + 1;
+        let t = txid();
+        out.push((
+            Step::OpenPayment {
+                txid: t,
+                amount_sats: u64::from(src.u16()) + 1,
+                collateral: u128::from(src.u16()),
+                psc_nonce: payment_id,
+            },
+            Some(Outcome::PaymentRegistered { payment_id }),
+        ));
+        out.push((
+            Step::OfferSend {
+                payment_id,
+                txid: t,
+            },
+            Some(Outcome::Applied),
+        ));
+        let accepted = src.bool();
+        let acceptance_outcome = if src.choice(5) == 0 {
+            None // crash before the Done record lands
+        } else if accepted {
+            Some(Outcome::Applied)
+        } else {
+            Some(Outcome::Rejected)
+        };
+        out.push((
+            Step::AcceptanceSend {
+                payment_id,
+                accepted,
+            },
+            acceptance_outcome,
+        ));
+        if accepted && src.bool() {
+            out.push((
+                Step::Broadcast {
+                    payment_id,
+                    txid: t,
+                },
+                src.bool().then_some(Outcome::Applied),
+            ));
+        }
+    }
+    out
+}
+
+/// The crash-at-every-offset differential. See the module docs.
+pub fn diff_store_crash_every_offset(bytes: &[u8]) -> Result<(), String> {
+    let mut src = ByteSource::new(bytes);
+    let workload = journal_workload(&mut src);
+    // Checkpoint partway through on some schedules so the sweep also
+    // crosses snapshot-plus-tail recoveries.
+    let checkpoint_after = if src.bool() {
+        Some(workload.len() / 2)
+    } else {
+        None
+    };
+
+    let wal_medium = MemStorage::new();
+    let snap_medium = MemStorage::new();
+    let (mut manager, _) = RecoveryManager::open(wal_medium.clone(), snap_medium.clone())
+        .map_err(|e| format!("fresh open: {e}"))?;
+    // A crash can only tear bytes written *after* the snapshot became
+    // durable, so the snapshot-assisted sweep starts at the WAL length
+    // captured at checkpoint time.
+    let mut snapshot_floor = 0usize;
+    for (i, (step, outcome)) in workload.iter().enumerate() {
+        let intent = manager
+            .begin(step.clone())
+            .map_err(|e| format!("begin: {e}"))?;
+        if let Some(outcome) = outcome {
+            manager
+                .complete(intent, *outcome)
+                .map_err(|e| format!("complete: {e}"))?;
+        }
+        if checkpoint_after == Some(i) {
+            manager
+                .checkpoint()
+                .map_err(|e| format!("checkpoint: {e}"))?;
+            snapshot_floor = wal_medium.bytes().len();
+        }
+    }
+    let uninterrupted_digest = manager.digest();
+    let wal_bytes = wal_medium.bytes();
+    let snap_bytes = snap_medium.bytes();
+
+    // The reference recovery for a cut: pure replay of the clean record
+    // prefix the scanner salvages, no snapshot involved.
+    let reference_digest = |cut: usize| -> Result<Hash256, String> {
+        let torn = &wal_bytes[..cut];
+        let clean = btcfast_store::wal::scan(torn);
+        let (reference, _) = RecoveryManager::open(
+            MemStorage::from_bytes(torn[..clean.valid_len as usize].to_vec()),
+            MemStorage::new(),
+        )
+        .map_err(|e| format!("reference open at cut {cut}: {e}"))?;
+        Ok(reference.digest())
+    };
+
+    // Sweep 1 — pure-WAL recovery crashes at every byte offset: a torn
+    // tail must recover exactly the clean-prefix state.
+    for cut in 0..=wal_bytes.len() {
+        let (recovered, _) = RecoveryManager::open(
+            MemStorage::from_bytes(wal_bytes[..cut].to_vec()),
+            MemStorage::new(),
+        )
+        .map_err(|e| format!("torn re-open at cut {cut}: {e}"))?;
+        if recovered.digest() != reference_digest(cut)? {
+            return Err(format!(
+                "cut {cut}: torn-WAL recovery diverged from prefix replay"
+            ));
+        }
+    }
+
+    // Sweep 2 — snapshot-assisted recovery at every physically possible
+    // offset must agree with pure WAL replay of the same prefix.
+    for cut in snapshot_floor..=wal_bytes.len() {
+        let (recovered, report) = RecoveryManager::open(
+            MemStorage::from_bytes(wal_bytes[..cut].to_vec()),
+            MemStorage::from_bytes(snap_bytes.clone()),
+        )
+        .map_err(|e| format!("snapshot re-open at cut {cut}: {e}"))?;
+        if recovered.digest() != reference_digest(cut)? {
+            return Err(format!(
+                "cut {cut}: snapshot-assisted recovery diverged from pure WAL replay \
+                 (replayed {}, snapshot_used {})",
+                report.replayed_records, report.snapshot_used
+            ));
+        }
+    }
+
+    // A "crash" that loses nothing must recover the uninterrupted state.
+    let (full, _) = RecoveryManager::open(
+        MemStorage::from_bytes(wal_bytes.clone()),
+        MemStorage::from_bytes(snap_bytes),
+    )
+    .map_err(|e| format!("full re-open: {e}"))?;
+    if full.digest() != uninterrupted_digest {
+        return Err("full-length recovery diverged from the uninterrupted run".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_case_is_boring_but_valid() {
+        fuzz_wal_scan(&[]).unwrap();
+        fuzz_snapshot_slot(&[]).unwrap();
+        diff_store_crash_every_offset(&[]).unwrap();
+    }
+
+    #[test]
+    fn structured_cases_pass_on_the_fixed_tree() {
+        let mut bytes = Vec::new();
+        for i in 0..192u32 {
+            bytes.push((i.wrapping_mul(2_654_435_761) >> 13) as u8);
+        }
+        fuzz_wal_scan(&bytes).unwrap();
+        fuzz_snapshot_slot(&bytes).unwrap();
+        diff_store_crash_every_offset(&bytes).unwrap();
+    }
+
+    #[test]
+    fn a_real_wal_prefix_is_accepted_whole() {
+        let (mut wal, _) = Wal::open(MemStorage::new()).unwrap();
+        wal.append(b"alpha").unwrap();
+        wal.append(b"beta").unwrap();
+        let medium = wal.storage().bytes();
+        fuzz_wal_scan(&medium).unwrap();
+        // Torn tails of a real log are also clean truncations.
+        for cut in 0..medium.len() {
+            fuzz_wal_scan(&medium[..cut]).unwrap();
+        }
+    }
+}

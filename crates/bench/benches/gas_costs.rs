@@ -20,7 +20,7 @@ fn bench_deposit(c: &mut Criterion) {
                     &session.psc,
                     black_box(1_000_000),
                 );
-                let receipt = session.run_psc_tx(tx);
+                let receipt = session.run_psc_tx(tx).expect("psc tx executes");
                 assert!(receipt.status.is_success());
                 receipt.gas_used
             },
@@ -46,7 +46,7 @@ fn bench_open_payment(c: &mut Criterion) {
                     black_box(500_000),
                     600_000,
                 );
-                let receipt = session.run_psc_tx(tx);
+                let receipt = session.run_psc_tx(tx).expect("psc tx executes");
                 assert!(receipt.status.is_success());
                 receipt.gas_used
             },

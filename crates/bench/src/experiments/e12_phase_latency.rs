@@ -37,7 +37,7 @@ fn run_workload(payments: usize) -> FastPaySession {
             .run_fast_payment(1_000_000)
             .expect("honest payment succeeds");
         assert!(report.accepted, "{:?}", report.reject);
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     session
 }

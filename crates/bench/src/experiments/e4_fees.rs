@@ -28,41 +28,41 @@ pub fn measure_gas_usage(seed: u64) -> GasUsage {
     let report = session.run_fast_payment(500_000).expect("payment 1");
     usage.open_payment = report.registration_gas;
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
     let ack = session.merchant.build_ack(
         &session.judger,
         &session.psc,
         session.customer.psc_account(),
         report.payment_id,
     );
-    let receipt = session.run_psc_tx(ack);
+    let receipt = session.run_psc_tx(ack).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
     usage.ack_payment = receipt.gas_used;
 
     // Payment 2: closed by the customer after the window.
     let report2 = session.run_fast_payment(500_000).expect("payment 2");
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
     session.advance_clock(SimTime::from_secs(window + 30));
     let close =
         session
             .customer
             .build_close_payment(&session.judger, &session.psc, report2.payment_id);
-    let receipt = session.run_psc_tx(close);
+    let receipt = session.run_psc_tx(close).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
     usage.close_payment = receipt.gas_used;
 
     // Payment 3: disputed (frivolously) and judged.
     let report3 = session.run_fast_payment(500_000).expect("payment 3");
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
     let dispute = session.merchant.build_dispute(
         &session.judger,
         &session.psc,
         session.customer.psc_account(),
         report3.payment_id,
     );
-    let receipt = session.run_psc_tx(dispute);
+    let receipt = session.run_psc_tx(dispute).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
     usage.dispute = receipt.gas_used;
 
@@ -74,7 +74,7 @@ pub fn measure_gas_usage(seed: u64) -> GasUsage {
         report3.payment_id,
         evidence,
     );
-    let receipt = session.run_psc_tx(submit);
+    let receipt = session.run_psc_tx(submit).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
     usage.submit_evidence = receipt.gas_used;
 
@@ -85,7 +85,7 @@ pub fn measure_gas_usage(seed: u64) -> GasUsage {
         session.customer.psc_account(),
         report3.payment_id,
     );
-    let receipt = session.run_psc_tx(judge);
+    let receipt = session.run_psc_tx(judge).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
     usage.judge = receipt.gas_used;
 
@@ -98,7 +98,7 @@ pub fn measure_gas_usage(seed: u64) -> GasUsage {
         session
             .customer
             .build_withdraw(&session.judger, &session.psc, escrow.available());
-    let receipt = session.run_psc_tx(withdraw);
+    let receipt = session.run_psc_tx(withdraw).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
     usage.withdraw = receipt.gas_used;
 

@@ -69,7 +69,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     for _ in 0..pipeline_payments {
         let report = session.run_fast_payment(100_000).expect("pipeline payment");
         assert!(report.accepted, "{:?}", report.reject);
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     let elapsed = start.elapsed().as_secs_f64();
     table.push(vec![

@@ -21,7 +21,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let report = session.run_fast_payment(100_000).expect("payment");
         assert!(report.accepted, "{:?}", report.reject);
         waits.push(report.waiting.as_secs_f64());
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
 

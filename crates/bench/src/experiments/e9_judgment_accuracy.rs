@@ -47,7 +47,7 @@ fn frivolous_dispute(seed: u64, evidence_blocks: u64) -> Option<DisputeVerdict> 
     // Confirm to the requested depth.
     while session.btc.confirmations(&report.txid).unwrap_or(0) < evidence_blocks {
         session.advance_clock(SimTime::from_secs(600));
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     let customer_id = session.customer.psc_account();
     let dispute = session.merchant.build_dispute(
@@ -56,7 +56,11 @@ fn frivolous_dispute(seed: u64, evidence_blocks: u64) -> Option<DisputeVerdict> 
         customer_id,
         report.payment_id,
     );
-    assert!(session.run_psc_tx(dispute).status.is_success());
+    assert!(session
+        .run_psc_tx(dispute)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 
     let evidence =
         SpvEvidence::from_chain(&session.btc, 1, session.btc.height(), Some(&report.txid));
@@ -66,7 +70,7 @@ fn frivolous_dispute(seed: u64, evidence_blocks: u64) -> Option<DisputeVerdict> 
         report.payment_id,
         evidence,
     );
-    let receipt = session.run_psc_tx(submit);
+    let receipt = session.run_psc_tx(submit).expect("psc tx executes");
     if !receipt.status.is_success() {
         // Shallow evidence may be structurally fine but fail later; keep
         // going — judgment decides.
@@ -78,7 +82,7 @@ fn frivolous_dispute(seed: u64, evidence_blocks: u64) -> Option<DisputeVerdict> 
         customer_id,
         report.payment_id,
     );
-    let receipt = session.run_psc_tx(judge);
+    let receipt = session.run_psc_tx(judge).expect("psc tx executes");
     PayJudgerClient::verdict_from(&receipt)
 }
 
@@ -102,7 +106,7 @@ fn stale_counter_evidence(seed: u64) -> Option<DisputeVerdict> {
     // Honest chain confirms the payment to depth 7.
     for _ in 0..7 {
         session.advance_clock(SimTime::from_secs(600));
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     // Customer snapshots the honest view before the reorg: this is the
     // stale branch they will present as counter-evidence.
@@ -130,7 +134,11 @@ fn stale_counter_evidence(seed: u64) -> Option<DisputeVerdict> {
         customer_id,
         report.payment_id,
     );
-    assert!(session.run_psc_tx(dispute).status.is_success());
+    assert!(session
+        .run_psc_tx(dispute)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 
     // Merchant: heavier, no inclusion.
     let merchant_evidence =
@@ -142,7 +150,11 @@ fn stale_counter_evidence(seed: u64) -> Option<DisputeVerdict> {
         report.payment_id,
         merchant_evidence,
     );
-    assert!(session.run_psc_tx(submit).status.is_success());
+    assert!(session
+        .run_psc_tx(submit)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 
     // Attacker-customer: stale branch with inclusion, lighter.
     let customer_evidence =
@@ -154,7 +166,11 @@ fn stale_counter_evidence(seed: u64) -> Option<DisputeVerdict> {
         report.payment_id,
         customer_evidence,
     );
-    assert!(session.run_psc_tx(submit).status.is_success());
+    assert!(session
+        .run_psc_tx(submit)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 
     session.advance_clock(SimTime::from_secs(WINDOW + 30));
     let judge = session.merchant.build_judge(
@@ -163,7 +179,7 @@ fn stale_counter_evidence(seed: u64) -> Option<DisputeVerdict> {
         customer_id,
         report.payment_id,
     );
-    let receipt = session.run_psc_tx(judge);
+    let receipt = session.run_psc_tx(judge).expect("psc tx executes");
     PayJudgerClient::verdict_from(&receipt)
 }
 

@@ -35,12 +35,12 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    println!("usage: harness [e1..e12|all ...] [quick]");
+    println!("usage: harness [e1..e13|all ...] [quick]");
     println!("       harness bench [--quick] [--out PATH]");
     println!("       harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]");
     println!("       harness trace [--seed N] [--trace PATH] [--metrics PATH]");
     println!(
-        "       harness fuzz [--seed N] [--iters N] [--engine codec|diff|invariant] \
+        "       harness fuzz [--seed N] [--iters N] [--engine codec|diff|invariant|store] \
          [--corpus DIR] [--out DIR] [--metrics PATH]"
     );
     for id in experiments::ALL_IDS {
@@ -152,7 +152,7 @@ fn run_trace(args: &[String]) -> ExitCode {
     }
     // Confirm the first sale so the dispute leg's payment does not
     // conflict with it in the mempool.
-    chaos.session.mine_public_block();
+    chaos.session.mine_public_block().expect("block connects");
     if let Err(e) = chaos.run_dispute_chaos(1_000_000, 0.3, 24) {
         eprintln!("trace scenario: dispute leg failed under chaos: {e}");
         return ExitCode::FAILURE;
@@ -217,7 +217,7 @@ fn run_fuzz(args: &[String]) -> ExitCode {
         Some(name) => match Engine::parse(name) {
             Some(engine) => Some(engine),
             None => {
-                eprintln!("--engine must be codec, diff, or invariant");
+                eprintln!("--engine must be codec, diff, invariant, or store");
                 return ExitCode::from(2);
             }
         },

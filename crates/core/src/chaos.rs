@@ -23,6 +23,7 @@
 
 use crate::config::SessionConfig;
 use crate::protocol::RejectReason;
+use crate::recovery::{Outcome, RecoveryError, RecoveryManager, Step};
 use crate::robustness::{ChaosConfig, FallbackPolicy, ProtocolPhase, RobustnessError};
 use crate::session::{FastPaySession, RaceOutcome, SessionError};
 use btcfast_btcsim::Amount;
@@ -37,6 +38,7 @@ use btcfast_payjudger::retry::{submit_with_retry, AttemptResult, RetryReport};
 use btcfast_payjudger::types::DisputeVerdict;
 use btcfast_payjudger::PayJudgerClient;
 use btcfast_pscsim::tx::PscTransaction;
+use btcfast_store::MemStorage;
 
 /// The customer's node on the chaos fabric.
 pub const CUSTOMER_NODE: NodeId = NodeId(0);
@@ -125,6 +127,13 @@ pub struct ChaosSession {
     transport: Transport<ProtocolPhase>,
     plan: FaultPlan,
     psc_stalled: bool,
+    /// Durable media backing the recovery journal. Handle-shared
+    /// [`MemStorage`] models a disk that survives a simulated process
+    /// crash; [`FaultAction::CrashRestart`] re-hydrates from these.
+    wal_medium: MemStorage,
+    snap_medium: MemStorage,
+    recovery: RecoveryManager<MemStorage>,
+    recoveries: u64,
 }
 
 impl ChaosSession {
@@ -142,12 +151,32 @@ impl ChaosSession {
             chaos_config.transport.clone(),
             seed ^ 0xC4A0_5CA0_5EED,
         );
+        let wal_medium = MemStorage::new();
+        let snap_medium = MemStorage::new();
+        let (mut recovery, _) = RecoveryManager::open(wal_medium.clone(), snap_medium.clone())
+            .expect("fresh durable media open");
+        let session = FastPaySession::new(session_config, seed);
+        // Provisioning already deposited escrow; journal the fact so a
+        // recovered ledger knows protection exists.
+        let intent = recovery
+            .begin(Step::EscrowOpen {
+                deposit_units: session.config.escrow_deposit,
+                psc_nonce: session.psc.nonce_of(&session.customer.psc_account()),
+            })
+            .expect("journal escrow open");
+        recovery
+            .complete(intent, Outcome::Applied)
+            .expect("journal escrow open done");
         ChaosSession {
-            session: FastPaySession::new(session_config, seed),
+            session,
             config: chaos_config,
             transport,
             plan,
             psc_stalled: false,
+            wal_medium,
+            snap_medium,
+            recovery,
+            recoveries: 0,
         }
     }
 
@@ -174,6 +203,10 @@ impl ChaosSession {
                 ("failed", stats.failed.into()),
                 ("dedup_drops", stats.duplicates_dropped.into()),
                 ("backoff_wait_us", stats.backoff_wait_micros.into()),
+                ("dedup_high_water", stats.dedup_high_water.into()),
+                ("pending_high_water", stats.pending_high_water.into()),
+                ("dedup_evictions", stats.dedup_evictions.into()),
+                ("resolved_retired", stats.resolved_retired.into()),
             ],
         );
     }
@@ -181,6 +214,61 @@ impl ChaosSession {
     /// The fault plan's canonical fingerprint.
     pub fn plan_fingerprint(&self) -> String {
         self.plan.fingerprint()
+    }
+
+    /// The durable payment ledger reconstructed from the journal.
+    pub fn recovery(&self) -> &RecoveryManager<MemStorage> {
+        &self.recovery
+    }
+
+    /// How many crash-restart recoveries this session has survived.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Canonical digest of the durable state (ledger + pending intents).
+    pub fn store_digest(&self) -> Hash256 {
+        self.recovery.digest()
+    }
+
+    /// Journals the start of a side-effecting step (idempotent intent).
+    fn journal_begin(&mut self, step: Step) -> Result<u64, RobustnessError> {
+        self.recovery.begin(step).map_err(journal_err)
+    }
+
+    /// Journals a step's outcome, retiring its intent.
+    fn journal_done(&mut self, intent: u64, outcome: Outcome) -> Result<(), RobustnessError> {
+        self.recovery.complete(intent, outcome).map_err(journal_err)
+    }
+
+    /// Simulated process crash + restart-from-store: volatile transport
+    /// state for `node` is lost, the in-memory recovery manager is
+    /// dropped, and a fresh one re-hydrates from the surviving media.
+    /// Recovery must be lossless: the rebuilt digest must equal the
+    /// pre-crash digest, pending intents included.
+    fn crash_restart(&mut self, node: NodeId) {
+        self.transport.crash(node);
+        self.transport.restart(node);
+        let digest_before = self.recovery.digest();
+        let (recovered, report) =
+            RecoveryManager::open(self.wal_medium.clone(), self.snap_medium.clone())
+                .expect("durable media re-hydrate after crash");
+        assert_eq!(
+            digest_before,
+            recovered.digest(),
+            "recovered state diverged from pre-crash state"
+        );
+        self.recovery = recovered;
+        self.recoveries += 1;
+        self.session.trace_point(
+            "recovery.restart",
+            vec![
+                ("node", u64::from(node.0).into()),
+                ("replayed", report.replayed_records.into()),
+                ("pending_resumed", report.pending_resumed.into()),
+                ("snapshot_used", report.snapshot_used.into()),
+            ],
+        );
     }
 
     /// True while PSC block production is stalled by the fault plan.
@@ -244,6 +332,18 @@ impl ChaosSession {
         // -- Registration (customer → PSC), with graceful degradation. ----
         let registration_start = self.session.clock;
         let collateral = self.session.config.required_collateral(amount_sats);
+        // Journal the intent before the side effect: a crash between here
+        // and the Done record leaves a pending intent whose recorded
+        // psc_nonce lets recovery decide whether the call landed.
+        let open_intent = self.journal_begin(Step::OpenPayment {
+            txid,
+            amount_sats,
+            collateral,
+            psc_nonce: self
+                .session
+                .psc
+                .nonce_of(&self.session.customer.psc_account()),
+        })?;
         let registration = self.submit_psc_with_retry(
             ProtocolPhase::OpenPayment,
             CUSTOMER_NODE,
@@ -262,8 +362,12 @@ impl ChaosSession {
         );
         let payment_id = match registration {
             Ok(report) => {
-                let id =
-                    PayJudgerClient::payment_id_from(&report.receipt).expect("successful open");
+                let id = PayJudgerClient::payment_id_from(&report.receipt).ok_or(
+                    RobustnessError::Session(SessionError::MissingPaymentId {
+                        context: "chaos-open-payment",
+                    }),
+                )?;
+                self.journal_done(open_intent, Outcome::PaymentRegistered { payment_id: id })?;
                 self.session.trace_span_from(
                     "chaos.register",
                     registration_start,
@@ -279,6 +383,7 @@ impl ChaosSession {
                 | RobustnessError::DeliveryFailed { .. }
                 | RobustnessError::DeadlineExceeded { .. },
             ) => {
+                self.journal_done(open_intent, Outcome::Abandoned)?;
                 self.session.trace_point("chaos.degrade", vec![]);
                 return self.degrade(amount_sats, txid);
             }
@@ -287,8 +392,10 @@ impl ChaosSession {
 
         // -- Point of sale: offer → checks → acceptance over transport. ---
         let pos_start = self.session.clock;
+        let offer_intent = self.journal_begin(Step::OfferSend { payment_id, txid })?;
         let offer_leg = self.drive_message(CUSTOMER_NODE, MERCHANT_NODE, ProtocolPhase::Offer)?;
         self.session.advance_clock(offer_leg.arrival);
+        self.journal_done(offer_intent, Outcome::Applied)?;
 
         let offer = self
             .session
@@ -304,9 +411,21 @@ impl ChaosSession {
         let verify = SimTime::from_secs_f64(self.session.config.verify_secs);
         self.session.advance_clock(verify);
 
+        let accept_intent = self.journal_begin(Step::AcceptanceSend {
+            payment_id,
+            accepted: decision.is_ok(),
+        })?;
         let response_leg =
             self.drive_message(MERCHANT_NODE, CUSTOMER_NODE, ProtocolPhase::Acceptance)?;
         self.session.advance_clock(response_leg.arrival);
+        self.journal_done(
+            accept_intent,
+            if decision.is_ok() {
+                Outcome::Applied
+            } else {
+                Outcome::Rejected
+            },
+        )?;
 
         let waiting = offer_leg.arrival + verify + response_leg.arrival;
         self.session.trace_span_from(
@@ -324,6 +443,7 @@ impl ChaosSession {
         );
         let (accepted, reject) = match decision {
             Ok(_) => {
+                let broadcast_intent = self.journal_begin(Step::Broadcast { payment_id, txid })?;
                 self.session
                     .mempool
                     .insert(
@@ -333,6 +453,7 @@ impl ChaosSession {
                         self.session.clock.as_secs(),
                     )
                     .map_err(|e| RobustnessError::Session(SessionError::Btc(e.to_string())))?;
+                self.journal_done(broadcast_intent, Outcome::Applied)?;
                 (true, None)
             }
             Err(reason) => (false, Some(reason)),
@@ -375,7 +496,12 @@ impl ChaosSession {
                 "payment not escrow-protected under chaos: {payment:?}"
             ))));
         }
-        let payment_id = payment.payment_id.expect("protected payment has id");
+        let payment_id =
+            payment
+                .payment_id
+                .ok_or(RobustnessError::Session(SessionError::MissingPaymentId {
+                    context: "chaos-dispute",
+                }))?;
         let txid = payment.txid;
 
         let race = self
@@ -403,7 +529,12 @@ impl ChaosSession {
         let window_deadline =
             dispute_start + SimTime::from_secs(self.session.config.challenge_window_secs);
         let customer_account = self.session.customer.psc_account();
+        let merchant_account = self.session.merchant.psc_account();
 
+        let dispute_intent = self.journal_begin(Step::DisputeOpen {
+            payment_id,
+            psc_nonce: self.session.psc.nonce_of(&merchant_account),
+        })?;
         let dispute = self.submit_psc_with_retry(
             ProtocolPhase::DisputeOpen,
             MERCHANT_NODE,
@@ -418,7 +549,13 @@ impl ChaosSession {
                 regas(tx, gas, session.merchant.psc_keys())
             },
         )?;
+        self.journal_done(dispute_intent, Outcome::Applied)?;
 
+        let evidence_intent = self.journal_begin(Step::EvidenceSubmit {
+            payment_id,
+            txid,
+            psc_nonce: self.session.psc.nonce_of(&merchant_account),
+        })?;
         let evidence = self.submit_psc_with_retry(
             ProtocolPhase::EvidenceSubmission,
             MERCHANT_NODE,
@@ -435,12 +572,17 @@ impl ChaosSession {
                 regas(tx, gas, session.merchant.psc_keys())
             },
         )?;
+        self.journal_done(evidence_intent, Outcome::Applied)?;
 
         // Wait out the evidence window, then judge (no window bound: the
         // judge call is valid any time after expiry).
         self.session.advance_clock(SimTime::from_secs(
             self.session.config.challenge_window_secs + 1,
         ));
+        let judge_intent = self.journal_begin(Step::JudgeCall {
+            payment_id,
+            psc_nonce: self.session.psc.nonce_of(&merchant_account),
+        })?;
         let judge = self.submit_psc_with_retry(
             ProtocolPhase::JudgeCall,
             MERCHANT_NODE,
@@ -456,8 +598,15 @@ impl ChaosSession {
             },
         )?;
 
+        self.journal_done(judge_intent, Outcome::Applied)?;
+
         let verdict = PayJudgerClient::verdict_from(&judge.receipt);
         let merchant_compensated = verdict == Some(DisputeVerdict::MerchantWins);
+        let verdict_intent = self.journal_begin(Step::Verdict {
+            payment_id,
+            merchant_wins: merchant_compensated,
+        })?;
+        self.journal_done(verdict_intent, Outcome::Applied)?;
         self.session.trace_span_from(
             "chaos.dispute",
             dispute_start,
@@ -506,6 +655,7 @@ impl ChaosSession {
                 FaultAction::Heal { a, b } => self.transport.network_mut().heal(a, b),
                 FaultAction::Crash { node } => self.transport.crash(node),
                 FaultAction::Restart { node } => self.transport.restart(node),
+                FaultAction::CrashRestart { node } => self.crash_restart(node),
                 FaultAction::PscStall => self.psc_stalled = true,
                 FaultAction::PscResume => self.psc_stalled = false,
             }
@@ -596,7 +746,10 @@ impl ChaosSession {
                 return AttemptResult::WindowClosed;
             }
             let tx = build(session, gas);
-            AttemptResult::Executed(session.run_psc_tx(tx))
+            match session.run_psc_tx(tx) {
+                Ok(receipt) => AttemptResult::Executed(receipt),
+                Err(e) => AttemptResult::Aborted(e.to_string()),
+            }
         })
         .map_err(|error| RobustnessError::Retry { phase, error })
     }
@@ -641,6 +794,11 @@ impl ChaosSession {
             }
         }
     }
+}
+
+/// Maps a journal failure into the session error surface.
+fn journal_err(e: RecoveryError) -> RobustnessError {
+    RobustnessError::Session(SessionError::Psc(format!("recovery journal: {e}")))
 }
 
 /// Re-signs `tx` at a different gas limit (no-op when already there).
@@ -717,6 +875,71 @@ mod tests {
         let mut chaos = ChaosSession::new(quick_config(), config, plan, 14);
         let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
         assert!(!report.accepted && report.fell_back);
+    }
+
+    #[test]
+    fn crash_restart_recovers_durable_state_mid_payment() {
+        let mut plan = FaultPlan::new();
+        // Bounce every node once while the payment phases are in flight.
+        plan.crash_restart_at(CUSTOMER_NODE, SimTime::from_millis(5));
+        plan.crash_restart_at(MERCHANT_NODE, SimTime::from_millis(40));
+        plan.crash_restart_at(PSC_NODE, SimTime::from_millis(90));
+        let mut chaos = ChaosSession::new(quick_config(), ChaosConfig::default(), plan, 31);
+        let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        assert!(report.accepted && report.protected, "{report:?}");
+        assert!(chaos.recoveries() >= 1, "no crash drill actually fired");
+        // The durable ledger saw the whole flow: escrow open, payment
+        // registered, offered, accepted, broadcast — nothing pending.
+        let ledger = chaos.recovery().ledger();
+        assert!(ledger.escrow_opened);
+        let state = ledger
+            .payments
+            .get(&report.payment_id.unwrap())
+            .expect("payment in durable ledger");
+        assert!(state.offered && state.accepted && state.broadcast);
+        assert_eq!(chaos.recovery().pending().count(), 0);
+        assert_eq!(
+            ledger.value_accepted_sats, 1_000_000,
+            "accepted value is durably accounted"
+        );
+    }
+
+    #[test]
+    fn crash_restart_runs_are_reproducible_with_identical_digests() {
+        let run = |seed: u64| {
+            let mut plan = FaultPlan::new();
+            plan.crash_restart_at(MERCHANT_NODE, SimTime::from_millis(20));
+            plan.crash_restart_at(PSC_NODE, SimTime::from_millis(60));
+            let mut chaos = ChaosSession::new(quick_config(), ChaosConfig::default(), plan, seed);
+            let report = chaos.run_fast_payment_chaos(750_000).unwrap();
+            (
+                report.waiting,
+                chaos.store_digest(),
+                chaos.recoveries(),
+                chaos.event_trace().to_vec(),
+            )
+        };
+        let (w1, d1, r1, t1) = run(33);
+        let (w2, d2, r2, t2) = run(33);
+        assert_eq!(w1, w2);
+        assert_eq!(d1, d2, "durable digest must replay byte-identically");
+        assert_eq!(r1, r2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn dispute_flow_is_journaled_end_to_end() {
+        let mut plan = FaultPlan::new();
+        plan.crash_restart_at(MERCHANT_NODE, SimTime::from_millis(15));
+        let mut chaos = ChaosSession::new(quick_config(), ChaosConfig::default(), plan, 37);
+        let report = chaos.run_dispute_chaos(1_000_000, 0.3, 12).unwrap();
+        if report.race.merchant_lost_payment {
+            let ledger = chaos.recovery().ledger();
+            let state = &ledger.payments[&report.payment.payment_id.unwrap()];
+            assert!(state.disputed && state.evidence_submitted && state.judged);
+            assert_eq!(state.merchant_wins, Some(report.merchant_compensated));
+        }
+        assert_eq!(chaos.recovery().pending().count(), 0);
     }
 
     #[test]

@@ -28,10 +28,12 @@
 //! recorded byte-identical per-phase traces doing it.
 
 use crate::config::SessionConfig;
+use crate::recovery::{Outcome, RecoveryManager, Step};
 use crate::session::{FastPaySession, SessionError};
 use btcfast_crypto::sha256::sha256d;
 use btcfast_crypto::{Hash256, WorkerPool};
 use btcfast_netsim::time::SimTime;
+use btcfast_store::MemStorage;
 
 /// Knobs of a sharded engine run.
 #[derive(Clone, Debug)]
@@ -50,6 +52,10 @@ pub struct EngineConfig {
     pub batch_size: usize,
     /// Value of each payment, satoshis.
     pub amount_sats: u64,
+    /// Crash-restart drill cadence: after every N batches the shard drops
+    /// its volatile recovery manager and re-hydrates from the durable
+    /// media, asserting the recovered digest matches. `0` disables drills.
+    pub crash_restart_every: usize,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +66,7 @@ impl Default for EngineConfig {
             payments_per_shard: 16,
             batch_size: 8,
             amount_sats: 1_000_000,
+            crash_restart_every: 0,
         }
     }
 }
@@ -85,6 +92,12 @@ pub struct ShardOutcome {
     /// when [`SessionConfig::tracing`] is off). Hashed into the run
     /// fingerprint, so the replay guarantee covers traces too.
     pub trace_jsonl: String,
+    /// Digest of the shard's durable payment ledger (WAL-journaled); a
+    /// crash-restart drill must land on the same digest, and it is hashed
+    /// into the run fingerprint so replays cover recovery too.
+    pub store_digest: Hash256,
+    /// Crash-restart drills the shard performed (all digest-verified).
+    pub recoveries: u64,
 }
 
 impl ShardOutcome {
@@ -102,6 +115,8 @@ impl ShardOutcome {
         out.extend_from_slice(&self.btc_tip.0);
         out.extend_from_slice(&(self.trace_jsonl.len() as u64).to_le_bytes());
         out.extend_from_slice(self.trace_jsonl.as_bytes());
+        out.extend_from_slice(&self.store_digest.0);
+        out.extend_from_slice(&self.recoveries.to_le_bytes());
     }
 }
 
@@ -192,9 +207,18 @@ impl PaymentEngine {
     }
 }
 
+/// Wraps a recovery-store failure as a shard error.
+fn store_err(e: crate::recovery::RecoveryError) -> SessionError {
+    SessionError::Psc(format!("shard recovery store: {e}"))
+}
+
 /// One shard, start to finish: provision a session, then run payments in
 /// batches — disjoint coin selection, one registration block per batch,
-/// one confirming BTC block per batch.
+/// one confirming BTC block per batch. Every payment's lifecycle is
+/// journaled to the shard's durable store; when
+/// [`EngineConfig::crash_restart_every`] is set, the shard periodically
+/// drops its volatile manager and re-hydrates from the media, failing the
+/// run if the recovered digest diverges.
 fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutcome, SessionError> {
     let mut session_config = config.session.clone();
     let per_payment = session_config.required_collateral(config.amount_sats);
@@ -203,12 +227,21 @@ fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutc
 
     let mut session = FastPaySession::new(session_config, seed);
     let batch = config.batch_size.max(1);
-    session.fund_customer_coins(batch);
+    session.fund_customer_coins(batch)?;
+
+    // Per-shard durable media: clone-shared handles, so dropping the
+    // manager models losing volatile state while the "disk" survives.
+    let wal_medium = MemStorage::new();
+    let snap_medium = MemStorage::new();
+    let (mut recovery, _) =
+        RecoveryManager::open(wal_medium.clone(), snap_medium.clone()).map_err(store_err)?;
+    let mut recoveries = 0u64;
 
     let mut accepted = 0usize;
     let mut rejected = 0usize;
     let mut accept_latencies = Vec::with_capacity(config.payments_per_shard);
     let mut remaining = config.payments_per_shard;
+    let mut batches = 0usize;
     while remaining > 0 {
         let k = remaining.min(batch);
         session.trace_point(
@@ -221,7 +254,49 @@ fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutc
         );
         let amounts = vec![config.amount_sats; k];
         for report in session.run_fast_payment_batch(&amounts)? {
+            // Journal the payment's durable lifecycle facts.
+            let intent = recovery
+                .begin(Step::OpenPayment {
+                    txid: report.txid,
+                    amount_sats: config.amount_sats,
+                    collateral: per_payment,
+                    psc_nonce: report.payment_id,
+                })
+                .map_err(store_err)?;
+            recovery
+                .complete(
+                    intent,
+                    Outcome::PaymentRegistered {
+                        payment_id: report.payment_id,
+                    },
+                )
+                .map_err(store_err)?;
+            let intent = recovery
+                .begin(Step::AcceptanceSend {
+                    payment_id: report.payment_id,
+                    accepted: report.accepted,
+                })
+                .map_err(store_err)?;
+            recovery
+                .complete(
+                    intent,
+                    if report.accepted {
+                        Outcome::Applied
+                    } else {
+                        Outcome::Rejected
+                    },
+                )
+                .map_err(store_err)?;
             if report.accepted {
+                let intent = recovery
+                    .begin(Step::Broadcast {
+                        payment_id: report.payment_id,
+                        txid: report.txid,
+                    })
+                    .map_err(store_err)?;
+                recovery
+                    .complete(intent, Outcome::Applied)
+                    .map_err(store_err)?;
                 accepted += 1;
                 accept_latencies.push(report.waiting);
             } else {
@@ -230,8 +305,36 @@ fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutc
         }
         // Confirm the batch: the change outputs become the next batch's
         // disjoint confirmed coins.
-        session.mine_public_block();
+        session.mine_public_block()?;
         remaining -= k;
+        batches += 1;
+
+        // Alternate batches checkpoint, so drills exercise both the
+        // snapshot-plus-tail and the full-replay recovery paths.
+        if batches.is_multiple_of(2) {
+            recovery.checkpoint().map_err(store_err)?;
+        }
+        if config.crash_restart_every > 0 && batches.is_multiple_of(config.crash_restart_every) {
+            let digest_before = recovery.digest();
+            drop(recovery);
+            let (restored, report) = RecoveryManager::open(wal_medium.clone(), snap_medium.clone())
+                .map_err(store_err)?;
+            if restored.digest() != digest_before {
+                return Err(SessionError::Psc(format!(
+                    "shard {shard}: recovered store digest diverged after restart"
+                )));
+            }
+            recovery = restored;
+            recoveries += 1;
+            session.trace_point(
+                "recovery.restart",
+                vec![
+                    ("shard", shard.into()),
+                    ("replayed", report.replayed_records.into()),
+                    ("snapshot", report.snapshot_used.into()),
+                ],
+            );
+        }
     }
 
     let trace_jsonl = btcfast_obs::render_jsonl(&session.take_trace());
@@ -244,6 +347,8 @@ fn run_shard(config: &EngineConfig, shard: usize, seed: u64) -> Result<ShardOutc
         psc_commitment: session.psc.state_commitment(),
         btc_tip: session.btc.tip_hash(),
         trace_jsonl,
+        store_digest: recovery.digest(),
+        recoveries,
     })
 }
 
@@ -288,6 +393,35 @@ mod tests {
         // And a third run, same pool, still identical.
         let again = engine.run(7, &WorkerPool::new(4)).unwrap();
         assert_eq!(parallel.fingerprint, again.fingerprint);
+    }
+
+    #[test]
+    fn crash_restart_drills_recover_byte_identical_state() {
+        let clean = PaymentEngine::new(small())
+            .run(5, &WorkerPool::new(2))
+            .unwrap();
+        let mut config = small();
+        config.crash_restart_every = 1;
+        let crashed = PaymentEngine::new(config.clone())
+            .run(5, &WorkerPool::new(2))
+            .unwrap();
+        // Crash drills never change what the shard pays or records: the
+        // durable ledger digest matches the uninterrupted run shard for
+        // shard, and the payment outcomes are unaffected.
+        assert_eq!(clean.total_accepted, crashed.total_accepted);
+        for (a, b) in clean.outcomes.iter().zip(&crashed.outcomes) {
+            assert_eq!(a.store_digest, b.store_digest, "shard {}", a.shard);
+            assert_eq!(a.recoveries, 0);
+            assert!(b.recoveries > 0, "drills ran");
+            assert_eq!(a.accepted, b.accepted);
+        }
+        // Same-seed reruns including crash-restart events replay
+        // byte-identically across worker counts.
+        let again = PaymentEngine::new(config)
+            .run(5, &WorkerPool::new(4))
+            .unwrap();
+        assert_eq!(crashed.fingerprint, again.fingerprint);
+        assert_eq!(crashed.outcomes, again.outcomes);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`fees`] — the cost model behind the "no extra operation fee" claim;
 //! * [`robustness`] — typed failure surface ([`robustness::RobustnessError`])
 //!   and the merchant's graceful-degradation policy for adverse networks;
+//! * [`recovery`] — [`recovery::RecoveryManager`]: durable intent
+//!   journaling (WAL + snapshots via `btcfast-store`), so a crashed
+//!   participant re-hydrates a byte-identical ledger and resumes
+//!   in-flight payments and disputes exactly-once;
 //! * [`chaos`] — [`chaos::ChaosSession`]: the full protocol driven through
 //!   a reliable transport under a seeded fault plan (loss, partitions,
 //!   crashes, PSC stalls), with retry-aware dispute submission;
@@ -53,6 +57,7 @@ pub mod engine;
 pub mod fees;
 pub mod policy;
 pub mod protocol;
+pub mod recovery;
 pub mod robustness;
 pub mod roles;
 pub mod session;
@@ -63,5 +68,8 @@ pub use config::SessionConfig;
 pub use engine::{EngineConfig, EngineReport, PaymentEngine, ShardOutcome};
 pub use policy::AcceptancePolicy;
 pub use protocol::{Acceptance, PaymentOffer, RejectReason};
+pub use recovery::{
+    Outcome, PaymentLedger, RecoveryError, RecoveryManager, RecoveryReport, RecoveryStats, Step,
+};
 pub use robustness::{ChaosConfig, FallbackPolicy, ProtocolPhase, RobustnessError};
 pub use session::FastPaySession;

@@ -1,0 +1,1114 @@
+//! Durable intent journaling and crash recovery for protocol participants.
+//!
+//! The paper's guarantee — any in-flight payment can be settled from
+//! recorded evidence — dies with the process if offers, acceptances, and
+//! dispute steps live only in memory. This module makes every
+//! side-effecting protocol step durable *before* it executes:
+//!
+//! 1. the caller journals `Begin(step)` to the WAL (an **intent**),
+//! 2. performs the side effect (PSC call, message send, broadcast),
+//! 3. journals `Done(intent, outcome)`.
+//!
+//! A crash between 1 and 3 leaves a *pending* intent on durable media.
+//! On restart, [`RecoveryManager::open`] replays snapshot + WAL tail and
+//! surfaces the pending set; the caller then resolves each intent
+//! **exactly once**: every PSC-call step records the account nonce its
+//! transaction would spend, so the recovering node compares the recorded
+//! nonce against the chain's current nonce — if the chain consumed it,
+//! the effect landed and the intent is completed without re-execution;
+//! if not, the step is safe to re-run. Message sends and broadcasts are
+//! idempotent at the receiver (transport dedup, mempool keyed by txid),
+//! so re-sending is always safe.
+//!
+//! Everything here is deterministic: the journal encoding is canonical
+//! (little-endian, length-prefixed — the workspace codec idiom), so the
+//! same step sequence produces byte-identical media, and
+//! [`RecoveryManager::digest`] over the re-hydrated state is
+//! byte-identical to the digest of the uninterrupted run. The audit
+//! crate's `store` engine checks exactly that at every crash offset.
+
+use btcfast_crypto::sha256::sha256d;
+use btcfast_crypto::Hash256;
+use btcfast_store::{SnapshotStore, Storage, StoreError, Wal};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A side-effecting protocol step, journaled as an intent before it runs.
+/// PSC-call steps carry the account nonce their transaction spends — the
+/// exactly-once token recovery checks against the chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The customer deposits escrow collateral (PSC call).
+    EscrowOpen {
+        /// Deposit size in PSC units.
+        deposit_units: u128,
+        /// The customer-account nonce the deposit tx spends.
+        psc_nonce: u64,
+    },
+    /// The customer registers a payment against the escrow (PSC call).
+    OpenPayment {
+        /// The BTC payment txid being registered.
+        txid: Hash256,
+        /// Payment size in satoshis.
+        amount_sats: u64,
+        /// Collateral locked for this payment, in PSC units.
+        collateral: u128,
+        /// The customer-account nonce the registration tx spends.
+        psc_nonce: u64,
+    },
+    /// The customer's offer travels to the merchant.
+    OfferSend {
+        /// The registered escrow payment id.
+        payment_id: u64,
+        /// The BTC payment txid offered.
+        txid: Hash256,
+    },
+    /// The merchant's acceptance (or refusal) travels back.
+    AcceptanceSend {
+        /// The escrow payment id.
+        payment_id: u64,
+        /// Whether the merchant accepted.
+        accepted: bool,
+    },
+    /// The accepted payment enters the public mempool.
+    Broadcast {
+        /// The escrow payment id.
+        payment_id: u64,
+        /// The BTC txid broadcast.
+        txid: Hash256,
+    },
+    /// The merchant opens a dispute (PSC call).
+    DisputeOpen {
+        /// The escrow payment id.
+        payment_id: u64,
+        /// The merchant-account nonce the dispute tx spends.
+        psc_nonce: u64,
+    },
+    /// A party submits SPV evidence (PSC call).
+    EvidenceSubmit {
+        /// The escrow payment id.
+        payment_id: u64,
+        /// The txid the evidence proves (in or out of the chain).
+        txid: Hash256,
+        /// The submitter-account nonce the evidence tx spends.
+        psc_nonce: u64,
+    },
+    /// The judgment call after the window closes (PSC call).
+    JudgeCall {
+        /// The escrow payment id.
+        payment_id: u64,
+        /// The caller-account nonce the judge tx spends.
+        psc_nonce: u64,
+    },
+    /// The verdict observed on chain (a fact, recorded for the ledger).
+    Verdict {
+        /// The escrow payment id.
+        payment_id: u64,
+        /// Did the judgment pay the merchant from collateral?
+        merchant_wins: bool,
+    },
+}
+
+impl Step {
+    /// The escrow payment id this step concerns, when assigned yet.
+    pub fn payment_id(&self) -> Option<u64> {
+        match self {
+            Step::EscrowOpen { .. } | Step::OpenPayment { .. } => None,
+            Step::OfferSend { payment_id, .. }
+            | Step::AcceptanceSend { payment_id, .. }
+            | Step::Broadcast { payment_id, .. }
+            | Step::DisputeOpen { payment_id, .. }
+            | Step::EvidenceSubmit { payment_id, .. }
+            | Step::JudgeCall { payment_id, .. }
+            | Step::Verdict { payment_id, .. } => Some(*payment_id),
+        }
+    }
+
+    /// The PSC account nonce this step's transaction spends — the
+    /// exactly-once token — when the step is a chain call.
+    pub fn psc_nonce(&self) -> Option<u64> {
+        match self {
+            Step::EscrowOpen { psc_nonce, .. }
+            | Step::OpenPayment { psc_nonce, .. }
+            | Step::DisputeOpen { psc_nonce, .. }
+            | Step::EvidenceSubmit { psc_nonce, .. }
+            | Step::JudgeCall { psc_nonce, .. } => Some(*psc_nonce),
+            Step::OfferSend { .. }
+            | Step::AcceptanceSend { .. }
+            | Step::Broadcast { .. }
+            | Step::Verdict { .. } => None,
+        }
+    }
+}
+
+/// How a journaled intent resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The side effect landed.
+    Applied,
+    /// The registration landed and the contract assigned this payment id.
+    PaymentRegistered {
+        /// The assigned escrow payment id.
+        payment_id: u64,
+    },
+    /// The step executed but the effect was refused (reverted call,
+    /// merchant rejection).
+    Rejected,
+    /// The caller gave up on the step (degraded to a fallback path).
+    Abandoned,
+}
+
+/// Everything the ledger knows about one registered payment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PaymentState {
+    /// The BTC payment txid.
+    pub txid: Hash256,
+    /// Payment size in satoshis.
+    pub amount_sats: u64,
+    /// Offer delivered to the merchant.
+    pub offered: bool,
+    /// Merchant accepted.
+    pub accepted: bool,
+    /// Payment broadcast to the public mempool.
+    pub broadcast: bool,
+    /// Dispute opened.
+    pub disputed: bool,
+    /// Evidence submitted.
+    pub evidence_submitted: bool,
+    /// Judgment ran.
+    pub judged: bool,
+    /// The verdict, when judged.
+    pub merchant_wins: Option<bool>,
+}
+
+/// The durable view of a participant's protocol state, rebuilt
+/// deterministically from the journal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PaymentLedger {
+    /// Has the escrow deposit landed?
+    pub escrow_opened: bool,
+    /// Registered payments by escrow payment id.
+    pub payments: BTreeMap<u64, PaymentState>,
+    /// Total satoshis across accepted payments.
+    pub value_accepted_sats: u64,
+}
+
+/// What a restart recovered from durable media.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Was a snapshot used (vs. a full WAL replay)?
+    pub snapshot_used: bool,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Intents found begun-but-not-done — the exactly-once resume set.
+    pub pending_resumed: usize,
+    /// Bytes of damaged WAL tail repaired away.
+    pub truncated_bytes: u64,
+    /// Duplicate journal records skipped.
+    pub duplicates_skipped: u64,
+}
+
+/// Counters for the telemetry layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Restores performed (1 per open).
+    pub recoveries: u64,
+    /// WAL records replayed across restores.
+    pub replayed_records: u64,
+    /// Pending intents resumed across restores.
+    pub pending_resumed: u64,
+    /// Journal appends (Begin + Done records).
+    pub journal_appends: u64,
+    /// Snapshots written.
+    pub checkpoints: u64,
+}
+
+/// Why journaling or recovery failed.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The durable medium failed or was corrupt in strict mode.
+    Store(StoreError),
+    /// A CRC-valid record failed to decode — an encoding-version bug, not
+    /// media damage.
+    Malformed(String),
+    /// The caller referenced an intent the journal does not know.
+    UnknownIntent {
+        /// The intent id the caller passed.
+        intent: u64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Store(e) => write!(f, "durable store: {e}"),
+            RecoveryError::Malformed(msg) => write!(f, "malformed journal record: {msg}"),
+            RecoveryError::UnknownIntent { intent } => {
+                write!(f, "unknown journal intent {intent}")
+            }
+        }
+    }
+}
+
+impl Error for RecoveryError {}
+
+impl From<StoreError> for RecoveryError {
+    fn from(e: StoreError) -> Self {
+        RecoveryError::Store(e)
+    }
+}
+
+// --- Canonical journal encoding (workspace codec idiom). ----------------
+
+fn put_hash(out: &mut Vec<u8>, h: &Hash256) {
+    out.extend_from_slice(h.as_bytes());
+}
+
+fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], RecoveryError> {
+    if bytes.len() < n {
+        return Err(RecoveryError::Malformed("unexpected end".into()));
+    }
+    let (head, tail) = bytes.split_at(n);
+    *bytes = tail;
+    Ok(head)
+}
+
+fn take_u8(bytes: &mut &[u8]) -> Result<u8, RecoveryError> {
+    Ok(take(bytes, 1)?[0])
+}
+
+fn take_u64(bytes: &mut &[u8]) -> Result<u64, RecoveryError> {
+    Ok(u64::from_le_bytes(
+        take(bytes, 8)?.try_into().expect("sized slice"),
+    ))
+}
+
+fn take_u128(bytes: &mut &[u8]) -> Result<u128, RecoveryError> {
+    Ok(u128::from_le_bytes(
+        take(bytes, 16)?.try_into().expect("sized slice"),
+    ))
+}
+
+fn take_hash(bytes: &mut &[u8]) -> Result<Hash256, RecoveryError> {
+    Ok(Hash256(take(bytes, 32)?.try_into().expect("sized slice")))
+}
+
+fn take_bool(bytes: &mut &[u8]) -> Result<bool, RecoveryError> {
+    match take_u8(bytes)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(RecoveryError::Malformed(format!("bad bool byte {b}"))),
+    }
+}
+
+impl Step {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Step::EscrowOpen {
+                deposit_units,
+                psc_nonce,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&deposit_units.to_le_bytes());
+                out.extend_from_slice(&psc_nonce.to_le_bytes());
+            }
+            Step::OpenPayment {
+                txid,
+                amount_sats,
+                collateral,
+                psc_nonce,
+            } => {
+                out.push(2);
+                put_hash(out, txid);
+                out.extend_from_slice(&amount_sats.to_le_bytes());
+                out.extend_from_slice(&collateral.to_le_bytes());
+                out.extend_from_slice(&psc_nonce.to_le_bytes());
+            }
+            Step::OfferSend { payment_id, txid } => {
+                out.push(3);
+                out.extend_from_slice(&payment_id.to_le_bytes());
+                put_hash(out, txid);
+            }
+            Step::AcceptanceSend {
+                payment_id,
+                accepted,
+            } => {
+                out.push(4);
+                out.extend_from_slice(&payment_id.to_le_bytes());
+                out.push(u8::from(*accepted));
+            }
+            Step::Broadcast { payment_id, txid } => {
+                out.push(5);
+                out.extend_from_slice(&payment_id.to_le_bytes());
+                put_hash(out, txid);
+            }
+            Step::DisputeOpen {
+                payment_id,
+                psc_nonce,
+            } => {
+                out.push(6);
+                out.extend_from_slice(&payment_id.to_le_bytes());
+                out.extend_from_slice(&psc_nonce.to_le_bytes());
+            }
+            Step::EvidenceSubmit {
+                payment_id,
+                txid,
+                psc_nonce,
+            } => {
+                out.push(7);
+                out.extend_from_slice(&payment_id.to_le_bytes());
+                put_hash(out, txid);
+                out.extend_from_slice(&psc_nonce.to_le_bytes());
+            }
+            Step::JudgeCall {
+                payment_id,
+                psc_nonce,
+            } => {
+                out.push(8);
+                out.extend_from_slice(&payment_id.to_le_bytes());
+                out.extend_from_slice(&psc_nonce.to_le_bytes());
+            }
+            Step::Verdict {
+                payment_id,
+                merchant_wins,
+            } => {
+                out.push(9);
+                out.extend_from_slice(&payment_id.to_le_bytes());
+                out.push(u8::from(*merchant_wins));
+            }
+        }
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Result<Step, RecoveryError> {
+        match take_u8(bytes)? {
+            1 => Ok(Step::EscrowOpen {
+                deposit_units: take_u128(bytes)?,
+                psc_nonce: take_u64(bytes)?,
+            }),
+            2 => Ok(Step::OpenPayment {
+                txid: take_hash(bytes)?,
+                amount_sats: take_u64(bytes)?,
+                collateral: take_u128(bytes)?,
+                psc_nonce: take_u64(bytes)?,
+            }),
+            3 => Ok(Step::OfferSend {
+                payment_id: take_u64(bytes)?,
+                txid: take_hash(bytes)?,
+            }),
+            4 => Ok(Step::AcceptanceSend {
+                payment_id: take_u64(bytes)?,
+                accepted: take_bool(bytes)?,
+            }),
+            5 => Ok(Step::Broadcast {
+                payment_id: take_u64(bytes)?,
+                txid: take_hash(bytes)?,
+            }),
+            6 => Ok(Step::DisputeOpen {
+                payment_id: take_u64(bytes)?,
+                psc_nonce: take_u64(bytes)?,
+            }),
+            7 => Ok(Step::EvidenceSubmit {
+                payment_id: take_u64(bytes)?,
+                txid: take_hash(bytes)?,
+                psc_nonce: take_u64(bytes)?,
+            }),
+            8 => Ok(Step::JudgeCall {
+                payment_id: take_u64(bytes)?,
+                psc_nonce: take_u64(bytes)?,
+            }),
+            9 => Ok(Step::Verdict {
+                payment_id: take_u64(bytes)?,
+                merchant_wins: take_bool(bytes)?,
+            }),
+            t => Err(RecoveryError::Malformed(format!("bad step tag {t}"))),
+        }
+    }
+}
+
+impl Outcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Outcome::Applied => out.push(1),
+            Outcome::PaymentRegistered { payment_id } => {
+                out.push(2);
+                out.extend_from_slice(&payment_id.to_le_bytes());
+            }
+            Outcome::Rejected => out.push(3),
+            Outcome::Abandoned => out.push(4),
+        }
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Result<Outcome, RecoveryError> {
+        match take_u8(bytes)? {
+            1 => Ok(Outcome::Applied),
+            2 => Ok(Outcome::PaymentRegistered {
+                payment_id: take_u64(bytes)?,
+            }),
+            3 => Ok(Outcome::Rejected),
+            4 => Ok(Outcome::Abandoned),
+            t => Err(RecoveryError::Malformed(format!("bad outcome tag {t}"))),
+        }
+    }
+}
+
+enum JournalRecord {
+    Begin { step: Step },
+    Done { intent: u64, outcome: Outcome },
+}
+
+impl JournalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            JournalRecord::Begin { step } => {
+                out.push(1);
+                step.encode(&mut out);
+            }
+            JournalRecord::Done { intent, outcome } => {
+                out.push(2);
+                out.extend_from_slice(&intent.to_le_bytes());
+                outcome.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    fn decode(mut bytes: &[u8]) -> Result<JournalRecord, RecoveryError> {
+        let record = match take_u8(&mut bytes)? {
+            1 => JournalRecord::Begin {
+                step: Step::decode(&mut bytes)?,
+            },
+            2 => JournalRecord::Done {
+                intent: take_u64(&mut bytes)?,
+                outcome: Outcome::decode(&mut bytes)?,
+            },
+            t => return Err(RecoveryError::Malformed(format!("bad record tag {t}"))),
+        };
+        if !bytes.is_empty() {
+            return Err(RecoveryError::Malformed("trailing bytes".into()));
+        }
+        Ok(record)
+    }
+}
+
+impl PaymentState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_hash(out, &self.txid);
+        out.extend_from_slice(&self.amount_sats.to_le_bytes());
+        let mut flags = 0u8;
+        for (bit, set) in [
+            self.offered,
+            self.accepted,
+            self.broadcast,
+            self.disputed,
+            self.evidence_submitted,
+            self.judged,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if set {
+                flags |= 1 << bit;
+            }
+        }
+        out.push(flags);
+        out.push(match self.merchant_wins {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Result<PaymentState, RecoveryError> {
+        let txid = take_hash(bytes)?;
+        let amount_sats = take_u64(bytes)?;
+        let flags = take_u8(bytes)?;
+        let merchant_wins = match take_u8(bytes)? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            b => return Err(RecoveryError::Malformed(format!("bad verdict byte {b}"))),
+        };
+        Ok(PaymentState {
+            txid,
+            amount_sats,
+            offered: flags & 1 != 0,
+            accepted: flags & 2 != 0,
+            broadcast: flags & 4 != 0,
+            disputed: flags & 8 != 0,
+            evidence_submitted: flags & 16 != 0,
+            judged: flags & 32 != 0,
+            merchant_wins,
+        })
+    }
+}
+
+impl PaymentLedger {
+    /// Canonical encoding (snapshot payload; digest input).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.escrow_opened));
+        out.extend_from_slice(&(self.payments.len() as u32).to_le_bytes());
+        for (id, state) in &self.payments {
+            out.extend_from_slice(&id.to_le_bytes());
+            state.encode(out);
+        }
+        out.extend_from_slice(&self.value_accepted_sats.to_le_bytes());
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Result<PaymentLedger, RecoveryError> {
+        let escrow_opened = take_bool(bytes)?;
+        let count = u32::from_le_bytes(take(bytes, 4)?.try_into().expect("sized slice"));
+        let mut payments = BTreeMap::new();
+        for _ in 0..count {
+            let id = take_u64(bytes)?;
+            payments.insert(id, PaymentState::decode(bytes)?);
+        }
+        Ok(PaymentLedger {
+            escrow_opened,
+            payments,
+            value_accepted_sats: take_u64(bytes)?,
+        })
+    }
+
+    fn apply(&mut self, step: &Step, outcome: Outcome) {
+        if matches!(outcome, Outcome::Rejected | Outcome::Abandoned) {
+            // The effect never landed; the ledger records nothing. (A
+            // merchant refusal still marks the offer as delivered below.)
+            if let Step::AcceptanceSend { payment_id, .. } = step {
+                if let Some(p) = self.payments.get_mut(payment_id) {
+                    p.offered = true;
+                }
+            }
+            return;
+        }
+        match (step, outcome) {
+            (Step::EscrowOpen { .. }, _) => self.escrow_opened = true,
+            (
+                Step::OpenPayment {
+                    txid, amount_sats, ..
+                },
+                Outcome::PaymentRegistered { payment_id },
+            ) => {
+                self.payments.insert(
+                    payment_id,
+                    PaymentState {
+                        txid: *txid,
+                        amount_sats: *amount_sats,
+                        ..PaymentState::default()
+                    },
+                );
+            }
+            // An Applied without the contract-assigned id cannot place the
+            // payment in the ledger; nothing to record.
+            (Step::OpenPayment { .. }, _) => {}
+            (Step::OfferSend { payment_id, .. }, _) => {
+                if let Some(p) = self.payments.get_mut(payment_id) {
+                    p.offered = true;
+                }
+            }
+            (
+                Step::AcceptanceSend {
+                    payment_id,
+                    accepted,
+                },
+                _,
+            ) => {
+                if let Some(p) = self.payments.get_mut(payment_id) {
+                    p.offered = true;
+                    if *accepted && !p.accepted {
+                        p.accepted = true;
+                        self.value_accepted_sats += p.amount_sats;
+                    }
+                }
+            }
+            (Step::Broadcast { payment_id, .. }, _) => {
+                if let Some(p) = self.payments.get_mut(payment_id) {
+                    p.broadcast = true;
+                }
+            }
+            (Step::DisputeOpen { payment_id, .. }, _) => {
+                if let Some(p) = self.payments.get_mut(payment_id) {
+                    p.disputed = true;
+                }
+            }
+            (Step::EvidenceSubmit { payment_id, .. }, _) => {
+                if let Some(p) = self.payments.get_mut(payment_id) {
+                    p.evidence_submitted = true;
+                }
+            }
+            (Step::JudgeCall { payment_id, .. }, _) => {
+                if let Some(p) = self.payments.get_mut(payment_id) {
+                    p.judged = true;
+                }
+            }
+            (
+                Step::Verdict {
+                    payment_id,
+                    merchant_wins,
+                },
+                _,
+            ) => {
+                if let Some(p) = self.payments.get_mut(payment_id) {
+                    p.judged = true;
+                    p.merchant_wins = Some(*merchant_wins);
+                }
+            }
+        }
+    }
+}
+
+/// Journals intents to a WAL, checkpoints to a snapshot slot, and
+/// re-hydrates a byte-identical [`PaymentLedger`] after a crash. See the
+/// module docs for the exactly-once protocol.
+pub struct RecoveryManager<S: Storage> {
+    wal: Wal<S>,
+    snapshots: SnapshotStore<S>,
+    ledger: PaymentLedger,
+    pending: BTreeMap<u64, Step>,
+    stats: RecoveryStats,
+}
+
+impl<S: Storage> RecoveryManager<S> {
+    /// Opens (or re-opens after a crash) the manager on its two durable
+    /// media. Recovery order: load the snapshot (a damaged slot falls
+    /// back to full replay), then replay every WAL record the snapshot
+    /// does not cover. A damaged WAL tail is repaired by truncation —
+    /// exactly the records whose side effects may not have executed, and
+    /// the pending set re-drives those.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Store`] on medium failure;
+    /// [`RecoveryError::Malformed`] when a CRC-valid record does not
+    /// decode (version skew, not media damage).
+    pub fn open(
+        wal_medium: S,
+        snapshot_medium: S,
+    ) -> Result<(RecoveryManager<S>, RecoveryReport), RecoveryError> {
+        let (wal, recovered) = Wal::open(wal_medium)?;
+        let snapshots = SnapshotStore::new(snapshot_medium);
+
+        let mut ledger = PaymentLedger::default();
+        let mut pending = BTreeMap::new();
+        let mut replay_from = 0u64;
+        let mut snapshot_used = false;
+        if let Some(snap) = snapshots.load()? {
+            if let Ok((l, p)) = decode_snapshot_state(&snap.state) {
+                ledger = l;
+                pending = p;
+                replay_from = snap.wal_seq;
+                snapshot_used = true;
+            }
+        }
+
+        let mut replayed = 0u64;
+        for (seq, payload) in &recovered.records {
+            if *seq < replay_from {
+                continue;
+            }
+            replayed += 1;
+            match JournalRecord::decode(payload)? {
+                JournalRecord::Begin { step } => {
+                    pending.insert(*seq, step);
+                }
+                JournalRecord::Done { intent, outcome } => {
+                    if let Some(step) = pending.remove(&intent) {
+                        ledger.apply(&step, outcome);
+                    }
+                }
+            }
+        }
+
+        let report = RecoveryReport {
+            snapshot_used,
+            replayed_records: replayed,
+            pending_resumed: pending.len(),
+            truncated_bytes: recovered.truncated_bytes,
+            duplicates_skipped: recovered.duplicates_skipped,
+        };
+        let stats = RecoveryStats {
+            recoveries: 1,
+            replayed_records: replayed,
+            pending_resumed: pending.len() as u64,
+            ..RecoveryStats::default()
+        };
+        Ok((
+            RecoveryManager {
+                wal,
+                snapshots,
+                ledger,
+                pending,
+                stats,
+            },
+            report,
+        ))
+    }
+
+    /// Journals the intent to perform `step`. **Call before the side
+    /// effect.** Returns the intent id to pass to
+    /// [`RecoveryManager::complete`].
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Store`] when the journal write fails — in which
+    /// case the side effect must not run.
+    pub fn begin(&mut self, step: Step) -> Result<u64, RecoveryError> {
+        let seq = self
+            .wal
+            .append(&JournalRecord::Begin { step: step.clone() }.encode())?;
+        self.pending.insert(seq, step);
+        self.stats.journal_appends += 1;
+        Ok(seq)
+    }
+
+    /// Journals that intent `intent` resolved with `outcome` and applies
+    /// it to the ledger. **Call after the side effect.**
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::UnknownIntent`] for an id never begun (or already
+    /// completed); [`RecoveryError::Store`] when the journal write fails.
+    pub fn complete(&mut self, intent: u64, outcome: Outcome) -> Result<(), RecoveryError> {
+        if !self.pending.contains_key(&intent) {
+            return Err(RecoveryError::UnknownIntent { intent });
+        }
+        self.wal
+            .append(&JournalRecord::Done { intent, outcome }.encode())?;
+        let step = self.pending.remove(&intent).expect("checked above");
+        self.ledger.apply(&step, outcome);
+        self.stats.journal_appends += 1;
+        Ok(())
+    }
+
+    /// The intents begun but not completed — what a restart must resolve
+    /// exactly-once, in journal order.
+    pub fn pending(&self) -> impl Iterator<Item = (u64, &Step)> + '_ {
+        self.pending.iter().map(|(id, step)| (*id, step))
+    }
+
+    /// The re-hydrated durable state.
+    pub fn ledger(&self) -> &PaymentLedger {
+        &self.ledger
+    }
+
+    /// Canonical digest over ledger + pending intents: byte-identical
+    /// across a crash/recover cycle iff the recovered state is.
+    pub fn digest(&self) -> Hash256 {
+        let mut bytes = Vec::new();
+        self.ledger.encode(&mut bytes);
+        bytes.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        for (intent, step) in &self.pending {
+            bytes.extend_from_slice(&intent.to_le_bytes());
+            step.encode(&mut bytes);
+        }
+        sha256d(&bytes)
+    }
+
+    /// Checkpoints the current state so future recoveries replay only the
+    /// WAL tail past this point.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Store`] when the snapshot write fails (the WAL is
+    /// untouched, so recovery still works from the previous checkpoint).
+    pub fn checkpoint(&mut self) -> Result<(), RecoveryError> {
+        let mut state = Vec::new();
+        self.ledger.encode(&mut state);
+        state.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        for (intent, step) in &self.pending {
+            state.extend_from_slice(&intent.to_le_bytes());
+            step.encode(&mut state);
+        }
+        self.snapshots.save(self.wal.next_seq(), &state)?;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Counters for the telemetry layer (recoveries, replays, appends).
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// WAL counters (appends, recovered bytes) for the telemetry layer.
+    pub fn wal_stats(&self) -> btcfast_store::WalStats {
+        self.wal.stats()
+    }
+
+    /// The WAL medium, for crash-differential harnesses that copy media.
+    pub fn wal_medium(&self) -> &S {
+        self.wal.storage()
+    }
+
+    /// The snapshot medium, for crash-differential harnesses.
+    pub fn snapshot_medium(&self) -> &S {
+        self.snapshots.storage()
+    }
+}
+
+fn decode_snapshot_state(
+    bytes: &[u8],
+) -> Result<(PaymentLedger, BTreeMap<u64, Step>), RecoveryError> {
+    let mut bytes = bytes;
+    let ledger = PaymentLedger::decode(&mut bytes)?;
+    let count = u32::from_le_bytes(take(&mut bytes, 4)?.try_into().expect("sized slice"));
+    let mut pending = BTreeMap::new();
+    for _ in 0..count {
+        let intent = take_u64(&mut bytes)?;
+        pending.insert(intent, Step::decode(&mut bytes)?);
+    }
+    if !bytes.is_empty() {
+        return Err(RecoveryError::Malformed("trailing snapshot bytes".into()));
+    }
+    Ok((ledger, pending))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcfast_store::MemStorage;
+
+    fn txid(n: u8) -> Hash256 {
+        Hash256([n; 32])
+    }
+
+    /// Drives one full protocol flow through a manager: returns the media.
+    fn journal_flow(crash_after: Option<usize>) -> (MemStorage, MemStorage) {
+        let wal_medium = MemStorage::new();
+        let snap_medium = MemStorage::new();
+        let (mut mgr, _) = RecoveryManager::open(wal_medium.clone(), snap_medium.clone()).unwrap();
+        let mut ops = 0usize;
+        let mut op = |mgr: &mut RecoveryManager<MemStorage>, step: Step, outcome: Outcome| {
+            if crash_after.is_some_and(|n| ops >= n) {
+                return;
+            }
+            let id = mgr.begin(step).unwrap();
+            ops += 1;
+            if crash_after.is_some_and(|n| ops >= n) {
+                return; // crashed between Begin and Done
+            }
+            mgr.complete(id, outcome).unwrap();
+        };
+        op(
+            &mut mgr,
+            Step::EscrowOpen {
+                deposit_units: 5_000,
+                psc_nonce: 0,
+            },
+            Outcome::Applied,
+        );
+        op(
+            &mut mgr,
+            Step::OpenPayment {
+                txid: txid(1),
+                amount_sats: 1_000_000,
+                collateral: 1_200,
+                psc_nonce: 1,
+            },
+            Outcome::PaymentRegistered { payment_id: 7 },
+        );
+        op(
+            &mut mgr,
+            Step::OfferSend {
+                payment_id: 7,
+                txid: txid(1),
+            },
+            Outcome::Applied,
+        );
+        op(
+            &mut mgr,
+            Step::AcceptanceSend {
+                payment_id: 7,
+                accepted: true,
+            },
+            Outcome::Applied,
+        );
+        op(
+            &mut mgr,
+            Step::Broadcast {
+                payment_id: 7,
+                txid: txid(1),
+            },
+            Outcome::Applied,
+        );
+        op(
+            &mut mgr,
+            Step::DisputeOpen {
+                payment_id: 7,
+                psc_nonce: 0,
+            },
+            Outcome::Applied,
+        );
+        op(
+            &mut mgr,
+            Step::Verdict {
+                payment_id: 7,
+                merchant_wins: true,
+            },
+            Outcome::Applied,
+        );
+        (wal_medium, snap_medium)
+    }
+
+    #[test]
+    fn uninterrupted_flow_builds_the_expected_ledger() {
+        let (wal, snap) = journal_flow(None);
+        let (mgr, report) = RecoveryManager::open(wal, snap).unwrap();
+        assert_eq!(report.pending_resumed, 0);
+        assert_eq!(report.replayed_records, 14);
+        let ledger = mgr.ledger();
+        assert!(ledger.escrow_opened);
+        let p = &ledger.payments[&7];
+        assert!(p.offered && p.accepted && p.broadcast && p.disputed && p.judged);
+        assert_eq!(p.merchant_wins, Some(true));
+        assert_eq!(ledger.value_accepted_sats, 1_000_000);
+    }
+
+    #[test]
+    fn crash_between_begin_and_done_resumes_the_intent() {
+        // Crash right after journaling the OfferSend intent (op 3).
+        let (wal, snap) = journal_flow(Some(3));
+        let (mgr, report) = RecoveryManager::open(wal, snap).unwrap();
+        assert_eq!(report.pending_resumed, 1);
+        let pending: Vec<_> = mgr.pending().collect();
+        assert!(matches!(
+            pending[0].1,
+            Step::OfferSend { payment_id: 7, .. }
+        ));
+        // Ledger reflects everything completed before the crash.
+        assert!(mgr.ledger().escrow_opened);
+        assert!(mgr.ledger().payments.contains_key(&7));
+        assert!(!mgr.ledger().payments[&7].offered);
+    }
+
+    #[test]
+    fn recovery_digest_matches_uninterrupted_digest() {
+        let (wal, snap) = journal_flow(None);
+        let (reference, _) = RecoveryManager::open(wal.clone(), snap.clone()).unwrap();
+        // Crash at EVERY byte offset of the WAL media; recovery must land
+        // on a state identical to replaying the repaired clean prefix.
+        let media = wal.bytes();
+        for cut in 0..=media.len() {
+            let torn = MemStorage::from_bytes(media[..cut].to_vec());
+            let (recovered, _) = RecoveryManager::open(torn, snap.clone()).unwrap();
+            // A full-length cut must equal the uninterrupted run exactly.
+            if cut == media.len() {
+                assert_eq!(recovered.digest(), reference.digest());
+                assert_eq!(recovered.ledger(), reference.ledger());
+            }
+            // Every cut must be a *prefix* of the uninterrupted history:
+            // accepted value can only be <= and payments a subset.
+            assert!(
+                recovered.ledger().value_accepted_sats <= reference.ledger().value_accepted_sats
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_shortens_replay_without_changing_state() {
+        let wal = MemStorage::new();
+        let snap = MemStorage::new();
+        let (mut mgr, _) = RecoveryManager::open(wal.clone(), snap.clone()).unwrap();
+        let id = mgr
+            .begin(Step::EscrowOpen {
+                deposit_units: 9,
+                psc_nonce: 0,
+            })
+            .unwrap();
+        mgr.complete(id, Outcome::Applied).unwrap();
+        mgr.checkpoint().unwrap();
+        let digest_before = mgr.digest();
+        let id = mgr
+            .begin(Step::OpenPayment {
+                txid: txid(2),
+                amount_sats: 42,
+                collateral: 1,
+                psc_nonce: 1,
+            })
+            .unwrap();
+        mgr.complete(id, Outcome::PaymentRegistered { payment_id: 0 })
+            .unwrap();
+        let digest_after = mgr.digest();
+        assert_ne!(digest_before, digest_after);
+
+        let (restored, report) = RecoveryManager::open(wal, snap).unwrap();
+        assert!(report.snapshot_used);
+        assert_eq!(report.replayed_records, 2, "only the tail replays");
+        assert_eq!(restored.digest(), digest_after);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_full_replay() {
+        let wal = MemStorage::new();
+        let snap = MemStorage::new();
+        let (mut mgr, _) = RecoveryManager::open(wal.clone(), snap.clone()).unwrap();
+        let id = mgr
+            .begin(Step::EscrowOpen {
+                deposit_units: 9,
+                psc_nonce: 0,
+            })
+            .unwrap();
+        mgr.complete(id, Outcome::Applied).unwrap();
+        mgr.checkpoint().unwrap();
+        let digest = mgr.digest();
+        // Damage the snapshot slot.
+        let mut bytes = snap.bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        snap.replace(bytes);
+
+        let (restored, report) = RecoveryManager::open(wal, snap).unwrap();
+        assert!(!report.snapshot_used);
+        assert_eq!(report.replayed_records, 2, "full WAL replay");
+        assert_eq!(restored.digest(), digest);
+    }
+
+    #[test]
+    fn completing_an_unknown_intent_is_a_typed_error() {
+        let (mut mgr, _) = RecoveryManager::open(MemStorage::new(), MemStorage::new()).unwrap();
+        assert!(matches!(
+            mgr.complete(99, Outcome::Applied),
+            Err(RecoveryError::UnknownIntent { intent: 99 })
+        ));
+    }
+
+    #[test]
+    fn steps_expose_their_exactly_once_tokens() {
+        let step = Step::DisputeOpen {
+            payment_id: 3,
+            psc_nonce: 17,
+        };
+        assert_eq!(step.payment_id(), Some(3));
+        assert_eq!(step.psc_nonce(), Some(17));
+        let step = Step::OfferSend {
+            payment_id: 3,
+            txid: txid(1),
+        };
+        assert_eq!(step.psc_nonce(), None);
+    }
+
+    #[test]
+    fn rejected_acceptance_still_marks_the_offer_delivered() {
+        let (mut mgr, _) = RecoveryManager::open(MemStorage::new(), MemStorage::new()).unwrap();
+        let id = mgr
+            .begin(Step::OpenPayment {
+                txid: txid(3),
+                amount_sats: 10,
+                collateral: 1,
+                psc_nonce: 0,
+            })
+            .unwrap();
+        mgr.complete(id, Outcome::PaymentRegistered { payment_id: 1 })
+            .unwrap();
+        let id = mgr
+            .begin(Step::AcceptanceSend {
+                payment_id: 1,
+                accepted: false,
+            })
+            .unwrap();
+        mgr.complete(id, Outcome::Rejected).unwrap();
+        let p = &mgr.ledger().payments[&1];
+        assert!(p.offered && !p.accepted);
+        assert_eq!(mgr.ledger().value_accepted_sats, 0);
+    }
+}

@@ -118,13 +118,41 @@ pub struct RaceOutcome {
     pub race_duration: SimTime,
 }
 
-/// Session-level failures.
+/// Session-level failures. Crash-adjacent edge cases (a refused
+/// submission, a receipt missing from a just-produced block, a block that
+/// fails to connect) surface as typed variants rather than panics, so the
+/// chaos and recovery layers can classify and resume them.
 #[derive(Debug)]
 pub enum SessionError {
     /// A PSC transaction failed.
     Psc(String),
     /// A BTC-side operation failed.
     Btc(String),
+    /// A transaction the session built was refused at submission.
+    TxRejected {
+        /// The protocol step whose transaction was refused.
+        context: &'static str,
+        /// The submission error.
+        reason: String,
+    },
+    /// A receipt expected on-chain (its block was just produced) is
+    /// missing — the chain and the session disagree about history.
+    MissingReceipt {
+        /// The protocol step whose receipt vanished.
+        context: &'static str,
+    },
+    /// A successful `open_payment` receipt carried no payment id.
+    MissingPaymentId {
+        /// The protocol step that expected the id.
+        context: &'static str,
+    },
+    /// A locally mined block failed to connect to the chain.
+    BlockRejected {
+        /// What the block was mined for.
+        context: &'static str,
+        /// The chain's rejection.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -132,6 +160,18 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::Psc(msg) => write!(f, "PSC failure: {msg}"),
             SessionError::Btc(msg) => write!(f, "BTC failure: {msg}"),
+            SessionError::TxRejected { context, reason } => {
+                write!(f, "{context}: transaction refused at submission: {reason}")
+            }
+            SessionError::MissingReceipt { context } => {
+                write!(f, "{context}: receipt missing from just-produced block")
+            }
+            SessionError::MissingPaymentId { context } => {
+                write!(f, "{context}: successful open carried no payment id")
+            }
+            SessionError::BlockRejected { context, reason } => {
+                write!(f, "{context}: mined block failed to connect: {reason}")
+            }
         }
     }
 }
@@ -262,7 +302,7 @@ impl FastPaySession {
             &session.psc,
             session.config.escrow_deposit,
         );
-        let receipt = session.run_psc_tx(deposit);
+        let receipt = session.run_psc_tx(deposit).expect("escrow deposit submits");
         assert!(
             receipt.status.is_success(),
             "escrow deposit failed: {:?}",
@@ -367,16 +407,30 @@ impl FastPaySession {
 
     /// Submits a PSC transaction and produces the block including it,
     /// advancing the clock by the expected PSC inclusion latency.
-    pub fn run_psc_tx(&mut self, tx: PscTransaction) -> Receipt {
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::TxRejected`] when the chain refuses the submission
+    /// (bad nonce, signature, balance); [`SessionError::MissingReceipt`]
+    /// when the just-produced block does not carry the receipt.
+    pub fn run_psc_tx(&mut self, tx: PscTransaction) -> Result<Receipt, SessionError> {
         let hash = self
             .psc
             .submit_transaction(tx)
-            .expect("session transactions are well-formed");
+            .map_err(|e| SessionError::TxRejected {
+                context: "psc-call",
+                reason: e.to_string(),
+            })?;
         let interval = self.config.psc_params.block_interval_secs;
         self.clock += SimTime::from_secs_f64(interval);
         let t = self.clock.as_secs().max(self.psc.tip_time() + 1);
         self.psc.produce_block(t);
-        self.psc.receipt(&hash).expect("just produced").clone()
+        self.psc
+            .receipt(&hash)
+            .cloned()
+            .ok_or(SessionError::MissingReceipt {
+                context: "psc-call",
+            })
     }
 
     /// One honest fast payment (FastPay phase), measured.
@@ -414,7 +468,7 @@ impl FastPaySession {
             amount_sats,
             collateral,
         );
-        let receipt = self.run_psc_tx(open);
+        let receipt = self.run_psc_tx(open)?;
         if !receipt.status.is_success() {
             return Err(SessionError::Psc(format!(
                 "open_payment failed: {:?}",
@@ -422,7 +476,9 @@ impl FastPaySession {
             )));
         }
         let payment_id =
-            PayJudgerClient::payment_id_from(&receipt).expect("successful open returns id");
+            PayJudgerClient::payment_id_from(&receipt).ok_or(SessionError::MissingPaymentId {
+                context: "open-payment",
+            })?;
         let registration = self.clock - registration_start;
         self.tracer.span(
             "session.register",
@@ -528,7 +584,12 @@ impl FastPaySession {
     /// Mines blocks paying the customer until they own at least `count`
     /// spendable coins — batch provisioning, so a K-payment batch can
     /// spend K disjoint confirmed coins.
-    pub fn fund_customer_coins(&mut self, count: usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::BlockRejected`] when a funding block fails to
+    /// connect — the chain moved underneath the funder.
+    pub fn fund_customer_coins(&mut self, count: usize) -> Result<(), SessionError> {
         let mut funder = Miner::new(
             self.config.btc_params.clone(),
             self.customer.btc_wallet().address(),
@@ -540,8 +601,12 @@ impl FastPaySession {
             let block = funder.mine_block(&self.btc, vec![], time);
             self.btc
                 .submit_block(block)
-                .expect("funding blocks connect");
+                .map_err(|e| SessionError::BlockRejected {
+                    context: "customer-funding",
+                    reason: e.to_string(),
+                })?;
         }
+        Ok(())
     }
 
     /// A batch of honest fast payments sharing one registration block.
@@ -614,7 +679,10 @@ impl FastPaySession {
             let hash = self
                 .psc
                 .submit_transaction(open)
-                .expect("batch registrations are well-formed");
+                .map_err(|e| SessionError::TxRejected {
+                    context: "batch-registration",
+                    reason: e.to_string(),
+                })?;
             hashes.push(hash);
         }
         self.clock += SimTime::from_secs_f64(self.config.psc_params.block_interval_secs);
@@ -631,19 +699,24 @@ impl FastPaySession {
         // -- Point of sale, one offer at a time. ---------------------------
         let mut reports = Vec::with_capacity(txs.len());
         for (i, tx) in txs.into_iter().enumerate() {
-            let receipt = self
-                .psc
-                .receipt(&hashes[i])
-                .expect("registration block just produced")
-                .clone();
+            let receipt =
+                self.psc
+                    .receipt(&hashes[i])
+                    .cloned()
+                    .ok_or(SessionError::MissingReceipt {
+                        context: "batch-registration",
+                    })?;
             if !receipt.status.is_success() {
                 return Err(SessionError::Psc(format!(
                     "batched open_payment {i} failed: {:?}",
                     receipt.status
                 )));
             }
-            let payment_id =
-                PayJudgerClient::payment_id_from(&receipt).expect("successful open returns id");
+            let payment_id = PayJudgerClient::payment_id_from(&receipt).ok_or(
+                SessionError::MissingPaymentId {
+                    context: "batch-registration",
+                },
+            )?;
             let txid = tx.txid();
             let offer = self.customer.make_offer(tx.clone(), payment_id, amounts[i]);
 
@@ -750,7 +823,7 @@ impl FastPaySession {
         while self.btc.confirmations(&txid).unwrap_or(0) < confirmations {
             let gap = arrivals.next_block_in(&mut self.rng);
             self.advance_clock(gap);
-            self.mine_public_block();
+            self.mine_public_block()?;
         }
         // The z-th confirmation propagates to the merchant.
         self.clock += self.config.latency.sample(&mut self.rng);
@@ -763,14 +836,23 @@ impl FastPaySession {
     }
 
     /// Mines one public block at the current clock from the mempool.
-    pub fn mine_public_block(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::BlockRejected`] when the honest block fails to
+    /// connect — the public chain reorged underneath the miner.
+    pub fn mine_public_block(&mut self) -> Result<(), SessionError> {
         let txs = self.mempool.select_for_block(1000);
         let time = self.clock.as_secs().max(self.btc.tip_time());
         let block = self.honest_miner.mine_block(&self.btc, txs, time);
         self.btc
             .submit_block(block.clone())
-            .expect("honest blocks connect");
+            .map_err(|e| SessionError::BlockRejected {
+                context: "honest-mining",
+                reason: e.to_string(),
+            })?;
         self.mempool.purge_confirmed(&block.transactions);
+        Ok(())
     }
 
     /// The BTC race phase of a double-spend attack on its own: the
@@ -810,7 +892,8 @@ impl FastPaySession {
         let steal = self.customer.btc_wallet().create_conflicting_spend(
             &self.btc,
             &accepted_tx,
-            Amount::from_sats(self.config.btc_fee_sats * 2).expect("fee within supply"),
+            Amount::from_sats(self.config.btc_fee_sats * 2)
+                .map_err(|e| SessionError::Btc(format!("double-spend fee: {e}")))?,
         );
 
         let fork_point = self.btc.tip_hash();
@@ -840,7 +923,7 @@ impl FastPaySession {
             } else {
                 let delta = next_honest - self.clock;
                 self.advance_clock(delta);
-                self.mine_public_block();
+                self.mine_public_block()?;
                 honest_blocks += 1;
                 next_honest = self.clock + honest_arrivals.next_block_in(&mut self.rng);
             }
@@ -926,7 +1009,7 @@ impl FastPaySession {
             self.customer.psc_account(),
             payment_id,
         );
-        let dispute_receipt = self.run_psc_tx(dispute);
+        let dispute_receipt = self.run_psc_tx(dispute)?;
         self.tracer.span(
             "session.dispute_open",
             dispute_start.as_micros(),
@@ -962,7 +1045,7 @@ impl FastPaySession {
             payment_id,
             evidence,
         );
-        let submit_receipt = self.run_psc_tx(submission);
+        let submit_receipt = self.run_psc_tx(submission)?;
         self.tracer.span(
             "session.evidence_submit",
             evidence_start.as_micros(),
@@ -990,7 +1073,7 @@ impl FastPaySession {
             self.customer.psc_account(),
             payment_id,
         );
-        let judge_receipt = self.run_psc_tx(judge);
+        let judge_receipt = self.run_psc_tx(judge)?;
         let verdict = PayJudgerClient::verdict_from(&judge_receipt);
         let dispute_duration = self.clock - dispute_start;
         self.tracer.span(
@@ -1054,7 +1137,7 @@ impl FastPaySession {
         while self.btc.height() + 1 < evidence_depth.max(2) {
             let gap = arrivals.next_block_in(&mut self.rng);
             self.advance_clock(gap);
-            self.mine_public_block();
+            self.mine_public_block()?;
         }
 
         let report = self.run_fast_payment(amount_sats)?;
@@ -1062,7 +1145,7 @@ impl FastPaySession {
         // One prompt block confirms the payment so the inclusion proof
         // exists (block relay is fast relative to the window).
         self.advance_clock(SimTime::from_secs(5));
-        self.mine_public_block();
+        self.mine_public_block()?;
 
         let start = self.clock;
         let dispute = self.merchant.build_dispute(
@@ -1071,7 +1154,7 @@ impl FastPaySession {
             self.customer.psc_account(),
             payment_id,
         );
-        let receipt = self.run_psc_tx(dispute);
+        let receipt = self.run_psc_tx(dispute)?;
         self.tracer.span(
             "session.dispute_open",
             start.as_micros(),
@@ -1095,7 +1178,7 @@ impl FastPaySession {
         let submission =
             self.customer
                 .build_evidence_submission(&self.judger, &self.psc, payment_id, evidence);
-        let submit_receipt = self.run_psc_tx(submission);
+        let submit_receipt = self.run_psc_tx(submission)?;
         self.tracer.span(
             "session.evidence_submit",
             evidence_start.as_micros(),
@@ -1122,7 +1205,7 @@ impl FastPaySession {
             self.customer.psc_account(),
             payment_id,
         );
-        let judge_receipt = self.run_psc_tx(judge);
+        let judge_receipt = self.run_psc_tx(judge)?;
         self.tracer.span(
             "session.judge",
             judge_start.as_micros(),
@@ -1229,7 +1312,7 @@ mod tests {
     #[test]
     fn batched_fast_payments_share_one_registration_block() {
         let mut session = FastPaySession::new(SessionConfig::default(), 11);
-        session.fund_customer_coins(4);
+        session.fund_customer_coins(4).unwrap();
         let psc_height_before = session.psc.height();
         let reports = session.run_fast_payment_batch(&[1_000_000; 4]).unwrap();
         assert_eq!(reports.len(), 4);
@@ -1252,7 +1335,7 @@ mod tests {
 
         // One public block confirms the whole batch, and the change
         // outputs fund a second batch without fresh coinbases.
-        session.mine_public_block();
+        session.mine_public_block().unwrap();
         for report in &reports {
             assert_eq!(session.btc.confirmations(&report.txid), Some(1));
         }

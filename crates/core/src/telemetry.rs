@@ -71,6 +71,43 @@ pub fn publish_transport(registry: &Registry, stats: &TransportStats) {
         "btcfast_transport_backoff_wait_us",
         stats.backoff_wait_micros,
     );
+    registry.set_gauge("btcfast_transport_dedup_high_water", stats.dedup_high_water);
+    registry.set_gauge(
+        "btcfast_transport_pending_high_water",
+        stats.pending_high_water,
+    );
+    registry.set_gauge("btcfast_transport_dedup_evictions", stats.dedup_evictions);
+    registry.set_gauge("btcfast_transport_resolved_retired", stats.resolved_retired);
+}
+
+/// Publishes the durable-store and recovery-journal counters of a
+/// [`RecoveryManager`] into `registry`.
+pub fn publish_recovery<S: btcfast_store::Storage>(
+    registry: &Registry,
+    recovery: &crate::recovery::RecoveryManager<S>,
+) {
+    let stats = recovery.stats();
+    registry.set_gauge("btcfast_recovery_recoveries", stats.recoveries);
+    registry.set_gauge("btcfast_recovery_replayed_records", stats.replayed_records);
+    registry.set_gauge("btcfast_recovery_pending_resumed", stats.pending_resumed);
+    registry.set_gauge("btcfast_recovery_journal_appends", stats.journal_appends);
+    registry.set_gauge("btcfast_recovery_checkpoints", stats.checkpoints);
+    registry.set_gauge(
+        "btcfast_recovery_pending_intents",
+        recovery.pending().count() as u64,
+    );
+    registry.set_gauge(
+        "btcfast_recovery_payments_tracked",
+        recovery.ledger().payments.len() as u64,
+    );
+
+    let wal = recovery.wal_stats();
+    registry.set_gauge("btcfast_wal_appends", wal.appends);
+    registry.set_gauge("btcfast_wal_bytes_appended", wal.bytes_appended);
+    registry.set_gauge("btcfast_wal_recoveries", wal.recoveries);
+    registry.set_gauge("btcfast_wal_records_recovered", wal.records_recovered);
+    registry.set_gauge("btcfast_wal_truncated_bytes", wal.truncated_bytes);
+    registry.set_gauge("btcfast_wal_duplicates_skipped", wal.duplicates_skipped);
 }
 
 /// Publishes a chaos session: the wrapped protocol session plus its
@@ -78,6 +115,7 @@ pub fn publish_transport(registry: &Registry, stats: &TransportStats) {
 pub fn publish_chaos(registry: &Registry, chaos: &ChaosSession) {
     publish_session(registry, &chaos.session);
     publish_transport(registry, &chaos.transport_stats());
+    publish_recovery(registry, chaos.recovery());
 }
 
 #[cfg(test)]
@@ -130,5 +168,31 @@ mod tests {
         publish_chaos(&registry, &chaos);
         assert!(registry.gauge("btcfast_transport_sent").get() >= 3);
         assert_eq!(registry.gauge("btcfast_transport_failed").get(), 0);
+        // The journal saw escrow-open plus the payment's five steps, each
+        // a Begin + Done append.
+        assert!(registry.gauge("btcfast_recovery_journal_appends").get() >= 10);
+        assert_eq!(registry.gauge("btcfast_recovery_pending_intents").get(), 0);
+        assert_eq!(registry.gauge("btcfast_recovery_payments_tracked").get(), 1);
+        assert!(registry.gauge("btcfast_wal_appends").get() >= 10);
+        assert!(registry.gauge("btcfast_wal_bytes_appended").get() > 0);
+    }
+
+    #[test]
+    fn crash_restart_surfaces_in_recovery_gauges() {
+        use crate::chaos::MERCHANT_NODE;
+        use crate::robustness::ChaosConfig;
+        use btcfast_netsim::faults::FaultPlan;
+        use btcfast_netsim::time::SimTime;
+
+        let mut plan = FaultPlan::new();
+        plan.crash_restart_at(MERCHANT_NODE, SimTime::from_millis(25));
+        let mut chaos =
+            ChaosSession::new(SessionConfig::default(), ChaosConfig::default(), plan, 33);
+        chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        assert!(chaos.recoveries() >= 1);
+        let registry = Registry::new();
+        publish_chaos(&registry, &chaos);
+        assert!(registry.gauge("btcfast_recovery_recoveries").get() >= 1);
+        assert!(registry.gauge("btcfast_recovery_replayed_records").get() >= 1);
     }
 }

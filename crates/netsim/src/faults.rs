@@ -53,6 +53,15 @@ pub enum FaultAction {
         /// The node to bring back.
         node: NodeId,
     },
+    /// Crash a node and bring it straight back at the same instant:
+    /// volatile state (dedup memory, in-flight deliveries) is lost, and
+    /// the driver re-hydrates the node from its durable store before
+    /// re-entering the retry loop. This is the crash-*recovery* fault, as
+    /// opposed to the crash-*outage* of [`FaultAction::Crash`].
+    CrashRestart {
+        /// The node to bounce.
+        node: NodeId,
+    },
     /// Halt PSC block production (the chain stops advancing).
     PscStall,
     /// Resume PSC block production.
@@ -89,6 +98,9 @@ pub struct ChaosSpec {
     pub partition_mean_secs: f64,
     /// Number of crash/restart cycles to scatter over the horizon.
     pub crash_cycles: u32,
+    /// Number of instantaneous crash-restart bounces (recover-from-store)
+    /// to scatter over the horizon.
+    pub crash_restart_cycles: u32,
     /// Number of PSC stall/resume cycles to scatter over the horizon.
     pub psc_stall_cycles: u32,
     /// Duplication probability applied at time zero (0 disables).
@@ -105,6 +117,7 @@ impl Default for ChaosSpec {
             partition_cycles: 1,
             partition_mean_secs: 30.0,
             crash_cycles: 0,
+            crash_restart_cycles: 0,
             psc_stall_cycles: 0,
             duplication: 0.0,
             nodes: vec![NodeId(0), NodeId(1)],
@@ -164,6 +177,11 @@ impl FaultPlan {
         self.schedule(end, FaultAction::Restart { node })
     }
 
+    /// Bounce `node` (crash + immediate restart-from-store) at `at`.
+    pub fn crash_restart_at(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.schedule(at, FaultAction::CrashRestart { node })
+    }
+
     /// Stall PSC block production during `[start, end)`.
     pub fn psc_stall_window(&mut self, start: SimTime, end: SimTime) -> &mut Self {
         assert!(start < end, "empty stall window");
@@ -214,6 +232,14 @@ impl FaultPlan {
             let node = spec.nodes[rng.gen_range(0..spec.nodes.len())];
             let (start, end) = window(&mut rng, spec.partition_mean_secs * 0.5);
             plan.crash_window(node, start, end);
+        }
+        for _ in 0..spec.crash_restart_cycles {
+            if spec.nodes.is_empty() {
+                break;
+            }
+            let node = spec.nodes[rng.gen_range(0..spec.nodes.len())];
+            let at = SimTime::from_secs_f64(rng.gen_range(0.0..horizon * 0.8));
+            plan.crash_restart_at(node, at);
         }
         for _ in 0..spec.psc_stall_cycles {
             let (start, end) = window(&mut rng, spec.partition_mean_secs);
@@ -299,6 +325,7 @@ mod tests {
         let spec = ChaosSpec {
             partition_cycles: 3,
             crash_cycles: 2,
+            crash_restart_cycles: 2,
             psc_stall_cycles: 1,
             duplication: 0.05,
             ..ChaosSpec::default()
@@ -306,6 +333,13 @@ mod tests {
         let a = FaultPlan::from_seed(99, &spec);
         let b = FaultPlan::from_seed(99, &spec);
         assert_eq!(a, b);
+        assert_eq!(
+            a.events()
+                .iter()
+                .filter(|e| matches!(e.action, FaultAction::CrashRestart { .. }))
+                .count(),
+            2
+        );
         assert_eq!(a.fingerprint(), b.fingerprint());
         let c = FaultPlan::from_seed(100, &spec);
         assert_ne!(a.fingerprint(), c.fingerprint());
@@ -328,6 +362,7 @@ mod tests {
     fn network_action_classification() {
         assert!(FaultAction::SetLoss { p: 0.1 }.is_network_action());
         assert!(FaultAction::Crash { node: NodeId(0) }.is_network_action());
+        assert!(FaultAction::CrashRestart { node: NodeId(2) }.is_network_action());
         assert!(!FaultAction::PscStall.is_network_action());
         assert!(!FaultAction::PscResume.is_network_action());
     }

@@ -51,6 +51,15 @@ pub struct TransportConfig {
     /// Symmetric jitter applied to each backoff interval, as a fraction
     /// (0.1 means ±10%). Deterministic: drawn from the transport's seed.
     pub jitter_frac: f64,
+    /// Per-node cap on receiver-side dedup memory. When a node has seen
+    /// more message ids than this, the oldest (lowest) ids are evicted —
+    /// a retransmission of an evicted id would then be re-delivered, the
+    /// standard at-least-once trade-off of bounded dedup state.
+    pub dedup_capacity: usize,
+    /// How many *resolved* (delivered or failed) send statuses to retain
+    /// for [`Transport::status`] queries. Older resolved entries are
+    /// retired; querying a retired id panics.
+    pub resolved_retention: usize,
 }
 
 impl Default for TransportConfig {
@@ -61,6 +70,8 @@ impl Default for TransportConfig {
             backoff_factor: 2.0,
             max_backoff: SimTime::from_secs(5),
             jitter_frac: 0.1,
+            dedup_capacity: 4096,
+            resolved_retention: 1024,
         }
     }
 }
@@ -101,6 +112,15 @@ pub struct TransportStats {
     /// microseconds: the sum of the backoff intervals that actually
     /// elapsed before a retransmission fired. Saturating.
     pub backoff_wait_micros: u64,
+    /// Largest per-node dedup set observed over the run (high-water mark).
+    pub dedup_high_water: u64,
+    /// Most unresolved sends outstanding at once (high-water mark for the
+    /// retransmit queue).
+    pub pending_high_water: u64,
+    /// Dedup entries evicted by the per-node capacity bound.
+    pub dedup_evictions: u64,
+    /// Resolved send statuses retired by the retention bound.
+    pub resolved_retired: u64,
 }
 
 #[derive(Debug)]
@@ -132,7 +152,13 @@ pub struct Transport<M: Clone> {
     scheduler: Scheduler<Event>,
     rng: StdRng,
     next_id: u64,
+    /// Unresolved sends only; resolution moves the status to `resolved`
+    /// and drops the payload, so this map is bounded by the number of
+    /// messages genuinely in flight.
     pending: BTreeMap<MsgId, PendingSend<M>>,
+    /// Bounded history of resolved send statuses (see
+    /// [`TransportConfig::resolved_retention`]).
+    resolved: BTreeMap<MsgId, SendStatus>,
     /// Per-node ids already delivered to the application (dedup memory).
     seen: BTreeMap<NodeId, BTreeSet<MsgId>>,
     /// Per-node delivered payloads awaiting pickup.
@@ -155,6 +181,7 @@ impl<M: Clone> Transport<M> {
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
             pending: BTreeMap::new(),
+            resolved: BTreeMap::new(),
             seen: BTreeMap::new(),
             inboxes: BTreeMap::new(),
             crashed: BTreeSet::new(),
@@ -238,6 +265,8 @@ impl<M: Clone> Transport<M> {
             },
         );
         self.stats.sent += 1;
+        self.stats.pending_high_water =
+            self.stats.pending_high_water.max(self.pending.len() as u64);
         self.scheduler
             .schedule_in(SimTime::ZERO, Event::Attempt { id });
         self.push_trace(format_args!("send {id} {from:?}->{to:?}"));
@@ -248,9 +277,28 @@ impl<M: Clone> Transport<M> {
     ///
     /// # Panics
     ///
-    /// Panics on an id this transport never issued.
+    /// Panics on an id this transport never issued, or one whose resolved
+    /// status was retired by [`TransportConfig::resolved_retention`].
     pub fn status(&self, id: MsgId) -> SendStatus {
-        self.pending.get(&id).expect("unknown message id").status
+        if let Some(entry) = self.pending.get(&id) {
+            return entry.status;
+        }
+        *self
+            .resolved
+            .get(&id)
+            .expect("unknown or retired message id")
+    }
+
+    /// Moves a send out of the retransmit queue, recording its terminal
+    /// status in the bounded resolved history. Late physical copies of a
+    /// resolved message are dropped rather than delivered.
+    fn resolve(&mut self, id: MsgId, status: SendStatus) {
+        self.pending.remove(&id);
+        self.resolved.insert(id, status);
+        while self.resolved.len() > self.config.resolved_retention.max(1) {
+            self.resolved.pop_first();
+            self.stats.resolved_retired += 1;
+        }
     }
 
     /// Drains the payloads delivered to `node`, in arrival order.
@@ -300,8 +348,7 @@ impl<M: Clone> Transport<M> {
         let (from, to) = (entry.from, entry.to);
         if entry.attempts_made >= self.config.max_attempts {
             let attempts = entry.attempts_made;
-            self.pending.get_mut(&id).expect("entry exists").status =
-                SendStatus::Failed { attempts };
+            self.resolve(id, SendStatus::Failed { attempts });
             self.stats.failed += 1;
             self.push_trace(format_args!(
                 "give-up {id} {from:?}->{to:?} after {attempts} attempts"
@@ -365,7 +412,14 @@ impl<M: Clone> Transport<M> {
             self.push_trace(format_args!("drop {id} receiver-down"));
             return;
         }
-        let first_delivery = self.seen.entry(to).or_default().insert(id);
+        let dedup_capacity = self.config.dedup_capacity.max(1);
+        let seen = self.seen.entry(to).or_default();
+        let first_delivery = seen.insert(id);
+        self.stats.dedup_high_water = self.stats.dedup_high_water.max(seen.len() as u64);
+        while seen.len() > dedup_capacity {
+            seen.pop_first();
+            self.stats.dedup_evictions += 1;
+        }
         if first_delivery {
             let payload = self.pending.get(&id).expect("entry exists").payload.clone();
             self.inboxes.entry(to).or_default().push((now, payload));
@@ -384,20 +438,22 @@ impl<M: Clone> Transport<M> {
     }
 
     fn handle_ack(&mut self, now: SimTime, id: MsgId, attempt: u32) {
-        let Some(entry) = self.pending.get_mut(&id) else {
+        // Acks for already-resolved sends find no pending entry: no-op.
+        let Some(entry) = self.pending.get(&id) else {
             return;
         };
         if self.crashed.contains(&entry.from) {
             return;
         }
-        if entry.status == SendStatus::Pending {
-            entry.status = SendStatus::Delivered {
+        self.resolve(
+            id,
+            SendStatus::Delivered {
                 at: now,
                 attempts: attempt,
-            };
-            self.stats.delivered += 1;
-            self.push_trace(format_args!("acked {id} try{attempt}"));
-        }
+            },
+        );
+        self.stats.delivered += 1;
+        self.push_trace(format_args!("acked {id} try{attempt}"));
     }
 
     /// Backoff before the retransmission that follows `attempt`, with
@@ -546,6 +602,58 @@ mod tests {
         other.send(NodeId(0), NodeId(1), "a");
         other.run_until_idle();
         assert_ne!(runs[0], other.trace().to_vec());
+    }
+
+    #[test]
+    fn dedup_memory_is_bounded_with_high_water_mark() {
+        let mut t = transport(0.0, 11);
+        t.config.dedup_capacity = 3;
+        for i in 0..8 {
+            t.send(NodeId(0), NodeId(1), if i % 2 == 0 { "a" } else { "b" });
+            t.run_until_idle();
+        }
+        let stats = t.stats();
+        assert_eq!(stats.delivered, 8);
+        assert!(
+            stats.dedup_high_water <= 4,
+            "dedup grew past capacity+1: {}",
+            stats.dedup_high_water
+        );
+        assert!(
+            stats.dedup_evictions >= 4,
+            "evictions {}",
+            stats.dedup_evictions
+        );
+        assert_eq!(
+            t.take_inbox(NodeId(1)).len(),
+            8,
+            "every payload arrives once"
+        );
+    }
+
+    #[test]
+    fn resolved_statuses_are_retained_then_retired() {
+        let mut t = transport(0.0, 12);
+        t.config.resolved_retention = 2;
+        let ids: Vec<MsgId> = (0..5).map(|_| t.send(NodeId(0), NodeId(1), "x")).collect();
+        t.run_until_idle();
+        // The two youngest resolved statuses are queryable ...
+        assert!(matches!(t.status(ids[4]), SendStatus::Delivered { .. }));
+        assert!(matches!(t.status(ids[3]), SendStatus::Delivered { .. }));
+        assert_eq!(t.stats().resolved_retired, 3);
+        // ... and the retransmit queue itself is drained.
+        assert!(t.stats().pending_high_water >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or retired")]
+    fn querying_a_retired_status_panics() {
+        let mut t = transport(0.0, 13);
+        t.config.resolved_retention = 1;
+        let first = t.send(NodeId(0), NodeId(1), "x");
+        t.send(NodeId(0), NodeId(1), "y");
+        t.run_until_idle();
+        t.status(first);
     }
 
     #[test]

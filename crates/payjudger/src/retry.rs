@@ -41,6 +41,9 @@ pub enum AttemptResult {
     Executed(Receipt),
     /// The challenge window closed before this attempt could land.
     WindowClosed,
+    /// The submission machinery itself failed before execution (node-side
+    /// refusal, not a chain status) — non-retryable.
+    Aborted(String),
 }
 
 /// Why the retry loop gave up.
@@ -65,6 +68,13 @@ pub enum RetryError {
         /// The rejecting status.
         status: TxStatus,
     },
+    /// The submission machinery failed before execution.
+    Aborted {
+        /// Attempts made, the aborted one included.
+        attempts: u32,
+        /// The caller's reason.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RetryError {
@@ -84,6 +94,9 @@ impl std::fmt::Display for RetryError {
             }
             RetryError::Rejected { attempts, status } => {
                 write!(f, "non-retryable failure on attempt {attempts}: {status:?}")
+            }
+            RetryError::Aborted { attempts, reason } => {
+                write!(f, "submission aborted on attempt {attempts}: {reason}")
             }
         }
     }
@@ -139,6 +152,12 @@ pub fn submit_with_retry(
         match attempt(gas) {
             AttemptResult::WindowClosed => {
                 return Err(RetryError::WindowClosed { attempts: n - 1 });
+            }
+            AttemptResult::Aborted(reason) => {
+                return Err(RetryError::Aborted {
+                    attempts: n,
+                    reason,
+                });
             }
             AttemptResult::Executed(receipt) => match receipt.status {
                 TxStatus::Succeeded => {
@@ -244,6 +263,18 @@ mod tests {
         .unwrap_err();
         assert_eq!(calls, 1, "reverts must not be resubmitted");
         assert!(matches!(err, RetryError::Rejected { attempts: 1, .. }));
+    }
+
+    #[test]
+    fn aborted_submission_is_not_retried() {
+        let mut calls = 0;
+        let err = submit_with_retry(&RetryPolicy::default(), 1_000, |_| {
+            calls += 1;
+            AttemptResult::Aborted("node refused the tx".into())
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "aborts must not be resubmitted");
+        assert!(matches!(err, RetryError::Aborted { attempts: 1, .. }));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! `btcfast-store`: crash-safe durable state for protocol participants.
+//!
+//! Production nodes restart. The paper's fast-payment guarantee survives a
+//! restart only if every side-effecting protocol step — escrow opens,
+//! offers, acceptances, broadcasts, dispute evidence, verdicts — is on
+//! durable media *before* it executes, so the node can re-hydrate and
+//! resume exactly where it died. This crate is the durable half of that
+//! story:
+//!
+//! * [`wal::Wal`] — an append-only write-ahead log of length-prefixed,
+//!   CRC-checksummed, sequence-numbered records. Torn tails (a crash mid
+//!   `append`) and flipped bits are *detected*, never trusted: recovery
+//!   either repairs the log by clean prefix truncation or reports a typed
+//!   [`StoreError`] — it never panics on hostile bytes.
+//! * [`snapshot::SnapshotStore`] — a single-slot checkpoint of encoded
+//!   state plus the WAL sequence it covers, so recovery replays only the
+//!   tail of the log.
+//! * [`storage::Storage`] — the durable-medium abstraction:
+//!   [`storage::MemStorage`] (a handle-shared byte vector modelling a disk
+//!   that survives simulated process crashes, fully deterministic) and
+//!   [`storage::FileStorage`] (a real file, for processes that actually
+//!   restart).
+//!
+//! The encoding follows the workspace codec idiom: little-endian
+//! fixed-width integers and length-prefixed byte strings, with hard caps
+//! on hostile length prefixes. Everything is deterministic: the same
+//! append sequence produces byte-identical media, and recovery of
+//! identical media produces identical state — the property the audit
+//! crate's `store` engine checks at every possible crash offset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod snapshot;
+pub mod storage;
+pub mod wal;
+
+pub use snapshot::SnapshotStore;
+pub use storage::{FileStorage, MemStorage, Storage};
+pub use wal::{Corruption, RecoveredLog, Wal, WalStats};
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a store operation failed. Corruption of durable media is a
+/// *condition to handle* (usually by truncating to the last clean prefix),
+/// never a reason to panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying medium failed (I/O error, detached handle).
+    Io(String),
+    /// A record or snapshot failed validation and strict mode was asked
+    /// to surface it rather than repair it.
+    Corrupt(Corruption),
+    /// A record payload exceeds the hard encoding cap.
+    RecordTooLarge {
+        /// The payload length requested.
+        len: usize,
+        /// The maximum the format accepts.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "storage I/O failure: {msg}"),
+            StoreError::Corrupt(c) => write!(f, "corrupt store: {c}"),
+            StoreError::RecordTooLarge { len, max } => {
+                write!(f, "record payload {len} bytes exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the WAL record checksum.
+/// Table-driven; the table is computed at compile time so the crate stays
+/// dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = StoreError::RecordTooLarge { len: 9, max: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = StoreError::Io("disk gone".into());
+        assert!(e.to_string().contains("disk gone"));
+    }
+}

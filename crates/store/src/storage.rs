@@ -1,0 +1,231 @@
+//! Durable-medium abstraction behind the WAL and snapshot store.
+//!
+//! The log formats never touch the medium directly; they go through
+//! [`Storage`], so the same recovery code runs against an in-memory
+//! "disk" in the deterministic simulator and against a real file on a
+//! production node.
+
+use crate::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An append-and-truncate byte medium. Deliberately minimal: the WAL only
+/// appends, and recovery only truncates back to a clean prefix.
+pub trait Storage {
+    /// Current medium length in bytes.
+    fn len(&self) -> u64;
+
+    /// True when the medium holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the entire medium. Logs in this system are bounded (snapshots
+    /// keep them short), so whole-medium reads are the simple, safe choice.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the medium cannot be read.
+    fn read_all(&self) -> Result<Vec<u8>, StoreError>;
+
+    /// Appends bytes at the end of the medium.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the write does not complete.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Truncates the medium to `len` bytes (no-op if already shorter).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the truncation fails.
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError>;
+}
+
+/// An in-memory durable medium: a byte vector behind a shared handle.
+///
+/// Cloning a `MemStorage` clones the *handle*, not the bytes — exactly the
+/// semantics of a disk that survives a process crash: the simulated node
+/// drops all volatile state, but a clone of the handle re-opens the same
+/// bytes. Fully deterministic; no I/O can fail.
+#[derive(Clone, Debug, Default)]
+pub struct MemStorage {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemStorage {
+    /// A fresh, empty medium.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// A medium pre-loaded with `bytes` (tests and corruption injection).
+    pub fn from_bytes(bytes: Vec<u8>) -> MemStorage {
+        MemStorage {
+            bytes: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// A copy of the raw media bytes (corruption tests, digests).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.bytes.lock().expect("storage lock").clone()
+    }
+
+    /// Replaces the media bytes wholesale (corruption injection in tests
+    /// and fuzz targets; a real disk has no such operation).
+    pub fn replace(&self, bytes: Vec<u8>) {
+        *self.bytes.lock().expect("storage lock") = bytes;
+    }
+}
+
+impl Storage for MemStorage {
+    fn len(&self) -> u64 {
+        self.bytes.lock().expect("storage lock").len() as u64
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>, StoreError> {
+        Ok(self.bytes())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.bytes
+            .lock()
+            .expect("storage lock")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        let mut bytes = self.bytes.lock().expect("storage lock");
+        if (len as usize) < bytes.len() {
+            bytes.truncate(len as usize);
+        }
+        Ok(())
+    }
+}
+
+/// A real file as durable medium. Appends are flushed before returning,
+/// so a record acknowledged as appended survives a process crash (host
+/// crashes additionally need the host's fsync guarantees; the sim treats
+/// flush as the durability point).
+#[derive(Debug)]
+pub struct FileStorage {
+    path: PathBuf,
+    file: File,
+    len: u64,
+}
+
+impl FileStorage {
+    /// Opens (or creates) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened.
+    pub fn open(path: &Path) -> Result<FileStorage, StoreError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| StoreError::Io(format!("open {}: {e}", path.display())))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StoreError::Io(format!("stat {}: {e}", path.display())))?
+            .len();
+        Ok(FileStorage {
+            path: path.to_path_buf(),
+            file,
+            len,
+        })
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Storage for FileStorage {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>, StoreError> {
+        let mut file = File::open(&self.path)
+            .map_err(|e| StoreError::Io(format!("open {}: {e}", self.path.display())))?;
+        let mut bytes = Vec::with_capacity(self.len as usize);
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StoreError::Io(format!("read {}: {e}", self.path.display())))?;
+        Ok(bytes)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file
+            .write_all(bytes)
+            .and_then(|()| self.file.flush())
+            .map_err(|e| StoreError::Io(format!("append {}: {e}", self.path.display())))?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        if len >= self.len {
+            return Ok(());
+        }
+        self.file
+            .set_len(len)
+            .map_err(|e| StoreError::Io(format!("truncate {}: {e}", self.path.display())))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::Io(format!("seek {}: {e}", self.path.display())))?;
+        self.len = len;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_handles_share_one_medium() {
+        let mut a = MemStorage::new();
+        let b = a.clone();
+        a.append(b"hello").unwrap();
+        assert_eq!(b.bytes(), b"hello");
+        assert_eq!(b.len(), 5);
+        a.truncate(2).unwrap();
+        assert_eq!(b.bytes(), b"he");
+        // Truncating longer than the medium is a no-op, not an error.
+        a.truncate(100).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn file_storage_round_trips_and_truncates() {
+        let path = std::env::temp_dir().join(format!(
+            "btcfast-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut storage = FileStorage::open(&path).unwrap();
+            storage.append(b"abcdef").unwrap();
+            assert_eq!(storage.len(), 6);
+            storage.truncate(3).unwrap();
+            assert_eq!(storage.read_all().unwrap(), b"abc");
+            // Appending after a truncation lands at the new tail.
+            storage.append(b"Z").unwrap();
+            assert_eq!(storage.read_all().unwrap(), b"abcZ");
+        }
+        // Re-open sees the persisted bytes.
+        let storage = FileStorage::open(&path).unwrap();
+        assert_eq!(storage.len(), 4);
+        assert_eq!(storage.read_all().unwrap(), b"abcZ");
+        let _ = std::fs::remove_file(&path);
+    }
+}

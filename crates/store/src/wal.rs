@@ -1,0 +1,461 @@
+//! The append-only write-ahead log.
+//!
+//! # Record format
+//!
+//! Every record is framed on the medium as
+//!
+//! ```text
+//! len: u32 LE | crc: u32 LE | seq: u64 LE | payload: [u8; len]
+//! ```
+//!
+//! where `crc` is CRC-32 (IEEE) over `seq_le || payload` and `seq` is the
+//! appender-assigned, strictly increasing record sequence number. All
+//! integers are little-endian, lengths are prefixed, and hostile length
+//! prefixes are capped — the workspace codec idiom.
+//!
+//! # Recovery contract
+//!
+//! [`Wal::open`] scans the medium front to back and accepts the longest
+//! clean prefix of records:
+//!
+//! * a **torn tail** (crash mid-append: fewer bytes than the frame
+//!   promises) stops the scan; the tail is truncated away;
+//! * a **flipped bit** (CRC mismatch) stops the scan at that record; the
+//!   rest is truncated away — bytes after a corrupt frame have no trusted
+//!   framing, so they are unrecoverable by construction;
+//! * a **hostile length prefix** (over [`MAX_RECORD`]) is corruption, not
+//!   an allocation request;
+//! * a **duplicate record** (a seq already applied — the at-least-once
+//!   journaling case) is skipped, counted, and scanning continues.
+//!
+//! The scan never panics, whatever the bytes. [`Wal::open_strict`] runs
+//! the same scan but surfaces the first corruption as a typed
+//! [`StoreError`] instead of repairing, for callers that must distinguish
+//! "clean restart" from "media damage".
+
+use crate::storage::Storage;
+use crate::{crc32, StoreError};
+use std::fmt;
+
+/// Hard cap on a record payload. Anything larger in a length prefix is
+/// corruption (or hostility), not a real record.
+pub const MAX_RECORD: usize = 1 << 20;
+
+/// Frame header bytes ahead of each payload: len + crc + seq.
+pub const HEADER_BYTES: usize = 16;
+
+/// What exactly was wrong with the medium at a given byte offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// The medium ends before the frame (header or payload) is complete —
+    /// the signature of a crash mid-append.
+    TornTail {
+        /// Byte offset of the incomplete frame.
+        offset: u64,
+    },
+    /// A length prefix exceeds [`MAX_RECORD`].
+    LengthOverCap {
+        /// Byte offset of the frame.
+        offset: u64,
+        /// The length the prefix claimed.
+        len: u64,
+    },
+    /// The payload checksum does not match — a flipped bit somewhere in
+    /// the frame.
+    BadChecksum {
+        /// Byte offset of the frame.
+        offset: u64,
+    },
+}
+
+impl Corruption {
+    /// The byte offset where the clean prefix ends.
+    pub fn offset(&self) -> u64 {
+        match self {
+            Corruption::TornTail { offset }
+            | Corruption::LengthOverCap { offset, .. }
+            | Corruption::BadChecksum { offset } => *offset,
+        }
+    }
+}
+
+impl fmt::Display for Corruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Corruption::TornTail { offset } => write!(f, "torn tail at byte {offset}"),
+            Corruption::LengthOverCap { offset, len } => {
+                write!(f, "length prefix {len} over cap at byte {offset}")
+            }
+            Corruption::BadChecksum { offset } => write!(f, "checksum mismatch at byte {offset}"),
+        }
+    }
+}
+
+/// The outcome of scanning a medium: the clean record prefix plus what,
+/// if anything, was repaired away.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveredLog {
+    /// The accepted records, in sequence order: `(seq, payload)`.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Byte length of the accepted clean prefix.
+    pub valid_len: u64,
+    /// Bytes discarded past the clean prefix (0 on a clean medium).
+    pub truncated_bytes: u64,
+    /// The corruption that ended the scan, when the medium was not clean.
+    pub corruption: Option<Corruption>,
+    /// CRC-valid records skipped because their seq was already applied.
+    pub duplicates_skipped: u64,
+}
+
+impl RecoveredLog {
+    /// The next sequence number an appender should use.
+    pub fn next_seq(&self) -> u64 {
+        self.records.last().map_or(0, |(seq, _)| seq + 1)
+    }
+}
+
+/// Cheap counters for the telemetry layer (scraped as gauges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended through this handle.
+    pub appends: u64,
+    /// Bytes appended through this handle (frames included).
+    pub bytes_appended: u64,
+    /// Recovery scans performed (1 per open).
+    pub recoveries: u64,
+    /// Records accepted by recovery scans.
+    pub records_recovered: u64,
+    /// Bytes truncated away by recovery repairs.
+    pub truncated_bytes: u64,
+    /// Duplicate records skipped by recovery scans.
+    pub duplicates_skipped: u64,
+}
+
+/// Scans `bytes` and returns the longest clean record prefix. Pure
+/// function of the bytes; never panics.
+pub fn scan(bytes: &[u8]) -> RecoveredLog {
+    let mut recovered = RecoveredLog::default();
+    let mut offset = 0usize;
+    let mut last_seq: Option<u64> = None;
+    while offset < bytes.len() {
+        let remaining = &bytes[offset..];
+        if remaining.len() < HEADER_BYTES {
+            recovered.corruption = Some(Corruption::TornTail {
+                offset: offset as u64,
+            });
+            break;
+        }
+        let len = u32::from_le_bytes(remaining[0..4].try_into().expect("sized slice")) as usize;
+        if len > MAX_RECORD {
+            recovered.corruption = Some(Corruption::LengthOverCap {
+                offset: offset as u64,
+                len: len as u64,
+            });
+            break;
+        }
+        if remaining.len() < HEADER_BYTES + len {
+            recovered.corruption = Some(Corruption::TornTail {
+                offset: offset as u64,
+            });
+            break;
+        }
+        let crc = u32::from_le_bytes(remaining[4..8].try_into().expect("sized slice"));
+        let body = &remaining[8..HEADER_BYTES + len];
+        if crc32(body) != crc {
+            recovered.corruption = Some(Corruption::BadChecksum {
+                offset: offset as u64,
+            });
+            break;
+        }
+        let seq = u64::from_le_bytes(body[0..8].try_into().expect("sized slice"));
+        offset += HEADER_BYTES + len;
+        if last_seq.is_some_and(|last| seq <= last) {
+            // A re-journaled record (at-least-once append) — already
+            // applied, so skip it but keep its bytes in the clean prefix.
+            recovered.duplicates_skipped += 1;
+        } else {
+            recovered.records.push((seq, body[8..].to_vec()));
+            last_seq = Some(seq);
+        }
+        recovered.valid_len = offset as u64;
+    }
+    recovered.truncated_bytes = bytes.len() as u64 - recovered.valid_len;
+    recovered
+}
+
+/// An open write-ahead log. See the module docs for format and recovery
+/// semantics.
+#[derive(Debug)]
+pub struct Wal<S: Storage> {
+    storage: S,
+    next_seq: u64,
+    stats: WalStats,
+}
+
+impl<S: Storage> Wal<S> {
+    /// Opens the log on `storage`, repairing any damaged tail by clean
+    /// prefix truncation. Returns the log positioned for appending plus
+    /// everything the scan recovered.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the medium cannot be read or repaired.
+    /// Corruption is *not* an error on this path — it is repaired and
+    /// reported inside [`RecoveredLog`].
+    pub fn open(mut storage: S) -> Result<(Wal<S>, RecoveredLog), StoreError> {
+        let recovered = scan(&storage.read_all()?);
+        if recovered.truncated_bytes > 0 {
+            storage.truncate(recovered.valid_len)?;
+        }
+        let stats = WalStats {
+            recoveries: 1,
+            records_recovered: recovered.records.len() as u64,
+            truncated_bytes: recovered.truncated_bytes,
+            duplicates_skipped: recovered.duplicates_skipped,
+            ..WalStats::default()
+        };
+        Ok((
+            Wal {
+                storage,
+                next_seq: recovered.next_seq(),
+                stats,
+            },
+            recovered,
+        ))
+    }
+
+    /// Opens the log, but surfaces corruption as a typed error instead of
+    /// repairing. The medium is left untouched on error.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the medium is not a clean record
+    /// sequence; [`StoreError::Io`] when it cannot be read.
+    pub fn open_strict(storage: S) -> Result<(Wal<S>, RecoveredLog), StoreError> {
+        let recovered = scan(&storage.read_all()?);
+        if let Some(corruption) = recovered.corruption {
+            return Err(StoreError::Corrupt(corruption));
+        }
+        let stats = WalStats {
+            recoveries: 1,
+            records_recovered: recovered.records.len() as u64,
+            duplicates_skipped: recovered.duplicates_skipped,
+            ..WalStats::default()
+        };
+        Ok((
+            Wal {
+                storage,
+                next_seq: recovered.next_seq(),
+                stats,
+            },
+            recovered,
+        ))
+    }
+
+    /// Appends a record and returns its sequence number. The record is on
+    /// the durable medium when this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RecordTooLarge`] over [`MAX_RECORD`];
+    /// [`StoreError::Io`] when the medium rejects the write.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        if payload.len() > MAX_RECORD {
+            return Err(StoreError::RecordTooLarge {
+                len: payload.len(),
+                max: MAX_RECORD,
+            });
+        }
+        let seq = self.next_seq;
+        let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut body = Vec::with_capacity(8 + payload.len());
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.storage.append(&frame)?;
+        self.next_seq += 1;
+        self.stats.appends += 1;
+        self.stats.bytes_appended += frame.len() as u64;
+        Ok(seq)
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current log length on the medium, in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.storage.len()
+    }
+
+    /// Counters for the telemetry layer.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The underlying medium (inspection, digests).
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn filled_wal(payloads: &[&[u8]]) -> (Wal<MemStorage>, MemStorage) {
+        let medium = MemStorage::new();
+        let (mut wal, recovered) = Wal::open(medium.clone()).unwrap();
+        assert!(recovered.records.is_empty());
+        for p in payloads {
+            wal.append(p).unwrap();
+        }
+        (wal, medium)
+    }
+
+    #[test]
+    fn append_then_reopen_round_trips() {
+        let (_wal, medium) = filled_wal(&[b"alpha", b"", b"gamma-longer-payload"]);
+        let (wal, recovered) = Wal::open(medium).unwrap();
+        assert_eq!(recovered.corruption, None);
+        assert_eq!(recovered.truncated_bytes, 0);
+        assert_eq!(
+            recovered.records,
+            vec![
+                (0, b"alpha".to_vec()),
+                (1, Vec::new()),
+                (2, b"gamma-longer-payload".to_vec()),
+            ]
+        );
+        assert_eq!(wal.next_seq(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_by_truncation() {
+        let (wal, medium) = filled_wal(&[b"one", b"two"]);
+        let full = wal.len_bytes();
+        // Tear the last record: keep its header but lose payload bytes.
+        let mut bytes = medium.bytes();
+        bytes.truncate(bytes.len() - 2);
+        medium.replace(bytes);
+
+        let (wal, recovered) = Wal::open(medium.clone()).unwrap();
+        assert_eq!(recovered.records, vec![(0, b"one".to_vec())]);
+        assert!(matches!(
+            recovered.corruption,
+            Some(Corruption::TornTail { .. })
+        ));
+        assert!(recovered.truncated_bytes > 0);
+        // The medium was repaired: the torn bytes are gone and the next
+        // append lands on a clean boundary.
+        assert!(medium.len() < full);
+        let mut wal = wal;
+        wal.append(b"three").unwrap();
+        let (_, again) = Wal::open(medium).unwrap();
+        assert_eq!(
+            again.records,
+            vec![(0, b"one".to_vec()), (1, b"three".to_vec())]
+        );
+        assert_eq!(again.corruption, None);
+    }
+
+    #[test]
+    fn flipped_bit_stops_the_scan_and_strict_mode_types_it() {
+        let (_wal, medium) = filled_wal(&[b"first", b"second", b"third"]);
+        let mut bytes = medium.bytes();
+        // Flip one bit inside the second record's payload.
+        let second_frame = HEADER_BYTES + 5;
+        bytes[second_frame + HEADER_BYTES + 2] ^= 0x40;
+        medium.replace(bytes);
+
+        let strict = Wal::open_strict(medium.clone());
+        assert!(
+            matches!(
+                strict,
+                Err(StoreError::Corrupt(Corruption::BadChecksum { offset }))
+                    if offset == second_frame as u64
+            ),
+            "{strict:?}"
+        );
+
+        let (_, recovered) = Wal::open(medium).unwrap();
+        assert_eq!(recovered.records, vec![(0, b"first".to_vec())]);
+        assert!(matches!(
+            recovered.corruption,
+            Some(Corruption::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_corruption_not_allocation() {
+        let medium = MemStorage::new();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 12]);
+        medium.replace(frame);
+        let (_, recovered) = Wal::open(medium).unwrap();
+        assert!(recovered.records.is_empty());
+        assert!(matches!(
+            recovered.corruption,
+            Some(Corruption::LengthOverCap { len, .. }) if len == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn duplicate_records_are_skipped_exactly_once() {
+        let (_wal, medium) = filled_wal(&[b"aa", b"bb"]);
+        let mut bytes = medium.bytes();
+        // Duplicate the second frame wholesale (at-least-once journaling).
+        let second = bytes[HEADER_BYTES + 2..].to_vec();
+        bytes.extend_from_slice(&second);
+        medium.replace(bytes);
+        let (wal, recovered) = Wal::open(medium).unwrap();
+        assert_eq!(
+            recovered.records,
+            vec![(0, b"aa".to_vec()), (1, b"bb".to_vec())]
+        );
+        assert_eq!(recovered.duplicates_skipped, 1);
+        assert_eq!(recovered.corruption, None);
+        // The appender resumes past the duplicate, not on top of it.
+        assert_eq!(wal.next_seq(), 2);
+    }
+
+    #[test]
+    fn scan_never_panics_on_arbitrary_bytes() {
+        for seed in 0u8..=255 {
+            let bytes: Vec<u8> = (0..97)
+                .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+                .collect();
+            let recovered = scan(&bytes);
+            assert!(recovered.valid_len <= bytes.len() as u64);
+        }
+    }
+
+    #[test]
+    fn oversized_append_is_a_typed_error() {
+        let (mut wal, _) = filled_wal(&[]);
+        let huge = vec![0u8; MAX_RECORD + 1];
+        assert!(matches!(
+            wal.append(&huge),
+            Err(StoreError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_appends_and_recoveries() {
+        let (wal, medium) = filled_wal(&[b"x", b"y"]);
+        assert_eq!(wal.stats().appends, 2);
+        assert!(wal.stats().bytes_appended > 2 * HEADER_BYTES as u64);
+        let mut bytes = medium.bytes();
+        bytes.push(0xAB); // torn byte
+        medium.replace(bytes);
+        let (wal, _) = Wal::open(medium).unwrap();
+        assert_eq!(wal.stats().recoveries, 1);
+        assert_eq!(wal.stats().records_recovered, 2);
+        assert_eq!(wal.stats().truncated_bytes, 1);
+    }
+}

@@ -49,7 +49,7 @@ fn main() {
         );
         // The network mines on; the shop's earlier cups confirm behind the
         // scenes while new customers order.
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
 
     let merchant_balance = session

@@ -41,7 +41,7 @@ fn main() {
     );
 
     // Let the fast payment confirm, then compare with the conventional wait.
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
     let baseline = session
         .run_baseline_payment(1_000_000, 6)
         .expect("baseline payment");

@@ -26,7 +26,7 @@ fn main() {
     // The Bitcoin chain grows for a while (an escrow lives for months).
     for _ in 0..20 {
         session.advance_clock(SimTime::from_secs(600));
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     let full_depth = session.btc.height();
     println!("BTC height now       : {full_depth}");
@@ -43,7 +43,7 @@ fn main() {
         session.psc.nonce_of(&session.merchant.psc_account()),
         segment,
     );
-    let receipt = session.run_psc_tx(tx);
+    let receipt = session.run_psc_tx(tx).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
     let checkpoint = session.judger.checkpoint(&session.psc).unwrap();
     println!(
@@ -55,10 +55,10 @@ fn main() {
     let report = session.run_fast_payment(500_000).expect("payment");
     assert!(report.accepted);
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
     for _ in 0..6 {
         session.advance_clock(SimTime::from_secs(600));
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     let anchor_height = checkpoint.advanced_blocks;
     let short = SpvEvidence::from_chain(

@@ -86,14 +86,14 @@ fn dispute_state_machine_is_terminal() {
         customer_id,
         report.payment_id,
     );
-    let receipt = session.run_psc_tx(judge_again);
+    let receipt = session.run_psc_tx(judge_again).expect("psc tx executes");
     assert!(!receipt.status.is_success());
 
     let close =
         session
             .customer
             .build_close_payment(&session.judger, &session.psc, report.payment_id);
-    let receipt = session.run_psc_tx(close);
+    let receipt = session.run_psc_tx(close).expect("psc tx executes");
     assert!(!receipt.status.is_success());
 }
 

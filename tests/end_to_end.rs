@@ -18,7 +18,7 @@ fn honest_lifecycle_with_ack() {
 
     // The payment confirms on BTC.
     session.advance_clock(SimTime::from_secs(600));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
     assert_eq!(session.btc.confirmations(&report.txid), Some(1));
     assert_eq!(
         session
@@ -36,7 +36,7 @@ fn honest_lifecycle_with_ack() {
         customer_id,
         report.payment_id,
     );
-    let receipt = session.run_psc_tx(ack);
+    let receipt = session.run_psc_tx(ack).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
 
     let payment = session
@@ -62,7 +62,7 @@ fn honest_lifecycle_with_window_close_and_withdraw() {
     let report = session.run_fast_payment(500_000).expect("payment");
     assert!(report.accepted);
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
 
     // Wait out the challenge window, close, withdraw everything.
     session.advance_clock(SimTime::from_secs(1300));
@@ -70,7 +70,7 @@ fn honest_lifecycle_with_window_close_and_withdraw() {
         session
             .customer
             .build_close_payment(&session.judger, &session.psc, report.payment_id);
-    let receipt = session.run_psc_tx(close);
+    let receipt = session.run_psc_tx(close).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
 
     let escrow = session.judger.escrow(&session.psc, customer_id).unwrap();
@@ -81,7 +81,7 @@ fn honest_lifecycle_with_window_close_and_withdraw() {
         session
             .customer
             .build_withdraw(&session.judger, &session.psc, escrow.available());
-    let receipt = session.run_psc_tx(withdraw);
+    let receipt = session.run_psc_tx(withdraw).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
 
     // Value conservation: the customer got the full escrow back minus gas.
@@ -110,7 +110,7 @@ fn several_sequential_payments_share_one_escrow() {
             .expect("payment");
         assert!(report.accepted, "payment {i}: {:?}", report.reject);
         ids.push(report.payment_id);
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     // Distinct, sequential ids.
     assert_eq!(ids, vec![0, 1, 2, 3, 4]);
@@ -149,7 +149,7 @@ fn one_escrow_serves_two_merchants_concurrently() {
     // Confirm payment A so payment B selects fresh (change) coins instead
     // of conflicting with the pooled transaction.
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
 
     // Payment 2 → merchant B, driven manually through the same escrow.
     let tx_b = session
@@ -171,7 +171,7 @@ fn one_escrow_serves_two_merchants_concurrently() {
         400_000,
         480_000,
     );
-    let receipt = session.run_psc_tx(open_b);
+    let receipt = session.run_psc_tx(open_b).expect("psc tx executes");
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
     let payment_id_b =
         btcfast_suite::payjudger::PayJudgerClient::payment_id_from(&receipt).unwrap();
@@ -208,16 +208,24 @@ fn one_escrow_serves_two_merchants_concurrently() {
 
     // Both confirm; A acks, B acks; everything unlocks.
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
     let ack_a = session.merchant.build_ack(
         &session.judger,
         &session.psc,
         customer_id,
         report_a.payment_id,
     );
-    assert!(session.run_psc_tx(ack_a).status.is_success());
+    assert!(session
+        .run_psc_tx(ack_a)
+        .expect("psc tx executes")
+        .status
+        .is_success());
     let ack_b = merchant_b.build_ack(&session.judger, &session.psc, customer_id, payment_id_b);
-    assert!(session.run_psc_tx(ack_b).status.is_success());
+    assert!(session
+        .run_psc_tx(ack_b)
+        .expect("psc tx executes")
+        .status
+        .is_success());
     let escrow = session.judger.escrow(&session.psc, customer_id).unwrap();
     assert_eq!(escrow.locked, 0);
 
@@ -228,7 +236,11 @@ fn one_escrow_serves_two_merchants_concurrently() {
         customer_id,
         report_a.payment_id,
     );
-    assert!(!session.run_psc_tx(cross_ack).status.is_success());
+    assert!(!session
+        .run_psc_tx(cross_ack)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 }
 
 #[test]
@@ -239,7 +251,7 @@ fn merchant_btc_balance_accumulates() {
         let report = session.run_fast_payment(700_000).expect("payment");
         assert!(report.accepted);
         expected += 700_000;
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     assert_eq!(
         session

@@ -42,7 +42,7 @@ fn evidence_withheld_defaults_to_merchant() {
 
     let report = session.run_fast_payment(800_000).expect("payment");
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
 
     let dispute = session.merchant.build_dispute(
         &session.judger,
@@ -50,7 +50,11 @@ fn evidence_withheld_defaults_to_merchant() {
         customer_id,
         report.payment_id,
     );
-    assert!(session.run_psc_tx(dispute).status.is_success());
+    assert!(session
+        .run_psc_tx(dispute)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 
     // Nobody submits anything. Window passes.
     session.advance_clock(SimTime::from_secs(1300));
@@ -60,7 +64,7 @@ fn evidence_withheld_defaults_to_merchant() {
         customer_id,
         report.payment_id,
     );
-    let receipt = session.run_psc_tx(judge);
+    let receipt = session.run_psc_tx(judge).expect("psc tx executes");
     assert_eq!(
         PayJudgerClient::verdict_from(&receipt),
         Some(DisputeVerdict::MerchantWins)
@@ -85,14 +89,18 @@ fn dispute_after_expiry_is_rejected_and_customer_closes() {
         customer_id,
         report.payment_id,
     );
-    let receipt = session.run_psc_tx(dispute);
+    let receipt = session.run_psc_tx(dispute).expect("psc tx executes");
     assert!(matches!(receipt.status, TxStatus::Reverted(_)));
 
     let close =
         session
             .customer
             .build_close_payment(&session.judger, &session.psc, report.payment_id);
-    assert!(session.run_psc_tx(close).status.is_success());
+    assert!(session
+        .run_psc_tx(close)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 }
 
 #[test]
@@ -106,7 +114,7 @@ fn out_of_gas_evidence_is_billed_and_retriable() {
 
     let report = session.run_fast_payment(800_000).expect("payment");
     session.advance_clock(SimTime::from_secs(5));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
 
     let dispute = session.merchant.build_dispute(
         &session.judger,
@@ -114,7 +122,11 @@ fn out_of_gas_evidence_is_billed_and_retriable() {
         customer_id,
         report.payment_id,
     );
-    assert!(session.run_psc_tx(dispute).status.is_success());
+    assert!(session
+        .run_psc_tx(dispute)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 
     // Customer submits evidence with an absurdly small gas limit.
     let evidence =
@@ -128,7 +140,7 @@ fn out_of_gas_evidence_is_billed_and_retriable() {
     starved.gas_limit = 30_000;
     starved.signature = None;
     let starved = starved.sign(session.customer.psc_keys());
-    let receipt = session.run_psc_tx(starved);
+    let receipt = session.run_psc_tx(starved).expect("psc tx executes");
     assert_eq!(receipt.status, TxStatus::OutOfGas);
     assert_eq!(receipt.gas_used, 30_000); // full limit burned
 
@@ -139,7 +151,11 @@ fn out_of_gas_evidence_is_billed_and_retriable() {
         report.payment_id,
         evidence,
     );
-    assert!(session.run_psc_tx(retry).status.is_success());
+    assert!(session
+        .run_psc_tx(retry)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 }
 
 #[test]
@@ -221,7 +237,7 @@ fn conflicting_broadcast_before_offer_rejects_at_counter() {
         500_000,
         600_000,
     );
-    let receipt = session.run_psc_tx(open);
+    let receipt = session.run_psc_tx(open).expect("psc tx executes");
     assert!(receipt.status.is_success());
     let payment_id = btcfast_suite::payjudger::PayJudgerClient::payment_id_from(&receipt).unwrap();
 

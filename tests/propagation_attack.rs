@@ -54,7 +54,7 @@ fn propagation_double_spend_is_detected_and_compensated() {
         1_000_000,
         1_200_000,
     );
-    let receipt = session.run_psc_tx(open);
+    let receipt = session.run_psc_tx(open).expect("psc tx executes");
     assert!(receipt.status.is_success());
     let payment_id = PayJudgerClient::payment_id_from(&receipt).unwrap();
 
@@ -90,7 +90,7 @@ fn propagation_double_spend_is_detected_and_compensated() {
 
     // The miners confirm the conflicting spend.
     session.advance_clock(SimTime::from_secs(600));
-    session.mine_public_block();
+    session.mine_public_block().expect("block connects");
     assert_eq!(session.btc.confirmations(&steal.txid()), Some(1));
 
     // The block propagates to the merchant's node; the payment's coins are
@@ -114,11 +114,15 @@ fn propagation_double_spend_is_detected_and_compensated() {
         session
             .merchant
             .build_dispute(&session.judger, &session.psc, customer_id, payment_id);
-    assert!(session.run_psc_tx(dispute).status.is_success());
+    assert!(session
+        .run_psc_tx(dispute)
+        .expect("psc tx executes")
+        .status
+        .is_success());
     // Bury the conflicting spend Δ deep so the evidence is conclusive.
     for _ in 0..6 {
         session.advance_clock(SimTime::from_secs(600));
-        session.mine_public_block();
+        session.mine_public_block().expect("block connects");
     }
     let evidence = SpvEvidence::from_chain(
         merchant_node.chain(),
@@ -143,14 +147,18 @@ fn propagation_double_spend_is_detected_and_compensated() {
         payment_id,
         evidence,
     );
-    assert!(session.run_psc_tx(submit).status.is_success());
+    assert!(session
+        .run_psc_tx(submit)
+        .expect("psc tx executes")
+        .status
+        .is_success());
 
     session.advance_clock(SimTime::from_secs(7300));
     let judge =
         session
             .merchant
             .build_judge(&session.judger, &session.psc, customer_id, payment_id);
-    let receipt = session.run_psc_tx(judge);
+    let receipt = session.run_psc_tx(judge).expect("psc tx executes");
     assert_eq!(
         PayJudgerClient::verdict_from(&receipt),
         Some(DisputeVerdict::MerchantWins)
