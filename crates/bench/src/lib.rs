@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod load;
 pub mod perf;
 pub mod table;
 

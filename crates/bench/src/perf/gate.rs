@@ -89,6 +89,33 @@ impl GateReport {
         });
         out
     }
+
+    /// The delta table as GitHub-flavored markdown (for
+    /// `$GITHUB_STEP_SUMMARY`).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "### Perf gate — {} (threshold ±{:.0}%)\n\n",
+            if self.passes() { "PASS" } else { "FAIL" },
+            self.threshold * 100.0
+        ));
+        out.push_str("| family | baseline ops/s | current ops/s | delta | verdict |\n");
+        out.push_str("| --- | --- | --- | --- | --- |\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "| {} | {:.1} | {:.1} | {:+.1}% | {} |\n",
+                row.name,
+                row.baseline_ops,
+                row.current_ops,
+                row.delta_pct,
+                if row.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("| {name} | — | — | — | MISSING |\n"));
+        }
+        out
+    }
 }
 
 fn bench_ops(doc: &Json, name: &str) -> Option<f64> {
@@ -238,6 +265,16 @@ mod tests {
             1,
             "only the overhead family trips"
         );
+    }
+
+    #[test]
+    fn markdown_render_carries_verdicts() {
+        let base = doc(&[("a", 1000.0), ("b", 1000.0)]);
+        let current = doc(&[("a", 600.0)]);
+        let md = compare(&base, &current, 0.30).unwrap().render_markdown();
+        assert!(md.contains("### Perf gate — FAIL"));
+        assert!(md.contains("| a | 1000.0 | 600.0 | -40.0% | REGRESSED |"));
+        assert!(md.contains("| b | — | — | — | MISSING |"));
     }
 
     #[test]

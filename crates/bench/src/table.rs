@@ -70,6 +70,19 @@ impl Table {
         out
     }
 
+    /// Renders the table as GitHub-flavored markdown (for
+    /// `$GITHUB_STEP_SUMMARY` and similar renderers).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(out, "|{}", " --- |".repeat(self.header.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
     /// Renders and prints to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
@@ -107,6 +120,17 @@ mod tests {
         assert!(s.contains("6-confirmation"));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn renders_markdown_pipes() {
+        let mut t = Table::new("demo", &["scheme", "wait (s)"]);
+        t.push(vec!["BTCFast".into(), "0.33".into()]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("### demo\n"));
+        assert!(md.contains("| scheme | wait (s) |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("| BTCFast | 0.33 |"));
     }
 
     #[test]

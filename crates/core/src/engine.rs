@@ -27,6 +27,7 @@
 //! executed the same payments against the same final chain states — and
 //! recorded byte-identical per-phase traces doing it.
 
+use crate::admission::{AdmissionConfig, AdmissionQueue, ShardAdmissionStats, Ticket};
 use crate::config::SessionConfig;
 use crate::recovery::{Outcome, RecoveryManager, Step};
 use crate::session::{FastPaySession, SessionError};
@@ -201,6 +202,409 @@ impl PaymentEngine {
         Ok(EngineReport {
             total_payments: self.config.shards * self.config.payments_per_shard,
             total_accepted,
+            fingerprint: sha256d(&bytes),
+            outcomes,
+        })
+    }
+}
+
+/// One scheduled open-loop arrival: `payments` equal-value payments bound
+/// for `shard` at global time `at`.
+///
+/// The schedule is fixed *before* the run (typically sampled from
+/// `btcfast_netsim::poisson::OpenLoopArrivals`), so arrivals keep coming
+/// at the offered rate whether or not the shards keep up — the open-loop
+/// property that exposes saturation instead of hiding it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadArrival {
+    /// Arrival offset on the global run timeline (`t = 0` is the instant
+    /// every shard finishes provisioning).
+    pub at: SimTime,
+    /// Destination shard.
+    pub shard: usize,
+    /// Payments in the arriving batch.
+    pub payments: usize,
+}
+
+/// What one shard observed during an open-loop load run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardLoadOutcome {
+    /// The shard index.
+    pub shard: usize,
+    /// The derived per-shard seed.
+    pub seed: u64,
+    /// Payments the schedule offered to this shard.
+    pub offered: usize,
+    /// Payments that reached the session (admitted and served).
+    pub executed: usize,
+    /// Served payments the merchant accepted.
+    pub accepted: usize,
+    /// Served payments the merchant rejected (protocol rejection, not a
+    /// load shed).
+    pub rejected: usize,
+    /// This shard's admission accounting (depth, high-water, sheds).
+    pub admission: ShardAdmissionStats,
+    /// Accept latency of every accepted payment, in service order,
+    /// charged from the payment's *scheduled arrival* — not from when a
+    /// server finally picked it up — so queueing delay under overload is
+    /// measured, not coordinated-omission-hidden.
+    pub accept_latencies: Vec<SimTime>,
+    /// The shard's final PSC world-state commitment.
+    pub psc_commitment: Hash256,
+    /// The shard's final BTC tip hash.
+    pub btc_tip: Hash256,
+    /// Escrow value locked at the end of the run.
+    pub escrow_locked: u128,
+    /// Total escrow balance at the end of the run; solvency requires
+    /// `escrow_locked <= escrow_balance` at all times.
+    pub escrow_balance: u128,
+    /// The lock the ledger *should* hold: per-payment collateral × served
+    /// payments. Shed payments never reach registration, so any
+    /// difference is escrow residue — value leaked by shedding.
+    pub expected_locked: u128,
+}
+
+impl ShardLoadOutcome {
+    /// Escrow residue: absolute difference between the locked value and
+    /// what the served payments account for. Non-zero means shedding
+    /// leaked or stranded escrow value.
+    pub fn escrow_residue(&self) -> u128 {
+        self.escrow_locked.abs_diff(self.expected_locked)
+    }
+
+    /// Canonical byte encoding hashed into the load-run fingerprint.
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.shard as u64).to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.offered as u64).to_le_bytes());
+        out.extend_from_slice(&(self.executed as u64).to_le_bytes());
+        out.extend_from_slice(&(self.accepted as u64).to_le_bytes());
+        out.extend_from_slice(&(self.rejected as u64).to_le_bytes());
+        out.extend_from_slice(&self.admission.admitted.to_le_bytes());
+        out.extend_from_slice(&self.admission.rejected_new.to_le_bytes());
+        out.extend_from_slice(&self.admission.dropped_oldest.to_le_bytes());
+        out.extend_from_slice(&(self.admission.high_water as u64).to_le_bytes());
+        out.extend_from_slice(&(self.accept_latencies.len() as u64).to_le_bytes());
+        for latency in &self.accept_latencies {
+            out.extend_from_slice(&latency.as_micros().to_le_bytes());
+        }
+        out.extend_from_slice(&self.psc_commitment.0);
+        out.extend_from_slice(&self.btc_tip.0);
+        out.extend_from_slice(&self.escrow_locked.to_le_bytes());
+        out.extend_from_slice(&self.escrow_balance.to_le_bytes());
+        out.extend_from_slice(&self.expected_locked.to_le_bytes());
+    }
+}
+
+/// The aggregate of one open-loop load run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Per-shard outcomes, in shard order.
+    pub outcomes: Vec<ShardLoadOutcome>,
+    /// Every shed ticket across the run, in shed order — the
+    /// deterministic shed set, hashed into [`LoadReport::fingerprint`].
+    pub shed: Vec<Ticket>,
+    /// Payments the schedule offered across all shards.
+    pub offered: usize,
+    /// Payments served across all shards.
+    pub executed: usize,
+    /// Global-timeline instant the last service completed.
+    pub makespan: SimTime,
+    /// SHA-256d over every outcome's canonical encoding plus the shed
+    /// set: equal fingerprints ⇒ byte-identical replays *including every
+    /// shedding decision*.
+    pub fingerprint: Hash256,
+}
+
+impl LoadReport {
+    /// Payments shed (never served) across all shards.
+    pub fn shed_count(&self) -> usize {
+        self.shed.len()
+    }
+
+    /// Shed fraction of the offered load, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed.len() as f64 / self.offered as f64
+        }
+    }
+
+    /// Merchant-accepted payments across all shards.
+    pub fn total_accepted(&self) -> usize {
+        self.outcomes.iter().map(|o| o.accepted).sum()
+    }
+
+    /// Goodput: accepted payments per simulated second of makespan.
+    pub fn goodput_per_sec(&self) -> f64 {
+        let span = self.makespan.as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.total_accepted() as f64 / span
+        }
+    }
+
+    /// `(p50, p99)` accept latency across all shards in seconds, charged
+    /// from scheduled arrival. `None` when nothing was accepted.
+    pub fn accept_latency_quantiles(&self) -> Option<(f64, f64)> {
+        let mut micros: Vec<u64> = self
+            .outcomes
+            .iter()
+            .flat_map(|o| o.accept_latencies.iter().map(SimTime::as_micros))
+            .collect();
+        micros.sort_unstable();
+        let rank =
+            |q: f64| btcfast_obs::stats::quantile_sorted_u64(&micros, q).map(|v| v as f64 / 1e6);
+        Some((rank(0.50)?, rank(0.99)?))
+    }
+
+    /// Total escrow residue across shards — zero iff shed payments left
+    /// no trace in any escrow (value conservation).
+    pub fn escrow_residue(&self) -> u128 {
+        self.outcomes.iter().map(|o| o.escrow_residue()).sum()
+    }
+}
+
+/// One shard's server state during an open-loop run.
+struct LoadServer {
+    session: FastPaySession,
+    /// Session-clock reading at `t = 0` of the global timeline.
+    start: SimTime,
+    /// Global-timeline instant the in-flight service round completes;
+    /// `None` when idle.
+    busy_until: Option<SimTime>,
+}
+
+/// Per-shard service accounting accumulated by the event loop.
+#[derive(Default)]
+struct ShardLoadAcc {
+    executed: usize,
+    accepted: usize,
+    rejected: usize,
+    latencies: Vec<SimTime>,
+}
+
+/// Starts one service round on an idle shard at global time `now`: pops
+/// up to `batch_size` queued tickets, runs them as one payment batch, and
+/// marks the server busy until the batch completes. No-op when the
+/// shard's queue is empty.
+fn serve_shard(
+    config: &EngineConfig,
+    shard: usize,
+    now: SimTime,
+    server: &mut LoadServer,
+    queue: &mut AdmissionQueue,
+    acc: &mut ShardLoadAcc,
+) -> Result<(), SessionError> {
+    let batch = config.batch_size.max(1);
+    let mut tickets = Vec::with_capacity(batch);
+    while tickets.len() < batch {
+        match queue.pop(shard) {
+            Some(ticket) => tickets.push(ticket),
+            None => break,
+        }
+    }
+    if tickets.is_empty() {
+        return Ok(());
+    }
+
+    // Advance the shard's session clock to the global service start.
+    let target = server.start + now;
+    if target > server.session.clock {
+        let delta = target - server.session.clock;
+        server.session.advance_clock(delta);
+    }
+    server.session.trace_point(
+        "engine.load_serve",
+        vec![
+            ("shard", shard.into()),
+            ("batch", tickets.len().into()),
+            ("queued", queue.shard_depth(shard).into()),
+        ],
+    );
+
+    let amounts: Vec<u64> = tickets.iter().map(|t| t.amount_sats).collect();
+    let reports = server.session.run_fast_payment_batch(&amounts)?;
+    // Confirm the batch so its change outputs fund the next round.
+    server.session.mine_public_block()?;
+
+    for (ticket, report) in tickets.iter().zip(&reports) {
+        acc.executed += 1;
+        if report.accepted {
+            acc.accepted += 1;
+            // Coordinated-omission-correct: completion minus *scheduled*
+            // arrival, so time spent queued under overload is charged.
+            let completion = report.accepted_at - server.start;
+            acc.latencies
+                .push(completion.saturating_sub(ticket.arrival));
+        } else {
+            acc.rejected += 1;
+        }
+    }
+    server.busy_until = Some(server.session.clock - server.start);
+    Ok(())
+}
+
+impl PaymentEngine {
+    /// Drives an open-loop arrival schedule through every shard with
+    /// bounded admission: a discrete-event loop interleaving scheduled
+    /// arrivals with per-shard service completions.
+    ///
+    /// Arrivals are offered to the [`AdmissionQueue`] the moment they
+    /// occur; a shard serves queued payments [`EngineConfig::batch_size`]
+    /// at a time, and refused/displaced tickets land in the shed set. At
+    /// equal event times a service completion is processed before an
+    /// arrival (capacity frees before the next admission decision), and
+    /// among simultaneous completions the lowest shard goes first — the
+    /// tie-break that makes the run a pure function of `(schedule,
+    /// base_seed, admission)`.
+    ///
+    /// [`EngineConfig::payments_per_shard`] is ignored here — the
+    /// schedule decides how much work each shard sees.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SessionError`] a shard hits. Overload is *not*
+    /// an error at this level: shed payments are reported, not failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the schedule is not sorted by arrival time or targets
+    /// a shard out of range.
+    pub fn run_load(
+        &self,
+        base_seed: u64,
+        schedule: &[LoadArrival],
+        admission: AdmissionConfig,
+    ) -> Result<LoadReport, SessionError> {
+        let shards = self.config.shards;
+        let mut offered = vec![0usize; shards];
+        let mut prev = SimTime::ZERO;
+        for arrival in schedule {
+            assert!(arrival.shard < shards, "arrival shard out of range");
+            assert!(arrival.at >= prev, "schedule must be sorted by time");
+            prev = arrival.at;
+            offered[arrival.shard] += arrival.payments;
+        }
+
+        // Provision every shard before t = 0, sized so escrow can cover
+        // the worst case (every offered payment admitted).
+        let per_payment = self
+            .config
+            .session
+            .required_collateral(self.config.amount_sats);
+        let mut servers = Vec::with_capacity(shards);
+        for (shard, &shard_offered) in offered.iter().enumerate() {
+            let mut session_config = self.config.session.clone();
+            let worst_case = per_payment.saturating_mul(shard_offered as u128 + 1);
+            session_config.escrow_deposit = session_config.escrow_deposit.max(worst_case);
+            let mut session =
+                FastPaySession::new(session_config, shard_seed(base_seed, shard as u64));
+            session.fund_customer_coins(self.config.batch_size.max(1))?;
+            let start = session.clock;
+            servers.push(LoadServer {
+                session,
+                start,
+                busy_until: None,
+            });
+        }
+
+        let mut queue = AdmissionQueue::new(shards, admission);
+        let mut acc: Vec<ShardLoadAcc> = (0..shards).map(|_| ShardLoadAcc::default()).collect();
+
+        let mut next_arrival = 0usize;
+        loop {
+            let next_done = servers
+                .iter()
+                .enumerate()
+                .filter_map(|(shard, server)| server.busy_until.map(|t| (t, shard)))
+                .min();
+            let arrival = schedule.get(next_arrival);
+            // Completion-before-arrival on ties: capacity frees before
+            // the next admission decision.
+            let completion_first = match (next_done, arrival) {
+                (None, None) => break,
+                (Some((done, _)), Some(a)) => done <= a.at,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+            if completion_first {
+                let (done, shard) = next_done.expect("completion_first implies a busy server");
+                servers[shard].busy_until = None;
+                serve_shard(
+                    &self.config,
+                    shard,
+                    done,
+                    &mut servers[shard],
+                    &mut queue,
+                    &mut acc[shard],
+                )?;
+            } else {
+                let arrival = *arrival.expect("otherwise the loop broke");
+                next_arrival += 1;
+                for _ in 0..arrival.payments {
+                    // A refusal is a shed, recorded in the queue's shed
+                    // log — not a run failure.
+                    let _ = queue.offer(arrival.shard, arrival.at, self.config.amount_sats);
+                }
+                if servers[arrival.shard].busy_until.is_none() {
+                    serve_shard(
+                        &self.config,
+                        arrival.shard,
+                        arrival.at,
+                        &mut servers[arrival.shard],
+                        &mut queue,
+                        &mut acc[arrival.shard],
+                    )?;
+                }
+            }
+        }
+        debug_assert_eq!(queue.depth(), 0, "the drain left work queued");
+
+        let mut outcomes = Vec::with_capacity(shards);
+        let mut makespan = SimTime::ZERO;
+        for (shard, (server, acc)) in servers.iter().zip(&acc).enumerate() {
+            let record = server
+                .session
+                .judger
+                .escrow(&server.session.psc, server.session.customer.psc_account())
+                .map_err(|e| SessionError::Psc(format!("escrow view: {e}")))?;
+            makespan = makespan.max(server.session.clock - server.start);
+            outcomes.push(ShardLoadOutcome {
+                shard,
+                seed: shard_seed(base_seed, shard as u64),
+                offered: offered[shard],
+                executed: acc.executed,
+                accepted: acc.accepted,
+                rejected: acc.rejected,
+                admission: queue.stats()[shard],
+                accept_latencies: acc.latencies.clone(),
+                psc_commitment: server.session.psc.state_commitment(),
+                btc_tip: server.session.btc.tip_hash(),
+                escrow_locked: record.locked,
+                escrow_balance: record.balance,
+                expected_locked: per_payment.saturating_mul(acc.executed as u128),
+            });
+        }
+
+        let mut bytes = Vec::new();
+        for outcome in &outcomes {
+            outcome.encode(&mut bytes);
+        }
+        for ticket in queue.shed_log() {
+            bytes.extend_from_slice(&ticket.seq.to_le_bytes());
+            bytes.extend_from_slice(&(ticket.shard as u64).to_le_bytes());
+            bytes.extend_from_slice(&ticket.arrival.as_micros().to_le_bytes());
+            bytes.extend_from_slice(&ticket.amount_sats.to_le_bytes());
+        }
+
+        Ok(LoadReport {
+            offered: offered.iter().sum(),
+            executed: acc.iter().map(|a| a.executed).sum(),
+            shed: queue.shed_log().to_vec(),
+            makespan,
             fingerprint: sha256d(&bytes),
             outcomes,
         })
@@ -430,6 +834,150 @@ mod tests {
         let a = engine.run(1, &WorkerPool::new(2)).unwrap();
         let b = engine.run(2, &WorkerPool::new(2)).unwrap();
         assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    use crate::admission::SheddingPolicy;
+
+    /// A deterministic overload schedule: `per_shard` single-payment
+    /// arrivals to each of `shards` shards, interleaved round-robin at
+    /// one arrival per `gap_ms` milliseconds — far faster than a shard
+    /// serves, so bounded admission must shed.
+    fn burst_schedule(shards: usize, per_shard: usize, gap_ms: u64) -> Vec<LoadArrival> {
+        (0..shards * per_shard)
+            .map(|i| LoadArrival {
+                at: SimTime::from_millis(i as u64 * gap_ms),
+                shard: i % shards,
+                payments: 1,
+            })
+            .collect()
+    }
+
+    fn load_engine(shards: usize) -> PaymentEngine {
+        PaymentEngine::new(EngineConfig {
+            session: SessionConfig::eos_flavored(),
+            shards,
+            batch_size: 4,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn overloaded_bounded_queue_sheds_and_conserves_escrow() {
+        let engine = load_engine(2);
+        let schedule = burst_schedule(2, 12, 5);
+        let report = engine
+            .run_load(
+                3,
+                &schedule,
+                AdmissionConfig::bounded(4, SheddingPolicy::RejectNew),
+            )
+            .unwrap();
+        assert_eq!(report.offered, 24);
+        assert!(report.shed_count() > 0, "overload must shed");
+        assert_eq!(report.executed + report.shed_count(), report.offered);
+        // Value conservation: shed payments never touch the escrow.
+        assert_eq!(report.escrow_residue(), 0);
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.escrow_locked, outcome.expected_locked);
+            assert_eq!(outcome.executed, outcome.admission.admitted as usize);
+        }
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds_but_latency_grows() {
+        let engine = load_engine(1);
+        let schedule = burst_schedule(1, 16, 5);
+        let unbounded = engine
+            .run_load(3, &schedule, AdmissionConfig::unbounded())
+            .unwrap();
+        assert_eq!(unbounded.shed_count(), 0);
+        assert_eq!(unbounded.executed, 16);
+        let bounded = engine
+            .run_load(
+                3,
+                &schedule,
+                AdmissionConfig::bounded(2, SheddingPolicy::RejectNew),
+            )
+            .unwrap();
+        assert!(bounded.shed_count() > 0);
+        // Open-loop p99 is charged from scheduled arrival: the unbounded
+        // queue's tail reflects everything queued behind it, while the
+        // bounded queue holds the tail down by refusing work.
+        let (_, p99_unbounded) = unbounded.accept_latency_quantiles().unwrap();
+        let (_, p99_bounded) = bounded.accept_latency_quantiles().unwrap();
+        assert!(
+            p99_unbounded > p99_bounded,
+            "unbounded p99 {p99_unbounded}s should exceed bounded p99 {p99_bounded}s"
+        );
+    }
+
+    #[test]
+    fn load_run_replays_byte_identically_per_seed() {
+        let engine = load_engine(2);
+        let schedule = burst_schedule(2, 8, 10);
+        let admission = AdmissionConfig::bounded(3, SheddingPolicy::FairPerShard);
+        let a = engine.run_load(11, &schedule, admission).unwrap();
+        let b = engine.run_load(11, &schedule, admission).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.shed, b.shed, "the shed set replays exactly");
+        let c = engine.run_load(12, &schedule, admission).unwrap();
+        assert_ne!(a.fingerprint, c.fingerprint, "seeds diverge");
+    }
+
+    #[test]
+    fn shed_set_is_part_of_the_fingerprint() {
+        let engine = load_engine(1);
+        let schedule = burst_schedule(1, 10, 5);
+        let tight = engine
+            .run_load(
+                9,
+                &schedule,
+                AdmissionConfig::bounded(2, SheddingPolicy::RejectNew),
+            )
+            .unwrap();
+        let loose = engine
+            .run_load(
+                9,
+                &schedule,
+                AdmissionConfig::bounded(6, SheddingPolicy::RejectNew),
+            )
+            .unwrap();
+        assert!(tight.shed_count() > loose.shed_count());
+        assert_ne!(
+            tight.fingerprint, loose.fingerprint,
+            "different shedding decisions must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_a_clean_noop() {
+        let engine = load_engine(1);
+        let report = engine.run_load(1, &[], AdmissionConfig::default()).unwrap();
+        assert_eq!(report.offered, 0);
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.shed_count(), 0);
+        assert_eq!(report.goodput_per_sec(), 0.0);
+        assert!(report.accept_latency_quantiles().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_schedule_panics() {
+        let engine = load_engine(1);
+        let schedule = vec![
+            LoadArrival {
+                at: SimTime::from_secs(2),
+                shard: 0,
+                payments: 1,
+            },
+            LoadArrival {
+                at: SimTime::from_secs(1),
+                shard: 0,
+                payments: 1,
+            },
+        ];
+        let _ = engine.run_load(1, &schedule, AdmissionConfig::default());
     }
 
     #[test]

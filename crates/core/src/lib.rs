@@ -19,7 +19,13 @@
 //!   dispute resolution;
 //! * [`engine`] — [`engine::PaymentEngine`]: N concurrent shared-nothing
 //!   payment sessions sharded over a worker pool, with batched escrow
-//!   registration and seed-deterministic, byte-identical replays;
+//!   registration and seed-deterministic, byte-identical replays — plus
+//!   an open-loop load mode ([`engine::PaymentEngine::run_load`]) that
+//!   drives a fixed arrival schedule through bounded admission;
+//! * [`admission`] — the backpressure layer: a capacity-bounded
+//!   admission queue with pluggable shedding policies and a typed
+//!   [`admission::OverloadError`], whose shed set is part of the replay
+//!   fingerprint;
 //! * [`baseline`] — the comparison schemes (wait-for-z, naive 0-conf);
 //! * [`fees`] — the cost model behind the "no extra operation fee" claim;
 //! * [`robustness`] — typed failure surface ([`robustness::RobustnessError`])
@@ -50,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod baseline;
 pub mod chaos;
 pub mod config;
@@ -63,9 +70,15 @@ pub mod roles;
 pub mod session;
 pub mod telemetry;
 
+pub use admission::{
+    AdmissionConfig, AdmissionQueue, OverloadError, ShardAdmissionStats, SheddingPolicy, Ticket,
+};
 pub use chaos::{ChaosDisputeReport, ChaosPaymentReport, ChaosSession, EscrowSnapshot};
 pub use config::SessionConfig;
-pub use engine::{EngineConfig, EngineReport, PaymentEngine, ShardOutcome};
+pub use engine::{
+    EngineConfig, EngineReport, LoadArrival, LoadReport, PaymentEngine, ShardLoadOutcome,
+    ShardOutcome,
+};
 pub use policy::AcceptancePolicy;
 pub use protocol::{Acceptance, PaymentOffer, RejectReason};
 pub use recovery::{

@@ -56,6 +56,10 @@ use std::sync::Arc;
 pub struct FastPayReport {
     /// Point-of-sale waiting time: offer → verified acceptance.
     pub waiting: SimTime,
+    /// Session-clock reading when the acceptance (or rejection) landed —
+    /// the completion stamp open-loop drivers charge queueing latency
+    /// against.
+    pub accepted_at: SimTime,
     /// Time the checkout-preparation registration took (PSC inclusion).
     pub registration: SimTime,
     /// `waiting + registration`: the conservative end-to-end figure.
@@ -571,6 +575,7 @@ impl FastPaySession {
 
         Ok(FastPayReport {
             waiting,
+            accepted_at: self.clock,
             registration,
             end_to_end: waiting + registration,
             accepted,
@@ -768,6 +773,7 @@ impl FastPaySession {
             );
             reports.push(FastPayReport {
                 waiting,
+                accepted_at: self.clock,
                 registration,
                 end_to_end: waiting + registration,
                 accepted,

@@ -13,6 +13,7 @@
 //! idempotent rather than double-counting.
 
 use crate::chaos::ChaosSession;
+use crate::engine::LoadReport;
 use crate::session::FastPaySession;
 use btcfast_netsim::transport::TransportStats;
 use btcfast_obs::Registry;
@@ -110,6 +111,43 @@ pub fn publish_recovery<S: btcfast_store::Storage>(
     registry.set_gauge("btcfast_wal_duplicates_skipped", wal.duplicates_skipped);
 }
 
+/// Publishes an open-loop load run: aggregate offered/served/shed
+/// counters plus every shard's admission depth, high-water, and shed
+/// accounting under stable per-shard names.
+pub fn publish_load(registry: &Registry, report: &LoadReport) {
+    registry.set_gauge("btcfast_load_offered", report.offered as u64);
+    registry.set_gauge("btcfast_load_executed", report.executed as u64);
+    registry.set_gauge("btcfast_load_accepted", report.total_accepted() as u64);
+    registry.set_gauge("btcfast_load_shed", report.shed_count() as u64);
+    registry.set_gauge("btcfast_load_makespan_us", report.makespan.as_micros());
+    // Residue is u128 only because escrow values are; a non-zero residue
+    // is a conservation bug, so saturating the gauge is fine.
+    registry.set_gauge(
+        "btcfast_load_escrow_residue",
+        u64::try_from(report.escrow_residue()).unwrap_or(u64::MAX),
+    );
+    for outcome in &report.outcomes {
+        let shard = outcome.shard;
+        let stats = &outcome.admission;
+        registry.set_gauge(
+            &format!("btcfast_admission_shard{shard}_admitted"),
+            stats.admitted,
+        );
+        registry.set_gauge(
+            &format!("btcfast_admission_shard{shard}_depth"),
+            stats.depth as u64,
+        );
+        registry.set_gauge(
+            &format!("btcfast_admission_shard{shard}_high_water"),
+            stats.high_water as u64,
+        );
+        registry.set_gauge(
+            &format!("btcfast_admission_shard{shard}_shed"),
+            stats.shed(),
+        );
+    }
+}
+
 /// Publishes a chaos session: the wrapped protocol session plus its
 /// transport fabric.
 pub fn publish_chaos(registry: &Registry, chaos: &ChaosSession) {
@@ -150,6 +188,68 @@ mod tests {
         // Re-scraping is idempotent: gauges snapshot, they don't accumulate.
         publish_session(&registry, &session);
         assert_eq!(registry.gauge("btcfast_mempool_admitted").get(), 1);
+    }
+
+    #[test]
+    fn load_scrape_publishes_aggregate_and_per_shard_admission_gauges() {
+        use crate::admission::{AdmissionConfig, SheddingPolicy};
+        use crate::engine::{EngineConfig, LoadArrival, PaymentEngine};
+        use btcfast_netsim::time::SimTime;
+
+        let engine = PaymentEngine::new(EngineConfig {
+            session: SessionConfig::eos_flavored(),
+            shards: 2,
+            batch_size: 4,
+            ..EngineConfig::default()
+        });
+        let schedule: Vec<LoadArrival> = (0..16)
+            .map(|i| LoadArrival {
+                at: SimTime::from_millis(i * 5),
+                shard: (i % 2) as usize,
+                payments: 1,
+            })
+            .collect();
+        let report = engine
+            .run_load(
+                41,
+                &schedule,
+                AdmissionConfig::bounded(2, SheddingPolicy::RejectNew),
+            )
+            .unwrap();
+        assert!(report.shed_count() > 0, "the burst must overload");
+
+        let registry = Registry::new();
+        publish_load(&registry, &report);
+        assert_eq!(registry.gauge("btcfast_load_offered").get(), 16);
+        assert_eq!(
+            registry.gauge("btcfast_load_executed").get()
+                + registry.gauge("btcfast_load_shed").get(),
+            16
+        );
+        assert_eq!(registry.gauge("btcfast_load_escrow_residue").get(), 0);
+        for shard in 0..2 {
+            assert_eq!(
+                registry
+                    .gauge(&format!("btcfast_admission_shard{shard}_depth"))
+                    .get(),
+                0,
+                "queues drain by the end of the run"
+            );
+            assert!(
+                registry
+                    .gauge(&format!("btcfast_admission_shard{shard}_high_water"))
+                    .get()
+                    >= 1
+            );
+        }
+        let shed: u64 = (0..2)
+            .map(|shard| {
+                registry
+                    .gauge(&format!("btcfast_admission_shard{shard}_shed"))
+                    .get()
+            })
+            .sum();
+        assert_eq!(shed, report.shed_count() as u64);
     }
 
     #[test]

@@ -61,6 +61,59 @@ impl BlockArrivals {
     }
 }
 
+/// An open-loop request arrival process: Poisson arrivals at a fixed
+/// offered rate, independent of how fast the system under test completes
+/// work.
+///
+/// Closed-loop drivers (issue → wait → issue) hide saturation: when the
+/// server slows down the driver slows down with it, so queueing delay
+/// never shows up in the measurements (coordinated omission). An open-loop
+/// schedule is fixed *before* the run — arrival times are a pure function
+/// of the seed — so latency can be charged from each request's scheduled
+/// arrival even when the server falls behind.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpenLoopArrivals {
+    /// Offered arrival rate, events per simulated second.
+    pub rate_per_sec: f64,
+}
+
+impl OpenLoopArrivals {
+    /// Creates a process with the given offered rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_sec` is positive and finite.
+    pub fn new(rate_per_sec: f64) -> OpenLoopArrivals {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive"
+        );
+        OpenLoopArrivals { rate_per_sec }
+    }
+
+    /// Expected time between arrivals, seconds.
+    pub fn mean_secs(&self) -> f64 {
+        1.0 / self.rate_per_sec
+    }
+
+    /// Samples the whole schedule up front: `count` cumulative arrival
+    /// offsets from `t = 0`, strictly increasing. The schedule is a pure
+    /// function of the RNG stream, so the same seeded RNG always yields a
+    /// byte-identical schedule.
+    pub fn schedule<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<SimTime> {
+        let mut at = SimTime::ZERO;
+        (0..count)
+            .map(|_| {
+                // Exponential gaps round to ≥ 1 µs below, so arrivals
+                // stay strictly ordered even at extreme offered rates.
+                let gap = exponential(self.mean_secs(), rng);
+                at += gap.max(SimTime::from_micros(1));
+                at
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +168,34 @@ mod tests {
     #[should_panic(expected = "hashrate")]
     fn bad_share_panics() {
         BlockArrivals::new(600.0, 0.0);
+    }
+
+    #[test]
+    fn open_loop_schedule_is_seed_deterministic_and_ordered() {
+        let arrivals = OpenLoopArrivals::new(4.0);
+        let a = arrivals.schedule(500, &mut StdRng::seed_from_u64(21));
+        let b = arrivals.schedule(500, &mut StdRng::seed_from_u64(21));
+        assert_eq!(a, b, "same seed must yield the same schedule");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        let c = arrivals.schedule(500, &mut StdRng::seed_from_u64(22));
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn open_loop_schedule_mean_gap_matches_rate() {
+        let arrivals = OpenLoopArrivals::new(10.0);
+        let schedule = arrivals.schedule(20_000, &mut StdRng::seed_from_u64(23));
+        let span = schedule.last().unwrap().as_secs_f64();
+        let mean_gap = span / schedule.len() as f64;
+        assert!(
+            (0.09..0.11).contains(&mean_gap),
+            "mean gap {mean_gap}s at rate 10/s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn open_loop_zero_rate_panics() {
+        OpenLoopArrivals::new(0.0);
     }
 }
