@@ -1,0 +1,217 @@
+//! `crypto` engine: differential targets for the secp256k1 wNAF fast
+//! path against the retained binary double-and-add ladder, plus a hostile
+//! sign→verify round-trip.
+//!
+//! The fast path (odd-multiple tables, the static generator table, the
+//! per-key table cache — `btcfast_crypto::mul_table`) must agree with
+//! `Point::mul_binary` on *every* scalar, and ECDSA verify verdicts must
+//! be a pure function of `(key, digest, signature)` — never of cache
+//! state. Scalar draws are edge-biased (0, 1, 2, n−1, n−2, 2^k,
+//! all-ones) because wNAF bugs live at carries, leading zeros, and the
+//! 257th digit. Points are drawn as `k*G` through the *binary* ladder, so
+//! the group-closure guarantee holds even when the fast path under test
+//! is the thing that is broken.
+
+use crate::source::ByteSource;
+use btcfast_crypto::ecdsa::{self, verify_uncached, Signature};
+use btcfast_crypto::keys::KeyPair;
+use btcfast_crypto::mul_table::{generator_mul, mul_wnaf, OddMultiplesTable};
+use btcfast_crypto::point::{AffinePoint, Point};
+use btcfast_crypto::scalar::Scalar;
+
+/// Draws a scalar, biased toward the wNAF edge cases.
+fn draw_scalar(src: &mut ByteSource) -> Scalar {
+    match src.choice(8) {
+        0 => Scalar::ZERO,
+        1 => Scalar::ONE,
+        2 => Scalar::from_u64(2),
+        3 => -Scalar::ONE,         // n - 1
+        4 => -Scalar::from_u64(2), // n - 2
+        5 => {
+            // A single power of two: the sparsest wNAF.
+            let k = src.choice(256);
+            let mut b = [0u8; 32];
+            b[31 - k / 8] = 1 << (k % 8);
+            Scalar::from_be_bytes_reduced(&b)
+        }
+        6 => Scalar::from_be_bytes_reduced(&[0xFF; 32]), // densest bits
+        _ => {
+            let mut b = [0u8; 32];
+            src.fill(&mut b);
+            Scalar::from_be_bytes_reduced(&b)
+        }
+    }
+}
+
+/// Comparable serialization: affine `x || y` bytes, empty for infinity.
+fn point_bytes(p: &Point) -> Vec<u8> {
+    match p.to_affine() {
+        AffinePoint::Infinity => Vec::new(),
+        AffinePoint::Coordinates { x, y } => {
+            let mut out = Vec::with_capacity(64);
+            out.extend_from_slice(&x.to_be_bytes());
+            out.extend_from_slice(&y.to_be_bytes());
+            out
+        }
+    }
+}
+
+/// Differential: every fast multiplication path must be byte-identical to
+/// the binary ladder on a fuzzed `(point, scalar)` draw.
+pub fn diff_crypto_mul(bytes: &[u8]) -> Result<(), String> {
+    let mut src = ByteSource::new(bytes);
+    // Base point: k*G via the oracle ladder (stays on-curve by group
+    // closure even if the code under test is wrong). Bias k toward edges
+    // too — the table build itself doubles and adds the base.
+    let base_k = draw_scalar(&mut src);
+    let base = Point::generator().mul_binary(&base_k);
+    let k = draw_scalar(&mut src);
+
+    let oracle = point_bytes(&base.mul_binary(&k));
+    if point_bytes(&base.mul(&k)) != oracle {
+        return Err(format!(
+            "Point::mul diverges from mul_binary: base_k={base_k:?} k={k:?}"
+        ));
+    }
+    if point_bytes(&mul_wnaf(&base, &k)) != oracle {
+        return Err(format!(
+            "mul_wnaf diverges from mul_binary: base_k={base_k:?} k={k:?}"
+        ));
+    }
+    // A fuzz-chosen table width exercises every supported window.
+    let width = 2 + src.choice(7) as u32; // 2..=8
+    match OddMultiplesTable::new(&base, width) {
+        Some(table) => {
+            if point_bytes(&table.mul(&k)) != oracle {
+                return Err(format!(
+                    "width-{width} table diverges from mul_binary: base_k={base_k:?} k={k:?}"
+                ));
+            }
+        }
+        None => {
+            if !base.is_infinity() {
+                return Err("table build refused a finite point".into());
+            }
+        }
+    }
+    // Fixed-base path against the same oracle.
+    if point_bytes(&generator_mul(&k)) != point_bytes(&Point::generator().mul_binary(&k)) {
+        return Err(format!("generator_mul diverges from mul_binary: k={k:?}"));
+    }
+    // Interleaved double-scalar against the composed oracle.
+    let a = draw_scalar(&mut src);
+    let fast = Point::lincomb(&a, &k, &base);
+    let slow = Point::generator().mul_binary(&a).add(&base.mul_binary(&k));
+    if point_bytes(&fast) != point_bytes(&slow) {
+        return Err(format!(
+            "lincomb diverges: a={a:?} b={k:?} base_k={base_k:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Hostile sign→verify round-trip: a fresh signature must verify on the
+/// cached and uncached paths, and high-S / zero-component / tampered
+/// mutations must all be rejected — with raw signature bytes never
+/// panicking the parser.
+pub fn fuzz_crypto_sign_verify(bytes: &[u8]) -> Result<(), String> {
+    let mut src = ByteSource::new(bytes);
+    let seed = src.bytes(16);
+    let kp = KeyPair::from_seed(&seed);
+    let mut digest = [0u8; 32];
+    src.fill(&mut digest);
+
+    let sig = kp.sign(&digest);
+    let q = kp.public().point();
+    if !kp.public().verify(&digest, &sig) {
+        return Err("fresh signature rejected by cached verify".into());
+    }
+    if !verify_uncached(q, &digest, &sig) {
+        return Err("fresh signature rejected by uncached verify".into());
+    }
+
+    // Hostile mutations: each must fail on BOTH paths (a split verdict is
+    // the worst kind of cache bug).
+    let mut tampered = digest;
+    tampered[src.choice(32)] ^= 1 + src.u8() % 255;
+    let wrong_key = KeyPair::from_seed(&[seed.as_slice(), b"!"].concat());
+    let mutations: [(&str, &Point, [u8; 32], Signature); 5] = [
+        (
+            "high-S",
+            q,
+            digest,
+            Signature {
+                r: sig.r,
+                s: -sig.s,
+            },
+        ),
+        (
+            "zero-r",
+            q,
+            digest,
+            Signature {
+                r: Scalar::ZERO,
+                s: sig.s,
+            },
+        ),
+        (
+            "zero-s",
+            q,
+            digest,
+            Signature {
+                r: sig.r,
+                s: Scalar::ZERO,
+            },
+        ),
+        ("tampered-digest", q, tampered, sig),
+        ("wrong-key", wrong_key.public().point(), digest, sig),
+    ];
+    for (label, key, d, candidate) in &mutations {
+        if ecdsa::verify(key, d, candidate) {
+            return Err(format!("{label} mutation accepted by cached verify"));
+        }
+        if verify_uncached(key, d, candidate) {
+            return Err(format!("{label} mutation accepted by uncached verify"));
+        }
+    }
+
+    // Raw drawn bytes through the parser: any verdict is fine, panics are
+    // not. A successful parse must re-serialize to the same bytes.
+    let mut raw = [0u8; 64];
+    src.fill(&mut raw);
+    if let Ok(parsed) = Signature::from_bytes(&raw) {
+        if parsed.to_bytes() != raw {
+            return Err("Signature::from_bytes/to_bytes round trip changed bytes".into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_differential_clean_on_fixed_cases() {
+        // Empty (all draws zero), short, and a spread of dense cases.
+        assert_eq!(diff_crypto_mul(&[]), Ok(()));
+        assert_eq!(diff_crypto_mul(&[7]), Ok(()));
+        for seed in 0u8..12 {
+            let bytes: Vec<u8> = (0..96)
+                .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+                .collect();
+            assert_eq!(diff_crypto_mul(&bytes), Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sign_verify_clean_on_fixed_cases() {
+        assert_eq!(fuzz_crypto_sign_verify(&[]), Ok(()));
+        for seed in 0u8..6 {
+            let bytes: Vec<u8> = (0..128)
+                .map(|i| seed.wrapping_mul(17).wrapping_add(i))
+                .collect();
+            assert_eq!(fuzz_crypto_sign_verify(&bytes), Ok(()), "seed {seed}");
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //!   monotonicity checks evaluated after every step of a fuzzed scenario;
 //! * [`Engine::Store`] — durable-store targets: hostile WAL/snapshot
 //!   media must scan without panicking, and a journal crash-truncated at
-//!   every byte offset must recover exactly the clean-prefix state.
+//!   every byte offset must recover exactly the clean-prefix state;
+//! * [`Engine::Crypto`] — differential targets pinning the secp256k1
+//!   wNAF/table/cached fast path to the binary double-and-add oracle,
+//!   plus hostile sign→verify round trips (high-S, zero components,
+//!   tampered digests, wrong keys).
 //!
 //! Determinism contract: `run` with the same seed, iteration count, and
 //! corpus produces a byte-identical [`FuzzReport`] (and therefore
@@ -33,6 +37,7 @@
 
 pub mod codec_fuzz;
 pub mod corpus;
+pub mod crypto_fuzz;
 pub mod diff_fuzz;
 pub mod invariants;
 pub mod source;
@@ -57,15 +62,19 @@ pub enum Engine {
     /// Durable-store targets: hostile WAL/snapshot media and the
     /// crash-at-every-offset recovery differential.
     Store,
+    /// secp256k1 fast-path differentials against the binary-ladder oracle
+    /// and hostile ECDSA sign→verify round trips.
+    Crypto,
 }
 
 impl Engine {
     /// All engines, in reporting order.
-    pub const ALL: [Engine; 4] = [
+    pub const ALL: [Engine; 5] = [
         Engine::Codec,
         Engine::Diff,
         Engine::Invariant,
         Engine::Store,
+        Engine::Crypto,
     ];
 
     /// The engine's stable name (CLI flag value, corpus field, metric key).
@@ -75,6 +84,7 @@ impl Engine {
             Engine::Diff => "diff",
             Engine::Invariant => "invariant",
             Engine::Store => "store",
+            Engine::Crypto => "crypto",
         }
     }
 
@@ -165,6 +175,16 @@ pub const TARGETS: &[Target] = &[
         engine: Engine::Store,
         name: "crash-every-offset",
         check: store_fuzz::diff_store_crash_every_offset,
+    },
+    Target {
+        engine: Engine::Crypto,
+        name: "mul-differential",
+        check: crypto_fuzz::diff_crypto_mul,
+    },
+    Target {
+        engine: Engine::Crypto,
+        name: "sign-verify",
+        check: crypto_fuzz::fuzz_crypto_sign_verify,
     },
 ];
 

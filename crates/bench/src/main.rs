@@ -56,7 +56,7 @@ fn usage() {
     println!("       harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]");
     println!("       harness trace [--seed N] [--trace PATH] [--metrics PATH]");
     println!(
-        "       harness fuzz [--seed N] [--iters N] [--engine codec|diff|invariant|store] \
+        "       harness fuzz [--seed N] [--iters N] [--engine codec|diff|invariant|store|crypto] \
          [--corpus DIR] [--out DIR] [--metrics PATH]"
     );
     for id in experiments::ALL_IDS {
@@ -282,7 +282,7 @@ fn run_fuzz(args: &[String]) -> Result<ExitCode, CliError> {
             None => {
                 return Err(CliError {
                     flag: "--engine",
-                    expected: "codec, diff, invariant, or store",
+                    expected: "codec, diff, invariant, store, or crypto",
                     got: name.to_string(),
                 });
             }

@@ -25,7 +25,12 @@ use btcfast_btcsim::spv::HeaderSegment;
 use btcfast_btcsim::transaction::{OutPoint, Transaction, TxIn, TxOut};
 use btcfast_btcsim::u256::U256;
 use btcfast_btcsim::Amount;
+use btcfast_crypto::ecdsa::{
+    pubkey_cache_stats, reset_pubkey_cache, Signature, PUBKEY_CACHE_CAPACITY,
+};
 use btcfast_crypto::keys::KeyPair;
+use btcfast_crypto::point::Point;
+use btcfast_crypto::scalar::Scalar;
 use btcfast_crypto::sha256::sha256d;
 use btcfast_crypto::{Hash256, MerkleTree};
 use btcfast_payjudger::contract::PayJudger;
@@ -282,12 +287,50 @@ pub fn run_suite(quick: bool) -> (Json, Vec<Summary>) {
     }));
 
     // -- Family 3: ECDSA accept path (signature check per fast payment). --
-    let kp = KeyPair::from_seed(b"bench accept path");
+    // Rotates through twice as many keys as the per-key table cache holds,
+    // so every verify is a *cold-key* verify: Q-table build, cache insert,
+    // and LRU eviction are all on the clock — the honest "first payment
+    // from a new customer" cost. The warm-hit path is its own family below.
     let digest = sha256d(b"pay 1 BTC to merchant");
-    let sig = kp.sign(&digest.0);
+    let cold_keys: Vec<(KeyPair, Signature)> = (0..2 * PUBKEY_CACHE_CAPACITY)
+        .map(|i| {
+            let kp = KeyPair::from_seed(format!("bench accept path {i}").as_bytes());
+            let sig = kp.sign(&digest.0);
+            (kp, sig)
+        })
+        .collect();
+    let mut next = 0usize;
     summaries.push(bench("accept_ecdsa_verify", samples, 4, || {
-        assert!(kp.public().verify(&digest.0, &sig));
+        let (kp, sig) = &cold_keys[next % cold_keys.len()];
+        next += 1;
+        assert!(kp.public().verify(&digest.0, sig));
     }));
+
+    // -- Family 3b: the raw multiplication primitives under the verify. ---
+    let kp = &cold_keys[0].0;
+    let base = *kp.public().point();
+    let k_scalar = Scalar::from_be_bytes_reduced(&sha256d(b"bench wnaf scalar").0);
+    summaries.push(bench("scalar_mul_wnaf", samples, 8, || {
+        std::hint::black_box(base.mul(&k_scalar));
+    }));
+    let u1 = Scalar::from_be_bytes_reduced(&sha256d(b"bench lincomb u1").0);
+    let u2 = Scalar::from_be_bytes_reduced(&sha256d(b"bench lincomb u2").0);
+    summaries.push(bench("lincomb_verify", samples, 8, || {
+        std::hint::black_box(Point::lincomb(&u1, &u2, &base));
+    }));
+
+    // -- Family 3c: warm repeat-customer verify (per-key cache hit). ------
+    let warm_kp = KeyPair::from_seed(b"bench warm key");
+    let warm_sig = warm_kp.sign(&digest.0);
+    reset_pubkey_cache();
+    assert!(warm_kp.public().verify(&digest.0, &warm_sig)); // primes the cache
+    summaries.push(bench("ecdsa_verify_cached_key", samples, 8, || {
+        assert!(warm_kp.public().verify(&digest.0, &warm_sig));
+    }));
+    assert!(
+        pubkey_cache_stats().hits > 0,
+        "warm family actually hit the per-key table cache"
+    );
 
     // -- Family 5: block connection against a 10k-coin UTXO set. ----------
     let chain_fx = ChainStateFixture::build();
@@ -611,6 +654,9 @@ mod tests {
             "header_verify_256_tN",
             "merkle_verify_d8",
             "accept_ecdsa_verify",
+            "scalar_mul_wnaf",
+            "lincomb_verify",
+            "ecdsa_verify_cached_key",
             "block_apply_10k_utxo",
             "psc_view_call",
             "engine_payments_per_sec_1shard",
@@ -651,7 +697,7 @@ mod tests {
             .is_some());
         let report = gate::compare(&parsed, &parsed, 0.30).unwrap();
         assert!(report.passes());
-        assert_eq!(report.rows.len(), 17);
+        assert_eq!(report.rows.len(), 20);
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub fn publish_session(registry: &Registry, session: &FastPaySession) {
     registry.set_gauge("btcfast_sig_cache_misses", sig.misses);
     registry.set_gauge("btcfast_sig_cache_resets", sig.resets);
 
+    // So is the public-key precomputation-table cache inside ecdsa::verify.
+    let tables = btcfast_crypto::ecdsa::pubkey_cache_stats();
+    registry.set_gauge("btcfast_pubkey_table_hits", tables.hits);
+    registry.set_gauge("btcfast_pubkey_table_misses", tables.misses);
+    registry.set_gauge("btcfast_pubkey_table_insertions", tables.insertions);
+    registry.set_gauge("btcfast_pubkey_table_evictions", tables.evictions);
+
     registry.set_gauge("btcfast_psc_height", session.psc.height());
     registry.set_gauge("btcfast_psc_gas_used", session.psc.total_gas_used());
     registry.set_gauge(
@@ -177,9 +184,17 @@ mod tests {
             "btcfast_psc_journal_high_water",
             "btcfast_verify_headers_verified",
             "btcfast_sig_cache_hits",
+            "btcfast_pubkey_table_hits",
+            "btcfast_pubkey_table_misses",
+            "btcfast_pubkey_table_insertions",
+            "btcfast_pubkey_table_evictions",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+        // The accepted payment verified at least one signature through the
+        // per-key table cache on this thread.
+        let tables = btcfast_crypto::ecdsa::pubkey_cache_stats();
+        assert!(tables.hits + tables.misses >= 1, "verify used the cache");
         // Provisioning mined blocks and the accepted payment is pooled.
         assert!(registry.gauge("btcfast_btc_blocks_connected").get() >= 3);
         assert_eq!(registry.gauge("btcfast_mempool_depth").get(), 1);

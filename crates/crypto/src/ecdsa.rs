@@ -2,8 +2,10 @@
 //! normalization (the scheme Bitcoin transactions use).
 
 use crate::hmac::hmac_sha256;
+use crate::mul_table::{self, OddMultiplesTable, PubkeyCacheStats, PubkeyTableCache};
 use crate::point::{AffinePoint, Point};
 use crate::scalar::Scalar;
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
 
@@ -137,7 +139,7 @@ pub fn sign(d: &Scalar, digest: &[u8; 32]) -> Result<Signature, SignatureError> 
     let secret_bytes = d.to_be_bytes();
     let mut k = rfc6979_nonce(&secret_bytes, digest);
     loop {
-        let r_point = Point::generator().mul(&k);
+        let r_point = mul_table::generator_mul(&k);
         if let AffinePoint::Coordinates { x, .. } = r_point.to_affine() {
             let r = Scalar::from_be_bytes_reduced(&x.to_be_bytes());
             if !r.is_zero() {
@@ -154,26 +156,95 @@ pub fn sign(d: &Scalar, digest: &[u8; 32]) -> Result<Signature, SignatureError> 
     }
 }
 
+/// Capacity of the thread-local per-key table cache used by [`verify`]:
+/// enough for the working set of a busy merchant session, small enough
+/// that a hostile stream of one-shot keys stays bounded.
+pub const PUBKEY_CACHE_CAPACITY: usize = 32;
+
+thread_local! {
+    /// Per-thread cache of public-key odd-multiple tables. Thread-local
+    /// (like btcsim's signature cache) so the payment-engine shards never
+    /// contend on a lock in the verify hot path.
+    static PUBKEY_TABLES: RefCell<PubkeyTableCache> =
+        RefCell::new(PubkeyTableCache::new(PUBKEY_CACHE_CAPACITY));
+}
+
+/// Compressed-SEC1 identity of a public-key point, used as the cache key.
+/// `None` for the point at infinity.
+fn compressed_id(q: &Point) -> Option<[u8; 33]> {
+    match q.to_affine() {
+        AffinePoint::Infinity => None,
+        AffinePoint::Coordinates { x, y } => {
+            let mut id = [0u8; 33];
+            id[0] = if y.is_odd() { 0x03 } else { 0x02 };
+            id[1..].copy_from_slice(&x.to_be_bytes());
+            Some(id)
+        }
+    }
+}
+
+/// The shared tail of verification once a Q table exists: compute
+/// `u1 = z/s`, `u2 = r/s`, evaluate `u1*G + u2*Q` by interleaved wNAF, and
+/// compare the result's x-coordinate against `r` without leaving Jacobian
+/// coordinates.
+fn verify_prepared(q_table: &OddMultiplesTable, digest: &[u8; 32], sig: &Signature) -> bool {
+    let z = Scalar::from_be_bytes_reduced(digest);
+    let s_inv = sig.s.invert();
+    let u1 = z * s_inv;
+    let u2 = sig.r * s_inv;
+    let point = mul_table::lincomb_wnaf(&u1, &u2, q_table);
+    point.eq_x_scalar(&sig.r)
+}
+
 /// Verifies a signature on a 32-byte digest against public key point `q`.
 ///
 /// Accepts only low-S signatures (matching what [`sign`] emits), which rules
 /// out the classic `(r, s) → (r, n − s)` malleability used in transaction-id
 /// malleation attacks.
+///
+/// Repeated verifies against the same key on the same thread reuse a cached
+/// precomputation table (see [`PUBKEY_CACHE_CAPACITY`]); the verdict is
+/// independent of cache state, which [`verify_uncached`] and the
+/// equivalence test suite enforce.
 pub fn verify(q: &Point, digest: &[u8; 32], sig: &Signature) -> bool {
     if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() || q.is_infinity() {
         return false;
     }
-    let z = Scalar::from_be_bytes_reduced(digest);
-    let s_inv = sig.s.invert();
-    let u1 = z * s_inv;
-    let u2 = sig.r * s_inv;
-    let point = Point::lincomb(&u1, &u2, q);
-    match point.to_affine() {
-        AffinePoint::Infinity => false,
-        AffinePoint::Coordinates { x, .. } => {
-            Scalar::from_be_bytes_reduced(&x.to_be_bytes()) == sig.r
+    let Some(id) = compressed_id(q) else {
+        return false;
+    };
+    PUBKEY_TABLES.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        match cache.get_or_build(&id, q) {
+            Some(table) => verify_prepared(table, digest, sig),
+            None => false,
         }
+    })
+}
+
+/// [`verify`] without the per-key table cache: always builds a fresh Q
+/// table. The explicit cold path, used by benchmarks and the differential
+/// tests that pin cached and uncached verdicts together.
+pub fn verify_uncached(q: &Point, digest: &[u8; 32], sig: &Signature) -> bool {
+    if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() || q.is_infinity() {
+        return false;
     }
+    match OddMultiplesTable::new(q, mul_table::WINDOW_P) {
+        Some(table) => verify_prepared(&table, digest, sig),
+        None => false,
+    }
+}
+
+/// Snapshot of this thread's public-key table cache counters, scraped by
+/// `core::telemetry` into the observability registry.
+pub fn pubkey_cache_stats() -> PubkeyCacheStats {
+    PUBKEY_TABLES.with(|cache| cache.borrow().stats())
+}
+
+/// Drops this thread's cached key tables and zeroes the counters. Tests
+/// use this to exercise the cold path deterministically.
+pub fn reset_pubkey_cache() {
+    PUBKEY_TABLES.with(|cache| cache.borrow_mut().clear());
 }
 
 #[cfg(test)]

@@ -47,9 +47,14 @@ impl SecretKey {
         self.0.to_be_bytes()
     }
 
-    /// Computes the corresponding public key.
+    /// Computes the corresponding public key via the static generator
+    /// table, normalized to affine so downstream encoding and the verify
+    /// cache key never pay a field inversion.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey(Point::generator().mul(&self.0))
+        match crate::mul_table::generator_mul(&self.0).to_affine() {
+            AffinePoint::Coordinates { x, y } => PublicKey(Point::from_affine(x, y)),
+            AffinePoint::Infinity => unreachable!("nonzero scalar times G is finite"),
+        }
     }
 
     /// Signs a 32-byte digest (RFC 6979 deterministic ECDSA).

@@ -12,6 +12,9 @@
 //! * [`ripemd160`] — RIPEMD-160, for Bitcoin-style `hash160` addresses.
 //! * [`hmac`] — HMAC-SHA256, used for RFC 6979 deterministic ECDSA nonces.
 //! * [`field`], [`scalar`], [`point`] — secp256k1 arithmetic.
+//! * [`mul_table`] — wNAF scalar multiplication: precomputed odd-multiple
+//!   tables, a static generator table, and a per-key table cache feeding
+//!   the ECDSA accept path.
 //! * [`ecdsa`] — ECDSA over secp256k1 with RFC 6979 nonces and low-S
 //!   normalization.
 //! * [`keys`] — key pairs, compressed public-key encoding, addresses.
@@ -44,6 +47,7 @@ pub mod hmac;
 pub mod keys;
 mod limbs;
 pub mod merkle;
+pub mod mul_table;
 pub mod point;
 pub mod pool;
 pub mod ripemd160;

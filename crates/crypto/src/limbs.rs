@@ -62,9 +62,169 @@ pub(crate) fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
     out
 }
 
+/// Schoolbook squaring `a * a` into an 8-limb product, exploiting the
+/// symmetry of the cross terms: 6 off-diagonal products (doubled once at
+/// the end) plus 4 diagonal squares, versus 16 products for `mul_wide`.
+/// Point doubling and Fermat inversions are dominated by squarings, so
+/// this is on the ECDSA accept path's critical loop.
+pub(crate) fn sqr_wide(a: &[u64; 4]) -> [u64; 8] {
+    // cross = sum of a[i]*a[j] for i < j, at weight 2^(64*(i+j)). Row i
+    // writes limbs 2i+1 ..= i+3 and deposits its carry-out at limb i+4 —
+    // a position no earlier row has touched, so a plain store suffices
+    // (row 0 deposits at 4 after writing 1..=3; row 1 accumulates into
+    // 3..=4 and deposits at 5; row 2 accumulates into 5, deposits at 6).
+    let mut cross = [0u64; 8];
+    for i in 0..3 {
+        let mut carry = 0u128;
+        for j in (i + 1)..4 {
+            let t = (a[i] as u128) * (a[j] as u128) + (cross[i + j] as u128) + carry;
+            cross[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        cross[i + 4] = carry as u64;
+    }
+    // out = 2*cross + diagonal squares, in a single carry-chained pass.
+    // Each step sums 2*cross (< 2^65), a square half (< 2^64), and a small
+    // carry — comfortably inside u128.
+    let mut out = [0u64; 8];
+    let mut carry = 0u128;
+    for i in 0..4 {
+        let d = (a[i] as u128) * (a[i] as u128);
+        let t = ((cross[2 * i] as u128) << 1) + ((d as u64) as u128) + carry;
+        out[2 * i] = t as u64;
+        carry = t >> 64;
+        let t = ((cross[2 * i + 1] as u128) << 1) + (d >> 64) + carry;
+        out[2 * i + 1] = t as u64;
+        carry = t >> 64;
+    }
+    debug_assert_eq!(carry, 0, "a^2 fits in 512 bits");
+    out
+}
+
+/// Reduces an 8-limb value modulo `m = 2^256 - c` where `c` fits in a
+/// *single* limb (the secp256k1 field prime: `c = 2^32 + 977`).
+///
+/// One fused pass accumulates `lo[i] + hi[i] * c` through a 128-bit carry
+/// chain, then folds the tiny carry-out (`< 2^34`) a second time. No limb
+/// arrays, no data-dependent loops — this is the innermost operation of
+/// every point double/add on the ECDSA accept path, so it is kept
+/// branch-light and fully unrollable.
+pub(crate) fn reduce_wide_c1(wide: [u64; 8], modulus: &[u64; 4], c: u64) -> [u64; 4] {
+    debug_assert_eq!(modulus[0].wrapping_add(c), 0, "m = 2^256 - c");
+    let c = c as u128;
+    // Pass 1: v = lo + hi * c. Each step is < 2^64 + 2^97 + carry, so the
+    // running carry stays below 2^34.
+    let mut r = [0u64; 4];
+    let mut acc: u128 = 0;
+    for i in 0..4 {
+        acc += wide[i] as u128;
+        acc += (wide[i + 4] as u128) * c;
+        r[i] = acc as u64;
+        acc >>= 64;
+    }
+    // Pass 2: fold the carry-out (acc < 2^34, so acc * c < 2^67).
+    let mut acc = acc * c;
+    for limb in r.iter_mut() {
+        acc += *limb as u128;
+        *limb = acc as u64;
+        acc >>= 64;
+        if acc == 0 {
+            break;
+        }
+    }
+    // A carry here means the value wrapped 2^256 exactly once more and the
+    // remaining limbs are tiny; adding c cannot carry again.
+    if acc != 0 {
+        let mut t = c;
+        for limb in r.iter_mut() {
+            t += *limb as u128;
+            *limb = t as u64;
+            t >>= 64;
+        }
+        debug_assert_eq!(t, 0);
+    }
+    // At most one conditional subtraction remains (r < 2^256 < 2m).
+    if cmp(&r, modulus) != std::cmp::Ordering::Less {
+        let (d, borrow) = sub(&r, modulus);
+        debug_assert_eq!(borrow, 0);
+        return d;
+    }
+    r
+}
+
+/// Reduces an 8-limb value modulo `m = 2^256 - c` where `c` has at most
+/// *three* significant limbs (the secp256k1 group order: `c < 2^129`).
+///
+/// Three fixed folds with constant loop bounds (fully unrollable, no
+/// data-dependent branches) bring any 512-bit value below `2^256 + 2^133`;
+/// a final single-limb wrap and conditional subtract finish the job. Sizes:
+/// `< 2^512 → < 2^386 → < 2^260 → < 2^256 + 2^133`.
+pub(crate) fn reduce_wide_c3(wide: [u64; 8], modulus: &[u64; 4], c: &[u64; 4]) -> [u64; 4] {
+    debug_assert_eq!(c[3], 0, "c must fit three limbs");
+    /// One fold `value → lo + hi*c`, multiplying only the `hi_len`
+    /// significant high limbs. Each row's carry-out lands on a limb no
+    /// earlier row has written, so a plain store deposits it.
+    #[inline(always)]
+    fn fold(wide: &[u64; 8], hi_len: usize, c: &[u64; 4]) -> [u64; 8] {
+        let mut prod = [0u64; 8];
+        for i in 0..hi_len {
+            let hi = wide[4 + i];
+            let mut carry = 0u128;
+            for j in 0..3 {
+                let t = (hi as u128) * (c[j] as u128) + (prod[i + j] as u128) + carry;
+                prod[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            prod[i + 3] = carry as u64;
+        }
+        // out = prod + lo
+        let mut out = [0u64; 8];
+        let mut carry = 0u64;
+        for i in 0..8 {
+            let lo_limb = if i < 4 { wide[i] } else { 0 };
+            let (s1, c1) = prod[i].overflowing_add(lo_limb);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        debug_assert_eq!(carry, 0, "fold cannot overflow 512 bits");
+        out
+    }
+    // < 2^512 → < 2^386 (3 significant hi limbs) → < 2^260 (1 hi limb)
+    // → < 2^256 + 2^133 (hi is a single bit).
+    let wide = fold(&wide, 4, c);
+    debug_assert_eq!(wide[7], 0);
+    let wide = fold(&wide, 3, c);
+    debug_assert!(wide[5] == 0 && wide[6] == 0 && wide[7] == 0);
+    let wide = fold(&wide, 1, c);
+    let mut v = [wide[0], wide[1], wide[2], wide[3]];
+    debug_assert!(wide[5] == 0 && wide[6] == 0 && wide[7] == 0);
+    if wide[4] != 0 {
+        // One leftover 2^256: the low half is < 2^133, so adding c (< 2^129)
+        // cannot carry.
+        debug_assert_eq!(wide[4], 1);
+        let (s, carry) = add(&v, c);
+        debug_assert_eq!(carry, 0);
+        v = s;
+    }
+    while cmp(&v, modulus) != std::cmp::Ordering::Less {
+        let (d, borrow) = sub(&v, modulus);
+        debug_assert_eq!(borrow, 0);
+        v = d;
+    }
+    v
+}
+
 /// Reduces an 8-limb value modulo `m = 2^256 - c` (with `c` given as 4 limbs,
 /// high limb zero in practice), returning a fully reduced 4-limb value.
+///
+/// The fold multiplies only over the *significant* limbs of `c` (one limb
+/// for the field prime, three for the group order) and skips zero limbs of
+/// the high half, so later folds — whose high halves shrink fast — cost a
+/// handful of word multiplies instead of a full 4x4 product.
+#[cfg_attr(not(test), allow(dead_code))] // retained as the test reference oracle
 pub(crate) fn reduce_wide(mut wide: [u64; 8], modulus: &[u64; 4], c: &[u64; 4]) -> [u64; 4] {
+    let sig = (1..=4).rev().find(|&n| c[n - 1] != 0).unwrap_or(1);
     // Fold the high half down: v = hi * 2^256 + lo ≡ hi * c + lo (mod m).
     // Each fold shrinks the value; a few iterations reach < 2^256.
     loop {
@@ -72,13 +232,31 @@ pub(crate) fn reduce_wide(mut wide: [u64; 8], modulus: &[u64; 4], c: &[u64; 4]) 
         if is_zero(&hi) {
             break;
         }
-        let lo = [wide[0], wide[1], wide[2], wide[3]];
-        let prod = mul_wide(&hi, c); // hi * c, up to 512 bits but much smaller
-                                     // wide = prod + lo
+        // prod = hi * c (sparse schoolbook over c's significant limbs).
+        let mut prod = [0u64; 8];
+        for i in 0..4 {
+            if hi[i] == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for j in 0..sig {
+                let t = (hi[i] as u128) * (c[j] as u128) + (prod[i + j] as u128) + carry;
+                prod[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + sig;
+            while carry != 0 {
+                let t = (prod[k] as u128) + carry;
+                prod[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        // wide = prod + lo
         let mut out = [0u64; 8];
         let mut carry = 0u64;
         for i in 0..8 {
-            let lo_limb = if i < 4 { lo[i] } else { 0 };
+            let lo_limb = if i < 4 { wide[i] } else { 0 };
             let (s1, c1) = prod[i].overflowing_add(lo_limb);
             let (s2, c2) = s1.overflowing_add(carry);
             out[i] = s2;
@@ -100,18 +278,25 @@ pub(crate) fn reduce_wide(mut wide: [u64; 8], modulus: &[u64; 4], c: &[u64; 4]) 
 /// Reduces a 4-limb value (possibly >= m, plus an optional carry bit from an
 /// addition) modulo `m = 2^256 - c`.
 pub(crate) fn reduce_small(v: [u64; 4], carry: u64, modulus: &[u64; 4], c: &[u64; 4]) -> [u64; 4] {
-    let mut wide = [v[0], v[1], v[2], v[3], carry, 0, 0, 0];
-    if carry == 0 {
-        let mut out = v;
-        while cmp(&out, modulus) != std::cmp::Ordering::Less {
-            let (d, _) = sub(&out, modulus);
-            out = d;
+    debug_assert!(carry <= 1, "at most one carry bit from a 256-bit addition");
+    let mut out = v;
+    if carry != 0 {
+        // carry * 2^256 ≡ c (mod m); a wrap of the add means the true value
+        // lost exactly one 2^256, so add c back. If that itself wraps the
+        // remainder is < c, and one more fold settles it.
+        let (s, c2) = add(&out, c);
+        out = s;
+        if c2 != 0 {
+            let (s, c3) = add(&out, c);
+            debug_assert_eq!(c3, 0);
+            out = s;
         }
-        return out;
     }
-    // carry * 2^256 ≡ carry * c (mod m)
-    wide[4] = carry;
-    reduce_wide(wide, modulus, c)
+    while cmp(&out, modulus) != std::cmp::Ordering::Less {
+        let (d, _) = sub(&out, modulus);
+        out = d;
+    }
+    out
 }
 
 /// Parses 32 big-endian bytes into little-endian limbs (no reduction).
@@ -197,6 +382,158 @@ mod tests {
         for limb in &p[5..8] {
             assert_eq!(*limb, u64::MAX);
         }
+    }
+
+    #[test]
+    fn sqr_wide_matches_mul_wide() {
+        let cases: [[u64; 4]; 6] = [
+            [0, 0, 0, 0],
+            [1, 0, 0, 0],
+            [u64::MAX; 4],
+            [0x0123456789abcdef, 0xfedcba9876543210, 0x1111, 0x2222],
+            [0, u64::MAX, 0, u64::MAX],
+            [0xdeadbeef, 0, 0xcafebabe, 0],
+        ];
+        for a in &cases {
+            assert_eq!(sqr_wide(a), mul_wide(a, a), "a = {a:x?}");
+        }
+        // A cheap deterministic pseudo-random sweep.
+        let mut x = [0x9e3779b97f4a7c15u64, 1, 2, 3];
+        for _ in 0..200 {
+            for limb in x.iter_mut() {
+                *limb = limb
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            assert_eq!(sqr_wide(&x), mul_wide(&x, &x), "x = {x:x?}");
+        }
+    }
+
+    #[test]
+    fn reduce_wide_sparse_matches_dense_fold_for_order_c() {
+        // The group order's c has three significant limbs; check the sparse
+        // fold against a reference that reduces via repeated subtraction-free
+        // full multiply (the pre-optimization behaviour).
+        const N: [u64; 4] = [
+            0xBFD25E8CD0364141,
+            0xBAAEDCE6AF48A03B,
+            0xFFFFFFFFFFFFFFFE,
+            0xFFFFFFFFFFFFFFFF,
+        ];
+        const CN: [u64; 4] = [0x402DA1732FC9BEBF, 0x4551231950B75FC4, 0x1, 0x0];
+        fn reference(mut wide: [u64; 8]) -> [u64; 4] {
+            loop {
+                let hi = [wide[4], wide[5], wide[6], wide[7]];
+                if is_zero(&hi) {
+                    break;
+                }
+                let prod = mul_wide(&hi, &CN);
+                let mut out = [0u64; 8];
+                let mut carry = 0u64;
+                for i in 0..8 {
+                    let lo_limb = if i < 4 { wide[i] } else { 0 };
+                    let (s1, c1) = prod[i].overflowing_add(lo_limb);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    out[i] = s2;
+                    carry = (c1 as u64) + (c2 as u64);
+                }
+                wide = out;
+            }
+            let mut v = [wide[0], wide[1], wide[2], wide[3]];
+            while cmp(&v, &N) != std::cmp::Ordering::Less {
+                let (d, _) = sub(&v, &N);
+                v = d;
+            }
+            v
+        }
+        let mut x = [0xa076_1d64_78bd_642fu64; 8];
+        for round in 0..200u64 {
+            for (i, limb) in x.iter_mut().enumerate() {
+                *limb = limb
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493 + round + i as u64);
+            }
+            assert_eq!(reduce_wide(x, &N, &CN), reference(x), "x = {x:x?}");
+        }
+    }
+
+    #[test]
+    fn reduce_wide_c1_matches_generic() {
+        // Fixed edge cases: zero, the modulus itself, all-ones, 2^256.
+        let cases: [[u64; 8]; 4] = [
+            [0; 8],
+            [M[0], M[1], M[2], M[3], 0, 0, 0, 0],
+            [u64::MAX; 8],
+            [0, 0, 0, 0, 1, 0, 0, 0],
+        ];
+        for w in &cases {
+            assert_eq!(
+                reduce_wide_c1(*w, &M, C[0]),
+                reduce_wide(*w, &M, &C),
+                "w = {w:x?}"
+            );
+        }
+        // Deterministic pseudo-random sweep, including products of extremes.
+        let mut x = [0x6c62_272e_07bb_0142u64; 8];
+        for round in 0..500u64 {
+            for (i, limb) in x.iter_mut().enumerate() {
+                *limb = limb
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(round * 31 + i as u64);
+            }
+            assert_eq!(
+                reduce_wide_c1(x, &M, C[0]),
+                reduce_wide(x, &M, &C),
+                "x = {x:x?}"
+            );
+        }
+        let sq_max = mul_wide(&[u64::MAX; 4], &[u64::MAX; 4]);
+        assert_eq!(
+            reduce_wide_c1(sq_max, &M, C[0]),
+            reduce_wide(sq_max, &M, &C)
+        );
+    }
+
+    #[test]
+    fn reduce_wide_c3_matches_generic() {
+        const N: [u64; 4] = [
+            0xBFD25E8CD0364141,
+            0xBAAEDCE6AF48A03B,
+            0xFFFFFFFFFFFFFFFE,
+            0xFFFFFFFFFFFFFFFF,
+        ];
+        const CN: [u64; 4] = [0x402DA1732FC9BEBF, 0x4551231950B75FC4, 0x1, 0x0];
+        let cases: [[u64; 8]; 4] = [
+            [0; 8],
+            [N[0], N[1], N[2], N[3], 0, 0, 0, 0],
+            [u64::MAX; 8],
+            [0, 0, 0, 0, 1, 0, 0, 0],
+        ];
+        for w in &cases {
+            assert_eq!(
+                reduce_wide_c3(*w, &N, &CN),
+                reduce_wide(*w, &N, &CN),
+                "w = {w:x?}"
+            );
+        }
+        let mut x = [0xcbf2_9ce4_8422_2325u64; 8];
+        for round in 0..500u64 {
+            for (i, limb) in x.iter_mut().enumerate() {
+                *limb = limb
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(round * 57 + i as u64);
+            }
+            assert_eq!(
+                reduce_wide_c3(x, &N, &CN),
+                reduce_wide(x, &N, &CN),
+                "x = {x:x?}"
+            );
+        }
+        let sq_max = mul_wide(&[u64::MAX; 4], &[u64::MAX; 4]);
+        assert_eq!(
+            reduce_wide_c3(sq_max, &N, &CN),
+            reduce_wide(sq_max, &N, &CN)
+        );
     }
 
     #[test]

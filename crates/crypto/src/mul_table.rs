@@ -1,0 +1,479 @@
+//! wNAF scalar multiplication with precomputed odd-multiple tables.
+//!
+//! The accept-path hot loop of the payment engine is ECDSA verification,
+//! which is two scalar multiplications (`u1*G + u2*Q`). This module
+//! replaces the seed's 1-bit double-and-add ladder with:
+//!
+//! - **wNAF recoding** ([`crate::scalar::Scalar::wnaf`]): signed odd digits
+//!   thin the nonzero-digit density from ~1/2 to ~1/(w+1), and negative
+//!   digits come free because point negation is a `y` sign flip.
+//! - **Odd-multiple tables** ([`OddMultiplesTable`]): `{1P, 3P, …,
+//!   (2^(w-1)-1)P}` computed once in Jacobian form, then normalized to
+//!   affine *in one shot* with Montgomery's batch-inversion trick so every
+//!   table add is a cheap mixed Jacobian+affine add.
+//! - A **static generator table** at a wider window, built once per process
+//!   behind a `OnceLock`, so `k*G` (signing, key derivation, the `u1*G`
+//!   half of every verify) never rebuilds tables.
+//! - A bounded **per-key LRU** ([`PubkeyTableCache`]) so repeated verifies
+//!   against the same public key — the common case inside a
+//!   `FastPaySession` and across payment batches — skip the Q-table build.
+//! - The **GLV endomorphism**: secp256k1 has `j`-invariant 0, so
+//!   `φ(x, y) = (β·x, y)` is an efficiently computable curve automorphism
+//!   acting as multiplication by a cube root of unity `λ`. Splitting
+//!   `k = k1 + k2·λ (mod n)` with `|k1|, |k2| < 2^129`
+//!   ([`Scalar::split_glv`]) turns one 256-bit ladder into two interleaved
+//!   half-length ones, halving the doubling count — and the `φ`-table is
+//!   derived from the base table by one field multiply per entry.
+//!
+//! Everything here is deliberately *not* constant time; the library backs
+//! a simulator. Correctness is enforced by differential tests against the
+//! retained binary ladder [`crate::point::Point::mul_binary`].
+
+use crate::field::FieldElement;
+use crate::point::{batch_to_affine, AffinePoint, Point};
+use crate::scalar::Scalar;
+use std::sync::OnceLock;
+
+/// wNAF window width for per-point (public-key) tables: 8 odd multiples,
+/// built fresh or pulled from the per-key cache.
+pub const WINDOW_P: u32 = 5;
+
+/// wNAF window width for the static generator table: 64 odd multiples,
+/// built once per process.
+pub const WINDOW_G: u32 = 8;
+
+/// Precomputed affine odd multiples `{1P, 3P, 5P, …, (2^(width-1)-1)P}` of
+/// a point, ready for mixed addition against a wNAF digit stream.
+#[derive(Clone, Debug)]
+pub struct OddMultiplesTable {
+    width: u32,
+    /// entries[i] = (2i + 1) * P in affine coordinates.
+    entries: Vec<(FieldElement, FieldElement)>,
+}
+
+impl OddMultiplesTable {
+    /// Builds the table for `p` with the given wNAF window `width`
+    /// (2..=8). Returns `None` when `p` is the point at infinity (whose
+    /// multiples cannot be normalized to affine — callers special-case it,
+    /// since `k * ∞ = ∞` needs no table).
+    ///
+    /// Cost: one doubling, `2^(width-2) - 1` additions, and a single field
+    /// inversion for the batch normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=8`.
+    pub fn new(p: &Point, width: u32) -> Option<OddMultiplesTable> {
+        assert!((2..=8).contains(&width), "wNAF width must be in 2..=8");
+        if p.is_infinity() {
+            return None;
+        }
+        let count = 1usize << (width - 2);
+        let twop = p.double();
+        let mut jac = Vec::with_capacity(count);
+        jac.push(*p);
+        for i in 1..count {
+            let prev = jac[i - 1];
+            jac.push(prev.add(&twop));
+        }
+        let entries = batch_to_affine(&jac)
+            .into_iter()
+            .map(|a| match a {
+                AffinePoint::Coordinates { x, y } => (x, y),
+                // Odd multiples of a finite point on a prime-order curve
+                // are never the identity; an off-curve input (only
+                // reachable through the unchecked `from_affine`) may land
+                // here, in which case any finite stand-in keeps the
+                // garbage-in/garbage-out contract without panicking.
+                AffinePoint::Infinity => (FieldElement::ONE, FieldElement::ONE),
+            })
+            .collect();
+        Some(OddMultiplesTable { width, entries })
+    }
+
+    /// The wNAF window width this table serves.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Adds `digit * P` to `acc` via one mixed addition, where `digit` is a
+    /// nonzero odd wNAF digit with `|digit| < 2^(width-1)`.
+    fn add_digit(&self, acc: &Point, digit: i8) -> Point {
+        debug_assert!(digit != 0 && digit % 2 != 0);
+        let idx = ((digit.unsigned_abs() as usize) - 1) / 2;
+        let (x, y) = self.entries[idx];
+        if digit > 0 {
+            acc.add_mixed(&x, &y)
+        } else {
+            acc.add_mixed(&x, &(-y))
+        }
+    }
+
+    /// Multiplies the table's base point by `k` using this table.
+    pub fn mul(&self, k: &Scalar) -> Point {
+        let digits = k.wnaf(self.width);
+        let mut acc = Point::INFINITY;
+        for &digit in digits.iter().rev() {
+            acc = acc.double();
+            if digit != 0 {
+                acc = self.add_digit(&acc, digit);
+            }
+        }
+        acc
+    }
+
+    /// Derives the table of the endomorphism image `φ(P) = λ·P` by mapping
+    /// every entry `(x, y) → (β·x, y)` — one field multiply per entry
+    /// instead of a fresh doubling/addition/inversion build.
+    fn endo_mapped(&self) -> OddMultiplesTable {
+        let b = beta();
+        OddMultiplesTable {
+            width: self.width,
+            entries: self.entries.iter().map(|&(x, y)| (b * x, y)).collect(),
+        }
+    }
+}
+
+/// `β`: the cube root of unity in the base field that realizes the GLV
+/// endomorphism `φ(x, y) = (β·x, y) = λ·(x, y)`.
+fn beta() -> FieldElement {
+    static BETA: OnceLock<FieldElement> = OnceLock::new();
+    *BETA.get_or_init(|| {
+        FieldElement::from_be_bytes(&crate::hex_arr(
+            "7AE96A2B657C07106E64479EAC3434E99CF0497512F58995C1396C28719501EE",
+        ))
+        .expect("beta is a canonical field element")
+    })
+}
+
+/// One wNAF digit stream of an interleaved ladder: the digits of a split
+/// component, whether the whole stream is negated, and the table serving it.
+struct Stream<'a> {
+    digits: Vec<i8>,
+    negate: bool,
+    table: &'a OddMultiplesTable,
+}
+
+impl Stream<'_> {
+    /// Builds the stream for one GLV component against `table`.
+    fn new(component: (bool, Scalar), table: &OddMultiplesTable) -> Stream<'_> {
+        let (negate, abs) = component;
+        Stream {
+            digits: abs.wnaf(table.width),
+            negate,
+            table,
+        }
+    }
+}
+
+/// Shared-doubling ladder over any number of wNAF digit streams. With GLV
+/// components the streams are ~129 digits long, so the whole multiplication
+/// costs ~129 doublings regardless of how many streams ride along.
+fn interleaved_mul(streams: &[Stream<'_>]) -> Point {
+    let len = streams.iter().map(|s| s.digits.len()).max().unwrap_or(0);
+    let mut acc = Point::INFINITY;
+    for i in (0..len).rev() {
+        acc = acc.double();
+        for s in streams {
+            if let Some(&d) = s.digits.get(i) {
+                if d != 0 {
+                    let d = if s.negate { -d } else { d };
+                    acc = s.table.add_digit(&acc, d);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The static generator table, built on first use.
+pub fn generator_table() -> &'static OddMultiplesTable {
+    static TABLE: OnceLock<OddMultiplesTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        OddMultiplesTable::new(&Point::generator(), WINDOW_G)
+            .expect("the generator is a finite point")
+    })
+}
+
+/// The static table of `φ(G) = λ·G`, derived from [`generator_table`] on
+/// first use.
+fn generator_endo_table() -> &'static OddMultiplesTable {
+    static TABLE: OnceLock<OddMultiplesTable> = OnceLock::new();
+    TABLE.get_or_init(|| generator_table().endo_mapped())
+}
+
+/// Fixed-base multiplication `k * G` through the static generator and
+/// `φ(G)` tables with a GLV split (~129 doublings). Used by signing
+/// (`k*G`), public-key derivation, and the `u1*G` half of verification.
+pub fn generator_mul(k: &Scalar) -> Point {
+    let (c1, c2) = k.split_glv();
+    interleaved_mul(&[
+        Stream::new(c1, generator_table()),
+        Stream::new(c2, generator_endo_table()),
+    ])
+}
+
+/// Variable-base multiplication `k * P`: builds a one-shot width-
+/// [`WINDOW_P`] table (plus its `φ` image) and runs the GLV-split wNAF
+/// ladder. This is what [`Point::mul`] delegates to.
+pub fn mul_wnaf(p: &Point, k: &Scalar) -> Point {
+    match OddMultiplesTable::new(p, WINDOW_P) {
+        Some(table) => {
+            let endo = table.endo_mapped();
+            let (c1, c2) = k.split_glv();
+            interleaved_mul(&[Stream::new(c1, &table), Stream::new(c2, &endo)])
+        }
+        None => Point::INFINITY, // k * ∞ = ∞
+    }
+}
+
+/// Interleaved double-scalar multiplication `a*G + b*Q` (Strauss/Shamir):
+/// all four GLV digit streams — `a` against the static `G`/`φ(G)` tables,
+/// `b` against `q_table` and its `φ` image — share a single ~129-step run
+/// of doublings.
+pub fn lincomb_wnaf(a: &Scalar, b: &Scalar, q_table: &OddMultiplesTable) -> Point {
+    let q_endo = q_table.endo_mapped();
+    let (a1, a2) = a.split_glv();
+    let (b1, b2) = b.split_glv();
+    interleaved_mul(&[
+        Stream::new(a1, generator_table()),
+        Stream::new(a2, generator_endo_table()),
+        Stream::new(b1, q_table),
+        Stream::new(b2, &q_endo),
+    ])
+}
+
+/// Hit/miss counters for a [`PubkeyTableCache`]. Monotonic within a cache's
+/// lifetime; `ecdsa::pubkey_cache_stats` snapshots the thread-local cache
+/// for telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PubkeyCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a fresh table.
+    pub misses: u64,
+    /// Tables inserted (equals misses for this cache).
+    pub insertions: u64,
+    /// Tables evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// A small bounded LRU mapping compressed public keys to their
+/// [`OddMultiplesTable`], so repeated ECDSA verifies against the same key
+/// skip the table build (one doubling + 7 adds + 1 inversion at
+/// [`WINDOW_P`]).
+///
+/// Entries are kept most-recently-used first in a `Vec`; with the default
+/// capacity of a few dozen, linear scans beat hashing 33-byte keys.
+#[derive(Debug)]
+pub struct PubkeyTableCache {
+    capacity: usize,
+    /// MRU-first: entries[0] is the most recently used.
+    entries: Vec<([u8; 33], OddMultiplesTable)>,
+    stats: PubkeyCacheStats,
+}
+
+impl PubkeyTableCache {
+    /// Creates an empty cache holding at most `capacity` key tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> PubkeyTableCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PubkeyTableCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            stats: PubkeyCacheStats::default(),
+        }
+    }
+
+    /// Returns the table for the key `id`, building it from `point` (at
+    /// [`WINDOW_P`]) on a miss. Returns `None` only when `point` is the
+    /// point at infinity.
+    pub fn get_or_build(&mut self, id: &[u8; 33], point: &Point) -> Option<&OddMultiplesTable> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == id) {
+            self.stats.hits += 1;
+            // Move to MRU front.
+            let entry = self.entries.remove(pos);
+            self.entries.insert(0, entry);
+        } else {
+            self.stats.misses += 1;
+            let table = OddMultiplesTable::new(point, WINDOW_P)?;
+            if self.entries.len() >= self.capacity {
+                self.entries.pop();
+                self.stats.evictions += 1;
+            }
+            self.entries.insert(0, (*id, table));
+            self.stats.insertions += 1;
+        }
+        Some(&self.entries[0].1)
+    }
+
+    /// Snapshot of the cache's counters.
+    pub fn stats(&self) -> PubkeyCacheStats {
+        self.stats
+    }
+
+    /// Drops all cached tables and resets the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = PubkeyCacheStats::default();
+    }
+
+    /// Number of cached key tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true when no tables are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Point {
+        Point::generator()
+    }
+
+    fn key_id(byte: u8) -> [u8; 33] {
+        let mut id = [0u8; 33];
+        id[0] = 2;
+        id[1] = byte;
+        id
+    }
+
+    #[test]
+    fn table_entries_are_odd_multiples() {
+        let p = g().mul_binary(&Scalar::from_u64(7));
+        let table = OddMultiplesTable::new(&p, WINDOW_P).unwrap();
+        for (i, &(x, y)) in table.entries.iter().enumerate() {
+            let expected = p.mul_binary(&Scalar::from_u64(2 * i as u64 + 1));
+            assert_eq!(
+                expected.to_affine(),
+                AffinePoint::Coordinates { x, y },
+                "entry {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_rejects_infinity() {
+        assert!(OddMultiplesTable::new(&Point::INFINITY, WINDOW_P).is_none());
+    }
+
+    #[test]
+    fn table_mul_matches_binary_across_widths() {
+        let p = g().mul_binary(&Scalar::from_u64(99));
+        let k = Scalar::from_be_bytes_reduced(&[0xA7; 32]);
+        let expected = p.mul_binary(&k);
+        for width in 2..=8 {
+            let table = OddMultiplesTable::new(&p, width).unwrap();
+            assert_eq!(table.mul(&k), expected, "width {width}");
+        }
+    }
+
+    #[test]
+    fn endo_map_is_multiplication_by_lambda() {
+        // φ-mapped entries must literally be λ·(the original odd multiple):
+        // this pins the β (field) / λ (scalar) pairing the GLV split relies
+        // on, against the independent binary ladder.
+        let p = g().mul_binary(&Scalar::from_u64(17));
+        let table = OddMultiplesTable::new(&p, WINDOW_P).unwrap();
+        let endo = table.endo_mapped();
+        for (i, &(x, y)) in endo.entries.iter().enumerate() {
+            let multiple = Scalar::LAMBDA * Scalar::from_u64(2 * i as u64 + 1);
+            let expected = p.mul_binary(&multiple);
+            assert_eq!(
+                expected.to_affine(),
+                AffinePoint::Coordinates { x, y },
+                "entry {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn generator_mul_matches_binary() {
+        for v in [1u64, 2, 3, 0xFFFF_FFFF, u64::MAX] {
+            let k = Scalar::from_u64(v);
+            assert_eq!(generator_mul(&k), g().mul_binary(&k), "k = {v}");
+        }
+        assert!(generator_mul(&Scalar::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn lincomb_wnaf_matches_composition() {
+        let q = g().mul_binary(&Scalar::from_u64(1234));
+        let a = Scalar::from_be_bytes_reduced(&[0x3C; 32]);
+        let b = Scalar::from_be_bytes_reduced(&[0x5E; 32]);
+        let table = OddMultiplesTable::new(&q, WINDOW_P).unwrap();
+        let fast = lincomb_wnaf(&a, &b, &table);
+        let slow = g().mul_binary(&a).add(&q.mul_binary(&b));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn cache_hits_and_misses() {
+        let mut cache = PubkeyTableCache::new(2);
+        let p = g();
+        assert!(cache.get_or_build(&key_id(1), &p).is_some());
+        assert!(cache.get_or_build(&key_id(1), &p).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut cache = PubkeyTableCache::new(2);
+        let p = g();
+        cache.get_or_build(&key_id(1), &p);
+        cache.get_or_build(&key_id(2), &p);
+        // Touch key 1 so key 2 is LRU.
+        cache.get_or_build(&key_id(1), &p);
+        cache.get_or_build(&key_id(3), &p); // evicts key 2
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        // Key 1 still cached (hit), key 2 gone (miss).
+        let before = cache.stats().hits;
+        cache.get_or_build(&key_id(1), &p);
+        assert_eq!(cache.stats().hits, before + 1);
+        let misses_before = cache.stats().misses;
+        cache.get_or_build(&key_id(2), &p);
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn cache_clear_resets() {
+        let mut cache = PubkeyTableCache::new(4);
+        cache.get_or_build(&key_id(1), &g());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), PubkeyCacheStats::default());
+    }
+
+    #[test]
+    fn cached_table_multiplies_correctly() {
+        let mut cache = PubkeyTableCache::new(2);
+        let p = g().mul_binary(&Scalar::from_u64(77));
+        let k = Scalar::from_be_bytes_reduced(&[0x11; 32]);
+        let expected = p.mul_binary(&k);
+        for _ in 0..2 {
+            let table = cache.get_or_build(&key_id(9), &p).unwrap();
+            assert_eq!(table.mul(&k), expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn cache_rejects_zero_capacity() {
+        let _ = PubkeyTableCache::new(0);
+    }
+}

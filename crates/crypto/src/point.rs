@@ -7,14 +7,15 @@
 use crate::field::FieldElement;
 use crate::scalar::Scalar;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A point on secp256k1 in Jacobian coordinates `(X, Y, Z)` representing the
 /// affine point `(X/Z^2, Y/Z^3)`; `Z = 0` encodes the point at infinity.
 #[derive(Clone, Copy)]
 pub struct Point {
-    x: FieldElement,
-    y: FieldElement,
-    z: FieldElement,
+    pub(crate) x: FieldElement,
+    pub(crate) y: FieldElement,
+    pub(crate) z: FieldElement,
 }
 
 /// An affine secp256k1 point, or infinity. Produced by [`Point::to_affine`];
@@ -40,17 +41,20 @@ impl Point {
         z: FieldElement::ZERO,
     };
 
-    /// The standard generator `G`.
+    /// The standard generator `G`, decoded once per process and cached.
     pub fn generator() -> Point {
-        let gx = FieldElement::from_be_bytes(&crate::hex_arr(
-            "79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798",
-        ))
-        .expect("generator x is canonical");
-        let gy = FieldElement::from_be_bytes(&crate::hex_arr(
-            "483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8",
-        ))
-        .expect("generator y is canonical");
-        Point::from_affine(gx, gy)
+        static G: OnceLock<Point> = OnceLock::new();
+        *G.get_or_init(|| {
+            let gx = FieldElement::from_be_bytes(&crate::hex_arr(
+                "79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798",
+            ))
+            .expect("generator x is canonical");
+            let gy = FieldElement::from_be_bytes(&crate::hex_arr(
+                "483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8",
+            ))
+            .expect("generator y is canonical");
+            Point::from_affine(gx, gy)
+        })
     }
 
     /// Lifts an affine point into Jacobian coordinates.
@@ -82,10 +86,18 @@ impl Point {
         self.z.is_zero()
     }
 
-    /// Converts to affine coordinates (one field inversion).
+    /// Converts to affine coordinates (one field inversion, skipped when
+    /// the point is already normalized with `Z = 1` — the common case for
+    /// decoded public keys and table entries).
     pub fn to_affine(&self) -> AffinePoint {
         if self.is_infinity() {
             return AffinePoint::Infinity;
+        }
+        if self.z == FieldElement::ONE {
+            return AffinePoint::Coordinates {
+                x: self.x,
+                y: self.y,
+            };
         }
         let z_inv = self.z.invert();
         let z_inv2 = z_inv.square();
@@ -179,6 +191,51 @@ impl Point {
         }
     }
 
+    /// Mixed Jacobian + affine addition (madd-2007-bl): `self + (x2, y2)`
+    /// where the second operand has `Z = 1`. Saves ~5 field multiplies over
+    /// the general [`Point::add`]; this is why table entries are normalized
+    /// to affine. Handles all degenerate cases.
+    pub fn add_mixed(&self, x2: &FieldElement, y2: &FieldElement) -> Point {
+        if self.is_infinity() {
+            return Point::from_affine(*x2, *y2);
+        }
+        let z1z1 = self.z.square();
+        let u2 = *x2 * z1z1;
+        let s2 = *y2 * z1z1 * self.z;
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Point::INFINITY; // P + (-P)
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = {
+            let hh2 = hh + hh;
+            hh2 + hh2
+        };
+        let j = h * i;
+        let r = {
+            let t = s2 - self.y;
+            t + t
+        };
+        let v = self.x * i;
+        let x3 = r.square() - j - (v + v);
+        let y3 = {
+            let yj2 = {
+                let t = self.y * j;
+                t + t
+            };
+            r * (v - x3) - yj2
+        };
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
     /// Negation: `(x, y) → (x, -y)`.
     pub fn negate(&self) -> Point {
         Point {
@@ -188,11 +245,19 @@ impl Point {
         }
     }
 
-    /// Scalar multiplication by double-and-add (MSB first).
+    /// Scalar multiplication via wNAF with a per-call odd-multiples table
+    /// (see [`crate::mul_table`]).
     ///
     /// Not constant time — this library backs a simulator, not a wallet
     /// handling adversarial side channels.
     pub fn mul(&self, k: &Scalar) -> Point {
+        crate::mul_table::mul_wnaf(self, k)
+    }
+
+    /// Scalar multiplication by plain 1-bit double-and-add (MSB first).
+    /// Kept as the independent test oracle for the wNAF fast path; the
+    /// equivalence proptests and the `crypto` fuzz engine compare against it.
+    pub fn mul_binary(&self, k: &Scalar) -> Point {
         let mut acc = Point::INFINITY;
         for bit in k.bits_msb_first() {
             acc = acc.double();
@@ -203,23 +268,42 @@ impl Point {
         acc
     }
 
-    /// Computes `a*G + b*Q` (Shamir's trick), the core of ECDSA verification.
+    /// Computes `a*G + b*Q`, the core of ECDSA verification, by
+    /// interleaving the wNAF expansions of both scalars over a shared run
+    /// of doublings (Shamir/Strauss): the `a*G` half reads the static
+    /// generator table, the `b*Q` half a freshly built table for `Q`.
     pub fn lincomb(a: &Scalar, b: &Scalar, q: &Point) -> Point {
-        let g = Point::generator();
-        let gq = g.add(q);
-        let mut acc = Point::INFINITY;
-        let a_bits: Vec<bool> = a.bits_msb_first().collect();
-        let b_bits: Vec<bool> = b.bits_msb_first().collect();
-        for i in 0..256 {
-            acc = acc.double();
-            match (a_bits[i], b_bits[i]) {
-                (true, true) => acc = acc.add(&gq),
-                (true, false) => acc = acc.add(&g),
-                (false, true) => acc = acc.add(q),
-                (false, false) => {}
+        match crate::mul_table::OddMultiplesTable::new(q, crate::mul_table::WINDOW_P) {
+            Some(table) => crate::mul_table::lincomb_wnaf(a, b, &table),
+            // Q at infinity: b*Q vanishes and only the generator half is left.
+            None => crate::mul_table::generator_mul(a),
+        }
+    }
+
+    /// Checks whether this point's affine x-coordinate, reduced modulo the
+    /// group order, equals the scalar `r` — the final step of ECDSA
+    /// verification — without leaving Jacobian coordinates.
+    ///
+    /// Affine x is `X/Z^2`, so `x ≡ r (mod n)` iff `cand * Z^2 == X` for
+    /// some candidate `cand ∈ {r, r + n}` with `cand < p`. This replaces a
+    /// full field inversion (~380 field ops) with at most two multiplies.
+    pub fn eq_x_scalar(&self, r: &Scalar) -> bool {
+        if self.is_infinity() {
+            return false;
+        }
+        let zz = self.z.square();
+        // r < n < p, so the bytes decode without reduction.
+        let cand = FieldElement::from_be_bytes(&r.to_be_bytes()).expect("r < n < p");
+        if cand * zz == self.x {
+            return true;
+        }
+        // Second candidate r + n, only when it still fits below p.
+        if let Some(bytes) = r.plus_order_bytes() {
+            if let Some(cand) = FieldElement::from_be_bytes(&bytes) {
+                return cand * zz == self.x;
             }
         }
-        acc
+        false
     }
 
     /// Structural equality via cross-multiplied Jacobian coordinates
@@ -234,6 +318,50 @@ impl Point {
         let z2z2 = other.z.square();
         self.x * z2z2 == other.x * z1z1 && self.y * z2z2 * other.z == other.y * z1z1 * self.z
     }
+}
+
+/// Normalizes a batch of Jacobian points to affine with a single field
+/// inversion (Montgomery's trick): multiply all the `Z`s into prefix
+/// products, invert the total once, then peel each `Z^-1` back out.
+///
+/// Points at infinity map to [`AffinePoint::Infinity`] and do not disturb
+/// the batch (their `Z = 0` is substituted with one in the products).
+pub fn batch_to_affine(points: &[Point]) -> Vec<AffinePoint> {
+    // prefix[i] = product of effective z's of points[..=i].
+    let mut prefix = Vec::with_capacity(points.len());
+    let mut acc = FieldElement::ONE;
+    for p in points {
+        if !p.is_infinity() {
+            acc = acc * p.z;
+        }
+        prefix.push(acc);
+    }
+    if prefix.is_empty() {
+        return Vec::new();
+    }
+    let mut inv = acc.invert(); // the single inversion
+    let mut out = vec![AffinePoint::Infinity; points.len()];
+    for i in (0..points.len()).rev() {
+        let p = &points[i];
+        if p.is_infinity() {
+            continue;
+        }
+        // inv currently holds (z_0 * ... * z_i)^-1; multiply by the prefix
+        // below to isolate z_i^-1, then strip z_i from inv for the next step.
+        let below = if i == 0 {
+            FieldElement::ONE
+        } else {
+            prefix[i - 1]
+        };
+        let z_inv = inv * below;
+        inv = inv * p.z;
+        let z_inv2 = z_inv.square();
+        out[i] = AffinePoint::Coordinates {
+            x: p.x * z_inv2,
+            y: p.y * z_inv2 * z_inv,
+        };
+    }
+    out
 }
 
 impl fmt::Debug for Point {

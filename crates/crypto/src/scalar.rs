@@ -90,7 +90,17 @@ impl Scalar {
         })
     }
 
-    /// Multiplicative inverse via Fermat's little theorem (`x^(n-2)`).
+    /// Squares the scalar via the dedicated squaring routine.
+    pub fn square(self) -> Scalar {
+        let wide = limbs::sqr_wide(&self.0);
+        Scalar(limbs::reduce_wide_c3(wide, &N, &C))
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`x^(n-2)`),
+    /// computed with a fixed 4-bit window: 256 squarings plus at most 64
+    /// table multiplications, versus ~194 multiplications for naive
+    /// square-and-multiply over the high-Hamming-weight exponent. One scalar
+    /// inversion (`s^-1`) sits on every ECDSA verify.
     ///
     /// # Panics
     ///
@@ -100,17 +110,182 @@ impl Scalar {
         let mut exp = limbs::to_be_bytes(&N);
         // N ends in 0x41; subtracting 2 cannot borrow.
         exp[31] -= 2;
+        // odd_and_even[d] = self^d for d in 1..=15 (index 0 unused).
+        let mut pow = [Scalar::ONE; 16];
+        pow[1] = self;
+        for d in 2..16 {
+            pow[d] = pow[d - 1] * self;
+        }
         let mut result = Scalar::ONE;
+        let mut started = false;
         for byte in exp {
-            for bit in (0..8).rev() {
-                result = result * result;
-                if (byte >> bit) & 1 == 1 {
-                    result = result * self;
+            for nibble in [byte >> 4, byte & 0x0F] {
+                if started {
+                    result = result.square().square().square().square();
+                }
+                if nibble != 0 {
+                    result = if started {
+                        result * pow[nibble as usize]
+                    } else {
+                        pow[nibble as usize]
+                    };
+                    started = true;
                 }
             }
         }
         result
     }
+
+    /// Windowed non-adjacent form of the scalar with the given window
+    /// `width` (2..=8): least-significant digit first, every nonzero digit
+    /// odd with `|d| < 2^(width-1)`, at most one nonzero digit in any
+    /// `width` consecutive positions. Up to 257 digits (a trailing carry
+    /// can spill one position past 256 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=8`.
+    pub fn wnaf(&self, width: u32) -> Vec<i8> {
+        assert!((2..=8).contains(&width), "wNAF width must be in 2..=8");
+        let radix = 1u64 << width;
+        let half = 1i64 << (width - 1);
+        // Work on a 5-limb copy: subtracting a negative digit adds up to
+        // 2^(width-1), which can carry past 2^256 near the top.
+        let mut v = [self.0[0], self.0[1], self.0[2], self.0[3], 0u64];
+        let mut digits = Vec::with_capacity(257);
+        while v.iter().any(|&l| l != 0) {
+            if v[0] & 1 == 1 {
+                // Odd: emit a signed odd digit in (-2^(w-1), 2^(w-1)).
+                let low = (v[0] & (radix - 1)) as i64;
+                let digit = if low >= half { low - radix as i64 } else { low };
+                if digit >= 0 {
+                    sub_small(&mut v, digit as u64);
+                } else {
+                    add_small(&mut v, (-digit) as u64);
+                }
+                digits.push(digit as i8);
+            } else {
+                digits.push(0);
+            }
+            shift_right_1(&mut v);
+        }
+        digits
+    }
+
+    /// Decomposes `self` into `(k1, k2)` with `self = k1 + k2·λ (mod n)`
+    /// and both components of magnitude `< 2^129`, where `λ` is the cube
+    /// root of unity acted out on the curve by the GLV endomorphism
+    /// `φ(x, y) = (β·x, y) = λ·(x, y)`.
+    ///
+    /// Components are returned as `(negated, absolute value)` pairs so
+    /// callers can negate the *point* instead of working with scalars near
+    /// `n`. Splitting a 256-bit scalar multiplication into two half-width
+    /// ones halves the doubling count of wNAF ladders — the single largest
+    /// cost on the ECDSA accept path.
+    pub(crate) fn split_glv(&self) -> ((bool, Scalar), (bool, Scalar)) {
+        // Lattice basis constants from the standard secp256k1 decomposition:
+        // c1 = round(g1·k / 2^384), c2 = round(g2·k / 2^384), then
+        // k2 = c1·(-b1) + c2·(-b2) and k1 = k - k2·λ.
+        const MINUS_B1: Scalar = Scalar([0x6F547FA90ABFE4C3, 0xE4437ED6010E8828, 0, 0]);
+        const MINUS_B2: Scalar = Scalar([
+            0xD765CDA83DB1562C,
+            0x8A280AC50774346D,
+            0xFFFFFFFFFFFFFFFE,
+            0xFFFFFFFFFFFFFFFF,
+        ]);
+        const G1: [u64; 4] = [
+            0xE893209A45DBE88C,
+            0x3DAA8A1471E8CA7F,
+            0xE86C90E49284EB15,
+            0x3086D221A7D46BCD,
+        ];
+        const G2: [u64; 4] = [
+            0x1571B4AE8AC47F71,
+            0x221208AC9DF506C6,
+            0x6F547FA90ABFE4C4,
+            0xE4437ED6010E8828,
+        ];
+        // round((k·g) / 2^384): bits 384.. of the 512-bit product, plus the
+        // rounding bit at position 383.
+        fn mul_shift_384(k: &[u64; 4], g: &[u64; 4]) -> Scalar {
+            let wide = limbs::mul_wide(k, g);
+            let round = wide[5] >> 63;
+            let (lo, carry) = wide[6].overflowing_add(round);
+            Scalar([lo, wide[7] + carry as u64, 0, 0])
+        }
+        // Small-magnitude scalars are represented mod n; anything above n/2
+        // is a negative value in disguise.
+        fn sign_abs(k: Scalar) -> (bool, Scalar) {
+            if k.is_high() {
+                (true, -k)
+            } else {
+                (false, k)
+            }
+        }
+        let c1 = mul_shift_384(&self.0, &G1);
+        let c2 = mul_shift_384(&self.0, &G2);
+        let k2 = c1 * MINUS_B1 + c2 * MINUS_B2;
+        let k1 = *self - k2 * Scalar::LAMBDA;
+        (sign_abs(k1), sign_abs(k2))
+    }
+
+    /// `λ`: the scalar the GLV endomorphism multiplies by (a primitive cube
+    /// root of unity modulo `n`).
+    pub(crate) const LAMBDA: Scalar = Scalar([
+        0xDF02967C1B23BD72,
+        0x122E22EA20816678,
+        0xA5261C028812645A,
+        0x5363AD4CC05C30E0,
+    ]);
+
+    /// Returns `self + n` as 32 big-endian bytes, or `None` when the sum
+    /// overflows 256 bits. ECDSA verification uses this for the second
+    /// `r` candidate when checking the x-coordinate without an inversion.
+    pub(crate) fn plus_order_bytes(&self) -> Option<[u8; 32]> {
+        let (sum, carry) = limbs::add(&self.0, &N);
+        if carry != 0 {
+            None
+        } else {
+            Some(limbs::to_be_bytes(&sum))
+        }
+    }
+}
+
+/// In-place `v += d` over 5 little-endian limbs.
+fn add_small(v: &mut [u64; 5], d: u64) {
+    let mut carry = d;
+    for limb in v.iter_mut() {
+        let (s, c) = limb.overflowing_add(carry);
+        *limb = s;
+        carry = c as u64;
+        if carry == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(carry, 0, "wNAF working value fits in 5 limbs");
+}
+
+/// In-place `v -= d` over 5 little-endian limbs; `v >= d` is guaranteed by
+/// the caller (the digit is extracted from `v`'s own low bits).
+fn sub_small(v: &mut [u64; 5], d: u64) {
+    let mut borrow = d;
+    for limb in v.iter_mut() {
+        let (s, b) = limb.overflowing_sub(borrow);
+        *limb = s;
+        borrow = b as u64;
+        if borrow == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "wNAF digit never exceeds the value");
+}
+
+/// In-place logical right shift by one bit over 5 little-endian limbs.
+fn shift_right_1(v: &mut [u64; 5]) {
+    for i in 0..4 {
+        v[i] = (v[i] >> 1) | (v[i + 1] << 63);
+    }
+    v[4] >>= 1;
 }
 
 impl Add for Scalar {
@@ -138,7 +313,7 @@ impl Mul for Scalar {
     type Output = Scalar;
     fn mul(self, rhs: Scalar) -> Scalar {
         let wide = limbs::mul_wide(&self.0, &rhs.0);
-        Scalar(limbs::reduce_wide(wide, &N, &C))
+        Scalar(limbs::reduce_wide_c3(wide, &N, &C))
     }
 }
 
@@ -237,6 +412,149 @@ mod tests {
         let _ = b;
     }
 
+    /// Reconstructs the scalar value a wNAF expansion encodes, as 5 limbs
+    /// (the expansion can exceed 256 bits by one position).
+    fn wnaf_value(digits: &[i8]) -> [u64; 5] {
+        let mut acc = [0u64; 5];
+        for &d in digits.iter().rev() {
+            // acc = acc * 2
+            let mut carry = 0u64;
+            for limb in acc.iter_mut() {
+                let t = (*limb >> 63, *limb << 1);
+                *limb = t.1 | carry;
+                carry = t.0;
+            }
+            assert_eq!(carry, 0);
+            // acc += d (signed)
+            if d >= 0 {
+                let mut c = d as u64;
+                for limb in acc.iter_mut() {
+                    let (s, c2) = limb.overflowing_add(c);
+                    *limb = s;
+                    c = c2 as u64;
+                }
+                assert_eq!(c, 0);
+            } else {
+                let mut b = (-(d as i64)) as u64;
+                for limb in acc.iter_mut() {
+                    let (s, b2) = limb.overflowing_sub(b);
+                    *limb = s;
+                    b = b2 as u64;
+                }
+                assert_eq!(b, 0);
+            }
+        }
+        acc
+    }
+
+    fn check_wnaf(s: Scalar, width: u32) {
+        let digits = s.wnaf(width);
+        assert!(digits.len() <= 257, "at most 257 digits");
+        let half = 1i16 << (width - 1);
+        for (i, &d) in digits.iter().enumerate() {
+            if d != 0 {
+                assert!(d % 2 != 0, "digit {i} = {d} must be odd");
+                assert!((d as i16).abs() < half, "digit {i} = {d} out of range");
+                // Non-adjacency: next width-1 digits are zero.
+                for j in (i + 1)..digits.len().min(i + width as usize) {
+                    assert_eq!(digits[j], 0, "digits {i} and {j} both nonzero");
+                }
+            }
+        }
+        let v = wnaf_value(&digits);
+        assert_eq!([v[0], v[1], v[2], v[3]], s.0, "wnaf encodes the scalar");
+        assert_eq!(v[4], 0);
+    }
+
+    #[test]
+    fn wnaf_edge_scalars_all_widths() {
+        let mut edges = vec![
+            Scalar::ZERO,
+            Scalar::ONE,
+            Scalar::from_u64(2),
+            -Scalar::ONE,
+            -Scalar::from_u64(2),
+        ];
+        for k in [1, 63, 64, 127, 128, 191, 255] {
+            let mut b = [0u8; 32];
+            b[31 - k / 8] = 1 << (k % 8);
+            edges.push(Scalar::from_be_bytes_reduced(&b));
+        }
+        edges.push(Scalar::from_be_bytes_reduced(&[0xFF; 32]));
+        for s in edges {
+            for width in 2..=8 {
+                check_wnaf(s, width);
+            }
+        }
+    }
+
+    #[test]
+    fn wnaf_of_zero_is_empty() {
+        for width in 2..=8 {
+            assert!(Scalar::ZERO.wnaf(width).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wNAF width")]
+    fn wnaf_rejects_width_one() {
+        let _ = Scalar::ONE.wnaf(1);
+    }
+
+    #[test]
+    fn plus_order_bytes_boundary() {
+        // 0 + n fits; anything >= 2^256 - n overflows.
+        assert_eq!(
+            Scalar::ZERO.plus_order_bytes().unwrap(),
+            limbs::to_be_bytes(&N)
+        );
+        let c = Scalar(C);
+        assert!(c.plus_order_bytes().is_none());
+        assert!((c - Scalar::ONE).plus_order_bytes().is_some());
+    }
+
+    #[test]
+    fn lambda_is_a_nontrivial_cube_root_of_unity() {
+        let l = Scalar::LAMBDA;
+        assert_ne!(l, Scalar::ONE);
+        assert_eq!(l * l * l, Scalar::ONE);
+    }
+
+    /// Reconstructs `k` from a GLV decomposition and checks the magnitude
+    /// bound `|k1|, |k2| < 2^129`.
+    fn check_split(k: Scalar) {
+        let ((neg1, a1), (neg2, a2)) = k.split_glv();
+        let k1 = if neg1 { -a1 } else { a1 };
+        let k2 = if neg2 { -a2 } else { a2 };
+        assert_eq!(k1 + k2 * Scalar::LAMBDA, k, "k = {k:?}");
+        for (name, abs) in [("k1", a1), ("k2", a2)] {
+            let bytes = abs.to_be_bytes();
+            assert!(
+                bytes[..15] == [0; 15] && bytes[15] <= 1,
+                "{name} magnitude exceeds 2^129 for k = {k:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_glv_edge_scalars() {
+        check_split(Scalar::ZERO);
+        check_split(Scalar::ONE);
+        check_split(-Scalar::ONE);
+        check_split(Scalar::LAMBDA);
+        check_split(-Scalar::LAMBDA);
+        check_split(Scalar::from_be_bytes_reduced(&[0xFF; 32]));
+        for k in 0..=256u32 {
+            let mut b = [0u8; 32];
+            if k < 256 {
+                b[31 - (k as usize) / 8] = 1 << (k % 8);
+            } else {
+                b = [0xAA; 32];
+            }
+            check_split(Scalar::from_be_bytes_reduced(&b));
+        }
+    }
+
     fn arb_scalar() -> impl Strategy<Value = Scalar> {
         any::<[u8; 32]>().prop_map(|b| Scalar::from_be_bytes_reduced(&b))
     }
@@ -273,6 +591,21 @@ mod tests {
         #[test]
         fn prop_bytes_round_trip(a in arb_scalar()) {
             prop_assert_eq!(Scalar::from_be_bytes(&a.to_be_bytes()).unwrap(), a);
+        }
+
+        #[test]
+        fn prop_wnaf_round_trip(a in arb_scalar(), width in 2u32..=8) {
+            check_wnaf(a, width);
+        }
+
+        #[test]
+        fn prop_square_matches_mul(a in arb_scalar()) {
+            prop_assert_eq!(a.square(), a * a);
+        }
+
+        #[test]
+        fn prop_split_glv_reconstructs(a in arb_scalar()) {
+            check_split(a);
         }
 
         #[test]

@@ -1,0 +1,280 @@
+//! Differential equivalence suite: the wNAF fast path (tables, static
+//! generator table, per-key cache) must be byte-identical to the retained
+//! binary double-and-add ladder `Point::mul_binary` on every scalar, and
+//! ECDSA verify verdicts must be independent of cache state (cold, warm,
+//! evicted).
+
+use btcfast_crypto::ecdsa::{
+    self, pubkey_cache_stats, reset_pubkey_cache, verify_uncached, Signature, PUBKEY_CACHE_CAPACITY,
+};
+use btcfast_crypto::keys::KeyPair;
+use btcfast_crypto::mul_table::{generator_mul, mul_wnaf, OddMultiplesTable, PubkeyTableCache};
+use btcfast_crypto::point::{AffinePoint, Point};
+use btcfast_crypto::scalar::Scalar;
+use btcfast_crypto::sha256::sha256;
+use proptest::prelude::*;
+
+/// Serializes a point to comparable bytes (affine x || y, or empty for
+/// infinity) so "byte-identical" means exactly that.
+fn point_bytes(p: &Point) -> Vec<u8> {
+    match p.to_affine() {
+        AffinePoint::Infinity => Vec::new(),
+        AffinePoint::Coordinates { x, y } => {
+            let mut out = Vec::with_capacity(64);
+            out.extend_from_slice(&x.to_be_bytes());
+            out.extend_from_slice(&y.to_be_bytes());
+            out
+        }
+    }
+}
+
+/// The edge scalars the issue calls out: 0, 1, 2, n-1, n-2, powers of two,
+/// and all-ones.
+fn edge_scalars() -> Vec<Scalar> {
+    let mut edges = vec![
+        Scalar::ZERO,
+        Scalar::ONE,
+        Scalar::from_u64(2),
+        -Scalar::ONE,                               // n - 1
+        -Scalar::from_u64(2),                       // n - 2
+        Scalar::from_be_bytes_reduced(&[0xFF; 32]), // all-ones, reduced
+    ];
+    for k in [1usize, 7, 63, 64, 127, 128, 191, 254, 255] {
+        let mut b = [0u8; 32];
+        b[31 - k / 8] = 1 << (k % 8);
+        edges.push(Scalar::from_be_bytes_reduced(&b)); // 2^k
+    }
+    edges
+}
+
+fn check_mul_equivalence(p: &Point, k: &Scalar) {
+    let oracle = point_bytes(&p.mul_binary(k));
+    assert_eq!(point_bytes(&p.mul(k)), oracle, "Point::mul vs binary");
+    assert_eq!(point_bytes(&mul_wnaf(p, k)), oracle, "mul_wnaf vs binary");
+    for width in [2u32, 4, 5, 8] {
+        if let Some(table) = OddMultiplesTable::new(p, width) {
+            assert_eq!(
+                point_bytes(&table.mul(k)),
+                oracle,
+                "table width {width} vs binary"
+            );
+        } else {
+            assert!(p.is_infinity());
+        }
+    }
+}
+
+#[test]
+fn edge_scalars_match_binary_ladder() {
+    let g = Point::generator();
+    let bases = [
+        g,
+        g.mul_binary(&Scalar::from_u64(7)),
+        g.mul_binary(&-Scalar::ONE),
+        Point::INFINITY,
+    ];
+    for base in &bases {
+        for k in edge_scalars() {
+            check_mul_equivalence(base, &k);
+        }
+    }
+}
+
+#[test]
+fn generator_table_matches_binary_on_edges() {
+    let g = Point::generator();
+    for k in edge_scalars() {
+        assert_eq!(
+            point_bytes(&generator_mul(&k)),
+            point_bytes(&g.mul_binary(&k)),
+            "k = {k:?}"
+        );
+    }
+}
+
+#[test]
+fn cached_tables_match_binary_on_edges() {
+    let mut cache = PubkeyTableCache::new(4);
+    let q = Point::generator().mul_binary(&Scalar::from_u64(31337));
+    let mut id = [0u8; 33];
+    id[0] = 0x02;
+    for k in edge_scalars() {
+        let table = cache.get_or_build(&id, &q).expect("finite point");
+        assert_eq!(
+            point_bytes(&table.mul(&k)),
+            point_bytes(&q.mul_binary(&k)),
+            "k = {k:?}"
+        );
+    }
+    // All lookups after the first were hits; the table did not degrade.
+    assert_eq!(cache.stats().misses, 1);
+    assert!(cache.stats().hits >= 1);
+}
+
+#[test]
+fn lincomb_matches_binary_composition_on_edges() {
+    let g = Point::generator();
+    let q = g.mul_binary(&Scalar::from_u64(424242));
+    for a in edge_scalars() {
+        for b in [Scalar::ZERO, Scalar::ONE, -Scalar::ONE] {
+            let fast = Point::lincomb(&a, &b, &q);
+            let slow = g.mul_binary(&a).add(&q.mul_binary(&b));
+            assert_eq!(point_bytes(&fast), point_bytes(&slow), "a={a:?} b={b:?}");
+        }
+    }
+}
+
+/// Runs one verify with the cache cold, one warm, one after forced
+/// eviction, plus the explicitly uncached path, and demands a single
+/// verdict from all four.
+fn verdict_all_cache_states(kp: &KeyPair, digest: &[u8; 32], sig: &Signature) -> bool {
+    reset_pubkey_cache();
+    let cold = kp.public().verify(digest, sig);
+    // Signatures rejected by the cheap prechecks (zero/high-S) never reach
+    // the cache; everything else must have built exactly one table.
+    let reached_cache = pubkey_cache_stats().misses == 1;
+    let warm = kp.public().verify(digest, sig);
+    if reached_cache {
+        assert!(pubkey_cache_stats().hits >= 1, "second verify hits");
+    }
+    // Churn the cache past capacity with other keys to evict ours.
+    for i in 0..PUBKEY_CACHE_CAPACITY + 1 {
+        let other = KeyPair::from_seed(&(i as u64).to_le_bytes());
+        let d = sha256(b"churn");
+        let s = other.sign(&d);
+        other.public().verify(&d, &s);
+    }
+    let evicted = kp.public().verify(digest, sig);
+    if reached_cache {
+        assert!(pubkey_cache_stats().evictions >= 1, "churn evicted entries");
+    }
+    let uncached = verify_uncached(kp.public().point(), digest, sig);
+    assert_eq!(cold, warm, "cold vs warm");
+    assert_eq!(cold, evicted, "cold vs evicted");
+    assert_eq!(cold, uncached, "cached vs uncached");
+    cold
+}
+
+#[test]
+fn verify_verdict_independent_of_cache_state_valid_sig() {
+    let kp = KeyPair::from_seed(b"cache-state-valid");
+    let digest = sha256(b"pay 1 BTC");
+    let sig = kp.sign(&digest);
+    assert!(verdict_all_cache_states(&kp, &digest, &sig));
+}
+
+#[test]
+fn verify_verdict_independent_of_cache_state_invalid_sig() {
+    let kp = KeyPair::from_seed(b"cache-state-invalid");
+    let digest = sha256(b"pay 1 BTC");
+    let sig = kp.sign(&digest);
+    // Tampered digest must fail in every cache state.
+    let tampered = sha256(b"pay 2 BTC");
+    assert!(!verdict_all_cache_states(&kp, &tampered, &sig));
+    // High-S must fail in every cache state.
+    let high_s = Signature {
+        r: sig.r,
+        s: -sig.s,
+    };
+    assert!(!verdict_all_cache_states(&kp, &digest, &high_s));
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u8; 32]>().prop_map(|b| Scalar::from_be_bytes_reduced(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_mul_matches_binary(base in arb_scalar(), k in arb_scalar()) {
+        let p = Point::generator().mul_binary(&base);
+        check_mul_equivalence(&p, &k);
+    }
+
+    #[test]
+    fn prop_generator_mul_matches_binary(k in arb_scalar()) {
+        prop_assert_eq!(
+            point_bytes(&generator_mul(&k)),
+            point_bytes(&Point::generator().mul_binary(&k))
+        );
+    }
+
+    #[test]
+    fn prop_lincomb_matches_binary(a in arb_scalar(), b in arb_scalar(), qk in arb_scalar()) {
+        let g = Point::generator();
+        let q = g.mul_binary(&qk);
+        let fast = Point::lincomb(&a, &b, &q);
+        let slow = g.mul_binary(&a).add(&q.mul_binary(&b));
+        prop_assert_eq!(point_bytes(&fast), point_bytes(&slow));
+    }
+
+    #[test]
+    fn prop_sign_verify_round_trip_fast_path(seed in any::<[u8; 16]>(), msg in any::<[u8; 24]>()) {
+        let kp = KeyPair::from_seed(&seed);
+        let digest = sha256(&msg);
+        let sig = kp.sign(&digest);
+        prop_assert!(kp.public().verify(&digest, &sig));
+        prop_assert!(verify_uncached(kp.public().point(), &digest, &sig));
+        // And the malleated twin fails on both paths.
+        let bad = Signature { r: sig.r, s: -sig.s };
+        prop_assert!(!kp.public().verify(&digest, &bad));
+        prop_assert!(!verify_uncached(kp.public().point(), &digest, &bad));
+    }
+}
+
+/// The verify entry points agree with a from-first-principles verifier
+/// that uses only the binary ladder — the strongest end-to-end oracle.
+#[test]
+fn verify_matches_binary_ladder_reference() {
+    fn reference_verify(q: &Point, digest: &[u8; 32], sig: &Signature) -> bool {
+        if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() || q.is_infinity() {
+            return false;
+        }
+        let z = Scalar::from_be_bytes_reduced(digest);
+        let s_inv = sig.s.invert();
+        let u1 = z * s_inv;
+        let u2 = sig.r * s_inv;
+        let g = Point::generator();
+        let point = g.mul_binary(&u1).add(&q.mul_binary(&u2));
+        match point.to_affine() {
+            AffinePoint::Infinity => false,
+            AffinePoint::Coordinates { x, .. } => {
+                Scalar::from_be_bytes_reduced(&x.to_be_bytes()) == sig.r
+            }
+        }
+    }
+
+    for seed in 0u64..8 {
+        let kp = KeyPair::from_seed(&seed.to_le_bytes());
+        let digest = sha256(&seed.to_be_bytes());
+        let sig = kp.sign(&digest);
+        let q = kp.public().point();
+        // Valid signature and a few corruptions, checked against reference.
+        let cases = [
+            sig,
+            Signature {
+                r: sig.r,
+                s: -sig.s,
+            },
+            Signature {
+                r: -sig.r,
+                s: sig.s,
+            },
+            Signature { r: sig.s, s: sig.r },
+        ];
+        for (i, candidate) in cases.iter().enumerate() {
+            let expected = reference_verify(q, &digest, candidate);
+            assert_eq!(
+                ecdsa::verify(q, &digest, candidate),
+                expected,
+                "seed {seed} case {i} cached"
+            );
+            assert_eq!(
+                verify_uncached(q, &digest, candidate),
+                expected,
+                "seed {seed} case {i} uncached"
+            );
+        }
+    }
+}
