@@ -557,6 +557,126 @@ pub fn fuzz_btc_transaction(bytes: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// trace-context: the causal-tracing wire format under mutation.
+// ---------------------------------------------------------------------------
+
+/// Mutates serialized [`TraceContext`] bytes and feeds them to a live
+/// transport. The contract: corruption degrades to *unattributed* —
+/// the decoder never panics, never accepts non-canonical bytes, and a
+/// transport carrying a corrupt context behaves byte-identically to an
+/// untraced twin (delivery, retransmission, and dedup unchanged).
+pub fn fuzz_trace_context(bytes: &[u8]) -> Result<(), String> {
+    use btcfast_netsim::latency::LatencyModel;
+    use btcfast_netsim::network::{Network, NodeId};
+    use btcfast_netsim::transport::{Transport, TransportConfig};
+    use btcfast_obs::TraceContext;
+
+    let mut src = ByteSource::new(bytes);
+
+    // Structural: a context built from the stream survives the wire
+    // exactly; unattributed ids are refused by the decoder.
+    let ctx = TraceContext {
+        trace_id: src.u64(),
+        span_id: src.u64(),
+        parent_id: src.u64(),
+    };
+    let wire = ctx.to_wire();
+    match TraceContext::from_wire(&wire) {
+        Some(back) if back == ctx => {}
+        Some(back) => return Err(format!("wire round-trip mismatch: {ctx:?} -> {back:?}")),
+        None if ctx.is_attributed() => {
+            return Err(format!("canonical wire bytes rejected: {ctx:?}"))
+        }
+        None => {}
+    }
+
+    // Hostile: stream-driven mutations — bit flips, overwrites,
+    // truncation, extension.
+    let mut mutated = wire.to_vec();
+    for _ in 0..src.choice(8) {
+        match src.u8() % 4 {
+            0 if !mutated.is_empty() => {
+                let i = src.u8() as usize % mutated.len();
+                mutated[i] ^= src.u8();
+            }
+            1 => {
+                let keep = src.u8() as usize % (mutated.len() + 1);
+                mutated.truncate(keep);
+            }
+            2 => {
+                let extra = src.choice(8);
+                for _ in 0..extra {
+                    mutated.push(src.u8());
+                }
+            }
+            _ if !mutated.is_empty() => {
+                let i = src.u8() as usize % mutated.len();
+                mutated[i] = src.u8();
+            }
+            _ => {}
+        }
+    }
+
+    let decoded = TraceContext::from_wire(&mutated);
+    if let Some(d) = decoded {
+        if !d.is_attributed() {
+            return Err("decoder yielded an unattributed context".into());
+        }
+        if d.to_wire()[..] != mutated[..] {
+            return Err(format!(
+                "accepted non-canonical wire bytes {}",
+                hex_encode(&mutated)
+            ));
+        }
+    }
+
+    // Differential: attribution is purely observational. A transport fed
+    // the mutated bytes must replay byte-identically to an untraced twin.
+    let seed = src.u64();
+    let loss = f64::from(src.u8() % 100) / 100.0;
+    let build = || {
+        let mut net = Network::new(2, LatencyModel::Constant { secs: 0.01 });
+        net.set_loss_probability(loss);
+        Transport::new(net, TransportConfig::default(), seed)
+    };
+    let mut traced: Transport<u8> = build();
+    let mut plain: Transport<u8> = build();
+    traced.send_traced(NodeId(0), NodeId(1), 7, &mutated, 1_000);
+    plain.send(NodeId(0), NodeId(1), 7);
+    traced.run_until_idle();
+    plain.run_until_idle();
+    if traced.trace() != plain.trace() {
+        return Err("corrupt context changed transport behavior".into());
+    }
+    if traced.stats() != plain.stats() {
+        return Err("corrupt context changed transport counters".into());
+    }
+    let events = traced.take_trace_events();
+    match decoded {
+        None => {
+            if events.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "corrupt context still attributed {} events",
+                    events.len()
+                ))
+            }
+        }
+        Some(d) => {
+            if events
+                .iter()
+                .all(|e| e.ctx.is_some_and(|c| c.trace_id == d.trace_id))
+            {
+                Ok(())
+            } else {
+                Err("attributed event escaped its trace".into())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,7 +705,27 @@ mod tests {
             fuzz_judger_types(&bytes).unwrap();
             fuzz_evidence_bundle(&bytes).unwrap();
             fuzz_btc_transaction(&bytes).unwrap();
+            fuzz_trace_context(&bytes).unwrap();
         }
+    }
+
+    #[test]
+    fn trace_context_target_survives_hostile_wire_bytes() {
+        // Exercise the mutation machinery across many stream shapes:
+        // varying op counts, indices, and transport loss rates.
+        for seed in 0u8..32 {
+            let mut bytes = vec![0u8; 128];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = seed
+                    .wrapping_mul(37)
+                    .wrapping_add(i as u8)
+                    .wrapping_mul(101);
+            }
+            fuzz_trace_context(&bytes).unwrap();
+        }
+        // Empty and short streams degrade to the boring schedule.
+        fuzz_trace_context(&[]).unwrap();
+        fuzz_trace_context(&[0xFF; 3]).unwrap();
     }
 
     #[test]

@@ -137,6 +137,11 @@ pub const TARGETS: &[Target] = &[
         check: codec_fuzz::fuzz_btc_transaction,
     },
     Target {
+        engine: Engine::Codec,
+        name: "trace-context",
+        check: codec_fuzz::fuzz_trace_context,
+    },
+    Target {
         engine: Engine::Diff,
         name: "chain-reorg",
         check: diff_fuzz::diff_chain_reorg,

@@ -8,6 +8,7 @@ pub mod e11_engine_scaling;
 pub mod e12_phase_latency;
 pub mod e13_crash_recovery;
 pub mod e14_load;
+pub mod e15_critical_path;
 pub mod e1_waiting_time;
 pub mod e2_double_spend;
 pub mod e3_btcfast_security;
@@ -20,7 +21,7 @@ pub mod e9_judgment_accuracy;
 
 use crate::table::Table;
 
-/// Runs one experiment by id ("e1".."e14") or all of them ("all").
+/// Runs one experiment by id ("e1".."e15") or all of them ("all").
 ///
 /// Returns the rendered tables; unknown ids return an empty list.
 pub fn run(id: &str, quick: bool) -> Vec<Table> {
@@ -39,6 +40,7 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
         "e12" => e12_phase_latency::run(quick),
         "e13" => e13_crash_recovery::run(quick),
         "e14" => e14_load::run(quick),
+        "e15" => e15_critical_path::run(quick),
         "all" => {
             let mut tables = Vec::new();
             for id in ALL_IDS {
@@ -51,8 +53,8 @@ pub fn run(id: &str, quick: bool) -> Vec<Table> {
 }
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 #[cfg(test)]

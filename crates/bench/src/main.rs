@@ -51,7 +51,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    println!("usage: harness [e1..e14|all ...] [quick]");
+    println!("usage: harness [e1..e15|all ...] [quick]");
     println!("       harness bench [--quick] [--out PATH]");
     println!("       harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]");
     println!("       harness trace [--seed N] [--trace PATH] [--metrics PATH]");
@@ -146,6 +146,17 @@ fn run_experiments(args: &[String]) -> Result<ExitCode, CliError> {
         if tables.is_empty() {
             eprintln!("unknown experiment id {id:?}; try --help");
             return Ok(ExitCode::from(2));
+        }
+        if id == "e15" || id == "all" {
+            // The representative span-tree forest the CI lane uploads.
+            let jsonl = experiments::e15_critical_path::span_tree_jsonl();
+            match std::fs::write("E15_span_tree.jsonl", &jsonl) {
+                Ok(()) => println!(
+                    "wrote E15_span_tree.jsonl ({} events)",
+                    jsonl.lines().count()
+                ),
+                Err(e) => eprintln!("write E15_span_tree.jsonl: {e}"),
+            }
         }
         for table in tables {
             table.print();

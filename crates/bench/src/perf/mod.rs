@@ -15,8 +15,10 @@ use crate::load::LoadGen;
 use crate::perf::json::Json;
 use crate::perf::stats::{bench, Summary};
 use btcfast::admission::{AdmissionConfig, SheddingPolicy};
+use btcfast::chaos::ChaosSession;
 use btcfast::config::SessionConfig;
 use btcfast::engine::{EngineConfig, PaymentEngine};
+use btcfast::robustness::ChaosConfig;
 use btcfast::session::FastPaySession;
 use btcfast_btcsim::chain::Chain;
 use btcfast_btcsim::miner::Miner;
@@ -33,6 +35,8 @@ use btcfast_crypto::point::Point;
 use btcfast_crypto::scalar::Scalar;
 use btcfast_crypto::sha256::sha256d;
 use btcfast_crypto::{Hash256, MerkleTree};
+use btcfast_netsim::faults::FaultPlan;
+use btcfast_netsim::time::SimTime;
 use btcfast_payjudger::contract::PayJudger;
 use btcfast_payjudger::types::JudgerConfig;
 use btcfast_payjudger::{EvidenceVerifier, PayJudgerClient, VerifierConfig, VerifyMetrics};
@@ -496,6 +500,29 @@ pub fn run_suite(quick: bool) -> (Json, Vec<Summary>) {
             },
         ),
     ));
+    // The causal-tracing twin: one chaos payment under 25% loss with the
+    // span forest on — root minting, wire-context propagation through
+    // the transport, per-retransmission child spans, and the nesting
+    // watermark all on the clock — against the identical untraced run.
+    let chaos_payment = |tracing: bool| {
+        let mut session_config = SessionConfig::default();
+        session_config.tracing = tracing;
+        let mut chaos_config = ChaosConfig::default();
+        chaos_config.transport.max_attempts = 12;
+        chaos_config.phase_deadline = SimTime::from_secs(60);
+        let mut plan = FaultPlan::new();
+        plan.loss_window(SimTime::ZERO, SimTime::from_secs(86_400), 0.25);
+        let mut chaos = ChaosSession::new(session_config, chaos_config, plan, 0xB7CF);
+        let report = chaos
+            .run_fast_payment_chaos(1_000_000)
+            .expect("chaos payment completes");
+        assert!(report.accepted);
+        assert_eq!(tracing, !chaos.session.trace().is_empty());
+    };
+    summaries.push(ratio_summary(
+        "overhead_causal_tracing",
+        stats::bench_pair(samples, 1, || chaos_payment(false), || chaos_payment(true)),
+    ));
 
     // -- Family 4: end-to-end dispute adjudication (contract level). ------
     let mut seed = 0u64;
@@ -666,6 +693,7 @@ mod tests {
             "engine_payments_per_sec_4shard_untraced",
             "overhead_engine_tracing",
             "overhead_verify_metrics",
+            "overhead_causal_tracing",
             "dispute_e2e",
         ]
         .iter()
@@ -697,7 +725,7 @@ mod tests {
             .is_some());
         let report = gate::compare(&parsed, &parsed, 0.30).unwrap();
         assert!(report.passes());
-        assert_eq!(report.rows.len(), 20);
+        assert_eq!(report.rows.len(), 21);
     }
 
     #[test]

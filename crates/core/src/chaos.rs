@@ -26,6 +26,7 @@ use crate::protocol::RejectReason;
 use crate::recovery::{Outcome, RecoveryError, RecoveryManager, Step};
 use crate::robustness::{ChaosConfig, FallbackPolicy, ProtocolPhase, RobustnessError};
 use crate::session::{FastPaySession, RaceOutcome, SessionError};
+use btcfast_btcsim::transaction::Transaction;
 use btcfast_btcsim::Amount;
 use btcfast_crypto::keys::KeyPair;
 use btcfast_crypto::Hash256;
@@ -33,6 +34,7 @@ use btcfast_netsim::faults::{FaultAction, FaultPlan};
 use btcfast_netsim::network::{Network, NodeId};
 use btcfast_netsim::time::SimTime;
 use btcfast_netsim::transport::{SendStatus, Transport, TransportStats};
+use btcfast_obs::TraceContext;
 use btcfast_payjudger::client::CALL_GAS_LIMIT;
 use btcfast_payjudger::retry::{submit_with_retry, AttemptResult, RetryReport};
 use btcfast_payjudger::types::DisputeVerdict;
@@ -134,6 +136,16 @@ pub struct ChaosSession {
     snap_medium: MemStorage,
     recovery: RecoveryManager<MemStorage>,
     recoveries: u64,
+    /// Root context of the payment/dispute currently being driven, so
+    /// mid-flight observations (recovery restarts, degradation) are
+    /// attributed to the causal tree that triggered them. Unattributed
+    /// between payments.
+    active_ctx: TraceContext,
+    /// Latest span end (session-clock µs) produced by transport legs of
+    /// the active payment; wrapper spans extend to cover it, keeping the
+    /// span forest properly nested even when retransmission timers trail
+    /// the delivery the session clock advanced to.
+    obs_high_water: u64,
 }
 
 impl ChaosSession {
@@ -177,6 +189,8 @@ impl ChaosSession {
             snap_medium,
             recovery,
             recoveries: 0,
+            active_ctx: TraceContext::UNATTRIBUTED,
+            obs_high_water: 0,
         }
     }
 
@@ -260,8 +274,10 @@ impl ChaosSession {
         );
         self.recovery = recovered;
         self.recoveries += 1;
-        self.session.trace_point(
+        let restart_ctx = self.session.trace_child(&self.active_ctx);
+        self.session.trace_point_ctx(
             "recovery.restart",
+            restart_ctx,
             vec![
                 ("node", u64::from(node.0).into()),
                 ("replayed", report.replayed_records.into()),
@@ -310,6 +326,37 @@ impl ChaosSession {
         &mut self,
         amount_sats: u64,
     ) -> Result<ChaosPaymentReport, RobustnessError> {
+        let start = self.session.clock;
+        let root = self.session.mint_trace_root();
+        self.active_ctx = root;
+        self.obs_high_water = start.as_micros();
+        let result = self.run_payment_phases(amount_sats, root);
+        // The root span is recorded on every exit path — success, fault
+        // degradation, or hard failure — so no child span is ever left
+        // orphaned in the trace forest.
+        let end = self.session.clock.as_micros().max(self.obs_high_water);
+        let mut fields = vec![(
+            "accepted",
+            matches!(&result, Ok(report) if report.accepted).into(),
+        )];
+        if let Ok(report) = &result {
+            if let Some(id) = report.payment_id {
+                fields.push(("payment", id.into()));
+            }
+        }
+        self.session
+            .trace_span_abs_ctx("chaos.payment", root, start.as_micros(), end, fields);
+        self.active_ctx = TraceContext::UNATTRIBUTED;
+        result
+    }
+
+    /// The phase pipeline of [`Self::run_fast_payment_chaos`], with every
+    /// span nested under the payment's `root` context.
+    fn run_payment_phases(
+        &mut self,
+        amount_sats: u64,
+        root: TraceContext,
+    ) -> Result<ChaosPaymentReport, RobustnessError> {
         self.apply_faults_due(self.transport.now());
 
         let amount = Amount::from_sats(amount_sats)
@@ -344,10 +391,12 @@ impl ChaosSession {
                 .psc
                 .nonce_of(&self.session.customer.psc_account()),
         })?;
+        let register_ctx = self.session.trace_child(&root);
         let registration = self.submit_psc_with_retry(
             ProtocolPhase::OpenPayment,
             CUSTOMER_NODE,
             None,
+            register_ctx,
             |session, gas| {
                 let tx = session.customer.build_open_payment(
                     &session.judger,
@@ -360,6 +409,20 @@ impl ChaosSession {
                 regas(tx, gas, session.customer.psc_keys())
             },
         );
+        // Record the register span before branching so the transport leg
+        // recorded under `register_ctx` keeps its parent on every path.
+        let mut register_fields = vec![("ok", registration.is_ok().into())];
+        if let Ok(report) = &registration {
+            register_fields.push(("attempts", u64::from(report.attempts).into()));
+        }
+        let register_end = self.session.clock.as_micros().max(self.obs_high_water);
+        self.session.trace_span_abs_ctx(
+            "chaos.register",
+            register_ctx,
+            registration_start.as_micros(),
+            register_end,
+            register_fields,
+        );
         let payment_id = match registration {
             Ok(report) => {
                 let id = PayJudgerClient::payment_id_from(&report.receipt).ok_or(
@@ -368,14 +431,6 @@ impl ChaosSession {
                     }),
                 )?;
                 self.journal_done(open_intent, Outcome::PaymentRegistered { payment_id: id })?;
-                self.session.trace_span_from(
-                    "chaos.register",
-                    registration_start,
-                    vec![
-                        ("payment", id.into()),
-                        ("attempts", u64::from(report.attempts).into()),
-                    ],
-                );
                 id
             }
             Err(
@@ -384,7 +439,9 @@ impl ChaosSession {
                 | RobustnessError::DeadlineExceeded { .. },
             ) => {
                 self.journal_done(open_intent, Outcome::Abandoned)?;
-                self.session.trace_point("chaos.degrade", vec![]);
+                let degrade_ctx = self.session.trace_child(&root);
+                self.session
+                    .trace_point_ctx("chaos.degrade", degrade_ctx, vec![]);
                 return self.degrade(amount_sats, txid);
             }
             Err(e) => return Err(e),
@@ -392,55 +449,28 @@ impl ChaosSession {
 
         // -- Point of sale: offer → checks → acceptance over transport. ---
         let pos_start = self.session.clock;
-        let offer_intent = self.journal_begin(Step::OfferSend { payment_id, txid })?;
-        let offer_leg = self.drive_message(CUSTOMER_NODE, MERCHANT_NODE, ProtocolPhase::Offer)?;
-        self.session.advance_clock(offer_leg.arrival);
-        self.journal_done(offer_intent, Outcome::Applied)?;
-
-        let offer = self
-            .session
-            .customer
-            .make_offer(tx.clone(), payment_id, amount_sats);
-        let decision = self.session.merchant.evaluate_offer(
-            &offer,
-            &self.session.btc,
-            &self.session.mempool,
-            &self.session.psc,
-            &self.session.judger,
-        );
-        let verify = SimTime::from_secs_f64(self.session.config.verify_secs);
-        self.session.advance_clock(verify);
-
-        let accept_intent = self.journal_begin(Step::AcceptanceSend {
-            payment_id,
-            accepted: decision.is_ok(),
-        })?;
-        let response_leg =
-            self.drive_message(MERCHANT_NODE, CUSTOMER_NODE, ProtocolPhase::Acceptance)?;
-        self.session.advance_clock(response_leg.arrival);
-        self.journal_done(
-            accept_intent,
-            if decision.is_ok() {
-                Outcome::Applied
-            } else {
-                Outcome::Rejected
-            },
-        )?;
-
-        let waiting = offer_leg.arrival + verify + response_leg.arrival;
-        self.session.trace_span_from(
+        let accept_ctx = self.session.trace_child(&root);
+        let pos = self.run_pos_legs(&tx, payment_id, amount_sats, accept_ctx);
+        // Close the accept span on both paths so every transport leg
+        // recorded under `accept_ctx` keeps its parent in the forest.
+        let mut accept_fields = vec![("payment", payment_id.into())];
+        if let Ok((_, decision, offer_leg, response_leg)) = &pos {
+            accept_fields.push(("accepted", decision.is_ok().into()));
+            accept_fields.push(("offer_attempts", u64::from(offer_leg.attempts).into()));
+            accept_fields.push((
+                "acceptance_attempts",
+                u64::from(response_leg.attempts).into(),
+            ));
+        }
+        let accept_end = self.session.clock.as_micros().max(self.obs_high_water);
+        self.session.trace_span_abs_ctx(
             "chaos.accept",
-            pos_start,
-            vec![
-                ("payment", payment_id.into()),
-                ("accepted", decision.is_ok().into()),
-                ("offer_attempts", u64::from(offer_leg.attempts).into()),
-                (
-                    "acceptance_attempts",
-                    u64::from(response_leg.attempts).into(),
-                ),
-            ],
+            accept_ctx,
+            pos_start.as_micros(),
+            accept_end,
+            accept_fields,
         );
+        let (waiting, decision, offer_leg, response_leg) = pos?;
         let (accepted, reject) = match decision {
             Ok(_) => {
                 let broadcast_intent = self.journal_begin(Step::Broadcast { payment_id, txid })?;
@@ -470,6 +500,84 @@ impl ChaosSession {
             acceptance_attempts: response_leg.attempts,
             reject,
         })
+    }
+
+    /// The fallible middle of the point of sale: offer leg, merchant
+    /// verification, acceptance leg — every span a child of `accept_ctx`.
+    /// The caller closes the `chaos.accept` span whatever this returns.
+    #[allow(clippy::type_complexity)]
+    fn run_pos_legs(
+        &mut self,
+        tx: &Transaction,
+        payment_id: u64,
+        amount_sats: u64,
+        accept_ctx: TraceContext,
+    ) -> Result<
+        (
+            SimTime,
+            Result<(), RejectReason>,
+            PhaseDelivery,
+            PhaseDelivery,
+        ),
+        RobustnessError,
+    > {
+        let txid = tx.txid();
+        let offer_intent = self.journal_begin(Step::OfferSend { payment_id, txid })?;
+        let offer_ctx = self.session.trace_child(&accept_ctx);
+        let offer_leg = self.drive_message(
+            CUSTOMER_NODE,
+            MERCHANT_NODE,
+            ProtocolPhase::Offer,
+            offer_ctx,
+        )?;
+        self.session.advance_clock(offer_leg.arrival);
+        self.journal_done(offer_intent, Outcome::Applied)?;
+
+        let offer = self
+            .session
+            .customer
+            .make_offer(tx.clone(), payment_id, amount_sats);
+        let verify_start = self.session.clock;
+        let decision = self.session.merchant.evaluate_offer(
+            &offer,
+            &self.session.btc,
+            &self.session.mempool,
+            &self.session.psc,
+            &self.session.judger,
+        );
+        let verify = SimTime::from_secs_f64(self.session.config.verify_secs);
+        self.session.advance_clock(verify);
+        let verify_ctx = self.session.trace_child(&accept_ctx);
+        self.session.trace_span_from_ctx(
+            "chaos.verify",
+            verify_ctx,
+            verify_start,
+            vec![("ok", decision.is_ok().into())],
+        );
+
+        let accept_intent = self.journal_begin(Step::AcceptanceSend {
+            payment_id,
+            accepted: decision.is_ok(),
+        })?;
+        let response_ctx = self.session.trace_child(&accept_ctx);
+        let response_leg = self.drive_message(
+            MERCHANT_NODE,
+            CUSTOMER_NODE,
+            ProtocolPhase::Acceptance,
+            response_ctx,
+        )?;
+        self.session.advance_clock(response_leg.arrival);
+        self.journal_done(
+            accept_intent,
+            if decision.is_ok() {
+                Outcome::Applied
+            } else {
+                Outcome::Rejected
+            },
+        )?;
+
+        let waiting = offer_leg.arrival + verify + response_leg.arrival;
+        Ok((waiting, decision.map(|_| ()), offer_leg, response_leg))
     }
 
     /// A double-spend attack resolved under chaos: protected payment,
@@ -528,6 +636,76 @@ impl ChaosSession {
         let dispute_start = self.session.clock;
         let window_deadline =
             dispute_start + SimTime::from_secs(self.session.config.challenge_window_secs);
+        let dispute_root = self.session.mint_trace_root();
+        self.active_ctx = dispute_root;
+        self.obs_high_water = dispute_start.as_micros();
+        let phases = self.run_dispute_phases(payment_id, txid, window_deadline, dispute_root);
+        // As with payments, the root span closes on every exit path so the
+        // phase legs recorded under `dispute_root` are never orphaned.
+        let mut dispute_fields = vec![("payment", payment_id.into())];
+        if let Ok((dispute, evidence, judge, verdict)) = &phases {
+            dispute_fields.push((
+                "merchant_wins",
+                (*verdict == Some(DisputeVerdict::MerchantWins)).into(),
+            ));
+            dispute_fields.push(("dispute_attempts", u64::from(dispute.attempts).into()));
+            dispute_fields.push(("evidence_attempts", u64::from(evidence.attempts).into()));
+            dispute_fields.push(("judge_attempts", u64::from(judge.attempts).into()));
+        }
+        let dispute_end = self.session.clock.as_micros().max(self.obs_high_water);
+        self.session.trace_span_abs_ctx(
+            "chaos.dispute",
+            dispute_root,
+            dispute_start.as_micros(),
+            dispute_end,
+            dispute_fields,
+        );
+        self.active_ctx = TraceContext::UNATTRIBUTED;
+        let (dispute, evidence, judge, verdict) = phases?;
+        let merchant_compensated = verdict == Some(DisputeVerdict::MerchantWins);
+        self.trace_transport_stats();
+        let collateral_sats = (self.session.config.required_collateral(amount_sats) as f64
+            / self.session.config.psc_units_per_sat) as i64;
+        let merchant_net_loss_sats = if merchant_compensated {
+            amount_sats as i64 - collateral_sats
+        } else {
+            amount_sats as i64
+        };
+
+        Ok(ChaosDisputeReport {
+            payment,
+            race,
+            verdict,
+            merchant_compensated,
+            merchant_net_loss_sats,
+            dispute_attempts: dispute.attempts,
+            evidence_attempts: evidence.attempts,
+            judge_attempts: judge.attempts,
+            merchant_fee_units: dispute.total_fees + evidence.total_fees + judge.total_fees,
+            dispute_duration: self.session.clock - dispute_start,
+        })
+    }
+
+    /// The transport-routed dispute pipeline under `dispute_root`: open →
+    /// evidence → window wait → judge call, journaled end to end. Each
+    /// phase leg is a direct child of `dispute_root`; the caller closes
+    /// the `chaos.dispute` root span whatever this returns.
+    #[allow(clippy::type_complexity)]
+    fn run_dispute_phases(
+        &mut self,
+        payment_id: u64,
+        txid: Hash256,
+        window_deadline: SimTime,
+        dispute_root: TraceContext,
+    ) -> Result<
+        (
+            RetryReport,
+            RetryReport,
+            RetryReport,
+            Option<DisputeVerdict>,
+        ),
+        RobustnessError,
+    > {
         let customer_account = self.session.customer.psc_account();
         let merchant_account = self.session.merchant.psc_account();
 
@@ -539,6 +717,7 @@ impl ChaosSession {
             ProtocolPhase::DisputeOpen,
             MERCHANT_NODE,
             Some(window_deadline),
+            dispute_root,
             |session, gas| {
                 let tx = session.merchant.build_dispute(
                     &session.judger,
@@ -560,6 +739,7 @@ impl ChaosSession {
             ProtocolPhase::EvidenceSubmission,
             MERCHANT_NODE,
             Some(window_deadline),
+            dispute_root,
             |session, gas| {
                 let proof = session.merchant.build_dispute_evidence(&session.btc, &txid);
                 let tx = session.merchant.build_evidence_submission(
@@ -587,6 +767,7 @@ impl ChaosSession {
             ProtocolPhase::JudgeCall,
             MERCHANT_NODE,
             None,
+            dispute_root,
             |session, gas| {
                 let tx = session.merchant.build_judge(
                     &session.judger,
@@ -607,38 +788,7 @@ impl ChaosSession {
             merchant_wins: merchant_compensated,
         })?;
         self.journal_done(verdict_intent, Outcome::Applied)?;
-        self.session.trace_span_from(
-            "chaos.dispute",
-            dispute_start,
-            vec![
-                ("payment", payment_id.into()),
-                ("merchant_wins", merchant_compensated.into()),
-                ("dispute_attempts", u64::from(dispute.attempts).into()),
-                ("evidence_attempts", u64::from(evidence.attempts).into()),
-                ("judge_attempts", u64::from(judge.attempts).into()),
-            ],
-        );
-        self.trace_transport_stats();
-        let collateral_sats = (self.session.config.required_collateral(amount_sats) as f64
-            / self.session.config.psc_units_per_sat) as i64;
-        let merchant_net_loss_sats = if merchant_compensated {
-            amount_sats as i64 - collateral_sats
-        } else {
-            amount_sats as i64
-        };
-
-        Ok(ChaosDisputeReport {
-            payment,
-            race,
-            verdict,
-            merchant_compensated,
-            merchant_net_loss_sats,
-            dispute_attempts: dispute.attempts,
-            evidence_attempts: evidence.attempts,
-            judge_attempts: judge.attempts,
-            merchant_fee_units: dispute.total_fees + evidence.total_fees + judge.total_fees,
-            dispute_duration: self.session.clock - dispute_start,
-        })
+        Ok((dispute, evidence, judge, verdict))
     }
 
     /// Applies every fault-plan action due at or before `t`.
@@ -662,19 +812,37 @@ impl ChaosSession {
         }
     }
 
+    /// The span name a phase's transport leg records under.
+    fn leg_name(phase: ProtocolPhase) -> &'static str {
+        match phase {
+            ProtocolPhase::Offer => "chaos.offer_delivery",
+            ProtocolPhase::Acceptance => "chaos.acceptance_delivery",
+            _ => "chaos.psc_delivery",
+        }
+    }
+
     /// Drives one message phase to resolution, interleaving fault-plan
     /// actions with transport events in time order.
+    ///
+    /// When `ctx` is attributed, the frame carries it on the wire: the
+    /// transport's retransmissions, backoff waits, dedup drops, and
+    /// give-ups come back as child spans, a `chaos.*_delivery` leg span
+    /// wraps them, and the leg's end feeds the nesting high-water mark.
     fn drive_message(
         &mut self,
         from: NodeId,
         to: NodeId,
         phase: ProtocolPhase,
+        ctx: TraceContext,
     ) -> Result<PhaseDelivery, RobustnessError> {
         let send_at = self.transport.now();
+        let obs_base = self.session.clock.as_micros();
         let deadline = send_at + self.config.phase_deadline;
         self.apply_faults_due(send_at);
-        let id = self.transport.send(from, to, phase);
-        loop {
+        let id = self
+            .transport
+            .send_traced(from, to, phase, &ctx.to_wire(), obs_base);
+        let result = loop {
             match self.transport.status(id) {
                 SendStatus::Delivered { at, attempts } => {
                     let arrival = self
@@ -684,25 +852,47 @@ impl ChaosSession {
                         .map(|(t, _)| t)
                         .next_back()
                         .unwrap_or(at);
-                    return Ok(PhaseDelivery {
+                    break Ok(PhaseDelivery {
                         arrival: arrival.saturating_sub(send_at),
                         attempts,
                     });
                 }
                 SendStatus::Failed { attempts } => {
-                    return Err(RobustnessError::DeliveryFailed { phase, attempts });
+                    break Err(RobustnessError::DeliveryFailed { phase, attempts });
                 }
-                SendStatus::Pending => {}
+                SendStatus::Pending => {
+                    let Some(next) = self.transport.next_event_at() else {
+                        break Err(RobustnessError::DeadlineExceeded { phase, deadline });
+                    };
+                    if next > deadline {
+                        break Err(RobustnessError::DeadlineExceeded { phase, deadline });
+                    }
+                    self.apply_faults_due(next);
+                    self.transport.run_until(next);
+                }
             }
-            let Some(next) = self.transport.next_event_at() else {
-                return Err(RobustnessError::DeadlineExceeded { phase, deadline });
-            };
-            if next > deadline {
-                return Err(RobustnessError::DeadlineExceeded { phase, deadline });
-            }
-            self.apply_faults_due(next);
-            self.transport.run_until(next);
-        }
+        };
+        // Merge the transport's attributed events and wrap them in the
+        // leg span. The leg ends at the transport's resolution point —
+        // at or after the arrival the session clock will advance to, and
+        // at or after every child event.
+        let leg_end = obs_base.saturating_add(
+            self.transport
+                .now()
+                .as_micros()
+                .saturating_sub(send_at.as_micros()),
+        );
+        let transport_events = self.transport.take_trace_events();
+        self.session.trace_extend(transport_events);
+        self.session.trace_span_abs_ctx(
+            Self::leg_name(phase),
+            ctx,
+            obs_base,
+            leg_end,
+            vec![("ok", result.is_ok().into())],
+        );
+        self.obs_high_water = self.obs_high_water.max(leg_end);
+        result
     }
 
     /// Waits out a PSC block-production stall by fast-forwarding to the
@@ -733,9 +923,11 @@ impl ChaosSession {
         phase: ProtocolPhase,
         from: NodeId,
         window_deadline: Option<SimTime>,
+        ctx: TraceContext,
         mut build: impl FnMut(&mut FastPaySession, u64) -> PscTransaction,
     ) -> Result<RetryReport, RobustnessError> {
-        let leg = self.drive_message(from, PSC_NODE, phase)?;
+        let leg_ctx = self.session.trace_child(&ctx);
+        let leg = self.drive_message(from, PSC_NODE, phase, leg_ctx)?;
         self.session.advance_clock(leg.arrival);
         self.wait_psc_reachable(phase)?;
 

@@ -37,6 +37,12 @@ pub struct SessionConfig {
     /// in the bench suite holds the instrumented hot paths within 5% of
     /// the untraced ones.
     pub tracing: bool,
+    /// Upper bound on buffered trace events. At the bound the tracer
+    /// drops its oldest half and counts the drops (exported through
+    /// telemetry as `btcfast_trace_dropped_events`), so long load runs
+    /// cannot grow memory without bound. The generous default holds
+    /// every experiment in the repo with zero drops.
+    pub trace_capacity: usize,
 }
 
 impl Default for SessionConfig {
@@ -53,6 +59,7 @@ impl Default for SessionConfig {
             btc_fee_sats: 1_000,
             escrow_deposit: 500_000_000,
             tracing: true,
+            trace_capacity: btcfast_obs::trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 }

@@ -39,7 +39,7 @@ use btcfast_btcsim::Amount;
 use btcfast_crypto::Hash256;
 use btcfast_netsim::poisson::BlockArrivals;
 use btcfast_netsim::time::SimTime;
-use btcfast_obs::{Field, TraceEvent, Tracer};
+use btcfast_obs::{Field, TraceContext, TraceEvent, Tracer};
 use btcfast_payjudger::contract::PayJudger;
 use btcfast_payjudger::types::{DisputeVerdict, JudgerConfig};
 use btcfast_payjudger::{EvidenceVerifier, PayJudgerClient};
@@ -281,7 +281,11 @@ impl FastPaySession {
         );
 
         let verifier = Arc::clone(merchant.verifier());
-        let tracer = Tracer::new(config.tracing);
+        // Causal ids are minted from the session seed, so the id stream —
+        // and with it every (trace, sid, pid) triple — is a pure function
+        // of the seed, independent of worker count or wall clocks.
+        let mut tracer = Tracer::with_seed(config.tracing, seed);
+        tracer.set_capacity(config.trace_capacity);
         let mut session = FastPaySession {
             clock: SimTime::from_secs(btc.tip_time()),
             config,
@@ -350,6 +354,69 @@ impl FastPaySession {
     ) {
         self.tracer
             .span(name, start.as_micros(), self.clock.as_micros(), fields);
+    }
+
+    /// Mints a payment-root trace context from the session's id stream.
+    /// Harnesses layered above the session (chaos fabric, engine shards)
+    /// use this so their spans join the same causal forest.
+    pub fn mint_trace_root(&mut self) -> TraceContext {
+        self.tracer.mint_root()
+    }
+
+    /// Mints a child context of `parent` from the session's id stream.
+    pub fn trace_child(&mut self, parent: &TraceContext) -> TraceContext {
+        self.tracer.child_of(parent)
+    }
+
+    /// Records an attributed point event at the current sim-time clock.
+    pub fn trace_point_ctx(
+        &mut self,
+        name: &'static str,
+        ctx: TraceContext,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        self.tracer
+            .point_ctx(name, ctx, self.clock.as_micros(), fields);
+    }
+
+    /// Records an attributed span from `start` to now.
+    pub fn trace_span_from_ctx(
+        &mut self,
+        name: &'static str,
+        ctx: TraceContext,
+        start: SimTime,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        self.tracer
+            .span_ctx(name, ctx, start.as_micros(), self.clock.as_micros(), fields);
+    }
+
+    /// Records an attributed span with explicit µs endpoints — for
+    /// harness spans whose end can trail the session clock (a transport
+    /// leg whose last retransmission timer outlives the delivery the
+    /// clock advanced to).
+    pub fn trace_span_abs_ctx(
+        &mut self,
+        name: &'static str,
+        ctx: TraceContext,
+        start_micros: u64,
+        end_micros: u64,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        self.tracer
+            .span_ctx(name, ctx, start_micros, end_micros, fields);
+    }
+
+    /// Merges prebuilt events (e.g. the transport's attributed
+    /// retransmission spans) into the session trace, through the same
+    /// ring bound as locally recorded events.
+    pub fn trace_extend(&mut self, events: Vec<TraceEvent>) {
+        self.tracer.extend(events);
+    }
+
+    /// Events discarded by the tracer's ring bound so far.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped_events()
     }
 
     /// Deterministic RNG access for sub-simulations.
@@ -462,7 +529,11 @@ impl FastPaySession {
             .map_err(|e| SessionError::Btc(e.to_string()))?;
         let txid = tx.txid();
 
+        // The payment's causal root: registration and acceptance nest
+        // under it, the point-of-sale legs under the acceptance span.
         let registration_start = self.clock;
+        let root = self.tracer.mint_root();
+        let register_ctx = self.tracer.child_of(&root);
         let collateral = self.config.required_collateral(amount_sats);
         let open = self.customer.build_open_payment(
             &self.judger,
@@ -484,8 +555,9 @@ impl FastPaySession {
                 context: "open-payment",
             })?;
         let registration = self.clock - registration_start;
-        self.tracer.span(
+        self.tracer.span_ctx(
             "session.register",
+            register_ctx,
             registration_start.as_micros(),
             self.clock.as_micros(),
             vec![
@@ -499,12 +571,15 @@ impl FastPaySession {
             .customer
             .make_offer(tx.clone(), payment_id, amount_sats);
         let wait_start = self.clock;
+        let accept_ctx = self.tracer.child_of(&root);
 
         // Offer travels customer → merchant.
         let delivery = self.config.latency.sample(&mut self.rng);
         self.clock += delivery;
-        self.tracer.span(
+        let offer_ctx = self.tracer.child_of(&accept_ctx);
+        self.tracer.span_ctx(
             "session.offer_delivery",
+            offer_ctx,
             wait_start.as_micros(),
             self.clock.as_micros(),
             vec![("payment", payment_id.into())],
@@ -517,8 +592,10 @@ impl FastPaySession {
             self.merchant
                 .evaluate_offer(&offer, &self.btc, &self.mempool, &self.psc, &self.judger);
         self.clock += SimTime::from_secs_f64(self.config.verify_secs);
-        self.tracer.span(
+        let verify_ctx = self.tracer.child_of(&accept_ctx);
+        self.tracer.span_ctx(
             "session.merchant_verify",
+            verify_ctx,
             verify_start.as_micros(),
             self.clock.as_micros(),
             vec![
@@ -531,8 +608,10 @@ impl FastPaySession {
         let response_start = self.clock;
         let response = self.config.latency.sample(&mut self.rng);
         self.clock += response;
-        self.tracer.span(
+        let response_ctx = self.tracer.child_of(&accept_ctx);
+        self.tracer.span_ctx(
             "session.acceptance_delivery",
+            response_ctx,
             response_start.as_micros(),
             self.clock.as_micros(),
             vec![("payment", payment_id.into())],
@@ -551,8 +630,10 @@ impl FastPaySession {
                         self.clock.as_secs(),
                     )
                     .map_err(|e| SessionError::Btc(e.to_string()))?;
-                self.tracer.point(
+                let broadcast_ctx = self.tracer.child_of(&accept_ctx);
+                self.tracer.point_ctx(
                     "session.broadcast",
+                    broadcast_ctx,
                     self.clock.as_micros(),
                     vec![
                         ("payment", payment_id.into()),
@@ -563,9 +644,20 @@ impl FastPaySession {
             }
             Err(reason) => (false, Some(reason)),
         };
-        self.tracer.span(
+        self.tracer.span_ctx(
             "session.accept",
+            accept_ctx,
             wait_start.as_micros(),
+            self.clock.as_micros(),
+            vec![
+                ("payment", payment_id.into()),
+                ("accepted", accepted.into()),
+            ],
+        );
+        self.tracer.span_ctx(
+            "session.payment",
+            root,
+            registration_start.as_micros(),
             self.clock.as_micros(),
             vec![
                 ("payment", payment_id.into()),
@@ -725,9 +817,23 @@ impl FastPaySession {
             let txid = tx.txid();
             let offer = self.customer.make_offer(tx.clone(), payment_id, amounts[i]);
 
+            // Registration is batch-shared, so each payment's causal root
+            // covers its own point-of-sale window: the accept span tiles
+            // the root, the exchange legs tile the accept span.
             let wait_start = self.clock;
+            let root = self.tracer.mint_root();
+            let accept_ctx = self.tracer.child_of(&root);
             let delivery = self.config.latency.sample(&mut self.rng);
             self.clock += delivery;
+            let offer_ctx = self.tracer.child_of(&accept_ctx);
+            self.tracer.span_ctx(
+                "session.offer_delivery",
+                offer_ctx,
+                wait_start.as_micros(),
+                self.clock.as_micros(),
+                vec![("payment", payment_id.into())],
+            );
+            let verify_start = self.clock;
             let decision = self.merchant.evaluate_offer(
                 &offer,
                 &self.btc,
@@ -736,8 +842,28 @@ impl FastPaySession {
                 &self.judger,
             );
             self.clock += SimTime::from_secs_f64(self.config.verify_secs);
+            let verify_ctx = self.tracer.child_of(&accept_ctx);
+            self.tracer.span_ctx(
+                "session.merchant_verify",
+                verify_ctx,
+                verify_start.as_micros(),
+                self.clock.as_micros(),
+                vec![
+                    ("payment", payment_id.into()),
+                    ("ok", decision.is_ok().into()),
+                ],
+            );
+            let response_start = self.clock;
             let response = self.config.latency.sample(&mut self.rng);
             self.clock += response;
+            let response_ctx = self.tracer.child_of(&accept_ctx);
+            self.tracer.span_ctx(
+                "session.acceptance_delivery",
+                response_ctx,
+                response_start.as_micros(),
+                self.clock.as_micros(),
+                vec![("payment", payment_id.into())],
+            );
             let waiting = self.clock - wait_start;
 
             let (accepted, reject) = match decision {
@@ -750,8 +876,10 @@ impl FastPaySession {
                             self.clock.as_secs(),
                         )
                         .map_err(|e| SessionError::Btc(e.to_string()))?;
-                    self.tracer.point(
+                    let broadcast_ctx = self.tracer.child_of(&accept_ctx);
+                    self.tracer.point_ctx(
                         "session.broadcast",
+                        broadcast_ctx,
                         self.clock.as_micros(),
                         vec![
                             ("payment", payment_id.into()),
@@ -762,8 +890,19 @@ impl FastPaySession {
                 }
                 Err(reason) => (false, Some(reason)),
             };
-            self.tracer.span(
+            self.tracer.span_ctx(
                 "session.accept",
+                accept_ctx,
+                wait_start.as_micros(),
+                self.clock.as_micros(),
+                vec![
+                    ("payment", payment_id.into()),
+                    ("accepted", accepted.into()),
+                ],
+            );
+            self.tracer.span_ctx(
+                "session.payment",
+                root,
                 wait_start.as_micros(),
                 self.clock.as_micros(),
                 vec![
@@ -1009,6 +1148,8 @@ impl FastPaySession {
 
         // -- Dispute phase. --------------------------------------------------
         let dispute_start = self.clock;
+        let dispute_root = self.tracer.mint_root();
+        let open_ctx = self.tracer.child_of(&dispute_root);
         let dispute = self.merchant.build_dispute(
             &self.judger,
             &self.psc,
@@ -1016,8 +1157,9 @@ impl FastPaySession {
             payment_id,
         );
         let dispute_receipt = self.run_psc_tx(dispute)?;
-        self.tracer.span(
+        self.tracer.span_ctx(
             "session.dispute_open",
+            open_ctx,
             dispute_start.as_micros(),
             self.clock.as_micros(),
             vec![
@@ -1052,8 +1194,10 @@ impl FastPaySession {
             evidence,
         );
         let submit_receipt = self.run_psc_tx(submission)?;
-        self.tracer.span(
+        let evidence_ctx = self.tracer.child_of(&dispute_root);
+        self.tracer.span_ctx(
             "session.evidence_submit",
+            evidence_ctx,
             evidence_start.as_micros(),
             self.clock.as_micros(),
             vec![
@@ -1082,8 +1226,10 @@ impl FastPaySession {
         let judge_receipt = self.run_psc_tx(judge)?;
         let verdict = PayJudgerClient::verdict_from(&judge_receipt);
         let dispute_duration = self.clock - dispute_start;
-        self.tracer.span(
+        let judge_ctx = self.tracer.child_of(&dispute_root);
+        self.tracer.span_ctx(
             "session.judge",
+            judge_ctx,
             judge_start.as_micros(),
             self.clock.as_micros(),
             vec![
@@ -1091,8 +1237,9 @@ impl FastPaySession {
                 ("decided", verdict.is_some().into()),
             ],
         );
-        self.tracer.span(
+        self.tracer.span_ctx(
             "session.dispute",
+            dispute_root,
             dispute_start.as_micros(),
             self.clock.as_micros(),
             vec![
@@ -1154,6 +1301,8 @@ impl FastPaySession {
         self.mine_public_block()?;
 
         let start = self.clock;
+        let dispute_root = self.tracer.mint_root();
+        let open_ctx = self.tracer.child_of(&dispute_root);
         let dispute = self.merchant.build_dispute(
             &self.judger,
             &self.psc,
@@ -1161,8 +1310,9 @@ impl FastPaySession {
             payment_id,
         );
         let receipt = self.run_psc_tx(dispute)?;
-        self.tracer.span(
+        self.tracer.span_ctx(
             "session.dispute_open",
+            open_ctx,
             start.as_micros(),
             self.clock.as_micros(),
             vec![
@@ -1185,8 +1335,10 @@ impl FastPaySession {
             self.customer
                 .build_evidence_submission(&self.judger, &self.psc, payment_id, evidence);
         let submit_receipt = self.run_psc_tx(submission)?;
-        self.tracer.span(
+        let evidence_ctx = self.tracer.child_of(&dispute_root);
+        self.tracer.span_ctx(
             "session.evidence_submit",
+            evidence_ctx,
             evidence_start.as_micros(),
             self.clock.as_micros(),
             vec![
@@ -1212,8 +1364,10 @@ impl FastPaySession {
             payment_id,
         );
         let judge_receipt = self.run_psc_tx(judge)?;
-        self.tracer.span(
+        let judge_ctx = self.tracer.child_of(&dispute_root);
+        self.tracer.span_ctx(
             "session.judge",
+            judge_ctx,
             judge_start.as_micros(),
             self.clock.as_micros(),
             vec![("payment", payment_id.into())],
@@ -1224,8 +1378,9 @@ impl FastPaySession {
                 judge_receipt.status
             )));
         }
-        self.tracer.span(
+        self.tracer.span_ctx(
             "session.dispute",
+            dispute_root,
             start.as_micros(),
             self.clock.as_micros(),
             vec![("payment", payment_id.into())],

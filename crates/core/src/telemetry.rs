@@ -66,6 +66,8 @@ pub fn publish_session(registry: &Registry, session: &FastPaySession) {
     registry.set_gauge("btcfast_verify_insertions", cache.insertions);
     registry.set_gauge("btcfast_verify_evictions", cache.evictions);
     registry.set_gauge("btcfast_verify_headers_verified", cache.headers_verified);
+
+    registry.set_gauge("btcfast_trace_dropped_events", session.trace_dropped());
 }
 
 /// Publishes reliable-transport counters into `registry`.
@@ -188,6 +190,7 @@ mod tests {
             "btcfast_pubkey_table_misses",
             "btcfast_pubkey_table_insertions",
             "btcfast_pubkey_table_evictions",
+            "btcfast_trace_dropped_events",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }

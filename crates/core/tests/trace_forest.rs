@@ -1,0 +1,180 @@
+//! Well-formedness of the causal span forest (PR 9 satellite).
+//!
+//! Every traced run — plain sessions, batches, disputes, and chaos
+//! sessions under packet loss — must render a JSONL trace that
+//! reconstructs into a proper forest: exactly one root span per
+//! payment, no orphaned `parent_id`, no cycles, and every child span's
+//! interval nested inside its parent's. The chaos checks additionally
+//! assert the critical-path invariant the e15 experiment depends on:
+//! per-bucket self-times sum exactly to the root span's duration.
+
+use btcfast::chaos::ChaosSession;
+use btcfast::config::SessionConfig;
+use btcfast::robustness::ChaosConfig;
+use btcfast::session::FastPaySession;
+use btcfast_netsim::faults::FaultPlan;
+use btcfast_netsim::time::SimTime;
+use btcfast_obs::critical_path::breakdown;
+use btcfast_obs::{build_trees, check_nesting, render_jsonl, SpanTree};
+use proptest::prelude::*;
+
+/// Builds the forest from a rendered trace and asserts structural
+/// well-formedness of every tree.
+fn well_formed_forest(jsonl: &str) -> Vec<SpanTree> {
+    let trees = build_trees(jsonl).expect("trace reconstructs into a forest");
+    for tree in &trees {
+        check_nesting(tree).unwrap_or_else(|(parent, child)| {
+            panic!(
+                "span {child} escapes its parent {parent} in trace {}",
+                tree.trace_id
+            )
+        });
+    }
+    trees
+}
+
+fn chaos_config() -> ChaosConfig {
+    let mut config = ChaosConfig::default();
+    // e13-style reliability envelope: enough retries and deadline slack
+    // that payments complete even under heavy injected loss.
+    config.transport.max_attempts = 12;
+    config.phase_deadline = SimTime::from_secs(60);
+    config
+}
+
+#[test]
+fn session_payments_and_disputes_build_one_tree_each() {
+    let mut session = FastPaySession::new(SessionConfig::default(), 7);
+    for _ in 0..3 {
+        let report = session.run_fast_payment(1_000_000).unwrap();
+        assert!(report.accepted);
+        // Confirm the payment so the next one spends fresh coins.
+        session.mine_public_block().unwrap();
+    }
+    let (_latency, _gas) = session.run_dispute_resolution(1_000_000, 6).unwrap();
+
+    let jsonl = render_jsonl(session.trace());
+    let trees = well_formed_forest(&jsonl);
+    // Three payment roots plus the dispute-resolution payment and its
+    // dispute tree.
+    let payments = trees
+        .iter()
+        .filter(|t| t.root_node().name == "session.payment")
+        .count();
+    let disputes = trees
+        .iter()
+        .filter(|t| t.root_node().name == "session.dispute")
+        .count();
+    assert_eq!(payments, 4, "one session.payment root per payment");
+    assert_eq!(disputes, 1, "one session.dispute root per dispute");
+
+    // Distinct payments never share a trace id.
+    let mut ids: Vec<u64> = trees.iter().map(|t| t.trace_id).collect();
+    ids.dedup();
+    assert_eq!(ids.len(), trees.len(), "trace ids are unique per tree");
+}
+
+#[test]
+fn batch_payments_build_one_tree_per_payment() {
+    let mut session = FastPaySession::new(SessionConfig::default(), 11);
+    let reports = session
+        .run_fast_payment_batch(&[500_000, 600_000, 700_000])
+        .unwrap();
+    assert!(reports.iter().all(|r| r.accepted));
+
+    let jsonl = render_jsonl(session.trace());
+    let trees = well_formed_forest(&jsonl);
+    let payments = trees
+        .iter()
+        .filter(|t| t.root_node().name == "session.payment")
+        .count();
+    assert_eq!(payments, 3, "one root per batched payment");
+}
+
+#[test]
+fn chaos_payments_under_loss_build_nested_trees_with_exact_self_times() {
+    let mut plan = FaultPlan::new();
+    plan.loss_window(SimTime::ZERO, SimTime::from_secs(86_400), 0.25);
+    let mut chaos = ChaosSession::new(SessionConfig::default(), chaos_config(), plan, 0x51AB);
+
+    for _ in 0..4 {
+        let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        assert!(report.accepted);
+        chaos.session.mine_public_block().unwrap();
+    }
+
+    let jsonl = render_jsonl(chaos.session.trace());
+    let trees = well_formed_forest(&jsonl);
+    let payments: Vec<&SpanTree> = trees
+        .iter()
+        .filter(|t| t.root_node().name == "chaos.payment")
+        .collect();
+    assert_eq!(payments.len(), 4, "one chaos.payment root per payment");
+
+    for tree in payments {
+        let b = breakdown(tree);
+        assert_eq!(
+            b.bucket_sum_us(),
+            tree.root_duration_us(),
+            "per-bucket self-times sum exactly to the root duration"
+        );
+        // Injected loss forces retransmissions; the transport bucket
+        // must be visible in the decomposition.
+        assert!(b.transport_us > 0, "loss run attributes transport time");
+    }
+}
+
+#[test]
+fn chaos_dispute_builds_its_own_root_tree() {
+    let mut chaos = ChaosSession::new(
+        SessionConfig::default(),
+        chaos_config(),
+        FaultPlan::new(),
+        0xD15B,
+    );
+    let report = chaos.run_dispute_chaos(1_000_000, 0.30, 12).unwrap();
+
+    let jsonl = render_jsonl(chaos.session.trace());
+    let trees = well_formed_forest(&jsonl);
+    assert!(
+        trees.iter().any(|t| t.root_node().name == "chaos.payment"),
+        "the protected payment has its own tree"
+    );
+    if report.verdict.is_some() {
+        assert!(
+            trees.iter().any(|t| t.root_node().name == "chaos.dispute"),
+            "the dispute flow has its own root tree"
+        );
+    }
+}
+
+proptest! {
+    // Any seed and any moderate loss rate must yield a well-formed
+    // forest: the nesting high-water mark has to hold wherever the
+    // backoff schedule lands retransmission timers.
+    #[test]
+    fn chaos_forest_is_well_formed_for_any_seed(
+        seed in 0u64..1_000_000,
+        loss_centi in 0u32..35,
+    ) {
+        let mut plan = FaultPlan::new();
+        let loss = f64::from(loss_centi) / 100.0;
+        if loss > 0.0 {
+            plan.loss_window(SimTime::ZERO, SimTime::from_secs(86_400), loss);
+        }
+        let mut chaos =
+            ChaosSession::new(SessionConfig::default(), chaos_config(), plan, seed);
+        let report = chaos.run_fast_payment_chaos(1_000_000).unwrap();
+        prop_assert!(report.accepted);
+
+        let jsonl = render_jsonl(chaos.session.trace());
+        let trees = build_trees(&jsonl).expect("forest reconstructs");
+        for tree in &trees {
+            prop_assert!(check_nesting(tree).is_ok());
+            if tree.root_node().name == "chaos.payment" {
+                let b = breakdown(tree);
+                prop_assert_eq!(b.bucket_sum_us(), tree.root_duration_us());
+            }
+        }
+    }
+}

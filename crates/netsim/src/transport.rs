@@ -19,10 +19,19 @@
 //! The transport records a human-readable event trace; two runs with
 //! identical inputs produce byte-identical traces, which the chaos
 //! harness asserts.
+//!
+//! Sends submitted via [`Transport::send_traced`] additionally carry a
+//! serialized [`TraceContext`] in their frame: retransmissions, backoff
+//! waits, dedup drops, and give-ups are then recorded as structured obs
+//! events attributed to the payment that caused them (drained with
+//! [`Transport::take_trace_events`]). A corrupt wire context degrades to
+//! unattributed — delivery, ack, and dedup semantics are identical
+//! either way.
 
 use crate::network::{Network, NodeId};
 use crate::scheduler::Scheduler;
 use crate::time::SimTime;
+use btcfast_obs::{Field, TraceContext, TraceEvent};
 use rand::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -133,6 +142,21 @@ enum Event {
     AckDeliver { id: MsgId, attempt: u32 },
 }
 
+/// Causal attribution carried by a traced send: the decoded context,
+/// plus enough clock state to stamp obs events on the *sender's* session
+/// clock (the transport's own clock starts at zero and is unrelated).
+#[derive(Clone, Copy, Debug)]
+struct ObsAttribution {
+    ctx: TraceContext,
+    /// Sender session-clock µs at the moment of the send.
+    base_micros: u64,
+    /// Transport clock at the moment of the send.
+    sent_at: SimTime,
+    /// Child-span salt: bumped per obs event so every event this send
+    /// produces gets a distinct deterministic span id.
+    minted: u64,
+}
+
 #[derive(Clone, Debug)]
 struct PendingSend<M> {
     from: NodeId,
@@ -143,6 +167,8 @@ struct PendingSend<M> {
     /// The backoff interval scheduled after the latest attempt; charged
     /// to `TransportStats::backoff_wait_micros` if that timer fires.
     last_backoff: SimTime,
+    /// Present iff the send carried a wire context that decoded cleanly.
+    obs: Option<ObsAttribution>,
 }
 
 /// Reliable transport over a lossy [`Network`]. See the module docs.
@@ -169,6 +195,9 @@ pub struct Transport<M: Clone> {
     duplicate_probability: f64,
     stats: TransportStats,
     trace: Vec<String>,
+    /// Structured obs events from traced sends, in scheduler order,
+    /// stamped on the senders' session clocks.
+    obs_events: Vec<TraceEvent>,
 }
 
 impl<M: Clone> Transport<M> {
@@ -188,6 +217,7 @@ impl<M: Clone> Transport<M> {
             duplicate_probability: 0.0,
             stats: TransportStats::default(),
             trace: Vec::new(),
+            obs_events: Vec::new(),
         }
     }
 
@@ -251,8 +281,32 @@ impl<M: Clone> Transport<M> {
     /// Queues a reliable send; the message starts transmitting at the
     /// current simulated time. Returns the id to poll via [`Self::status`].
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) -> MsgId {
+        self.send_traced(from, to, payload, &[], 0)
+    }
+
+    /// Like [`Self::send`], with a serialized [`TraceContext`] carried in
+    /// the frame. `ctx_wire` is the output of [`TraceContext::to_wire`];
+    /// `obs_base_micros` is the sender's session-clock µs at this moment,
+    /// so emitted obs events land directly on the session timeline. A
+    /// wire context that fails to decode (wrong length, bad version, bad
+    /// checksum — including an empty slice) degrades to an untraced send
+    /// with identical delivery semantics; it never panics.
+    pub fn send_traced(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        ctx_wire: &[u8],
+        obs_base_micros: u64,
+    ) -> MsgId {
         let id = MsgId(self.next_id);
         self.next_id += 1;
+        let obs = TraceContext::from_wire(ctx_wire).map(|ctx| ObsAttribution {
+            ctx,
+            base_micros: obs_base_micros,
+            sent_at: self.now(),
+            minted: 0,
+        });
         self.pending.insert(
             id,
             PendingSend {
@@ -262,6 +316,7 @@ impl<M: Clone> Transport<M> {
                 attempts_made: 0,
                 status: SendStatus::Pending,
                 last_backoff: SimTime::ZERO,
+                obs,
             },
         );
         self.stats.sent += 1;
@@ -271,6 +326,47 @@ impl<M: Clone> Transport<M> {
             .schedule_in(SimTime::ZERO, Event::Attempt { id });
         self.push_trace(format_args!("send {id} {from:?}->{to:?}"));
         id
+    }
+
+    /// Drains the structured obs events produced by traced sends so far,
+    /// in deterministic scheduler order. Callers merge these into their
+    /// session tracer; untraced sends contribute nothing.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.obs_events)
+    }
+
+    /// Records an obs event attributed to `id`'s send, stamped on the
+    /// sender's session clock. A span covers the `dur` interval ending at
+    /// `now`; `None` records a point at `now`. No-op for untraced sends.
+    fn record_obs(
+        &mut self,
+        id: MsgId,
+        name: &'static str,
+        now: SimTime,
+        dur: Option<SimTime>,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        let Some(obs) = self.pending.get_mut(&id).and_then(|e| e.obs.as_mut()) else {
+            return;
+        };
+        let rel = now.as_micros().saturating_sub(obs.sent_at.as_micros());
+        let end_micros = obs.base_micros.saturating_add(rel);
+        let ctx = obs.ctx.derive_child(obs.minted);
+        obs.minted += 1;
+        let (at_micros, dur_micros) = match dur {
+            Some(d) => {
+                let start = end_micros.saturating_sub(d.as_micros());
+                (start, Some(end_micros - start))
+            }
+            None => (end_micros, None),
+        };
+        self.obs_events.push(TraceEvent {
+            at_micros,
+            dur_micros,
+            name,
+            ctx: Some(ctx),
+            fields,
+        });
     }
 
     /// Lifecycle of a message.
@@ -348,6 +444,13 @@ impl<M: Clone> Transport<M> {
         let (from, to) = (entry.from, entry.to);
         if entry.attempts_made >= self.config.max_attempts {
             let attempts = entry.attempts_made;
+            self.record_obs(
+                id,
+                "transport.give_up",
+                now,
+                None,
+                vec![("attempts", Field::U64(u64::from(attempts)))],
+            );
             self.resolve(id, SendStatus::Failed { attempts });
             self.stats.failed += 1;
             self.push_trace(format_args!(
@@ -369,6 +472,20 @@ impl<M: Clone> Transport<M> {
                 .stats
                 .backoff_wait_micros
                 .saturating_add(waited.as_micros());
+            self.record_obs(
+                id,
+                "transport.wait",
+                now,
+                Some(waited),
+                vec![("attempt", Field::U64(u64::from(attempt)))],
+            );
+            self.record_obs(
+                id,
+                "transport.retransmit",
+                now,
+                None,
+                vec![("attempt", Field::U64(u64::from(attempt)))],
+            );
         }
         // A crashed sender cannot transmit, but its timer keeps running:
         // when it restarts within the budget, retransmission resumes.
@@ -426,6 +543,7 @@ impl<M: Clone> Transport<M> {
             self.push_trace(format_args!("deliver {id} at {to:?}"));
         } else {
             self.stats.duplicates_dropped += 1;
+            self.record_obs(id, "transport.dedup_drop", now, None, vec![]);
             self.push_trace(format_args!("dedup {id} at {to:?}"));
         }
         // Ack every copy (even duplicates) back through the lossy fabric.
@@ -654,6 +772,127 @@ mod tests {
         t.send(NodeId(0), NodeId(1), "y");
         t.run_until_idle();
         t.status(first);
+    }
+
+    #[test]
+    fn traced_sends_attribute_retransmissions_to_the_context() {
+        let ctx = TraceContext {
+            trace_id: 0xABCD,
+            span_id: 0x1234,
+            parent_id: 0xABCD,
+        };
+        let mut t = transport(1.0, 21);
+        let base = 5_000_000u64;
+        t.send_traced(NodeId(0), NodeId(1), "doomed", &ctx.to_wire(), base);
+        t.run_until_idle();
+        let events = t.take_trace_events();
+        // 5 retransmissions → 5 wait spans + 5 retransmit points, then a
+        // give-up point. Every event is a distinct child of `ctx`.
+        assert_eq!(
+            events.iter().filter(|e| e.name == "transport.wait").count(),
+            5
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "transport.retransmit")
+                .count(),
+            5
+        );
+        assert_eq!(events.last().map(|e| e.name), Some("transport.give_up"));
+        let mut span_ids = BTreeSet::new();
+        for event in &events {
+            let child = event.ctx.expect("attributed");
+            assert_eq!(child.trace_id, ctx.trace_id);
+            assert_eq!(child.parent_id, ctx.span_id);
+            assert!(span_ids.insert(child.span_id), "span ids must be unique");
+            assert!(event.at_micros >= base, "stamped on the session clock");
+        }
+        // Wait spans account for the same time the stats counter charged.
+        let wait_total: u64 = events
+            .iter()
+            .filter(|e| e.name == "transport.wait")
+            .map(|e| e.dur_micros.unwrap_or(0))
+            .sum();
+        assert_eq!(wait_total, t.stats().backoff_wait_micros);
+        assert!(t.take_trace_events().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn dedup_drops_are_attributed() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            span_id: 9,
+            parent_id: 7,
+        };
+        let mut t = transport(0.0, 22);
+        t.set_duplicate_probability(1.0);
+        t.send_traced(NodeId(0), NodeId(1), "twice", &ctx.to_wire(), 100);
+        t.run_until_idle();
+        let events = t.take_trace_events();
+        assert!(events.iter().any(|e| e.name == "transport.dedup_drop"));
+        assert!(events
+            .iter()
+            .all(|e| e.ctx.is_some_and(|c| c.trace_id == 7 && c.parent_id == 9)));
+    }
+
+    #[test]
+    fn corrupt_wire_contexts_degrade_to_unattributed_sends() {
+        let ctx = TraceContext {
+            trace_id: 3,
+            span_id: 4,
+            parent_id: 3,
+        };
+        let good = ctx.to_wire();
+        // Flip one byte anywhere: checksum rejects, transport stays silent
+        // but delivery semantics are unchanged vs the clean-context twin.
+        for corrupt_at in 0..good.len() {
+            let mut bad = good;
+            bad[corrupt_at] ^= 0x40;
+            let mut t = transport(1.0, 23);
+            let id = t.send_traced(NodeId(0), NodeId(1), "x", &bad, 50);
+            t.run_until_idle();
+            assert!(t.take_trace_events().is_empty(), "byte {corrupt_at}");
+            assert!(matches!(t.status(id), SendStatus::Failed { .. }));
+            let mut clean = transport(1.0, 23);
+            let clean_id = clean.send_traced(NodeId(0), NodeId(1), "x", &good, 50);
+            clean.run_until_idle();
+            assert_eq!(t.status(id), clean.status(clean_id));
+            assert_eq!(t.trace(), clean.trace(), "event trace unaffected");
+        }
+    }
+
+    #[test]
+    fn untraced_sends_emit_no_obs_events_and_identical_traces() {
+        let ctx = TraceContext {
+            trace_id: 11,
+            span_id: 12,
+            parent_id: 11,
+        };
+        let run = |traced: bool| {
+            let mut t = transport(0.4, 24);
+            for _ in 0..4 {
+                if traced {
+                    t.send_traced(NodeId(0), NodeId(1), "p", &ctx.to_wire(), 0);
+                } else {
+                    t.send(NodeId(0), NodeId(1), "p");
+                }
+            }
+            t.run_until_idle();
+            let events = t.take_trace_events();
+            (t.trace().to_vec(), t.stats(), events)
+        };
+        let (trace_plain, stats_plain, events_plain) = run(false);
+        let (trace_traced, stats_traced, events_traced) = run(true);
+        // Attribution is purely observational: same rng draws, same
+        // delivery schedule, same counters.
+        assert_eq!(trace_plain, trace_traced);
+        assert_eq!(stats_plain, stats_traced);
+        assert!(events_plain.is_empty());
+        assert_eq!(
+            events_traced.is_empty(),
+            stats_traced.retransmissions == 0 && stats_traced.duplicates_dropped == 0
+        );
     }
 
     #[test]

@@ -1,0 +1,904 @@
+//! Per-payment span-tree reconstruction and critical-path attribution.
+//!
+//! The tracer renders flat JSONL; this module turns it back into causal
+//! trees and answers the question the flat trace cannot: *why* was an
+//! accept slow. [`build_trees`] parses the JSONL (with a small, strict,
+//! dependency-free JSON-object parser — every line the tracer renders
+//! must parse, property-tested), groups attributed events by `trace`,
+//! and links children to parents by `(sid, pid)`, rejecting malformed
+//! forests (no root, several roots, orphan parents, cycles).
+//!
+//! On a tree, [`breakdown`] computes each node's **self-time** — its
+//! span interval minus the union of its children's intervals clipped to
+//! it — and buckets it as transport / verify / escrow / queueing /
+//! other by span name. Because the instrumentation emits disjoint
+//! sibling spans that tile their parent, the bucketed self-times sum
+//! exactly to the root's duration: the accept latency decomposes with
+//! nothing missing and nothing double-counted. [`critical_path`] walks
+//! the latest-ending child chain from the root, and [`check_slo`] turns
+//! a set of breakdowns into a p99-vs-budget verdict that names the
+//! dominant bucket when the budget is blown.
+//!
+//! Everything here is deterministic: trees sort by trace id, ties break
+//! structurally, and no floats enter the self-time math.
+
+use crate::stats::quantile_sorted_u64;
+use crate::trace::TraceContext;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON scalar from one trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonScalar {
+    /// Any integer (the tracer never emits floats).
+    Num(i128),
+    /// A boolean.
+    Bool(bool),
+    /// An unescaped string.
+    Str(String),
+}
+
+impl JsonScalar {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::Num(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one rendered trace line as a flat JSON object of scalar
+/// values. Strict: the whole line must be consumed, keys must be
+/// strings, values must be integers, booleans, or strings (exactly the
+/// shapes [`crate::trace::render_event`] emits). Returns `None` on any
+/// deviation rather than panicking.
+pub fn parse_json_line(line: &str) -> Option<Vec<(String, JsonScalar)>> {
+    let mut chars = line.chars().peekable();
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut pairs = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next()? != ':' {
+                return None;
+            }
+            skip_ws(&mut chars);
+            let value = parse_scalar(&mut chars)?;
+            pairs.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next()? {
+                ',' => continue,
+                '}' => break,
+                _ => return None,
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    chars.next().is_none().then_some(pairs)
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn skip_ws(chars: &mut Chars<'_>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut Chars<'_>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000c}'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c if (c as u32) < 0x20 => return None,
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_scalar(chars: &mut Chars<'_>) -> Option<JsonScalar> {
+    match chars.peek()? {
+        '"' => parse_string(chars).map(JsonScalar::Str),
+        't' => parse_literal(chars, "true").map(|()| JsonScalar::Bool(true)),
+        'f' => parse_literal(chars, "false").map(|()| JsonScalar::Bool(false)),
+        '-' | '0'..='9' => {
+            let negative = chars.peek() == Some(&'-');
+            if negative {
+                chars.next();
+            }
+            let mut digits = 0u32;
+            let mut value: i128 = 0;
+            while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                chars.next();
+                value = value.checked_mul(10)?.checked_add(i128::from(d))?;
+                digits += 1;
+            }
+            (digits > 0 && digits <= 39).then_some(JsonScalar::Num(if negative {
+                -value
+            } else {
+                value
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn parse_literal(chars: &mut Chars<'_>, lit: &str) -> Option<()> {
+    for expected in lit.chars() {
+        if chars.next()? != expected {
+            return None;
+        }
+    }
+    Some(())
+}
+
+/// One node of a reconstructed span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The span/event name.
+    pub name: String,
+    /// Start (or occurrence time, for points), sim-time µs.
+    pub start_us: u64,
+    /// End, sim-time µs; equals `start_us` for point events.
+    pub end_us: u64,
+    /// True for spans, false for point events.
+    pub is_span: bool,
+    /// This node's span id.
+    pub span_id: u64,
+    /// The parent span id (`0` for the root).
+    pub parent_id: u64,
+    /// The payment id, when the event carried a `payment` field.
+    pub payment: Option<u64>,
+    /// Indices of this node's children within [`SpanTree::nodes`].
+    pub children: Vec<usize>,
+}
+
+/// One payment's reconstructed causal tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanTree {
+    /// The trace (payment root) id.
+    pub trace_id: u64,
+    /// Index of the root node in `nodes`.
+    pub root: usize,
+    /// All nodes, in trace-line order.
+    pub nodes: Vec<SpanNode>,
+}
+
+impl SpanTree {
+    /// The root node.
+    pub fn root_node(&self) -> &SpanNode {
+        &self.nodes[self.root]
+    }
+
+    /// The root span's duration — the per-payment accept latency.
+    pub fn root_duration_us(&self) -> u64 {
+        self.root_node().end_us - self.root_node().start_us
+    }
+
+    /// The payment id, from the root or the first node that carries one.
+    pub fn payment(&self) -> Option<u64> {
+        self.root_node()
+            .payment
+            .or_else(|| self.nodes.iter().find_map(|n| n.payment))
+    }
+}
+
+/// Why a JSONL trace failed to reconstruct as well-formed span trees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// A line was not a parseable flat JSON object of the traced shape.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A trace had attributed events but no root span (`pid == 0`).
+    NoRoot {
+        /// The offending trace id.
+        trace_id: u64,
+    },
+    /// A trace had more than one root span.
+    MultipleRoots {
+        /// The offending trace id.
+        trace_id: u64,
+    },
+    /// A node referenced a parent span id absent from its trace.
+    OrphanParent {
+        /// The offending trace id.
+        trace_id: u64,
+        /// The span id whose parent is missing.
+        span_id: u64,
+    },
+    /// Two nodes in one trace claimed the same span id.
+    DuplicateSpanId {
+        /// The offending trace id.
+        trace_id: u64,
+        /// The colliding span id.
+        span_id: u64,
+    },
+    /// Parent links loop: some nodes are unreachable from the root.
+    Cycle {
+        /// The offending trace id.
+        trace_id: u64,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Parse { line } => write!(f, "line {line}: not a valid trace object"),
+            TreeError::NoRoot { trace_id } => write!(f, "trace {trace_id}: no root span"),
+            TreeError::MultipleRoots { trace_id } => {
+                write!(f, "trace {trace_id}: multiple root spans")
+            }
+            TreeError::OrphanParent { trace_id, span_id } => {
+                write!(
+                    f,
+                    "trace {trace_id}: span {span_id} has an orphan parent_id"
+                )
+            }
+            TreeError::DuplicateSpanId { trace_id, span_id } => {
+                write!(f, "trace {trace_id}: duplicate span id {span_id}")
+            }
+            TreeError::Cycle { trace_id } => {
+                write!(f, "trace {trace_id}: parent links form a cycle")
+            }
+        }
+    }
+}
+
+/// Reconstructs the per-payment span trees from rendered JSONL.
+///
+/// Unattributed lines (no causal triple) are skipped — they are
+/// harness-level annotations, not tree members. Trees return sorted by
+/// `trace_id`, so equal traces reconstruct to equal forests.
+///
+/// # Errors
+///
+/// Returns a [`TreeError`] naming the first malformation found: an
+/// unparseable line, a rootless or multi-rooted trace, an orphan
+/// `parent_id`, a duplicated span id, or a parent-link cycle.
+pub fn build_trees(jsonl: &str) -> Result<Vec<SpanTree>, TreeError> {
+    struct Raw {
+        name: String,
+        start_us: u64,
+        end_us: u64,
+        is_span: bool,
+        ctx: TraceContext,
+        payment: Option<u64>,
+    }
+
+    let mut by_trace: BTreeMap<u64, Vec<Raw>> = BTreeMap::new();
+    for (index, line) in jsonl.lines().enumerate() {
+        let parse_err = TreeError::Parse { line: index + 1 };
+        let pairs = parse_json_line(line).ok_or(parse_err.clone())?;
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let t = get("t").and_then(JsonScalar::as_u64).ok_or(parse_err)?;
+        let (name, is_span) = match (get("span"), get("event")) {
+            (Some(JsonScalar::Str(s)), _) => (s.clone(), true),
+            (None, Some(JsonScalar::Str(s))) => (s.clone(), false),
+            _ => return Err(TreeError::Parse { line: index + 1 }),
+        };
+        let Some(trace_id) = get("trace").and_then(JsonScalar::as_u64) else {
+            continue; // unattributed: not part of any tree
+        };
+        let ctx = TraceContext {
+            trace_id,
+            span_id: get("sid").and_then(JsonScalar::as_u64).unwrap_or(0),
+            parent_id: get("pid").and_then(JsonScalar::as_u64).unwrap_or(0),
+        };
+        if !ctx.is_attributed() {
+            continue;
+        }
+        let dur = get("dur_us").and_then(JsonScalar::as_u64).unwrap_or(0);
+        by_trace.entry(trace_id).or_default().push(Raw {
+            name,
+            start_us: t,
+            end_us: t.saturating_add(if is_span { dur } else { 0 }),
+            is_span,
+            ctx,
+            payment: get("payment").and_then(JsonScalar::as_u64),
+        });
+    }
+
+    let mut trees = Vec::with_capacity(by_trace.len());
+    for (trace_id, raws) in by_trace {
+        let mut nodes: Vec<SpanNode> = Vec::with_capacity(raws.len());
+        let mut by_sid: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut root = None;
+        for raw in raws {
+            let index = nodes.len();
+            if by_sid.insert(raw.ctx.span_id, index).is_some() {
+                return Err(TreeError::DuplicateSpanId {
+                    trace_id,
+                    span_id: raw.ctx.span_id,
+                });
+            }
+            if raw.ctx.parent_id == 0 && root.replace(index).is_some() {
+                return Err(TreeError::MultipleRoots { trace_id });
+            }
+            nodes.push(SpanNode {
+                name: raw.name,
+                start_us: raw.start_us,
+                end_us: raw.end_us,
+                is_span: raw.is_span,
+                span_id: raw.ctx.span_id,
+                parent_id: raw.ctx.parent_id,
+                payment: raw.payment,
+                children: Vec::new(),
+            });
+        }
+        let root = root.ok_or(TreeError::NoRoot { trace_id })?;
+        for index in 0..nodes.len() {
+            let parent_id = nodes[index].parent_id;
+            if parent_id == 0 {
+                continue;
+            }
+            let parent = *by_sid.get(&parent_id).ok_or(TreeError::OrphanParent {
+                trace_id,
+                span_id: nodes[index].span_id,
+            })?;
+            nodes[parent].children.push(index);
+        }
+        // Every node must be reachable from the root, else the parent
+        // links loop among themselves.
+        let mut seen = vec![false; nodes.len()];
+        let mut stack = vec![root];
+        while let Some(index) = stack.pop() {
+            if std::mem::replace(&mut seen[index], true) {
+                continue;
+            }
+            stack.extend(nodes[index].children.iter().copied());
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(TreeError::Cycle { trace_id });
+        }
+        trees.push(SpanTree {
+            trace_id,
+            root,
+            nodes,
+        });
+    }
+    Ok(trees)
+}
+
+/// Verifies the sim-time nesting invariant: every child **span**'s
+/// interval lies within its parent span's interval. Point events are
+/// exempt (a dedup drop can trail its leg's delivery).
+///
+/// # Errors
+///
+/// Returns `(parent span id, child span id)` of the first violation.
+pub fn check_nesting(tree: &SpanTree) -> Result<(), (u64, u64)> {
+    for node in &tree.nodes {
+        if !node.is_span {
+            continue;
+        }
+        for &child in &node.children {
+            let c = &tree.nodes[child];
+            if c.is_span && (c.start_us < node.start_us || c.end_us > node.end_us) {
+                return Err((node.span_id, c.span_id));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The latency buckets self-time is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bucket {
+    /// Message delivery, retransmission backoff, dedup handling.
+    Transport,
+    /// Merchant-side offer verification.
+    Verify,
+    /// Escrow registration / PSC interaction.
+    Escrow,
+    /// Time inside the payment not covered by any instrumented phase:
+    /// queueing and scheduling gaps.
+    Queueing,
+    /// Anything else (dispute phases, harness annotations).
+    Other,
+}
+
+impl Bucket {
+    /// Stable iteration order for reports.
+    pub const ALL: [Bucket; 5] = [
+        Bucket::Transport,
+        Bucket::Verify,
+        Bucket::Escrow,
+        Bucket::Queueing,
+        Bucket::Other,
+    ];
+
+    /// The bucket's report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::Transport => "transport",
+            Bucket::Verify => "verify",
+            Bucket::Escrow => "escrow",
+            Bucket::Queueing => "queueing",
+            Bucket::Other => "other",
+        }
+    }
+}
+
+/// Buckets a span name. The payment root and the accept wrapper land in
+/// [`Bucket::Queueing`] because their *self*-time is exactly the time no
+/// instrumented phase accounts for — waiting between phases.
+pub fn classify(name: &str) -> Bucket {
+    if name.starts_with("transport.") || name.contains("delivery") {
+        Bucket::Transport
+    } else if name.contains("verify") {
+        Bucket::Verify
+    } else if name.contains("register") || name.contains("escrow") {
+        Bucket::Escrow
+    } else if name.contains("queue") || name.ends_with(".payment") || name.ends_with(".accept") {
+        Bucket::Queueing
+    } else {
+        Bucket::Other
+    }
+}
+
+/// One payment's bucketed self-time decomposition, in µs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// The payment id, when the trace carried one.
+    pub payment: Option<u64>,
+    /// The root span's duration: the accept latency being decomposed.
+    pub total_us: u64,
+    /// Self-time in message delivery, backoff, and dedup.
+    pub transport_us: u64,
+    /// Self-time in merchant verification.
+    pub verify_us: u64,
+    /// Self-time in escrow registration.
+    pub escrow_us: u64,
+    /// Self-time in queueing/scheduling gaps.
+    pub queueing_us: u64,
+    /// Self-time everywhere else.
+    pub other_us: u64,
+}
+
+impl Breakdown {
+    /// The bucket self-times, in [`Bucket::ALL`] order.
+    pub fn by_bucket(&self) -> [u64; 5] {
+        [
+            self.transport_us,
+            self.verify_us,
+            self.escrow_us,
+            self.queueing_us,
+            self.other_us,
+        ]
+    }
+
+    /// Sum of every bucket — equals `total_us` when the instrumentation
+    /// tiles the root with disjoint children (asserted by E15).
+    pub fn bucket_sum_us(&self) -> u64 {
+        self.by_bucket().iter().sum()
+    }
+}
+
+/// A node's self-time: its span length minus the union of its children's
+/// span intervals clipped to it. Points have zero self-time.
+pub fn self_time_us(tree: &SpanTree, index: usize) -> u64 {
+    let node = &tree.nodes[index];
+    if !node.is_span {
+        return 0;
+    }
+    let mut intervals: Vec<(u64, u64)> = node
+        .children
+        .iter()
+        .map(|&c| &tree.nodes[c])
+        .filter(|c| c.is_span)
+        .map(|c| (c.start_us.max(node.start_us), c.end_us.min(node.end_us)))
+        .filter(|(s, e)| e > s)
+        .collect();
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cursor = node.start_us;
+    for (start, end) in intervals {
+        let start = start.max(cursor);
+        if end > start {
+            covered += end - start;
+            cursor = end;
+        }
+    }
+    (node.end_us - node.start_us).saturating_sub(covered)
+}
+
+/// Decomposes one payment tree into bucketed time.
+///
+/// The root interval is partitioned into elementary slices at every
+/// span boundary, and each slice is attributed to the **deepest** span
+/// covering it (ties break to the later-starting, then later-recorded
+/// span). Because this is an exact partition of the root interval, the
+/// buckets always sum to the root duration — even when a
+/// watermark-extended phase span overlaps its successor, as happens
+/// when retransmission timers trail the delivery that advanced the
+/// session clock.
+pub fn breakdown(tree: &SpanTree) -> Breakdown {
+    let mut out = Breakdown {
+        payment: tree.payment(),
+        total_us: tree.root_duration_us(),
+        ..Breakdown::default()
+    };
+    let root = &tree.nodes[tree.root];
+    let (lo, hi) = (root.start_us, root.end_us);
+    if hi <= lo {
+        return out;
+    }
+
+    // Depth of every node, root = 0 (the forest is acyclic by
+    // construction in `build_trees`).
+    let mut depth = vec![0usize; tree.nodes.len()];
+    let mut stack = vec![tree.root];
+    while let Some(index) = stack.pop() {
+        for &child in &tree.nodes[index].children {
+            depth[child] = depth[index] + 1;
+            stack.push(child);
+        }
+    }
+
+    let spans: Vec<usize> = (0..tree.nodes.len())
+        .filter(|&i| tree.nodes[i].is_span && tree.nodes[i].end_us > tree.nodes[i].start_us)
+        .collect();
+    let mut cuts: Vec<u64> = spans
+        .iter()
+        .flat_map(|&i| [tree.nodes[i].start_us, tree.nodes[i].end_us])
+        .filter(|&t| t > lo && t < hi)
+        .collect();
+    cuts.push(lo);
+    cuts.push(hi);
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    for pair in cuts.windows(2) {
+        let (start, end) = (pair[0], pair[1]);
+        let owner = spans
+            .iter()
+            .copied()
+            .filter(|&i| tree.nodes[i].start_us <= start && tree.nodes[i].end_us >= end)
+            .max_by(|&a, &b| {
+                depth[a]
+                    .cmp(&depth[b])
+                    .then(tree.nodes[a].start_us.cmp(&tree.nodes[b].start_us))
+                    .then(a.cmp(&b))
+            });
+        // The root span covers every slice, so an owner always exists.
+        let Some(owner) = owner else { continue };
+        let slice = end - start;
+        match classify(&tree.nodes[owner].name) {
+            Bucket::Transport => out.transport_us += slice,
+            Bucket::Verify => out.verify_us += slice,
+            Bucket::Escrow => out.escrow_us += slice,
+            Bucket::Queueing => out.queueing_us += slice,
+            Bucket::Other => out.other_us += slice,
+        }
+    }
+    out
+}
+
+/// The critical path: the chain of spans, root first, obtained by
+/// repeatedly descending into the latest-ending child span (ties break
+/// to the earlier-starting, then first-recorded child — deterministic).
+pub fn critical_path(tree: &SpanTree) -> Vec<usize> {
+    let mut path = vec![tree.root];
+    let mut current = tree.root;
+    loop {
+        let next = tree.nodes[current]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| tree.nodes[c].is_span)
+            .max_by(|&a, &b| {
+                let (na, nb) = (&tree.nodes[a], &tree.nodes[b]);
+                na.end_us
+                    .cmp(&nb.end_us)
+                    .then(nb.start_us.cmp(&na.start_us))
+                    .then(b.cmp(&a))
+            });
+        match next {
+            Some(child) => {
+                path.push(child);
+                current = child;
+            }
+            None => return path,
+        }
+    }
+}
+
+/// The verdict of [`check_slo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloVerdict {
+    /// p99 of the per-payment root durations, µs.
+    pub p99_us: u64,
+    /// The budget the p99 is held to, µs.
+    pub budget_us: u64,
+    /// `p99_us <= budget_us`.
+    pub ok: bool,
+    /// The bucket holding the most aggregate self-time — the dominant
+    /// critical-path contributor to name when the budget is blown.
+    pub dominant: Bucket,
+    /// That bucket's aggregate self-time, µs.
+    pub dominant_us: u64,
+}
+
+impl fmt::Display for SloVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok {
+            write!(
+                f,
+                "ok: accept_p99 {}us <= budget {}us",
+                self.p99_us, self.budget_us
+            )
+        } else {
+            write!(
+                f,
+                "VIOLATION: accept_p99 {}us > budget {}us; dominant contributor: {} ({}us)",
+                self.p99_us,
+                self.budget_us,
+                self.dominant.label(),
+                self.dominant_us
+            )
+        }
+    }
+}
+
+/// Checks `accept_p99 <= budget` over a set of payment breakdowns and
+/// names the dominant bucket. Returns `None` on an empty set.
+pub fn check_slo(breakdowns: &[Breakdown], budget_us: u64) -> Option<SloVerdict> {
+    if breakdowns.is_empty() {
+        return None;
+    }
+    let mut totals = [0u64; 5];
+    let mut durations: Vec<u64> = Vec::with_capacity(breakdowns.len());
+    for b in breakdowns {
+        durations.push(b.total_us);
+        for (slot, v) in totals.iter_mut().zip(b.by_bucket()) {
+            *slot += v;
+        }
+    }
+    durations.sort_unstable();
+    let p99_us = quantile_sorted_u64(&durations, 0.99)?;
+    // Highest total wins; ties break to the earlier bucket in ALL order.
+    let (dominant_index, dominant_us) = totals
+        .iter()
+        .copied()
+        .enumerate()
+        .rev()
+        .max_by_key(|&(_, v)| v)?;
+    Some(SloVerdict {
+        p99_us,
+        budget_us,
+        ok: p99_us <= budget_us,
+        dominant: Bucket::ALL[dominant_index],
+        dominant_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{render_jsonl, Tracer};
+
+    /// A hand-built two-payment trace: root → (escrow, accept → legs).
+    fn sample_jsonl() -> (String, Vec<u64>) {
+        let mut t = Tracer::with_seed(true, 0xCAFE);
+        let mut roots = Vec::new();
+        for payment in 0..2u64 {
+            let base = payment * 1_000_000;
+            let root = t.mint_root();
+            roots.push(root.trace_id);
+            let register = t.child_of(&root);
+            let accept = t.child_of(&root);
+            let offer = t.child_of(&accept);
+            let verify = t.child_of(&accept);
+            let response = t.child_of(&accept);
+            t.span_ctx(
+                "session.payment",
+                root,
+                base,
+                base + 300,
+                vec![("payment", payment.into())],
+            );
+            t.span_ctx("session.register", register, base, base + 100, vec![]);
+            t.span_ctx("session.accept", accept, base + 100, base + 300, vec![]);
+            t.span_ctx(
+                "session.offer_delivery",
+                offer,
+                base + 100,
+                base + 150,
+                vec![],
+            );
+            t.span_ctx(
+                "session.merchant_verify",
+                verify,
+                base + 150,
+                base + 250,
+                vec![],
+            );
+            t.span_ctx(
+                "session.acceptance_delivery",
+                response,
+                base + 250,
+                base + 290,
+                vec![],
+            );
+            t.point("engine.batch", base, vec![("size", 1usize.into())]);
+        }
+        (render_jsonl(t.events()), roots)
+    }
+
+    #[test]
+    fn every_rendered_line_parses() {
+        let (jsonl, _) = sample_jsonl();
+        for line in jsonl.lines() {
+            assert!(parse_json_line(line).is_some(), "unparseable: {line}");
+        }
+        // Hostile shapes are rejected, not panicked on.
+        for bad in [
+            "",
+            "{",
+            "{}x",
+            "{\"a\":}",
+            "{\"a\":01e9}",
+            "{\"a\":\"unterminated",
+            "[1,2]",
+            "{\"a\":nope}",
+        ] {
+            assert!(parse_json_line(bad).is_none(), "accepted: {bad:?}");
+        }
+        assert_eq!(parse_json_line("{}"), Some(vec![]));
+        assert_eq!(
+            parse_json_line("{\"n\":-42}"),
+            Some(vec![("n".into(), JsonScalar::Num(-42))])
+        );
+    }
+
+    #[test]
+    fn trees_rebuild_with_one_root_per_payment() {
+        let (jsonl, roots) = sample_jsonl();
+        let trees = build_trees(&jsonl).expect("well-formed");
+        assert_eq!(trees.len(), 2);
+        let mut tree_ids: Vec<u64> = trees.iter().map(|t| t.trace_id).collect();
+        let mut roots = roots;
+        roots.sort_unstable();
+        tree_ids.sort_unstable();
+        assert_eq!(tree_ids, roots);
+        for tree in &trees {
+            assert_eq!(tree.root_node().name, "session.payment");
+            assert_eq!(tree.root_duration_us(), 300);
+            assert!(check_nesting(tree).is_ok());
+            assert_eq!(tree.nodes.len(), 6, "the unattributed point is skipped");
+        }
+    }
+
+    #[test]
+    fn breakdown_buckets_sum_to_the_root_duration() {
+        let (jsonl, _) = sample_jsonl();
+        let trees = build_trees(&jsonl).expect("well-formed");
+        for tree in &trees {
+            let b = breakdown(tree);
+            assert_eq!(b.total_us, 300);
+            assert_eq!(b.escrow_us, 100);
+            assert_eq!(b.transport_us, 50 + 40);
+            assert_eq!(b.verify_us, 100);
+            // accept self-time: 200 - (50+100+40) = 10; root self: 0.
+            assert_eq!(b.queueing_us, 10);
+            assert_eq!(b.other_us, 0);
+            assert_eq!(b.bucket_sum_us(), b.total_us);
+        }
+    }
+
+    #[test]
+    fn critical_path_follows_the_latest_ending_chain() {
+        let (jsonl, _) = sample_jsonl();
+        let trees = build_trees(&jsonl).expect("well-formed");
+        let path: Vec<&str> = critical_path(&trees[0])
+            .into_iter()
+            .map(|i| trees[0].nodes[i].name.as_str())
+            .collect();
+        assert_eq!(
+            path,
+            vec![
+                "session.payment",
+                "session.accept",
+                "session.acceptance_delivery"
+            ]
+        );
+    }
+
+    #[test]
+    fn slo_checker_names_the_dominant_bucket_on_violation() {
+        let (jsonl, _) = sample_jsonl();
+        let trees = build_trees(&jsonl).expect("well-formed");
+        let breakdowns: Vec<Breakdown> = trees.iter().map(breakdown).collect();
+        let pass = check_slo(&breakdowns, 400).expect("nonempty");
+        assert!(pass.ok);
+        let fail = check_slo(&breakdowns, 200).expect("nonempty");
+        assert!(!fail.ok);
+        assert_eq!(fail.p99_us, 300);
+        // verify (200us total) and transport (180us) compete; verify wins.
+        assert_eq!(fail.dominant, Bucket::Verify);
+        assert!(fail.to_string().contains("dominant contributor: verify"));
+        assert!(check_slo(&[], 1).is_none());
+    }
+
+    #[test]
+    fn malformed_forests_are_rejected_with_typed_errors() {
+        // Orphan parent.
+        let orphan = "{\"t\":0,\"span\":\"a\",\"dur_us\":5,\"trace\":7,\"sid\":7,\"pid\":0}\n\
+                      {\"t\":1,\"span\":\"b\",\"dur_us\":2,\"trace\":7,\"sid\":8,\"pid\":99}\n";
+        assert_eq!(
+            build_trees(orphan),
+            Err(TreeError::OrphanParent {
+                trace_id: 7,
+                span_id: 8
+            })
+        );
+        // Two roots.
+        let two_roots = "{\"t\":0,\"span\":\"a\",\"dur_us\":5,\"trace\":7,\"sid\":7,\"pid\":0}\n\
+                         {\"t\":1,\"span\":\"b\",\"dur_us\":2,\"trace\":7,\"sid\":8,\"pid\":0}\n";
+        assert_eq!(
+            build_trees(two_roots),
+            Err(TreeError::MultipleRoots { trace_id: 7 })
+        );
+        // No root.
+        let no_root = "{\"t\":0,\"span\":\"a\",\"dur_us\":5,\"trace\":7,\"sid\":7,\"pid\":7}\n";
+        assert_eq!(build_trees(no_root), Err(TreeError::NoRoot { trace_id: 7 }));
+        // Cycle: two nodes parenting each other besides a valid root.
+        let cycle = "{\"t\":0,\"span\":\"r\",\"dur_us\":9,\"trace\":7,\"sid\":7,\"pid\":0}\n\
+                     {\"t\":1,\"span\":\"a\",\"dur_us\":1,\"trace\":7,\"sid\":8,\"pid\":9}\n\
+                     {\"t\":2,\"span\":\"b\",\"dur_us\":1,\"trace\":7,\"sid\":9,\"pid\":8}\n";
+        assert_eq!(build_trees(cycle), Err(TreeError::Cycle { trace_id: 7 }));
+        // Duplicate sid.
+        let dup = "{\"t\":0,\"span\":\"r\",\"dur_us\":9,\"trace\":7,\"sid\":7,\"pid\":0}\n\
+                   {\"t\":1,\"span\":\"a\",\"dur_us\":1,\"trace\":7,\"sid\":7,\"pid\":7}\n";
+        assert_eq!(
+            build_trees(dup),
+            Err(TreeError::DuplicateSpanId {
+                trace_id: 7,
+                span_id: 7
+            })
+        );
+        // Unparseable line.
+        assert_eq!(build_trees("not json\n"), Err(TreeError::Parse { line: 1 }));
+        // Unattributed-only traces build an empty forest.
+        assert_eq!(build_trees("{\"t\":0,\"event\":\"x\"}\n"), Ok(vec![]));
+    }
+
+    #[test]
+    fn nesting_violations_are_caught() {
+        let escaped = "{\"t\":10,\"span\":\"r\",\"dur_us\":10,\"trace\":7,\"sid\":7,\"pid\":0}\n\
+                       {\"t\":5,\"span\":\"a\",\"dur_us\":2,\"trace\":7,\"sid\":8,\"pid\":7}\n";
+        let trees = build_trees(escaped).expect("structurally fine");
+        assert_eq!(check_nesting(&trees[0]), Err((7, 8)));
+    }
+}

@@ -19,9 +19,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod metrics;
 pub mod stats;
 pub mod trace;
 
+pub use critical_path::{
+    build_trees, check_nesting, check_slo, Breakdown, Bucket, SloVerdict, SpanNode, SpanTree,
+    TreeError,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry};
-pub use trace::{render_event, render_jsonl, Field, TraceEvent, Tracer};
+pub use trace::{render_event, render_jsonl, Field, TraceContext, TraceEvent, Tracer};

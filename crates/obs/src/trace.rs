@@ -1,15 +1,30 @@
-//! A structured span/event tracer on an **injected sim-time clock**.
+//! A structured span/event tracer on an **injected sim-time clock**, with
+//! causal `(trace_id, span_id, parent_id)` identities.
 //!
 //! Timestamps are plain `u64` microseconds supplied by the caller — the
 //! simulation's own clock, never wall time — so a replay of the same
 //! scenario at the same seed produces the **byte-identical** JSONL trace
 //! (asserted by tests over the chaos harness and the sharded engine).
 //!
+//! Causality is explicit: each payment mints a root [`TraceContext`] and
+//! every nested phase mints a child context from it, so the JSONL renders
+//! a reconstructible span tree (see [`crate::critical_path`]). Context
+//! ids are minted from a splitmix64 stream seeded by the session seed —
+//! no globals, no atomics — which keeps traces identical across worker
+//! pool sizes. Contexts serialize to a small checksummed wire form
+//! ([`TraceContext::to_wire`]) so the netsim transport can carry them
+//! inside frames and attribute retransmissions, dedup drops, and backoff
+//! waits to the payment that caused them; corrupt wire bytes decode to
+//! `None` and the events degrade to unattributed rather than panicking.
+//!
 //! The tracer is deliberately single-owner (`&mut self`, no interior
 //! locking): each session/shard owns its own [`Tracer`] and the caller
 //! merges event vectors in a deterministic order. Field values are
 //! integers, booleans, and strings only — no floats — so rendering has
-//! exactly one byte representation per event.
+//! exactly one byte representation per event. Event storage is a bounded
+//! ring: past [`Tracer::capacity`], the oldest half is discarded and
+//! counted in [`Tracer::dropped_events`], so unbounded load runs cannot
+//! grow memory without bound.
 
 use std::fmt::Write as _;
 
@@ -63,6 +78,108 @@ impl From<String> for Field {
     }
 }
 
+/// The causal identity of one span: the payment-level trace it belongs
+/// to, its own id, and its parent's span id (`0` for a root).
+///
+/// The all-zero value ([`TraceContext::UNATTRIBUTED`]) is the explicit
+/// "no attribution" context: recording with it produces a context-free
+/// event, and deriving a child from it stays unattributed. Ids are never
+/// minted as zero, so zero is unambiguous on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Groups every span of one payment; equals the root's span id.
+    pub trace_id: u64,
+    /// This span's own id, unique within the minting tracer.
+    pub span_id: u64,
+    /// The parent span's id; `0` marks a root.
+    pub parent_id: u64,
+}
+
+/// Wire-format version tag for serialized contexts.
+const WIRE_VERSION: u8 = 1;
+
+impl TraceContext {
+    /// The explicit "no attribution" context.
+    pub const UNATTRIBUTED: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+        parent_id: 0,
+    };
+
+    /// Serialized size of [`TraceContext::to_wire`]: version byte, three
+    /// little-endian ids, and a 4-byte FNV-1a checksum.
+    pub const WIRE_LEN: usize = 29;
+
+    /// True when this context attributes events to a real trace.
+    pub fn is_attributed(&self) -> bool {
+        self.trace_id != 0 && self.span_id != 0
+    }
+
+    /// Serializes the context for carrying inside transport frames.
+    pub fn to_wire(&self) -> [u8; TraceContext::WIRE_LEN] {
+        let mut out = [0u8; TraceContext::WIRE_LEN];
+        out[0] = WIRE_VERSION;
+        out[1..9].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[9..17].copy_from_slice(&self.span_id.to_le_bytes());
+        out[17..25].copy_from_slice(&self.parent_id.to_le_bytes());
+        let sum = fnv1a32(&out[..25]);
+        out[25..29].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a wire context. Returns `None` — never panics — on
+    /// any corruption: wrong length, unknown version, checksum mismatch,
+    /// or a context whose ids mark it unattributed. Callers treat `None`
+    /// as "record unattributed".
+    pub fn from_wire(bytes: &[u8]) -> Option<TraceContext> {
+        if bytes.len() != TraceContext::WIRE_LEN || bytes[0] != WIRE_VERSION {
+            return None;
+        }
+        let sum = u32::from_le_bytes(bytes[25..29].try_into().ok()?);
+        if sum != fnv1a32(&bytes[..25]) {
+            return None;
+        }
+        let ctx = TraceContext {
+            trace_id: u64::from_le_bytes(bytes[1..9].try_into().ok()?),
+            span_id: u64::from_le_bytes(bytes[9..17].try_into().ok()?),
+            parent_id: u64::from_le_bytes(bytes[17..25].try_into().ok()?),
+        };
+        ctx.is_attributed().then_some(ctx)
+    }
+
+    /// Derives a child context without a [`Tracer`]: a pure function of
+    /// `(self, salt)`, so components that receive a context over the wire
+    /// (the transport) can mint per-event child spans deterministically
+    /// and independently of any id stream. Distinct salts give distinct
+    /// child span ids. Unattributed parents stay unattributed.
+    pub fn derive_child(&self, salt: u64) -> TraceContext {
+        if !self.is_attributed() {
+            return TraceContext::UNATTRIBUTED;
+        }
+        let mut z = self
+            .span_id
+            .wrapping_add(salt.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: if z == 0 { 1 } else { z },
+            parent_id: self.span_id,
+        }
+    }
+}
+
+/// FNV-1a over `bytes`, the checksum guarding wire contexts.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
 /// One recorded trace entry: a completed span (has a duration) or a point
 /// event (no duration), stamped with sim-time microseconds.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,25 +190,68 @@ pub struct TraceEvent {
     pub dur_micros: Option<u64>,
     /// Span/event name, e.g. `"session.register"`.
     pub name: &'static str,
+    /// Causal identity; `None` renders the pre-causal context-free form.
+    pub ctx: Option<TraceContext>,
     /// Structured attributes, in recording order.
     pub fields: Vec<(&'static str, Field)>,
 }
 
+/// Default event-ring capacity: generous enough that no current
+/// experiment (E12/E14/E15 at full trial counts) comes near it.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
 /// Records spans and point events for one single-threaded owner.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Tracer {
     enabled: bool,
     events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    /// splitmix64 state behind [`Tracer::mint_root`]/[`Tracer::child_of`].
+    id_state: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new(false)
+    }
 }
 
 impl Tracer {
     /// A tracer; when `enabled` is false every record call is a no-op and
-    /// the event vector stays empty.
+    /// the event vector stays empty. Context ids mint from seed `0`; use
+    /// [`Tracer::with_seed`] when causal ids must replay per session.
     pub fn new(enabled: bool) -> Tracer {
+        Tracer::with_seed(enabled, 0)
+    }
+
+    /// A tracer whose context-id stream is a pure function of `seed`:
+    /// two tracers at the same seed mint identical `(trace, span)` id
+    /// sequences, which is what keeps causal traces byte-identical
+    /// across replays and worker-pool sizes.
+    pub fn with_seed(enabled: bool, seed: u64) -> Tracer {
         Tracer {
             enabled,
             events: Vec::new(),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            dropped: 0,
+            id_state: seed,
         }
+    }
+
+    /// Bounds the event ring to `capacity` events (clamped to ≥ 2).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(2);
+    }
+
+    /// The configured event-ring bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events discarded by the ring bound so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     /// Whether this tracer records anything.
@@ -99,9 +259,64 @@ impl Tracer {
         self.enabled
     }
 
-    /// Records a completed span `[start_micros, end_micros]` of sim-time.
-    /// A span that ends before it starts records a zero duration rather
-    /// than panicking (chaos schedules can reorder observations).
+    /// Mints the next nonzero id from the splitmix64 stream.
+    fn next_id(&mut self) -> u64 {
+        loop {
+            self.id_state = self.id_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.id_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            if z != 0 {
+                return z;
+            }
+        }
+    }
+
+    /// Mints a root context (one per payment). On a disabled tracer this
+    /// returns [`TraceContext::UNATTRIBUTED`] without touching the id
+    /// stream, so toggling tracing never perturbs any other state.
+    pub fn mint_root(&mut self) -> TraceContext {
+        if !self.enabled {
+            return TraceContext::UNATTRIBUTED;
+        }
+        let id = self.next_id();
+        TraceContext {
+            trace_id: id,
+            span_id: id,
+            parent_id: 0,
+        }
+    }
+
+    /// Mints a child context under `parent`. An unattributed parent (or a
+    /// disabled tracer) yields an unattributed child: corruption never
+    /// fabricates attribution downstream.
+    pub fn child_of(&mut self, parent: &TraceContext) -> TraceContext {
+        if !self.enabled || !parent.is_attributed() {
+            return TraceContext::UNATTRIBUTED;
+        }
+        TraceContext {
+            trace_id: parent.trace_id,
+            span_id: self.next_id(),
+            parent_id: parent.span_id,
+        }
+    }
+
+    /// Appends one event, applying the ring bound: at capacity the oldest
+    /// half is discarded in bulk (amortized O(1)) and counted as dropped.
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            let discard = (self.capacity / 2).max(1);
+            self.events.drain(..discard);
+            self.dropped = self.dropped.saturating_add(discard as u64);
+        }
+        self.events.push(event);
+    }
+
+    /// Records a completed span `[start_micros, end_micros]` of sim-time,
+    /// without causal identity. A span that ends before it starts records
+    /// a zero duration rather than panicking (chaos schedules can reorder
+    /// observations).
     pub fn span(
         &mut self,
         name: &'static str,
@@ -109,33 +324,77 @@ impl Tracer {
         end_micros: u64,
         fields: Vec<(&'static str, Field)>,
     ) {
+        self.span_ctx(
+            name,
+            TraceContext::UNATTRIBUTED,
+            start_micros,
+            end_micros,
+            fields,
+        );
+    }
+
+    /// Records a completed span attributed to `ctx`. An unattributed
+    /// context records the context-free legacy form.
+    pub fn span_ctx(
+        &mut self,
+        name: &'static str,
+        ctx: TraceContext,
+        start_micros: u64,
+        end_micros: u64,
+        fields: Vec<(&'static str, Field)>,
+    ) {
         if !self.enabled {
             return;
         }
-        self.events.push(TraceEvent {
+        self.push(TraceEvent {
             at_micros: start_micros,
             dur_micros: Some(end_micros.saturating_sub(start_micros)),
             name,
+            ctx: ctx.is_attributed().then_some(ctx),
             fields,
         });
     }
 
-    /// Records an instantaneous event at `at_micros` of sim-time.
+    /// Records an instantaneous event at `at_micros` of sim-time, without
+    /// causal identity.
     pub fn point(
         &mut self,
         name: &'static str,
         at_micros: u64,
         fields: Vec<(&'static str, Field)>,
     ) {
+        self.point_ctx(name, TraceContext::UNATTRIBUTED, at_micros, fields);
+    }
+
+    /// Records an instantaneous event attributed to `ctx`.
+    pub fn point_ctx(
+        &mut self,
+        name: &'static str,
+        ctx: TraceContext,
+        at_micros: u64,
+        fields: Vec<(&'static str, Field)>,
+    ) {
         if !self.enabled {
             return;
         }
-        self.events.push(TraceEvent {
+        self.push(TraceEvent {
             at_micros,
             dur_micros: None,
             name,
+            ctx: ctx.is_attributed().then_some(ctx),
             fields,
         });
+    }
+
+    /// Appends pre-built events (e.g. drained from the transport fabric),
+    /// in order, through the same enabled gate and ring bound.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
+        if !self.enabled {
+            return;
+        }
+        for event in events {
+            self.push(event);
+        }
     }
 
     /// The events recorded so far, in recording order.
@@ -167,8 +426,10 @@ fn escape_into(out: &mut String, s: &str) {
 }
 
 /// Renders one event as a single JSON object with a **stable key order**:
-/// `t`, then `span`+`dur_us` or `event`, then each field in recording
-/// order. One canonical byte representation per event.
+/// `t`, then `span`+`dur_us` or `event`, then (when attributed) the
+/// causal triple `trace`/`sid`/`pid`, then each field in recording
+/// order. One canonical byte representation per event; context-free
+/// events render exactly as they did before causal tracing existed.
 pub fn render_event(event: &TraceEvent) -> String {
     let mut out = String::with_capacity(64);
     let _ = write!(out, "{{\"t\":{}", event.at_micros);
@@ -183,6 +444,13 @@ pub fn render_event(event: &TraceEvent) -> String {
             escape_into(&mut out, event.name);
             out.push('"');
         }
+    }
+    if let Some(ctx) = &event.ctx {
+        let _ = write!(
+            out,
+            ",\"trace\":{},\"sid\":{},\"pid\":{}",
+            ctx.trace_id, ctx.span_id, ctx.parent_id
+        );
     }
     for (key, value) in &event.fields {
         out.push_str(",\"");
@@ -229,8 +497,11 @@ mod tests {
         let mut t = Tracer::new(false);
         t.span("x", 0, 10, vec![]);
         t.point("y", 5, vec![("k", Field::U64(1))]);
+        let root = t.mint_root();
+        t.span_ctx("z", root, 0, 1, vec![]);
         assert!(t.events().is_empty());
         assert!(!t.is_enabled());
+        assert_eq!(root, TraceContext::UNATTRIBUTED);
     }
 
     #[test]
@@ -249,6 +520,126 @@ mod tests {
             "{\"t\":100,\"span\":\"session.register\",\"dur_us\":250,\"payment\":7,\"ok\":true}\n\
              {\"t\":400,\"event\":\"engine.batch\",\"size\":8}\n"
         );
+    }
+
+    #[test]
+    fn attributed_events_render_the_causal_triple() {
+        let mut t = Tracer::with_seed(true, 9);
+        let root = t.mint_root();
+        let child = t.child_of(&root);
+        t.span_ctx(
+            "session.payment",
+            root,
+            10,
+            90,
+            vec![("payment", 1u64.into())],
+        );
+        t.point_ctx("session.broadcast", child, 40, vec![]);
+        let jsonl = render_jsonl(t.events());
+        let expected = format!(
+            "{{\"t\":10,\"span\":\"session.payment\",\"dur_us\":80,\"trace\":{tid},\"sid\":{tid},\"pid\":0,\"payment\":1}}\n\
+             {{\"t\":40,\"event\":\"session.broadcast\",\"trace\":{tid},\"sid\":{sid},\"pid\":{tid}}}\n",
+            tid = root.trace_id,
+            sid = child.span_id,
+        );
+        assert_eq!(jsonl, expected);
+    }
+
+    #[test]
+    fn id_minting_is_a_pure_function_of_the_seed() {
+        let mut a = Tracer::with_seed(true, 0xFEED);
+        let mut b = Tracer::with_seed(true, 0xFEED);
+        for _ in 0..10 {
+            let ra = a.mint_root();
+            let rb = b.mint_root();
+            assert_eq!(ra, rb);
+            assert_eq!(a.child_of(&ra), b.child_of(&rb));
+            assert!(ra.is_attributed());
+        }
+        let mut c = Tracer::with_seed(true, 0xFEED + 1);
+        assert_ne!(a.mint_root(), c.mint_root());
+    }
+
+    #[test]
+    fn child_of_an_unattributed_parent_stays_unattributed() {
+        let mut t = Tracer::with_seed(true, 3);
+        let child = t.child_of(&TraceContext::UNATTRIBUTED);
+        assert_eq!(child, TraceContext::UNATTRIBUTED);
+        // Recording with it produces the context-free form.
+        t.point_ctx("x", child, 5, vec![]);
+        assert!(t.events()[0].ctx.is_none());
+    }
+
+    #[test]
+    fn wire_round_trip_and_corruption_rejection() {
+        let mut t = Tracer::with_seed(true, 77);
+        let root = t.mint_root();
+        let child = t.child_of(&root);
+        let wire = child.to_wire();
+        assert_eq!(TraceContext::from_wire(&wire), Some(child));
+
+        // Any single-byte corruption fails the checksum (or the version
+        // byte) and degrades to None rather than panicking.
+        for i in 0..wire.len() {
+            let mut bad = wire;
+            bad[i] ^= 0x40;
+            assert_eq!(TraceContext::from_wire(&bad), None, "byte {i}");
+        }
+        assert_eq!(TraceContext::from_wire(&wire[..10]), None);
+        assert_eq!(TraceContext::from_wire(&[]), None);
+        // A checksum-valid but unattributed context is also rejected.
+        assert_eq!(
+            TraceContext::from_wire(&TraceContext::UNATTRIBUTED.to_wire()),
+            None
+        );
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest_and_counts() {
+        let mut t = Tracer::new(true);
+        t.set_capacity(8);
+        for i in 0..20u64 {
+            t.point("tick", i, vec![]);
+        }
+        assert!(t.events().len() <= 8, "len {}", t.events().len());
+        assert!(t.dropped_events() > 0);
+        assert_eq!(
+            t.dropped_events() + t.events().len() as u64,
+            20,
+            "every event is either retained or counted dropped"
+        );
+        // The retained suffix is the most recent events, still in order.
+        let times: Vec<u64> = t.events().iter().map(|e| e.at_micros).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*times.last().unwrap(), 19);
+    }
+
+    #[test]
+    fn extend_merges_prebuilt_events_through_the_ring() {
+        let mut t = Tracer::new(true);
+        t.set_capacity(4);
+        let batch: Vec<TraceEvent> = (0..6u64)
+            .map(|i| TraceEvent {
+                at_micros: i,
+                dur_micros: None,
+                name: "transport.retransmit",
+                ctx: None,
+                fields: vec![],
+            })
+            .collect();
+        t.extend(batch);
+        assert!(t.events().len() <= 4);
+        assert!(t.dropped_events() > 0);
+
+        let mut off = Tracer::new(false);
+        off.extend(vec![TraceEvent {
+            at_micros: 0,
+            dur_micros: None,
+            name: "x",
+            ctx: None,
+            fields: vec![],
+        }]);
+        assert!(off.events().is_empty());
     }
 
     #[test]

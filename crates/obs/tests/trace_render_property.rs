@@ -1,0 +1,110 @@
+//! Satellite property: every JSONL line the tracer renders is valid
+//! JSON — even when span labels and string fields carry quotes,
+//! backslashes, and raw control characters — and parsing recovers the
+//! original name, timestamps, and causal triple exactly.
+
+use btcfast_obs::critical_path::{parse_json_line, JsonScalar};
+use btcfast_obs::{render_event, Field, Tracer};
+use proptest::prelude::*;
+
+/// Strings over a range that deliberately includes the JSON-hostile
+/// region: control characters (< 0x20), `"`, `\`, and some multi-byte
+/// code points.
+fn hostile_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x300, 0..24)
+        .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn field_value() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u64>().prop_map(Field::from),
+        any::<i64>().prop_map(Field::from),
+        any::<bool>().prop_map(Field::from),
+        hostile_string().prop_map(Field::from),
+    ]
+}
+
+/// Field keys are `&'static str` in the tracer API, so hostility comes
+/// from a fixed pool of nasty literals rather than generated strings.
+const KEY_POOL: [&str; 6] = [
+    "payment",
+    "k\"quote",
+    "back\\slash",
+    "new\nline",
+    "tab\tkey",
+    "\u{1}",
+];
+
+proptest! {
+    #[test]
+    fn every_rendered_line_parses_and_round_trips(
+        name in hostile_string(),
+        key_picks in proptest::collection::vec(0usize..KEY_POOL.len(), 0..4),
+        values in proptest::collection::vec(field_value(), 0..4),
+        start in 0u64..1 << 40,
+        dur in 0u64..1 << 20,
+        attributed in any::<bool>(),
+        as_span in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut tracer = Tracer::with_seed(true, seed);
+        let fields: Vec<(&'static str, Field)> = key_picks
+            .into_iter()
+            .map(|i| KEY_POOL[i])
+            .zip(values)
+            .collect();
+        let ctx = if attributed {
+            tracer.mint_root()
+        } else {
+            btcfast_obs::TraceContext::UNATTRIBUTED
+        };
+        // The tracer's `name` is `&'static str` (call sites use literals);
+        // leaking the generated label is bounded by the case count.
+        let static_name: &'static str = Box::leak(name.clone().into_boxed_str());
+        if as_span {
+            tracer.span_ctx(static_name, ctx, start, start + dur, fields.clone());
+        } else {
+            tracer.point_ctx(static_name, ctx, start, fields.clone());
+        }
+        let event = &tracer.events()[0];
+        let line = render_event(event);
+
+        let pairs = parse_json_line(&line)
+            .unwrap_or_else(|| panic!("unparseable line: {line}"));
+        let get = |key: &str| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+        };
+
+        prop_assert_eq!(get("t"), Some(JsonScalar::Num(i128::from(start))));
+        let name_key = if as_span { "span" } else { "event" };
+        prop_assert_eq!(get(name_key), Some(JsonScalar::Str(name.clone())));
+        if as_span {
+            prop_assert_eq!(get("dur_us"), Some(JsonScalar::Num(i128::from(dur))));
+        }
+        if attributed {
+            prop_assert_eq!(
+                get("trace"),
+                Some(JsonScalar::Num(i128::from(ctx.trace_id)))
+            );
+            prop_assert_eq!(get("sid"), Some(JsonScalar::Num(i128::from(ctx.span_id))));
+            prop_assert_eq!(get("pid"), Some(JsonScalar::Num(i128::from(ctx.parent_id))));
+        } else {
+            prop_assert_eq!(get("trace"), None);
+        }
+        // Every string field survives the escape/unescape round trip.
+        for (key, value) in &fields {
+            if let Field::Str(s) = value {
+                // Duplicate keys keep first-match semantics in the lookup;
+                // only assert when this key's first occurrence is this pair.
+                if fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                    == Some(value)
+                {
+                    prop_assert_eq!(get(key), Some(JsonScalar::Str(s.clone())));
+                }
+            }
+        }
+    }
+}
