@@ -18,7 +18,11 @@
 //! * [`Engine::Crypto`] — differential targets pinning the secp256k1
 //!   wNAF/table/cached fast path to the binary double-and-add oracle,
 //!   plus hostile sign→verify round trips (high-S, zero components,
-//!   tampered digests, wrong keys).
+//!   tampered digests, wrong keys);
+//! * [`Engine::Batch`] — the randomized batch ECDSA verifier checked
+//!   against the per-signature oracle: fuzzed batches under hostile
+//!   mutations must produce the oracle's exact invalid set, independent
+//!   of the randomizer seed.
 //!
 //! Determinism contract: `run` with the same seed, iteration count, and
 //! corpus produces a byte-identical [`FuzzReport`] (and therefore
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_fuzz;
 pub mod codec_fuzz;
 pub mod corpus;
 pub mod crypto_fuzz;
@@ -65,16 +70,20 @@ pub enum Engine {
     /// secp256k1 fast-path differentials against the binary-ladder oracle
     /// and hostile ECDSA sign→verify round trips.
     Crypto,
+    /// Batch ECDSA verdicts differentially checked against the
+    /// per-signature oracle under hostile mutations.
+    Batch,
 }
 
 impl Engine {
     /// All engines, in reporting order.
-    pub const ALL: [Engine; 5] = [
+    pub const ALL: [Engine; 6] = [
         Engine::Codec,
         Engine::Diff,
         Engine::Invariant,
         Engine::Store,
         Engine::Crypto,
+        Engine::Batch,
     ];
 
     /// The engine's stable name (CLI flag value, corpus field, metric key).
@@ -85,6 +94,7 @@ impl Engine {
             Engine::Invariant => "invariant",
             Engine::Store => "store",
             Engine::Crypto => "crypto",
+            Engine::Batch => "batch",
         }
     }
 
@@ -190,6 +200,11 @@ pub const TARGETS: &[Target] = &[
         engine: Engine::Crypto,
         name: "sign-verify",
         check: crypto_fuzz::fuzz_crypto_sign_verify,
+    },
+    Target {
+        engine: Engine::Batch,
+        name: "batch-oracle",
+        check: batch_fuzz::diff_batch_verify,
     },
 ];
 

@@ -56,7 +56,7 @@ fn usage() {
     println!("       harness gate [--baseline PATH] [--current PATH] [--threshold FRAC]");
     println!("       harness trace [--seed N] [--trace PATH] [--metrics PATH]");
     println!(
-        "       harness fuzz [--seed N] [--iters N] [--engine codec|diff|invariant|store|crypto] \
+        "       harness fuzz [--seed N] [--iters N] [--engine codec|diff|invariant|store|crypto|batch] \
          [--corpus DIR] [--out DIR] [--metrics PATH]"
     );
     for id in experiments::ALL_IDS {
@@ -293,7 +293,7 @@ fn run_fuzz(args: &[String]) -> Result<ExitCode, CliError> {
             None => {
                 return Err(CliError {
                     flag: "--engine",
-                    expected: "codec, diff, invariant, store, or crypto",
+                    expected: "codec, diff, invariant, store, crypto, or batch",
                     got: name.to_string(),
                 });
             }

@@ -6,7 +6,7 @@
 //! the witness must reveal a public key hashing to the committed address and
 //! a valid ECDSA signature over the transaction sighash.
 
-use btcfast_crypto::ecdsa::Signature;
+use btcfast_crypto::ecdsa::{RecoveryId, Signature};
 use btcfast_crypto::keys::{Address, PublicKey};
 use std::error::Error;
 use std::fmt;
@@ -59,21 +59,40 @@ impl ScriptPubKey {
 
 /// The unlocking data for a P2PKH input: the spender's public key and a
 /// signature over the transaction sighash.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Witness {
     /// The public key whose hash160 must equal the locked address.
     pub pubkey: PublicKey,
     /// ECDSA signature over the input's sighash.
     pub signature: Signature,
+    /// Advisory nonce-point hint making the signature batch-verifiable
+    /// (see `btcfast_crypto::batch`). Not part of the wire encoding, never
+    /// compared for equality, and never trusted: a wrong or absent hint
+    /// only routes verification off the batched fast path.
+    pub recovery: Option<RecoveryId>,
 }
 
 impl Witness {
-    /// Serializes for transaction encoding.
+    /// Serializes for transaction encoding. The recovery hint is
+    /// deliberately excluded: it is client-side acceleration state, and
+    /// including it would perturb transaction sizes, signature-cache keys,
+    /// and every byte-pinned fixture.
     pub fn encode_to(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.pubkey.to_compressed());
         out.extend_from_slice(&self.signature.to_bytes());
     }
 }
+
+/// Equality ignores the advisory recovery hint, mirroring the wire
+/// encoding: two witnesses proving the same statement are the same
+/// witness, whether or not one also carries acceleration metadata.
+impl PartialEq for Witness {
+    fn eq(&self, other: &Witness) -> bool {
+        self.pubkey == other.pubkey && self.signature == other.signature
+    }
+}
+
+impl Eq for Witness {}
 
 /// Script evaluation failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +140,49 @@ pub fn verify_spend(
     witness: Option<&Witness>,
     sighash: &[u8; 32],
 ) -> Result<(), ScriptError> {
+    let statement = spend_statement(script_pubkey, witness, sighash)?;
+    if !statement
+        .pubkey
+        .verify(&statement.sighash, &statement.signature)
+    {
+        return Err(ScriptError::BadSignature);
+    }
+    Ok(())
+}
+
+/// The ECDSA check a P2PKH spend reduces to once every *non-signature*
+/// script rule has passed.
+///
+/// [`verify_spend`] is exactly `spend_statement` followed by verifying
+/// this statement — so batch pre-verification can collect statements
+/// (running the cheap script checks in their normal order and with their
+/// normal errors), verify many signatures in one multi-scalar pass, and
+/// know the outcome matches per-input sequential verification.
+#[derive(Clone, Copy, Debug)]
+pub struct SpendStatement {
+    /// The key the witness revealed (already matched against the lock).
+    pub pubkey: PublicKey,
+    /// The sighash the signature must cover.
+    pub sighash: [u8; 32],
+    /// The signature to check.
+    pub signature: Signature,
+    /// The witness's batching hint, if the signer attached one.
+    pub recovery: Option<RecoveryId>,
+}
+
+/// Runs every script rule *except* the ECDSA check, in [`verify_spend`]'s
+/// exact order, and returns the remaining signature statement.
+///
+/// # Errors
+///
+/// The same [`ScriptError`]s `verify_spend` would return for the
+/// non-signature rules: spending an `OP_RETURN`, a missing witness, or a
+/// key that does not hash to the locked address.
+pub fn spend_statement(
+    script_pubkey: &ScriptPubKey,
+    witness: Option<&Witness>,
+    sighash: &[u8; 32],
+) -> Result<SpendStatement, ScriptError> {
     match script_pubkey {
         ScriptPubKey::OpReturn(_) => Err(ScriptError::SpendOfUnspendable),
         ScriptPubKey::P2pkh(address) => {
@@ -128,10 +190,12 @@ pub fn verify_spend(
             if &witness.pubkey.address() != address {
                 return Err(ScriptError::PubkeyMismatch);
             }
-            if !witness.pubkey.verify(sighash, &witness.signature) {
-                return Err(ScriptError::BadSignature);
-            }
-            Ok(())
+            Ok(SpendStatement {
+                pubkey: witness.pubkey,
+                sighash: *sighash,
+                signature: witness.signature,
+                recovery: witness.recovery,
+            })
         }
     }
 }
@@ -155,6 +219,7 @@ mod tests {
         let witness = Witness {
             pubkey: *kp.public(),
             signature: kp.sign(&sighash),
+            recovery: None,
         };
         assert!(verify_spend(&script, Some(&witness), &sighash).is_ok());
     }
@@ -175,6 +240,7 @@ mod tests {
         let witness = Witness {
             pubkey: *thief.public(),
             signature: thief.sign(&sighash),
+            recovery: None,
         };
         assert_eq!(
             verify_spend(&script, Some(&witness), &sighash),
@@ -188,6 +254,7 @@ mod tests {
         let witness = Witness {
             pubkey: *kp.public(),
             signature: kp.sign(&sha256(b"different message")),
+            recovery: None,
         };
         assert_eq!(
             verify_spend(&script, Some(&witness), &sighash),
@@ -203,6 +270,7 @@ mod tests {
         let witness = Witness {
             pubkey: *kp.public(),
             signature: kp.sign(&sighash),
+            recovery: None,
         };
         assert_eq!(
             verify_spend(&script, Some(&witness), &sighash),
@@ -232,6 +300,68 @@ mod tests {
         p2pkh.encode_to(&mut a);
         op_ret.encode_to(&mut b);
         assert_ne!(a, b);
+    }
+
+    /// `verify_spend` must stay exactly `spend_statement` + ECDSA: every
+    /// non-signature rejection agrees between the two, and an extracted
+    /// statement carries precisely what the signature check consumes.
+    #[test]
+    fn spend_statement_mirrors_verify_spend_rules() {
+        let (kp, script, sighash) = setup();
+        let (signature, recovery) = kp.sign_recoverable(&sighash);
+        let witness = Witness {
+            pubkey: *kp.public(),
+            signature,
+            recovery: Some(recovery),
+        };
+        let stmt = spend_statement(&script, Some(&witness), &sighash).unwrap();
+        assert_eq!(stmt.pubkey, *kp.public());
+        assert_eq!(stmt.sighash, sighash);
+        assert_eq!(stmt.signature, signature);
+        assert_eq!(stmt.recovery, Some(recovery));
+        assert!(stmt.pubkey.verify(&stmt.sighash, &stmt.signature));
+
+        // Non-signature failures surface identically from both entry
+        // points.
+        let op_ret = ScriptPubKey::OpReturn(b"x".to_vec());
+        for (script, witness) in [(&op_ret, Some(&witness)), (&script, None)] {
+            assert_eq!(
+                spend_statement(script, witness, &sighash).map(|_| ()),
+                verify_spend(script, witness, &sighash)
+            );
+        }
+        let thief = KeyPair::from_seed(b"thief");
+        let mismatched = Witness {
+            pubkey: *thief.public(),
+            signature: thief.sign(&sighash),
+            recovery: None,
+        };
+        assert_eq!(
+            spend_statement(&script, Some(&mismatched), &sighash).map(|_| ()),
+            verify_spend(&script, Some(&mismatched), &sighash)
+        );
+    }
+
+    #[test]
+    fn witness_equality_and_encoding_ignore_recovery_hint() {
+        let (kp, _, sighash) = setup();
+        let (signature, recovery) = kp.sign_recoverable(&sighash);
+        let hinted = Witness {
+            pubkey: *kp.public(),
+            signature,
+            recovery: Some(recovery),
+        };
+        let bare = Witness {
+            pubkey: *kp.public(),
+            signature,
+            recovery: None,
+        };
+        assert_eq!(hinted, bare);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        hinted.encode_to(&mut a);
+        bare.encode_to(&mut b);
+        assert_eq!(a, b, "hint never reaches the wire");
     }
 
     #[test]

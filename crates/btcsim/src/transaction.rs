@@ -7,7 +7,9 @@
 //! intent before the merchant has seen the signatures.
 
 use crate::amount::Amount;
-use crate::script::{verify_spend, ScriptError, ScriptPubKey, Witness};
+use crate::script::{
+    spend_statement, verify_spend, ScriptError, ScriptPubKey, SpendStatement, Witness,
+};
 use btcfast_crypto::keys::{Address, KeyPair};
 use btcfast_crypto::sha256::sha256d;
 use btcfast_crypto::Hash256;
@@ -270,9 +272,14 @@ impl Transaction {
             return Err(TxError::MisplacedCoinbase);
         }
         let sighash = self.sighash(input_index, spent_script);
+        // Recoverable signing costs the same as plain signing and attaches
+        // the nonce-point hint that lets verifiers batch this input's
+        // ECDSA check (the hint stays off the wire — see `Witness`).
+        let (signature, recovery) = key.sign_recoverable(&sighash.0);
         let witness = Witness {
             pubkey: *key.public(),
-            signature: key.sign(&sighash.0),
+            signature,
+            recovery: Some(recovery),
         };
         self.inputs[input_index].witness = Some(witness);
         Ok(())
@@ -296,6 +303,36 @@ impl Transaction {
         let sighash = self.sighash(input_index, spent_script);
         verify_spend(spent_script, input.witness.as_ref(), &sighash.0)?;
         Ok(())
+    }
+
+    /// Extracts the ECDSA statement each input's witness must satisfy,
+    /// running every non-signature script rule in [`verify_spend`]'s order.
+    ///
+    /// `spent_scripts[i]` must be the script locking input `i`. The returned
+    /// statements let a batch verifier check all signatures at once while
+    /// guaranteeing that structural failures (unspendable script, missing
+    /// witness, pubkey mismatch) surface with the same [`ScriptError`] the
+    /// sequential [`Self::verify_input`] loop would report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::InputIndexOutOfRange`] when `spent_scripts` is
+    /// longer than the input list, or the first [`ScriptError`] in input
+    /// order.
+    pub fn signature_statements(
+        &self,
+        spent_scripts: &[ScriptPubKey],
+    ) -> Result<Vec<SpendStatement>, TxError> {
+        let mut out = Vec::with_capacity(spent_scripts.len());
+        for (index, script) in spent_scripts.iter().enumerate() {
+            let input = self
+                .inputs
+                .get(index)
+                .ok_or(TxError::InputIndexOutOfRange(index))?;
+            let sighash = self.sighash(index, script);
+            out.push(spend_statement(script, input.witness.as_ref(), &sighash.0)?);
+        }
+        Ok(out)
     }
 
     /// Structural validity checks that need no UTXO context.

@@ -166,6 +166,9 @@ pub struct SigCacheStats {
     pub misses: u64,
     /// Times the cache hit capacity and was cleared.
     pub resets: u64,
+    /// Statements inserted by [`prime_sig_cache`] (batch pre-verification)
+    /// rather than by a sequential verification.
+    pub primed: u64,
 }
 
 thread_local! {
@@ -173,6 +176,7 @@ thread_local! {
         hits: 0,
         misses: 0,
         resets: 0,
+        primed: 0,
     }) };
 }
 
@@ -185,6 +189,12 @@ pub fn sig_cache_stats() -> SigCacheStats {
 /// Zeroes this thread's signature-cache counters (scoping a measurement).
 pub fn reset_sig_cache_stats() {
     SIG_CACHE_STATS.with(|s| *s.borrow_mut() = SigCacheStats::default());
+}
+
+/// Empties this thread's signature cache (scoping a test or benchmark; a
+/// hit never changes a validation outcome, only its cost).
+pub fn clear_sig_cache() {
+    SIG_CACHE.with(|cache| cache.borrow_mut().clear());
 }
 
 thread_local! {
@@ -240,6 +250,13 @@ fn verify_scripts_cached(
     for (index, script) in spent_scripts.iter().enumerate() {
         tx.verify_input(index, script)?;
     }
+    sig_cache_insert(key);
+    Ok(())
+}
+
+/// Inserts a verified-statement key, clearing the cache first when it is
+/// at capacity (shared by the sequential path and batch priming).
+fn sig_cache_insert(key: btcfast_crypto::Hash256) {
     SIG_CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
         if cache.len() >= SIG_CACHE_CAP {
@@ -251,7 +268,27 @@ fn verify_scripts_cached(
         }
         cache.insert(key);
     });
-    Ok(())
+}
+
+/// Marks `tx` as script-verified in this thread's signature cache without
+/// re-running any ECDSA, so a later [`UtxoSet::validate_transaction`] /
+/// mempool admission hits the cache exactly as if the transaction had
+/// already been verified sequentially.
+///
+/// Callers must have *proven* every input first — the supported flow is
+/// collecting [`Transaction::signature_statements`] (which runs every
+/// non-signature script rule) and batch-verifying all of them
+/// (`btcfast_crypto::batch`). Priming an unproven transaction would
+/// forge a verification, which is why the statement collection refuses
+/// transactions whose cheap rules fail: a primed hit can only ever replay
+/// a verification that would have succeeded.
+pub fn prime_sig_cache(tx: &Transaction, spent_scripts: &[ScriptPubKey]) {
+    let key = sig_cache_key(tx, spent_scripts);
+    sig_cache_insert(key);
+    SIG_CACHE_STATS.with(|s| {
+        let stats = &mut s.borrow_mut();
+        stats.primed = stats.primed.saturating_add(1);
+    });
 }
 
 /// The pending effect of a block being validated, layered over the live
@@ -402,6 +439,22 @@ impl UtxoSet {
     /// Looks up a coin.
     pub fn coin(&self, outpoint: &OutPoint) -> Option<&Coin> {
         self.coins.get(outpoint)
+    }
+
+    /// The scripts locking each input of `tx`, in input order.
+    ///
+    /// Returns `None` when any referenced coin is missing from the set; the
+    /// transaction cannot validate in that case, so callers (like batch
+    /// signature pre-verification) simply fall back to the sequential path.
+    pub fn spent_scripts(&self, tx: &Transaction) -> Option<Vec<ScriptPubKey>> {
+        tx.inputs
+            .iter()
+            .map(|input| {
+                self.coins
+                    .get(&input.previous_output)
+                    .map(|coin| coin.script_pubkey.clone())
+            })
+            .collect()
     }
 
     /// Number of unspent coins.
@@ -1053,6 +1106,51 @@ mod tests {
         assert!(fx.utxo.validate_transaction(&tampered, height).is_err());
         // And the valid transaction still validates afterwards.
         fx.utxo.validate_transaction(&valid, height).unwrap();
+    }
+
+    #[test]
+    fn primed_cache_entry_replays_a_sequential_verification_exactly() {
+        let mut fx = Fixture::new();
+        let (b1, _) = fx.mine(vec![]);
+        fx.mine(vec![]);
+        let customer = KeyPair::from_seed(b"primed customer");
+        let valid = fx.spend_coinbase(&b1, customer.address(), sats(7_000));
+        let height = fx.height + 1;
+
+        // Batch pre-verification flow: resolve scripts, extract statements
+        // (proving every non-signature rule), batch-verify, then prime.
+        let scripts = fx.utxo.spent_scripts(&valid).expect("coins present");
+        let statements = valid.signature_statements(&scripts).expect("clean spend");
+        let items: Vec<btcfast_crypto::batch::BatchItem> = statements
+            .iter()
+            .map(|s| btcfast_crypto::batch::BatchItem {
+                pubkey: *s.pubkey.point(),
+                digest: s.sighash,
+                signature: s.signature,
+                recovery: s.recovery,
+            })
+            .collect();
+        assert!(btcfast_crypto::batch::verify_batch(&items, 42).all_valid());
+        reset_sig_cache_stats();
+        prime_sig_cache(&valid, &scripts);
+        let primed = fx.utxo.validate_transaction(&valid, height).unwrap();
+        let stats = sig_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.primed), (1, 0, 1));
+
+        // The primed hit returns exactly what a sequential validation would.
+        clear_sig_cache();
+        reset_sig_cache_stats();
+        let sequential = fx.utxo.validate_transaction(&valid, height).unwrap();
+        assert_eq!(primed, sequential);
+        assert_eq!(sig_cache_stats().misses, 1);
+
+        // A transaction with a bad witness never reaches priming: statement
+        // extraction itself rejects structural failures, and a tampered
+        // witness keys a different cache entry anyway.
+        let mut tampered = valid.clone();
+        tampered.inputs[0].witness = None;
+        assert!(tampered.signature_statements(&scripts).is_err());
+        assert!(fx.utxo.validate_transaction(&tampered, height).is_err());
     }
 
     #[test]

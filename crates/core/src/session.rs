@@ -213,6 +213,11 @@ pub struct FastPaySession {
     /// Per-phase span recorder on the *sim-time* clock (never wall time),
     /// so a replay at the same seed produces a byte-identical trace.
     tracer: Tracer,
+    /// Seed stream for batch signature verification. Deliberately separate
+    /// from `rng`: the batch randomizers must never perturb the latency
+    /// sample stream, so replay fingerprints stay identical with
+    /// `batch_verify` on or off.
+    batch_seed: u64,
 }
 
 impl FastPaySession {
@@ -301,6 +306,7 @@ impl FastPaySession {
             deposit_gas: 0,
             verifier,
             tracer,
+            batch_seed: seed ^ 0xBA7C_5EED_0F5E_C256,
         };
 
         // --- Escrow deposit (Setup phase), held to PSC finality. ----------
@@ -793,6 +799,11 @@ impl FastPaySession {
             vec![("batch", txs.len().into())],
         );
 
+        // -- Batch signature pre-verification (cost only, never verdicts).
+        if self.config.batch_verify {
+            self.batch_preverify(&txs);
+        }
+
         // -- Point of sale, one offer at a time. ---------------------------
         let mut reports = Vec::with_capacity(txs.len());
         for (i, tx) in txs.into_iter().enumerate() {
@@ -923,6 +934,63 @@ impl FastPaySession {
             });
         }
         Ok(reports)
+    }
+
+    /// Verifies every payment signature in the batch at once with the
+    /// randomized batch verifier and primes this thread's signature cache
+    /// for the fully-valid transactions, so the per-offer admission checks
+    /// that follow hit the cache instead of running ECDSA one signature at
+    /// a time.
+    ///
+    /// Strictly a cost optimization — correctness is untouched on every
+    /// axis:
+    ///
+    /// * transactions whose coins or witnesses fail statement extraction
+    ///   (the same cheap rules `verify_spend` runs first) are skipped and
+    ///   take the untouched sequential path, preserving exact
+    ///   [`RejectReason`]s;
+    /// * the batch verdict equals the per-signature oracle's by
+    ///   construction (failed batches bisect to `ecdsa::verify` leaves),
+    ///   so only fully-valid transactions are ever primed;
+    /// * randomizer seeds come from a dedicated stream (`batch_seed`),
+    ///   never from the session `rng`, and nothing here touches the
+    ///   sim-clock or the tracer — replay fingerprints are byte-identical
+    ///   with `batch_verify` on or off.
+    fn batch_preverify(&mut self, txs: &[btcfast_btcsim::transaction::Transaction]) {
+        use btcfast_crypto::batch::BatchItem;
+
+        let mut items = Vec::new();
+        let mut spans = Vec::with_capacity(txs.len());
+        for tx in txs {
+            let Some(scripts) = self.btc.utxo().spent_scripts(tx) else {
+                continue;
+            };
+            let Ok(statements) = tx.signature_statements(&scripts) else {
+                continue;
+            };
+            let start = items.len();
+            items.extend(statements.iter().map(|s| BatchItem {
+                pubkey: *s.pubkey.point(),
+                digest: s.sighash,
+                signature: s.signature,
+                recovery: s.recovery,
+            }));
+            spans.push((tx, scripts, start..items.len()));
+        }
+        if items.is_empty() {
+            return;
+        }
+        // splitmix64's golden-ratio step: a full-period, trivially
+        // deterministic per-batch seed sequence.
+        self.batch_seed = self.batch_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let outcome = self
+            .verifier
+            .verify_signature_batch(&items, self.batch_seed);
+        for (tx, scripts, range) in spans {
+            if !outcome.invalid.iter().any(|&i| range.contains(&i)) {
+                btcfast_btcsim::utxo::prime_sig_cache(tx, &scripts);
+            }
+        }
     }
 
     /// One baseline payment: broadcast, then wait for `confirmations`
@@ -1502,6 +1570,45 @@ mod tests {
         }
         let second = session.run_fast_payment_batch(&[2_000_000; 4]).unwrap();
         assert!(second.iter().all(|r| r.accepted));
+    }
+
+    #[test]
+    fn batch_preverification_primes_the_cache_and_admission_hits_it() {
+        btcfast_btcsim::utxo::clear_sig_cache();
+        btcfast_btcsim::utxo::reset_sig_cache_stats();
+        let mut session = FastPaySession::new(SessionConfig::default(), 23);
+        session.fund_customer_coins(4).unwrap();
+        let before = btcfast_btcsim::utxo::sig_cache_stats();
+        let reports = session.run_fast_payment_batch(&[1_000_000; 4]).unwrap();
+        assert!(reports.iter().all(|r| r.accepted));
+        let after = btcfast_btcsim::utxo::sig_cache_stats();
+        // Every payment was batch-verified, primed, and then admitted via
+        // cache hits — the per-offer path re-ran zero ECDSA verifications.
+        assert_eq!(after.primed - before.primed, 4);
+        assert!(after.hits - before.hits >= 4);
+        assert_eq!(after.misses, before.misses);
+        // And the shared verifier accumulated the batch work: one MSM for
+        // an all-valid batch, every item hinted, no oracle fallbacks.
+        let stats = session.verifier().sig_batch_stats();
+        assert_eq!(stats.items, 4);
+        assert_eq!(stats.hinted, 4);
+        assert_eq!(stats.oracle_checks, 0);
+        assert_eq!(stats.msm_evals, 1);
+
+        // Toggled off, the same batch takes the sequential path: no
+        // priming, same acceptances.
+        let mut config = SessionConfig::default();
+        config.batch_verify = false;
+        let mut sequential = FastPaySession::new(config, 23);
+        sequential.fund_customer_coins(4).unwrap();
+        btcfast_btcsim::utxo::clear_sig_cache();
+        btcfast_btcsim::utxo::reset_sig_cache_stats();
+        let reports = sequential.run_fast_payment_batch(&[1_000_000; 4]).unwrap();
+        assert!(reports.iter().all(|r| r.accepted));
+        let stats = btcfast_btcsim::utxo::sig_cache_stats();
+        assert_eq!(stats.primed, 0);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(sequential.verifier().sig_batch_stats().items, 0);
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub fn publish_session(registry: &Registry, session: &FastPaySession) {
     registry.set_gauge("btcfast_sig_cache_hits", sig.hits);
     registry.set_gauge("btcfast_sig_cache_misses", sig.misses);
     registry.set_gauge("btcfast_sig_cache_resets", sig.resets);
+    registry.set_gauge("btcfast_sig_cache_primed", sig.primed);
+
+    // Batch-ECDSA verification work (accumulated in the shared verifier,
+    // so it covers every thread that batched through this session).
+    let batch = session.verifier().sig_batch_stats();
+    registry.set_gauge("btcfast_batch_verify_items", batch.items);
+    registry.set_gauge("btcfast_batch_verify_hinted", batch.hinted);
+    registry.set_gauge("btcfast_batch_verify_oracle_checks", batch.oracle_checks);
+    registry.set_gauge("btcfast_batch_verify_msm_evals", batch.msm_evals);
+    registry.set_gauge("btcfast_batch_verify_bisections", batch.bisections);
 
     // So is the public-key precomputation-table cache inside ecdsa::verify.
     let tables = btcfast_crypto::ecdsa::pubkey_cache_stats();
@@ -186,6 +196,9 @@ mod tests {
             "btcfast_psc_journal_high_water",
             "btcfast_verify_headers_verified",
             "btcfast_sig_cache_hits",
+            "btcfast_sig_cache_primed",
+            "btcfast_batch_verify_items",
+            "btcfast_batch_verify_msm_evals",
             "btcfast_pubkey_table_hits",
             "btcfast_pubkey_table_misses",
             "btcfast_pubkey_table_insertions",

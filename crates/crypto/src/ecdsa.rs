@@ -40,6 +40,10 @@ impl Signature {
         let mut s_bytes = [0u8; 32];
         r_bytes.copy_from_slice(&bytes[..32]);
         s_bytes.copy_from_slice(&bytes[32..]);
+        // Error precedence is part of the stable contract: range checks run
+        // before the high-S check, so `s >= n` (whose reduced form may be
+        // low or high) is always `OutOfRange`, never `HighS`. Audit-corpus
+        // minimization relies on this ordering staying byte-stable.
         let r = Scalar::from_be_bytes(&r_bytes).ok_or(SignatureError::OutOfRange)?;
         let s = Scalar::from_be_bytes(&s_bytes).ok_or(SignatureError::OutOfRange)?;
         if r.is_zero() || s.is_zero() {
@@ -80,6 +84,45 @@ impl fmt::Display for SignatureError {
 }
 
 impl Error for SignatureError {}
+
+/// The two bits of signer-side context that make a signature *batchable*:
+/// which of the (at most four) curve points with `x ≡ r (mod n)` was the
+/// nonce point `k·G`.
+///
+/// ECDSA verification only compares x-coordinates, so `(r, s, z, Q)` alone
+/// determines the nonce point up to sign — a verifier cannot reconstruct
+/// `R = k·G` itself, which the batched equation
+/// `Σ a_i·u1_i·G + Σ a_i·u2_i·Q_i − Σ a_i·R_i = ∞` needs explicitly. The
+/// signer knows `R` for free, and these two bits pin it down exactly (the
+/// same trick as Bitcoin/Ethereum recoverable signatures). The hint is
+/// advisory: it never changes a verdict, only whether the fast batched
+/// path applies (see [`crate::batch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryId {
+    /// True when the nonce point's y-coordinate is odd.
+    pub y_odd: bool,
+    /// True when the nonce point's x-coordinate was `>= n` before reduction
+    /// (probability ~2^-128; kept for completeness).
+    pub x_overflow: bool,
+}
+
+impl RecoveryId {
+    /// Packs into the conventional 2-bit encoding `2·x_overflow + y_odd`.
+    pub fn to_byte(self) -> u8 {
+        (self.x_overflow as u8) << 1 | self.y_odd as u8
+    }
+
+    /// Unpacks the 2-bit encoding; `None` for out-of-range bytes.
+    pub fn from_byte(byte: u8) -> Option<RecoveryId> {
+        if byte > 3 {
+            return None;
+        }
+        Some(RecoveryId {
+            y_odd: byte & 1 == 1,
+            x_overflow: byte & 2 == 2,
+        })
+    }
+}
 
 /// RFC 6979 deterministic nonce derivation for SHA-256.
 ///
@@ -132,6 +175,21 @@ pub fn rfc6979_nonce(secret: &[u8; 32], digest: &[u8; 32]) -> Scalar {
 ///
 /// Returns [`SignatureError::InvalidSecretKey`] if `d` is zero.
 pub fn sign(d: &Scalar, digest: &[u8; 32]) -> Result<Signature, SignatureError> {
+    sign_recoverable(d, digest).map(|(sig, _)| sig)
+}
+
+/// Signs a 32-byte message digest, also returning the [`RecoveryId`] that
+/// identifies the nonce point `k·G` among the candidates sharing `r` —
+/// the hint batch verification needs to reconstruct `R` (see
+/// [`crate::batch`]). The signature itself is identical to [`sign`]'s.
+///
+/// # Errors
+///
+/// Returns [`SignatureError::InvalidSecretKey`] if `d` is zero.
+pub fn sign_recoverable(
+    d: &Scalar,
+    digest: &[u8; 32],
+) -> Result<(Signature, RecoveryId), SignatureError> {
     if d.is_zero() {
         return Err(SignatureError::InvalidSecretKey);
     }
@@ -140,13 +198,25 @@ pub fn sign(d: &Scalar, digest: &[u8; 32]) -> Result<Signature, SignatureError> 
     let mut k = rfc6979_nonce(&secret_bytes, digest);
     loop {
         let r_point = mul_table::generator_mul(&k);
-        if let AffinePoint::Coordinates { x, .. } = r_point.to_affine() {
-            let r = Scalar::from_be_bytes_reduced(&x.to_be_bytes());
+        if let AffinePoint::Coordinates { x, y } = r_point.to_affine() {
+            let x_bytes = x.to_be_bytes();
+            let r = Scalar::from_be_bytes_reduced(&x_bytes);
             if !r.is_zero() {
                 let s = k.invert() * (z + r * *d);
                 if !s.is_zero() {
-                    let s = if s.is_high() { -s } else { s };
-                    return Ok(Signature { r, s });
+                    let x_overflow = Scalar::from_be_bytes(&x_bytes).is_none();
+                    let mut y_odd = y.is_odd();
+                    let s = if s.is_high() {
+                        // Low-S normalization replaces s with -s, and a
+                        // verifier computing s⁻¹(z + r·d)·G then lands on
+                        // -k·G instead of k·G: flip the parity hint so it
+                        // names the point verification will reconstruct.
+                        y_odd = !y_odd;
+                        -s
+                    } else {
+                        s
+                    };
+                    return Ok((Signature { r, s }, RecoveryId { y_odd, x_overflow }));
                 }
             }
         }
@@ -207,7 +277,7 @@ fn verify_prepared(q_table: &OddMultiplesTable, digest: &[u8; 32], sig: &Signatu
 /// independent of cache state, which [`verify_uncached`] and the
 /// equivalence test suite enforce.
 pub fn verify(q: &Point, digest: &[u8; 32], sig: &Signature) -> bool {
-    if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() || q.is_infinity() {
+    if !precheck(q, sig) {
         return false;
     }
     let Some(id) = compressed_id(q) else {
@@ -226,13 +296,25 @@ pub fn verify(q: &Point, digest: &[u8; 32], sig: &Signature) -> bool {
 /// table. The explicit cold path, used by benchmarks and the differential
 /// tests that pin cached and uncached verdicts together.
 pub fn verify_uncached(q: &Point, digest: &[u8; 32], sig: &Signature) -> bool {
-    if sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() || q.is_infinity() {
+    if !precheck(q, sig) {
         return false;
     }
     match OddMultiplesTable::new(q, mul_table::WINDOW_P) {
         Some(table) => verify_prepared(&table, digest, sig),
         None => false,
     }
+}
+
+/// The cheap rejections shared by every verify entry point: zero or
+/// high-S components, the point at infinity, and — critically — points
+/// not on the curve at all. [`Point::from_affine`] is unchecked, and the
+/// cached path keys tables by `(y parity, x)` alone; without the curve
+/// check an off-curve point sharing a cached key's parity and x would
+/// borrow that key's table and inherit its verdict, while the uncached
+/// path computed garbage. Both paths must reject before touching tables
+/// so their verdicts (and cache stats) cannot diverge.
+pub(crate) fn precheck(q: &Point, sig: &Signature) -> bool {
+    !(sig.r.is_zero() || sig.s.is_zero() || sig.s.is_high() || q.is_infinity()) && q.is_on_curve()
 }
 
 /// Snapshot of this thread's public-key table cache counters, scraped by
@@ -421,6 +503,113 @@ mod tests {
             Signature::from_bytes(&bytes),
             Err(SignatureError::OutOfRange)
         );
+    }
+
+    /// Pins the `from_bytes` error precedence: range failures (zero or
+    /// `>= n`) always win over `HighS`, in every combination where both
+    /// could apply. Audit-corpus minimization is byte-stable only if this
+    /// ordering never changes.
+    #[test]
+    fn from_bytes_out_of_range_takes_precedence_over_high_s() {
+        let d = Scalar::from_u64(321);
+        let sig = sign(&d, &sha256(b"precedence")).unwrap();
+        let n_minus_1 = (-Scalar::ONE).to_be_bytes();
+
+        // s >= n: OutOfRange, even though the reduced form of all-ones is
+        // a perfectly parseable scalar that could be high.
+        let mut bytes = sig.to_bytes();
+        bytes[32..].copy_from_slice(&[0xFF; 32]);
+        assert_eq!(
+            Signature::from_bytes(&bytes),
+            Err(SignatureError::OutOfRange)
+        );
+
+        // r >= n combined with an in-range high s: r's range failure is
+        // reported first.
+        let mut bytes = [0xFF; 64];
+        bytes[32..].copy_from_slice(&n_minus_1);
+        assert_eq!(
+            Signature::from_bytes(&bytes),
+            Err(SignatureError::OutOfRange)
+        );
+
+        // r = 0 with a high s: zero is a range failure, not HighS.
+        let mut bytes = [0u8; 64];
+        bytes[32..].copy_from_slice(&n_minus_1);
+        assert_eq!(
+            Signature::from_bytes(&bytes),
+            Err(SignatureError::OutOfRange)
+        );
+
+        // An in-range high s on its own is still HighS: n - 1 is the
+        // largest valid-but-malleable value.
+        let mut bytes = sig.to_bytes();
+        bytes[32..].copy_from_slice(&n_minus_1);
+        assert_eq!(Signature::from_bytes(&bytes), Err(SignatureError::HighS));
+    }
+
+    #[test]
+    fn recovery_id_byte_round_trip() {
+        for byte in 0u8..4 {
+            assert_eq!(RecoveryId::from_byte(byte).unwrap().to_byte(), byte);
+        }
+        assert_eq!(RecoveryId::from_byte(4), None);
+        assert_eq!(RecoveryId::from_byte(255), None);
+    }
+
+    /// `sign_recoverable` emits the same signature as `sign`, and its hint
+    /// names the exact point verification reconstructs: lifting `r` by the
+    /// hinted parity must land on `u1·G + u2·Q` itself, not just a point
+    /// sharing its x-coordinate.
+    #[test]
+    fn sign_recoverable_names_the_reconstructed_nonce_point() {
+        use crate::field::FieldElement;
+        for seed in 1u64..12 {
+            let d = Scalar::from_u64(seed * 104_729 + 7);
+            let digest = sha256(&seed.to_be_bytes());
+            let (sig, rec) = sign_recoverable(&d, &digest).unwrap();
+            assert_eq!(sig, sign(&d, &digest).unwrap(), "seed {seed}");
+            assert!(!rec.x_overflow, "overflow has probability ~2^-128");
+
+            let x = FieldElement::from_be_bytes(&sig.r.to_be_bytes()).unwrap();
+            let y = (x.square() * x + FieldElement::from_u64(7))
+                .sqrt()
+                .expect("r lifts to the curve");
+            let y = if y.is_odd() == rec.y_odd { y } else { -y };
+            let lifted = Point::from_affine_checked(x, y).unwrap();
+
+            let z = Scalar::from_be_bytes_reduced(&digest);
+            let s_inv = sig.s.invert();
+            let reconstructed = Point::generator()
+                .mul(&(z * s_inv))
+                .add(&pubkey(&d).mul(&(sig.r * s_inv)));
+            assert!(reconstructed.equals(&lifted), "seed {seed}");
+        }
+    }
+
+    /// Off-curve points must be rejected by both verify paths before any
+    /// table work — `Point::from_affine` is unchecked, and the cached path
+    /// keys tables by (parity, x) alone, so an unvalidated off-curve point
+    /// could otherwise borrow an honest key's cached table.
+    #[test]
+    fn verify_rejects_off_curve_points_on_both_paths() {
+        use crate::field::FieldElement;
+        let d = Scalar::from_u64(606);
+        let digest = sha256(b"off-curve");
+        let sig = sign(&d, &digest).unwrap();
+        let q = pubkey(&d);
+        let AffinePoint::Coordinates { x, y } = q.to_affine() else {
+            panic!("finite key");
+        };
+        // Same x, same y-parity, different y: off the curve by
+        // construction (only ±y lift x, and they differ in parity).
+        let bad_y = y + FieldElement::from_u64(2);
+        let forged = Point::from_affine(x, bad_y);
+        assert!(!forged.is_on_curve());
+        assert!(!verify(&forged, &digest, &sig));
+        assert!(!verify_uncached(&forged, &digest, &sig));
+        // The honest key still verifies afterwards (no cache poisoning).
+        assert!(verify(&q, &digest, &sig));
     }
 
     #[test]

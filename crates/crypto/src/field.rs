@@ -15,6 +15,14 @@ const P: [u64; 4] = [
 /// `2^256 - p = 2^32 + 977`.
 const C: [u64; 4] = [0x1000003D1, 0, 0, 0];
 
+/// Intermediate powers shared by the `invert` and `sqrt` addition chains;
+/// `x{k}` is `self^(2^k - 1)`.
+struct Ladder {
+    x2: FieldElement,
+    x22: FieldElement,
+    x223: FieldElement,
+}
+
 /// An element of the secp256k1 base field, always stored fully reduced.
 ///
 /// ```
@@ -113,8 +121,21 @@ impl FieldElement {
     /// Panics if `self` is zero, which has no inverse.
     pub fn invert(self) -> FieldElement {
         assert!(!self.is_zero(), "zero has no multiplicative inverse");
-        // x{k} denotes self^(2^k - 1). The exponent p - 2 is
+        // The exponent p - 2 is
         // 2^256 - 2^32 - 979 = (223 ones)·0·(22 ones)·0·1111110·0·1·0·1101.
+        let l = self.ladder();
+        // Tail: shift in the low 33 bits of p - 2 (FFFFFC2D pattern).
+        let t = l.x223.sqr_n(23) * l.x22;
+        let t = t.sqr_n(5) * self;
+        let t = t.sqr_n(3) * l.x2;
+        t.sqr_n(2) * self
+    }
+
+    /// The shared prefix of the `p - 2` and `(p + 1) / 4` addition chains:
+    /// both exponents open with 223 ones, so `invert` and `sqrt` reuse the
+    /// same ladder up to `x223` and differ only in their tails.
+    fn ladder(self) -> Ladder {
+        // x{k} denotes self^(2^k - 1).
         let x2 = self.square() * self;
         let x3 = x2.square() * self;
         let x6 = x3.sqr_n(3) * x3;
@@ -126,23 +147,22 @@ impl FieldElement {
         let x176 = x88.sqr_n(88) * x88;
         let x220 = x176.sqr_n(44) * x44;
         let x223 = x220.sqr_n(3) * x3;
-        // Tail: shift in the low 33 bits of p - 2 (FFFFFC2D pattern).
-        let t = x223.sqr_n(23) * x22;
-        let t = t.sqr_n(5) * self;
-        let t = t.sqr_n(3) * x2;
-        t.sqr_n(2) * self
+        Ladder { x2, x22, x223 }
     }
 
     /// Square root, if one exists. Since `p ≡ 3 (mod 4)`, the candidate is
-    /// `x^((p+1)/4)`; returns `None` when `x` is a quadratic non-residue.
+    /// `x^((p+1)/4)`, computed with an addition chain (254 squarings, 13
+    /// multiplications) instead of naive square-and-multiply over the
+    /// nearly-all-ones exponent: batch verification lifts one x-coordinate
+    /// per hinted signature, so this sits on the accept path. Returns
+    /// `None` when `x` is a quadratic non-residue.
     pub fn sqrt(self) -> Option<FieldElement> {
-        // (p + 1) / 4 = 2^254 - 2^30 - 244, precomputed big-endian.
-        const EXP: [u8; 32] = [
-            0x3f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-            0xbf, 0xff, 0xff, 0x0c,
-        ];
-        let candidate = self.pow_be(&EXP);
+        // (p + 1) / 4 = 2^254 - 2^30 - 244
+        //             = (223 ones)·0·(22 ones)·(6 zeros)·11·00.
+        let l = self.ladder();
+        let t = l.x223.sqr_n(23) * l.x22;
+        let t = t.sqr_n(6) * l.x2;
+        let candidate = t.sqr_n(2);
         if candidate.square() == self {
             Some(candidate)
         } else {
@@ -291,6 +311,25 @@ mod tests {
             }
         }
         assert!(found_nonresidue, "some small non-residue must exist");
+    }
+
+    proptest! {
+        /// The sqrt addition chain computes exactly `x^((p+1)/4)` — pinned
+        /// against the retained naive square-and-multiply on the explicit
+        /// exponent, for residues and non-residues alike.
+        #[test]
+        fn sqrt_chain_matches_pow_be(bytes in any::<[u8; 32]>()) {
+            const EXP: [u8; 32] = [
+                0x3f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xbf, 0xff,
+                0xff, 0x0c,
+            ];
+            let x = FieldElement::from_be_bytes_reduced(&bytes);
+            let candidate = x.pow_be(&EXP);
+            let expected = if candidate.square() == x { Some(candidate) } else { None };
+            prop_assert_eq!(x.sqrt(), expected);
+        }
     }
 
     #[test]

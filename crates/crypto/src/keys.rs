@@ -1,6 +1,6 @@
 //! Key pairs, compressed public-key encoding, and Bitcoin-style addresses.
 
-use crate::ecdsa::{self, Signature, SignatureError};
+use crate::ecdsa::{self, RecoveryId, Signature, SignatureError};
 use crate::field::FieldElement;
 use crate::point::{AffinePoint, Point};
 use crate::ripemd160::hash160;
@@ -60,6 +60,13 @@ impl SecretKey {
     /// Signs a 32-byte digest (RFC 6979 deterministic ECDSA).
     pub fn sign(&self, digest: &[u8; 32]) -> Signature {
         ecdsa::sign(&self.0, digest).expect("secret key is nonzero by construction")
+    }
+
+    /// [`SecretKey::sign`] plus the [`RecoveryId`] hint that makes the
+    /// signature batch-verifiable (see [`crate::batch`]). The signature
+    /// bytes are identical to `sign`'s.
+    pub fn sign_recoverable(&self, digest: &[u8; 32]) -> (Signature, RecoveryId) {
+        ecdsa::sign_recoverable(&self.0, digest).expect("secret key is nonzero by construction")
     }
 }
 
@@ -252,6 +259,12 @@ impl KeyPair {
     /// Signs a 32-byte digest.
     pub fn sign(&self, digest: &[u8; 32]) -> Signature {
         self.secret.sign(digest)
+    }
+
+    /// Signs a 32-byte digest, also returning the batch-verification hint
+    /// (see [`SecretKey::sign_recoverable`]).
+    pub fn sign_recoverable(&self, digest: &[u8; 32]) -> (Signature, RecoveryId) {
+        self.secret.sign_recoverable(digest)
     }
 }
 

@@ -17,6 +17,9 @@
 //!   the ECDSA accept path.
 //! * [`ecdsa`] — ECDSA over secp256k1 with RFC 6979 nonces and low-S
 //!   normalization.
+//! * [`batch`] — randomized-linear-combination batch ECDSA verification:
+//!   many signatures collapse into one multi-scalar multiplication, with
+//!   culprit bisection preserving the sequential loop's exact verdicts.
 //! * [`keys`] — key pairs, compressed public-key encoding, addresses.
 //! * [`merkle`] — Bitcoin-style Merkle trees with inclusion proofs.
 //! * [`pool`] — a scoped-thread worker pool for batched SHA-256d and
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod base58;
+pub mod batch;
 pub mod ecdsa;
 pub mod field;
 pub mod hash;

@@ -91,6 +91,84 @@ impl OddMultiplesTable {
         Some(OddMultiplesTable { width, entries })
     }
 
+    /// Builds width-`width` tables for many finite points at once, sharing
+    /// a *single* Montgomery batch inversion across every table's affine
+    /// normalization — the per-table field inversion is the dominant cost
+    /// of [`OddMultiplesTable::new`], so a multi-scalar multiplication
+    /// over dozens of fresh points amortizes it down to one.
+    ///
+    /// Callers must filter out the point at infinity first (there is no
+    /// table to build for it; `k * ∞ = ∞`).
+    #[cfg(test)]
+    pub(crate) fn new_many(points: &[Point], width: u32) -> Vec<OddMultiplesTable> {
+        let mut groups = Self::new_many_grouped(&[(points, width)]);
+        groups.pop().unwrap_or_default()
+    }
+
+    /// [`OddMultiplesTable::new_many`] over several `(points, width)`
+    /// groups at once, so a multi-scalar multiplication that mixes table
+    /// widths (full-width GLV terms at [`WINDOW_P`], short randomizer
+    /// terms at a narrower window) still pays exactly two field inversions
+    /// total: one shared across every base's 2P normalization, one shared
+    /// across every finished entry.
+    pub(crate) fn new_many_grouped(groups: &[(&[Point], u32)]) -> Vec<Vec<OddMultiplesTable>> {
+        let mut doubled = Vec::new();
+        for &(points, width) in groups {
+            assert!((2..=8).contains(&width), "wNAF width must be in 2..=8");
+            doubled.extend(points.iter().map(|p| p.double()));
+        }
+        // Normalize every base's 2P with one shared inversion up front, so
+        // each chain step below is a mixed addition (7M+4S) instead of a
+        // full Jacobian one (11M+5S). A second shared inversion then
+        // normalizes the finished entries.
+        let twops = batch_to_affine(&doubled);
+        let mut jac = Vec::new();
+        let mut next_twop = 0;
+        for &(points, width) in groups {
+            let count = 1usize << (width - 2);
+            jac.reserve(points.len() * count);
+            for p in points {
+                debug_assert!(!p.is_infinity(), "callers filter infinity");
+                let twop = &twops[next_twop];
+                next_twop += 1;
+                jac.push(*p);
+                for _ in 1..count {
+                    let prev = jac[jac.len() - 1];
+                    jac.push(match twop {
+                        AffinePoint::Coordinates { x, y } => prev.add_mixed(x, y),
+                        // 2P = ∞ only for off-curve garbage (y = 0); adding
+                        // ∞ is the identity, same as the Jacobian chain did.
+                        AffinePoint::Infinity => prev,
+                    });
+                }
+            }
+        }
+        let affine = batch_to_affine(&jac);
+        let mut out = Vec::with_capacity(groups.len());
+        let mut rest = affine.as_slice();
+        for &(points, width) in groups {
+            let count = 1usize << (width - 2);
+            let (mine, tail) = rest.split_at(points.len() * count);
+            rest = tail;
+            out.push(
+                mine.chunks(count)
+                    .map(|chunk| OddMultiplesTable {
+                        width,
+                        entries: chunk
+                            .iter()
+                            .map(|a| match a {
+                                AffinePoint::Coordinates { x, y } => (*x, *y),
+                                // Same garbage-in/garbage-out stand-in as `new`.
+                                AffinePoint::Infinity => (FieldElement::ONE, FieldElement::ONE),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            );
+        }
+        out
+    }
+
     /// The wNAF window width this table serves.
     pub fn width(&self) -> u32 {
         self.width
@@ -169,18 +247,46 @@ impl Stream<'_> {
 /// Shared-doubling ladder over any number of wNAF digit streams. With GLV
 /// components the streams are ~129 digits long, so the whole multiplication
 /// costs ~129 doublings regardless of how many streams ride along.
+///
+/// Past a handful of streams the ladder switches from probing every stream
+/// at every position (fine for one verify's 2–4 streams, but ~6× the adds
+/// in wasted scattered loads for a batch's hundreds) to bucketing the
+/// nonzero digits by position in one stream-major linear pass. Both paths
+/// perform the identical addition sequence — buckets are filled in stream
+/// order — so results are bit-identical.
 fn interleaved_mul(streams: &[Stream<'_>]) -> Point {
     let len = streams.iter().map(|s| s.digits.len()).max().unwrap_or(0);
     let mut acc = Point::INFINITY;
-    for i in (0..len).rev() {
-        acc = acc.double();
-        for s in streams {
-            if let Some(&d) = s.digits.get(i) {
-                if d != 0 {
-                    let d = if s.negate { -d } else { d };
-                    acc = s.table.add_digit(&acc, d);
+    if streams.len() <= 8 {
+        for i in (0..len).rev() {
+            acc = acc.double();
+            for s in streams {
+                if let Some(&d) = s.digits.get(i) {
+                    if d != 0 {
+                        let d = if s.negate { -d } else { d };
+                        acc = s.table.add_digit(&acc, d);
+                    }
                 }
             }
+        }
+        return acc;
+    }
+    // Expected bucket occupancy is streams/(width+1); a capacity of
+    // streams/4 absorbs the tail without reallocation in practice.
+    let cap = streams.len() / 4 + 1;
+    let mut buckets: Vec<Vec<(i8, u16)>> = (0..len).map(|_| Vec::with_capacity(cap)).collect();
+    for (si, s) in streams.iter().enumerate() {
+        for (pos, &d) in s.digits.iter().enumerate() {
+            if d != 0 {
+                let d = if s.negate { -d } else { d };
+                buckets[pos].push((d, si as u16));
+            }
+        }
+    }
+    for bucket in buckets.iter().rev() {
+        acc = acc.double();
+        for &(d, si) in bucket {
+            acc = streams[si as usize].table.add_digit(&acc, d);
         }
     }
     acc
@@ -241,6 +347,93 @@ pub fn lincomb_wnaf(a: &Scalar, b: &Scalar, q_table: &OddMultiplesTable) -> Poin
         Stream::new(b1, q_table),
         Stream::new(b2, &q_endo),
     ])
+}
+
+/// Multi-scalar multiplication `Σ k_i·P_i` (Strauss/Shamir over arbitrarily
+/// many points): every term is GLV-split into two ~129-digit wNAF streams,
+/// all per-point tables are normalized with one shared batch inversion
+/// ([`OddMultiplesTable::new_many`]), and a single ~129-step doubling run
+/// serves every stream. Terms with a zero scalar or the point at infinity
+/// contribute nothing and are skipped.
+///
+/// This is the evaluation engine of batched ECDSA verification
+/// ([`crate::batch`]): the batch reduces to one `Σ a_i·u1_i·G +
+/// Σ a_i·u2_i·Q_i − Σ a_i·R_i ≟ ∞` check, whose per-signature cost is a
+/// fraction of a full verify because the doublings and the normalization
+/// inversion are paid once for the whole sum.
+pub fn msm_wnaf(terms: &[(Scalar, Point)]) -> Point {
+    msm_with_generator(&Scalar::ZERO, terms)
+}
+
+/// [`msm_wnaf`] with an explicit fixed-base term: computes
+/// `g_coeff·G + Σ k_i·P_i`, serving the `G` coefficient from the static
+/// width-[`WINDOW_G`] generator tables instead of building a throwaway
+/// per-call table for `G`.
+///
+/// Two more cost asymmetries the batch verifier leans on:
+///
+/// - Coefficients below 2^128 (its randomizers on the `−R_i` terms) skip
+///   the GLV split entirely — their single wNAF stream is already
+///   half-length, and a split would spread the same magnitude over two
+///   streams, doubling the nonzero digits walked by the shared ladder.
+/// - `φ`-tables are derived only for terms whose split actually produces a
+///   nonzero `λ` component, instead of unconditionally for every point.
+pub fn msm_with_generator(g_coeff: &Scalar, terms: &[(Scalar, Point)]) -> Point {
+    // Short coefficients run ~129-digit single streams; at that length a
+    // width-4 table (3 adds to build, 4 entries to normalize) beats the
+    // width-5 one (7 adds, 8 entries) — the denser digit stream costs less
+    // than the extra table work it saves.
+    const WINDOW_SHORT: u32 = 4;
+    let mut full: Vec<(Scalar, Point)> = Vec::with_capacity(terms.len());
+    let mut short: Vec<(Scalar, Point)> = Vec::new();
+    for &(k, p) in terms {
+        if k.is_zero() || p.is_infinity() {
+            continue;
+        } else if k.fits_128_bits() {
+            short.push((k, p));
+        } else {
+            full.push((k, p));
+        }
+    }
+    let full_points: Vec<Point> = full.iter().map(|&(_, p)| p).collect();
+    let short_points: Vec<Point> = short.iter().map(|&(_, p)| p).collect();
+    let mut grouped = OddMultiplesTable::new_many_grouped(&[
+        (&full_points, WINDOW_P),
+        (&short_points, WINDOW_SHORT),
+    ]);
+    let short_tables = grouped.pop().expect("two groups in, two out");
+    let full_tables = grouped.pop().expect("two groups in, two out");
+    // Split the full-width coefficients first so φ-tables are built only
+    // where a nonzero λ component will actually consume them.
+    let mut components = Vec::with_capacity(full.len());
+    let mut endo_tables: Vec<Option<OddMultiplesTable>> = Vec::with_capacity(full.len());
+    for (i, (k, _)) in full.iter().enumerate() {
+        let (c1, c2) = k.split_glv();
+        endo_tables.push((!c2.1.is_zero()).then(|| full_tables[i].endo_mapped()));
+        components.push((c1, c2));
+    }
+    let mut streams = Vec::with_capacity(full.len() * 2 + short.len() + 2);
+    if !g_coeff.is_zero() {
+        let (c1, c2) = g_coeff.split_glv();
+        if !c1.1.is_zero() {
+            streams.push(Stream::new(c1, generator_table()));
+        }
+        if !c2.1.is_zero() {
+            streams.push(Stream::new(c2, generator_endo_table()));
+        }
+    }
+    for (i, (c1, c2)) in components.iter().enumerate() {
+        if !c1.1.is_zero() {
+            streams.push(Stream::new(*c1, &full_tables[i]));
+        }
+        if let Some(endo) = &endo_tables[i] {
+            streams.push(Stream::new(*c2, endo));
+        }
+    }
+    for (i, (k, _)) in short.iter().enumerate() {
+        streams.push(Stream::new((false, *k), &short_tables[i]));
+    }
+    interleaved_mul(&streams)
 }
 
 /// Hit/miss counters for a [`PubkeyTableCache`]. Monotonic within a cache's
@@ -414,6 +607,80 @@ mod tests {
         let fast = lincomb_wnaf(&a, &b, &table);
         let slow = g().mul_binary(&a).add(&q.mul_binary(&b));
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn new_many_matches_individual_builds() {
+        let points: Vec<Point> = (1u64..7)
+            .map(|v| g().mul_binary(&Scalar::from_u64(v * 31 + 5)))
+            .collect();
+        let many = OddMultiplesTable::new_many(&points, WINDOW_P);
+        assert_eq!(many.len(), points.len());
+        for (p, table) in points.iter().zip(&many) {
+            let solo = OddMultiplesTable::new(p, WINDOW_P).unwrap();
+            assert_eq!(table.entries, solo.entries);
+        }
+    }
+
+    #[test]
+    fn msm_matches_binary_fold() {
+        let terms: Vec<(Scalar, Point)> = (1u64..9)
+            .map(|v| {
+                let k = Scalar::from_be_bytes_reduced(&[v as u8 * 17; 32]);
+                let p = g().mul_binary(&Scalar::from_u64(v * 7001 + 3));
+                (k, p)
+            })
+            .collect();
+        let slow = terms
+            .iter()
+            .fold(Point::INFINITY, |acc, (k, p)| acc.add(&p.mul_binary(k)));
+        assert_eq!(msm_wnaf(&terms), slow);
+    }
+
+    #[test]
+    fn msm_with_generator_matches_binary_fold() {
+        // Mix of short (≤128-bit, un-split single-stream path) and
+        // full-width (GLV-split) coefficients, plus the fixed-base term.
+        let g_coeff = Scalar::from_be_bytes_reduced(&[0x77; 32]);
+        let mut terms = Vec::new();
+        for v in 1u64..6 {
+            let p = g().mul_binary(&Scalar::from_u64(v * 5011 + 7));
+            let full = Scalar::from_be_bytes_reduced(&[v as u8 * 29; 32]);
+            let mut short_bytes = [0u8; 32];
+            short_bytes[16..].copy_from_slice(&[v as u8 * 13 + 1; 16]);
+            let short = Scalar::from_be_bytes(&short_bytes).unwrap();
+            assert!(short.fits_128_bits() && !full.fits_128_bits());
+            terms.push((full, p));
+            terms.push((short, p.negate()));
+        }
+        let slow = terms.iter().fold(g().mul_binary(&g_coeff), |acc, (k, p)| {
+            acc.add(&p.mul_binary(k))
+        });
+        assert_eq!(msm_with_generator(&g_coeff, &terms), slow);
+        // A zero generator coefficient degrades to the plain MSM.
+        assert_eq!(msm_with_generator(&Scalar::ZERO, &terms), msm_wnaf(&terms));
+        // Generator-only and fully empty calls.
+        assert_eq!(msm_with_generator(&g_coeff, &[]), g().mul_binary(&g_coeff));
+        assert!(msm_with_generator(&Scalar::ZERO, &[]).is_infinity());
+    }
+
+    #[test]
+    fn msm_handles_zero_scalars_infinity_and_duplicates() {
+        assert!(msm_wnaf(&[]).is_infinity());
+        let p = g().mul_binary(&Scalar::from_u64(99));
+        let k = Scalar::from_be_bytes_reduced(&[0x42; 32]);
+        // Zero scalars and infinity points are skipped entirely.
+        let terms = [
+            (Scalar::ZERO, p),
+            (k, Point::INFINITY),
+            (k, p),
+            (k, p), // duplicate base: contributes twice
+            (-k, p),
+        ];
+        let slow = p.mul_binary(&k);
+        assert_eq!(msm_wnaf(&terms), slow);
+        // A sum that cancels exactly lands on infinity.
+        assert!(msm_wnaf(&[(k, p), (-k, p)]).is_infinity());
     }
 
     #[test]

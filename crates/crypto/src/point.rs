@@ -86,6 +86,21 @@ impl Point {
         self.z.is_zero()
     }
 
+    /// Checks the curve equation directly in Jacobian coordinates:
+    /// `y^2 = x^3 + 7·z^6` (about eight field multiplications, no
+    /// inversion). The point at infinity counts as on-curve — it is the
+    /// group identity. [`Point::from_affine`] performs no validation, so
+    /// verifiers taking a raw [`Point`] must call this before trusting
+    /// group-law results on it.
+    pub fn is_on_curve(&self) -> bool {
+        if self.is_infinity() {
+            return true;
+        }
+        let z2 = self.z.square();
+        let z6 = z2.square() * z2;
+        self.y.square() == self.x.square() * self.x + FieldElement::from_u64(7) * z6
+    }
+
     /// Converts to affine coordinates (one field inversion, skipped when
     /// the point is already normalized with `Z = 1` — the common case for
     /// decoded public keys and table entries).
@@ -327,11 +342,14 @@ impl Point {
 /// Points at infinity map to [`AffinePoint::Infinity`] and do not disturb
 /// the batch (their `Z = 0` is substituted with one in the products).
 pub fn batch_to_affine(points: &[Point]) -> Vec<AffinePoint> {
-    // prefix[i] = product of effective z's of points[..=i].
+    // prefix[i] = product of effective z's of points[..=i]. Points already
+    // at z = 1 (fresh lifts, normalized public keys — e.g. every odd-
+    // multiple table's first entry is its affine base) are passed through
+    // untouched instead of paying the 6M+1S unwind-and-scale.
     let mut prefix = Vec::with_capacity(points.len());
     let mut acc = FieldElement::ONE;
     for p in points {
-        if !p.is_infinity() {
+        if !p.is_infinity() && p.z != FieldElement::ONE {
             acc = acc * p.z;
         }
         prefix.push(acc);
@@ -344,6 +362,10 @@ pub fn batch_to_affine(points: &[Point]) -> Vec<AffinePoint> {
     for i in (0..points.len()).rev() {
         let p = &points[i];
         if p.is_infinity() {
+            continue;
+        }
+        if p.z == FieldElement::ONE {
+            out[i] = AffinePoint::Coordinates { x: p.x, y: p.y };
             continue;
         }
         // inv currently holds (z_0 * ... * z_i)^-1; multiply by the prefix

@@ -68,6 +68,15 @@ impl Scalar {
         limbs::is_zero(&self.0)
     }
 
+    /// Returns true when the value fits in 128 bits. Multiplying by such a
+    /// scalar skips the GLV split: its wNAF ladder is already half-length,
+    /// and splitting would spread the same magnitude across *two* digit
+    /// streams, doubling the nonzero-digit count. The batch verifier's
+    /// randomizers are 128-bit by construction and take this path.
+    pub(crate) fn fits_128_bits(&self) -> bool {
+        self.0[2] == 0 && self.0[3] == 0
+    }
+
     /// Returns true if the scalar exceeds `n/2`. ECDSA signatures normalize
     /// `s` to the low half to rule out the `(r, s) / (r, n-s)` malleability.
     pub fn is_high(&self) -> bool {

@@ -7,8 +7,11 @@
 use btcfast_crypto::ecdsa::{
     self, pubkey_cache_stats, reset_pubkey_cache, verify_uncached, Signature, PUBKEY_CACHE_CAPACITY,
 };
+use btcfast_crypto::field::FieldElement;
 use btcfast_crypto::keys::KeyPair;
-use btcfast_crypto::mul_table::{generator_mul, mul_wnaf, OddMultiplesTable, PubkeyTableCache};
+use btcfast_crypto::mul_table::{
+    generator_mul, msm_wnaf, mul_wnaf, OddMultiplesTable, PubkeyTableCache,
+};
 use btcfast_crypto::point::{AffinePoint, Point};
 use btcfast_crypto::scalar::Scalar;
 use btcfast_crypto::sha256::sha256;
@@ -179,8 +182,211 @@ fn verify_verdict_independent_of_cache_state_invalid_sig() {
     assert!(!verdict_all_cache_states(&kp, &digest, &high_s));
 }
 
+/// The hostile cached-vs-uncached differential the batch-verification
+/// issue calls out: both entry points must agree (verdict *and* cache
+/// behavior) on inputs chosen to stress their divergence surface —
+/// off-curve and identity public keys, components at `n − 1`, digests
+/// whose integer value exceeds `n`, and eviction churn mid-stream.
+mod hostile_verify_divergence {
+    use super::*;
+
+    /// Asserts both paths return the same verdict and returns it.
+    fn agree(q: &Point, digest: &[u8; 32], sig: &Signature) -> bool {
+        let cached = ecdsa::verify(q, digest, sig);
+        let uncached = verify_uncached(q, digest, sig);
+        assert_eq!(cached, uncached, "cached vs uncached divergence");
+        cached
+    }
+
+    /// The cache-poisoning shape `verify` had to be hardened against:
+    /// an off-curve point sharing a cached honest key's `(parity, x)`
+    /// compressed identity. Before the on-curve precheck, the cached path
+    /// borrowed the honest key's table (verdict `true`) while the uncached
+    /// path computed on the garbage point (verdict `false`).
+    #[test]
+    fn off_curve_point_cannot_borrow_a_cached_table() {
+        reset_pubkey_cache();
+        let kp = KeyPair::from_seed(b"poison-target");
+        let digest = sha256(b"pay 1 BTC");
+        let sig = kp.sign(&digest);
+        // Warm the cache with the honest key.
+        assert!(kp.public().verify(&digest, &sig));
+        let warm_stats = pubkey_cache_stats();
+
+        let AffinePoint::Coordinates { x, y } = kp.public().point().to_affine() else {
+            panic!("finite key");
+        };
+        // Same x; y replaced by another element of the same parity. Only
+        // ±y lift x onto the curve and they differ in parity (p is odd),
+        // so every same-parity y' != y is off-curve — yet it compresses
+        // to the honest key's exact cache identity.
+        let forged_y = y + FieldElement::from_u64(4);
+        let forged = Point::from_affine(x, forged_y);
+        assert!(!forged.is_on_curve());
+        assert_eq!(forged_y.is_odd(), y.is_odd());
+
+        assert!(!agree(&forged, &digest, &sig), "forged key must fail");
+        // The rejection happens before any table lookup: stats unchanged,
+        // so the forged point neither borrowed nor displaced an entry.
+        assert_eq!(pubkey_cache_stats(), warm_stats);
+        // And the honest key's cached verdict is intact.
+        assert!(kp.public().verify(&digest, &sig));
+    }
+
+    #[test]
+    fn identity_and_off_curve_keys_reject_on_both_paths() {
+        let kp = KeyPair::from_seed(b"hostile-keys");
+        let digest = sha256(b"msg");
+        let sig = kp.sign(&digest);
+        assert!(!agree(&Point::INFINITY, &digest, &sig));
+        // A point nowhere near the curve.
+        let junk = Point::from_affine(FieldElement::from_u64(5), FieldElement::from_u64(9));
+        assert!(!junk.is_on_curve());
+        assert!(!agree(&junk, &digest, &sig));
+    }
+
+    #[test]
+    fn components_at_group_order_boundary() {
+        let kp = KeyPair::from_seed(b"boundary");
+        let q = kp.public().point();
+        let digest = sha256(b"msg");
+        let sig = kp.sign(&digest);
+        let n_minus_1 = -Scalar::ONE;
+        // r = n-1 (valid range, almost surely wrong), s = n-1 (high),
+        // and both at once: verdicts must agree everywhere.
+        assert!(!agree(
+            q,
+            &digest,
+            &Signature {
+                r: n_minus_1,
+                s: sig.s
+            }
+        ));
+        assert!(!agree(
+            q,
+            &digest,
+            &Signature {
+                r: sig.r,
+                s: n_minus_1
+            }
+        ));
+        assert!(!agree(
+            q,
+            &digest,
+            &Signature {
+                r: n_minus_1,
+                s: n_minus_1
+            }
+        ));
+    }
+
+    #[test]
+    fn digests_at_and_above_the_group_order() {
+        let kp = KeyPair::from_seed(b"big-digests");
+        let q = kp.public().point();
+        let sig = kp.sign(&sha256(b"anchor"));
+        // n, n+1, all-ones: digests that reduce mod n before use. Both
+        // paths must reduce identically.
+        let n_bytes = {
+            let mut b = (-Scalar::ONE).to_be_bytes();
+            // n = (n-1) + 1; the last byte of n-1 is 0x40, no carry.
+            b[31] += 1;
+            b
+        };
+        let mut n_plus_1 = n_bytes;
+        n_plus_1[31] += 1;
+        for digest in [n_bytes, n_plus_1, [0xFF; 32], [0u8; 32]] {
+            agree(q, &digest, &sig);
+        }
+        // A signature that is *valid* for an over-order digest's reduced
+        // form must verify on both paths when presented with that digest.
+        let reduced = Scalar::from_be_bytes_reduced(&[0xFF; 32]).to_be_bytes();
+        let sig_big = kp.sign(&reduced);
+        assert!(agree(q, &reduced, &sig_big));
+    }
+
+    /// Interleaves verifies of one key with enough one-shot keys to force
+    /// eviction churn mid-stream; the tracked key's verdict must be stable
+    /// through hit, miss, and rebuild states.
+    #[test]
+    fn verdicts_stable_under_eviction_churn() {
+        reset_pubkey_cache();
+        let kp = KeyPair::from_seed(b"churn-victim");
+        let digest = sha256(b"pay");
+        let good = kp.sign(&digest);
+        let bad = Signature {
+            r: good.r,
+            s: good.s + Scalar::ONE,
+        };
+        for round in 0..3 {
+            assert!(agree(kp.public().point(), &digest, &good), "round {round}");
+            assert!(!agree(kp.public().point(), &digest, &bad), "round {round}");
+            for i in 0..PUBKEY_CACHE_CAPACITY + 1 {
+                let churn = KeyPair::from_seed(&[round as u8, i as u8, 0xC4]);
+                let d = sha256(&[i as u8]);
+                let s = churn.sign(&d);
+                assert!(agree(churn.public().point(), &d, &s));
+            }
+        }
+        assert!(pubkey_cache_stats().evictions > 0, "churn actually evicted");
+    }
+}
+
 fn arb_scalar() -> impl Strategy<Value = Scalar> {
     any::<[u8; 32]>().prop_map(|b| Scalar::from_be_bytes_reduced(&b))
+}
+
+/// Folds the multi-scalar terms through the binary-ladder oracle.
+fn msm_oracle(terms: &[(Scalar, Point)]) -> Point {
+    terms
+        .iter()
+        .fold(Point::INFINITY, |acc, (k, p)| acc.add(&p.mul_binary(k)))
+}
+
+#[test]
+fn msm_matches_oracle_on_edge_scalars() {
+    let g = Point::generator();
+    let bases = [
+        g,
+        g.mul_binary(&Scalar::from_u64(7)),
+        g.mul_binary(&-Scalar::ONE),
+        Point::INFINITY,
+    ];
+    // Pair every edge scalar (covering both GLV split shapes: tiny k2,
+    // negated components, 2^k splits) with a rotating base.
+    let terms: Vec<(Scalar, Point)> = edge_scalars()
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, bases[i % bases.len()]))
+        .collect();
+    let fast = msm_wnaf(&terms);
+    let slow = msm_oracle(&terms);
+    assert_eq!(point_bytes(&fast), point_bytes(&slow));
+    // Every prefix too, so no single term's stream misaligns the ladder.
+    for len in 0..terms.len() {
+        let fast = msm_wnaf(&terms[..len]);
+        let slow = msm_oracle(&terms[..len]);
+        assert_eq!(point_bytes(&fast), point_bytes(&slow), "prefix {len}");
+    }
+}
+
+#[test]
+fn msm_duplicate_points_and_cancellations() {
+    let p = Point::generator().mul_binary(&Scalar::from_u64(555));
+    let k = Scalar::from_be_bytes_reduced(&[0x77; 32]);
+    // Duplicate bases, explicit zero scalars, and an exact cancellation.
+    let terms = [
+        (k, p),
+        (Scalar::ZERO, p),
+        (k, p),
+        (-k, p),
+        (Scalar::ZERO, Point::generator()),
+    ];
+    assert_eq!(
+        point_bytes(&msm_wnaf(&terms)),
+        point_bytes(&msm_oracle(&terms))
+    );
+    assert!(msm_wnaf(&[(k, p), (-k, p)]).is_infinity());
 }
 
 proptest! {
@@ -207,6 +413,24 @@ proptest! {
         let fast = Point::lincomb(&a, &b, &q);
         let slow = g.mul_binary(&a).add(&q.mul_binary(&b));
         prop_assert_eq!(point_bytes(&fast), point_bytes(&slow));
+    }
+
+    #[test]
+    fn prop_msm_matches_binary_fold(
+        ks in proptest::collection::vec(arb_scalar(), 0..7),
+        bs in proptest::collection::vec(arb_scalar(), 0..7),
+    ) {
+        let n = ks.len().min(bs.len());
+        let terms: Vec<(Scalar, Point)> = ks
+            .iter()
+            .take(n)
+            .zip(bs.iter().take(n))
+            .map(|(k, b)| (*k, Point::generator().mul_binary(b)))
+            .collect();
+        prop_assert_eq!(
+            point_bytes(&msm_wnaf(&terms)),
+            point_bytes(&msm_oracle(&terms))
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ use btcfast_btcsim::block::BlockHeader;
 use btcfast_btcsim::pow::hash_meets_target;
 use btcfast_btcsim::spv::{HeaderSegment, SpvError, SpvEvidence};
 use btcfast_btcsim::u256::U256;
+use btcfast_crypto::batch::{verify_batch, BatchItem, BatchOutcome, BatchStats};
 use btcfast_crypto::{Hash256, WorkerPool};
 use btcfast_obs::{Counter, Registry};
 use std::collections::HashMap;
@@ -229,6 +230,9 @@ pub struct EvidenceVerifier {
     capacity: usize,
     /// Optional live metric handles; set once, bumped lock-free.
     metrics: OnceLock<VerifyMetrics>,
+    /// Accumulated batch-ECDSA counters across every
+    /// [`Self::verify_signature_batch`] call (any thread).
+    sig_batch: Mutex<BatchStats>,
 }
 
 impl Default for EvidenceVerifier {
@@ -250,7 +254,30 @@ impl EvidenceVerifier {
             cache: Mutex::new(SegmentCache::default()),
             capacity: config.cache_capacity.max(1),
             metrics: OnceLock::new(),
+            sig_batch: Mutex::new(BatchStats::default()),
         }
+    }
+
+    /// Verifies a batch of ECDSA signature statements with the randomized
+    /// linear-combination verifier (`btcfast_crypto::batch`), accumulating
+    /// its work counters for [`Self::sig_batch_stats`].
+    ///
+    /// The verdict — valid set and named culprits — is exactly what a
+    /// sequential `ecdsa::verify` loop over `items` would produce; only the
+    /// cost differs. `seed` drives the deterministic randomizer stream, so
+    /// the same `(items, seed)` pair replays identical work.
+    pub fn verify_signature_batch(&self, items: &[BatchItem], seed: u64) -> BatchOutcome {
+        let outcome = verify_batch(items, seed);
+        self.sig_batch
+            .lock()
+            .expect("sig batch stats poisoned")
+            .absorb(&outcome.stats);
+        outcome
+    }
+
+    /// Accumulated batch-ECDSA counters since construction.
+    pub fn sig_batch_stats(&self) -> BatchStats {
+        *self.sig_batch.lock().expect("sig batch stats poisoned")
     }
 
     /// Attaches live metric handles. The first attachment wins; later
@@ -562,6 +589,34 @@ mod tests {
         v.verify_segment(&segment, &limit()).unwrap();
         assert_eq!(v.cache_stats().full_hits, 0);
         assert_eq!(v.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn signature_batches_accumulate_stats_and_name_culprits() {
+        let v = verifier();
+        let mut items = Vec::new();
+        for i in 0..6u8 {
+            let kp = KeyPair::from_seed(&[b"batch stats", &[i][..]].concat());
+            let digest = btcfast_crypto::sha256::sha256d(&[i]).0;
+            let (signature, recovery) = kp.sign_recoverable(&digest);
+            items.push(BatchItem {
+                pubkey: *kp.public().point(),
+                digest,
+                signature,
+                recovery: Some(recovery),
+            });
+        }
+        items[4].digest[0] ^= 1; // one culprit
+        let outcome = v.verify_signature_batch(&items, 7);
+        assert_eq!(outcome.invalid, vec![4]);
+        let stats = v.sig_batch_stats();
+        assert_eq!(stats.items, 6);
+        assert!(stats.msm_evals >= 1);
+
+        // A second batch accumulates on top of the first.
+        let outcome = v.verify_signature_batch(&items[..4], 8);
+        assert!(outcome.all_valid());
+        assert_eq!(v.sig_batch_stats().items, 10);
     }
 
     #[test]
